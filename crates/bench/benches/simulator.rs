@@ -1,0 +1,50 @@
+//! Criterion bench: cycle-accurate simulator throughput.
+//!
+//! Full-table regeneration runs ~10^9 simulated cycles; this tracks the
+//! simulator's cycles/second so regressions in the pipeline's inner loop
+//! are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use emprof_sim::{DeviceModel, Interpreter, Simulator};
+use emprof_workloads::microbench::MicrobenchConfig;
+use emprof_workloads::spec::WorkloadSpec;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    let config = MicrobenchConfig::new(128, 8);
+    let cycles = {
+        let program = config.build().unwrap();
+        Simulator::new(DeviceModel::olimex())
+            .run(Interpreter::new(&program))
+            .stats
+            .cycles
+    };
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("microbench_olimex", |b| {
+        b.iter(|| {
+            let program = config.build().unwrap();
+            Simulator::new(DeviceModel::olimex()).run(Interpreter::new(&program))
+        });
+    });
+
+    let spec = WorkloadSpec::mcf().scaled(0.02);
+    let cycles = Simulator::new(DeviceModel::sesc_like())
+        .run(spec.source())
+        .stats
+        .cycles;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("spec_mcf_sesc", |b| {
+        b.iter(|| Simulator::new(DeviceModel::sesc_like()).run(spec.source()));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_simulator
+}
+criterion_main!(benches);

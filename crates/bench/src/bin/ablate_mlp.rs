@@ -1,0 +1,86 @@
+//! Ablation — MSHR count (memory-level parallelism).
+//!
+//! DESIGN.md: the number of outstanding misses a core sustains controls
+//! how many misses remain individually attributable (Fig. 3). Sweeping
+//! the MSHR count on the scoreboarded configuration shows event-count
+//! accuracy eroding with MLP while stall-time accounting stays useful —
+//! the paper's central argument for accounting stall time rather than
+//! counting misses.
+
+use emprof_bench::runner::MAX_CYCLES;
+use emprof_bench::table::{fmt, Table};
+use emprof_core::{Emprof, EmprofConfig};
+use emprof_sim::isa::Reg;
+use emprof_sim::source::IterSource;
+use emprof_sim::{DeviceModel, DynInst, DynOp, Simulator};
+
+/// Bursts of 6 independent loads with their results consumed after a
+/// short compute stretch — enough distance that MLP can overlap them.
+fn workload() -> Vec<DynInst> {
+    let mut insts = Vec::new();
+    for burst in 0..400u64 {
+        let dsts: Vec<Reg> = (0..6).map(|i| Reg(16 + i as u8)).collect();
+        for (i, &dst) in dsts.iter().enumerate() {
+            insts.push(DynInst {
+                pc: 0x1_0000 + i as u64 * 4,
+                op: DynOp::Load {
+                    dst,
+                    addr_src: Some(Reg(31)),
+                    addr: 0x4000_0000 + burst * 0x8_0000 + i as u64 * 4096,
+                },
+            });
+        }
+        for i in 0..1200usize {
+            let srcs = if i >= 100 && i < 100 + dsts.len() {
+                [Some(dsts[i - 100]), None]
+            } else {
+                [Some(Reg(1)), None]
+            };
+            insts.push(DynInst {
+                pc: 0x1_0000 + (i as u64 % 64) * 4,
+                op: DynOp::Alu {
+                    dst: Some(Reg(1 + (i % 8) as u8)),
+                    srcs,
+                },
+            });
+        }
+    }
+    insts
+}
+
+fn main() {
+    println!("Ablation — MSHR count vs miss attribution (2400 true misses)\n");
+    let mut t = Table::new(vec![
+        "MSHRs",
+        "gt misses",
+        "gt stalls",
+        "gt stall cycles",
+        "EMPROF events",
+        "EMPROF stall cycles",
+    ]);
+    for mshrs in [1usize, 2, 4, 8] {
+        let mut device = DeviceModel::mlp_capable();
+        device.mshrs = mshrs;
+        let result = Simulator::new(device.clone())
+            .with_max_cycles(MAX_CYCLES)
+            .run(IterSource::new(workload().into_iter()));
+        let emprof = Emprof::new(EmprofConfig::for_rates(
+            device.clock_hz / 20.0,
+            device.clock_hz,
+        ));
+        let profile = emprof.profile_power_trace(&result.power, 20);
+        t.row(vec![
+            mshrs.to_string(),
+            result.ground_truth.llc_miss_count().to_string(),
+            result.ground_truth.llc_stall_count().to_string(),
+            result.ground_truth.llc_stall_cycles().to_string(),
+            (profile.miss_count() + profile.refresh_count()).to_string(),
+            fmt(profile.total_stall_cycles(), 0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected: more MSHRs overlap the burst's misses into fewer,");
+    println!("shorter stalls — the detector's event count follows the stalls");
+    println!("(undercounting misses), while its stall-cycle total keeps");
+    println!("tracking the ground-truth stall time.");
+}

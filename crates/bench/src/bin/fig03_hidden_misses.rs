@@ -1,0 +1,140 @@
+//! Fig. 3 — some LLC miss events produce no individually attributable
+//! stall.
+//!
+//! Two engineered scenarios on the MLP-capable simulator configuration
+//! (scoreboarded pipeline, 4 MSHRs):
+//!
+//! * (a) bursts of four independent loads: when their results are never
+//!   consumed and plenty of independent work follows, the misses complete
+//!   while the core is still busy — *no* stall is attributable to them;
+//!   consuming the results pulls stalls back in, but the four overlapped
+//!   misses share one stall (MLP);
+//! * (b) an instruction fetch and a data load that miss concurrently:
+//!   one overlapped stall covers two misses.
+//!
+//! In both cases a signal-based detector necessarily reports fewer miss
+//! events than occurred, but — as the paper argues — the *performance
+//! impact* it reports stays close to the truth, because hidden and
+//! overlapped misses cost little extra time.
+
+use emprof_sim::isa::Reg;
+use emprof_sim::source::IterSource;
+use emprof_sim::{DeviceModel, DynInst, DynOp, Simulator};
+
+const BURSTS: u64 = 8;
+
+/// Compute executed from a small, cached code loop (so the instruction
+/// stream itself adds no misses).
+fn compute(insts: &mut Vec<DynInst>, n: usize, uses: &[Reg]) {
+    for i in 0..n {
+        let srcs = if i < uses.len() {
+            [Some(uses[i]), None]
+        } else {
+            [Some(Reg(1)), None]
+        };
+        insts.push(DynInst {
+            pc: 0x1_0000 + (i as u64 % 64) * 4,
+            op: DynOp::Alu {
+                dst: Some(Reg(1 + (i % 8) as u8)),
+                srcs,
+            },
+        });
+    }
+}
+
+/// Bursts of four independent cold loads; `use_after` is how many compute
+/// instructions pass before the results are consumed (`None` = never).
+fn burst_trace(use_after: Option<usize>, compute_len: usize) -> Vec<DynInst> {
+    let mut insts = Vec::new();
+    for burst in 0..BURSTS {
+        let dsts: Vec<Reg> = (0..4).map(|i| Reg(16 + i as u8)).collect();
+        for (i, &dst) in dsts.iter().enumerate() {
+            insts.push(DynInst {
+                pc: 0x1_0000 + i as u64 * 4,
+                op: DynOp::Load {
+                    dst,
+                    addr_src: Some(Reg(31)),
+                    addr: 0x4000_0000 + burst * 0x10_0000 + i as u64 * 4096,
+                },
+            });
+        }
+        match use_after {
+            None => compute(&mut insts, compute_len, &[]),
+            Some(delay) => {
+                compute(&mut insts, delay, &[]);
+                compute(&mut insts, compute_len - delay, &dsts);
+            }
+        }
+    }
+    insts
+}
+
+/// Concurrent I$ and D$ misses: a cold load issues just before execution
+/// jumps to a cold code line that promptly consumes it.
+fn overlap_trace() -> Vec<DynInst> {
+    let mut insts = Vec::new();
+    for burst in 0..BURSTS {
+        compute(&mut insts, 64, &[]); // warm cached loop
+        insts.push(DynInst {
+            pc: 0x1_0000,
+            op: DynOp::Load {
+                dst: Reg(20),
+                addr_src: Some(Reg(31)),
+                addr: 0x6000_0000 + burst * 0x10_0000,
+            },
+        });
+        // One cold code line (16 instructions), first of which uses the
+        // load: the I$ miss and the D$ miss overlap in one stall.
+        let cold_pc = 0x9_000_000 + burst * 0x1_0000;
+        for i in 0..16u64 {
+            let srcs = if i == 0 {
+                [Some(Reg(20)), None]
+            } else {
+                [Some(Reg(1)), None]
+            };
+            insts.push(DynInst {
+                pc: cold_pc + i * 4,
+                op: DynOp::Alu {
+                    dst: Some(Reg(2 + (i % 8) as u8)),
+                    srcs,
+                },
+            });
+        }
+        compute(&mut insts, 2000, &[]); // settle before the next burst
+    }
+    insts
+}
+
+fn report(name: &str, insts: Vec<DynInst>) {
+    let result = Simulator::new(DeviceModel::mlp_capable())
+        .with_max_cycles(50_000_000)
+        .run(IterSource::new(insts.into_iter()));
+    // Data misses only (the cold code line in (b) is deliberate and
+    // counted; the compute loops themselves stay cached).
+    let misses = result.ground_truth.llc_miss_count();
+    let stalls = result.ground_truth.llc_stall_count();
+    let stall_cycles = result.ground_truth.llc_stall_cycles();
+    println!(
+        "{name}: {misses} LLC misses -> {stalls} attributable stalls ({stall_cycles} stall cycles)"
+    );
+}
+
+fn main() {
+    println!("Fig. 3 — misses without individually attributable stalls (MLP config)\n");
+    report(
+        "(a) 4-load bursts, results never used   ",
+        burst_trace(None, 2000),
+    );
+    report(
+        "    4-load bursts, results used at +600 ",
+        burst_trace(Some(600), 2000),
+    );
+    report(
+        "    4-load bursts, results used at once ",
+        burst_trace(Some(0), 2000),
+    );
+    report("(b) overlapped I$ + D$ misses           ", overlap_trace());
+    println!();
+    println!("paper: overlapping/hidden misses are undercounted as events, but");
+    println!("their stall-time accounting still tracks true performance impact.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 5 — memory refresh observed through the processor's signal.
+//!
+//! A steady stream of LLC misses occasionally lands inside the DRAM's
+//! maintenance-refresh window: that access stalls 2–3 µs instead of
+//! ~300 ns, and this happens at least every ~70 µs (the H5TQ2G63BFR
+//! behaviour modeled in `emprof-dram`). EMPROF classifies these extra-long
+//! stalls separately.
+
+use emprof_bench::plot::ascii_plot;
+use emprof_bench::runner::em_run;
+use emprof_core::StallKind;
+use emprof_sim::{DeviceModel, Interpreter};
+use emprof_workloads::microbench::MicrobenchConfig;
+use emprof_workloads::{MARKER_MISS_END, MARKER_MISS_START};
+
+fn main() {
+    let device = DeviceModel::olimex();
+    // A long dense miss stream maximizes collision opportunities.
+    let config = MicrobenchConfig::new(4096, 50);
+    let program = config.build().expect("valid microbenchmark");
+    let run = em_run(device.clone(), Interpreter::new(&program), 40e6, 0xF5);
+    let window = run
+        .result
+        .ground_truth
+        .marker_window(MARKER_MISS_START, MARKER_MISS_END)
+        .expect("markers recorded");
+    let profile = run.profile.slice_cycles(window.0, window.1);
+
+    let refresh_events: Vec<_> = profile
+        .events()
+        .iter()
+        .filter(|e| e.kind == StallKind::RefreshCollision)
+        .collect();
+    println!("Fig. 5 — refresh-collision stalls (Olimex, 40 MHz)\n");
+    println!(
+        "detected {} refresh-collision stalls among {} ordinary miss stalls",
+        refresh_events.len(),
+        profile.miss_count()
+    );
+    let durations_us: Vec<f64> = refresh_events
+        .iter()
+        .map(|e| e.duration_cycles / device.clock_hz * 1e6)
+        .collect();
+    if let (Some(min), Some(max)) = (
+        durations_us.iter().cloned().reduce(f64::min),
+        durations_us.iter().cloned().reduce(f64::max),
+    ) {
+        println!("refresh-stall durations: {min:.2} – {max:.2} us (paper: ~2-3 us)");
+    }
+    // Inter-collision spacing.
+    let centers: Vec<f64> = refresh_events
+        .iter()
+        .map(|e| e.center_sample() as f64 / run.capture.sample_rate_hz() * 1e6)
+        .collect();
+    let gaps: Vec<f64> = centers.windows(2).map(|w| w[1] - w[0]).collect();
+    if !gaps.is_empty() {
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        println!("mean spacing between collisions: {mean:.1} us (paper: ~70 us or less)");
+    }
+
+    // Zoom into one refresh stall (the paper's Fig. 5b).
+    if let Some(e) = refresh_events.first() {
+        let mag = run.capture.magnitude();
+        let lo = e.start_sample.saturating_sub(60);
+        let hi = (e.end_sample + 60).min(mag.len());
+        println!("\nzoom on one refresh-collision stall:");
+        println!("{}", ascii_plot(&mag[lo..hi], 100, 8));
+    }
+}

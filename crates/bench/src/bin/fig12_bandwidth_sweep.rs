@@ -1,0 +1,39 @@
+//! Fig. 12 — effect of the measurement bandwidth (20–160 MHz) on EMPROF,
+//! for the *mcf* workload on the Alcatel and Olimex models.
+//!
+//! Paper shape: at low bandwidth short stalls are missed (few samples per
+//! dip, and band-limiting smears them), so the detected count drops and
+//! the average detected stall duration rises — at 20 MHz the Alcatel only
+//! detects the extremely long stalls. From 60 MHz up, the statistics
+//! stabilize: bandwidth equal to ~6 % of the clock suffices.
+
+use emprof_bench::runner::{em_run, steady_window};
+use emprof_bench::table::{fmt, Table};
+use emprof_emsim::PAPER_BANDWIDTHS_HZ;
+use emprof_sim::DeviceModel;
+use emprof_workloads::spec::WorkloadSpec;
+
+fn main() {
+    println!("Fig. 12 — bandwidth sweep, SPEC-like mcf\n");
+    let mut t = Table::new(vec![
+        "bandwidth",
+        "alcatel events",
+        "alcatel avg stall (cyc)",
+        "olimex events",
+        "olimex avg stall (cyc)",
+    ]);
+    for bw in PAPER_BANDWIDTHS_HZ {
+        let mut row = vec![format!("{:.0} MHz", bw / 1e6)];
+        for device in [DeviceModel::alcatel(), DeviceModel::olimex()] {
+            let run = em_run(device, WorkloadSpec::mcf().source(), bw, 0x12);
+            let window = steady_window(&run.result);
+            let profile = run.profile.slice_cycles(window.0, window.1);
+            row.push(profile.events().len().to_string());
+            row.push(fmt(profile.mean_latency_cycles(), 0));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("paper shape: detection counts collapse at 20 MHz (Alcatel most,");
+    println!("mean detected duration ~1100 cycles there); stable from 60 MHz up.");
+}

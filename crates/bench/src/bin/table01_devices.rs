@@ -1,0 +1,42 @@
+//! Table I — specifications of the experimental devices.
+//!
+//! Prints the modeled parameters of the three evaluation devices (plus
+//! the SESC-like simulator configuration), the reproduction's counterpart
+//! of the paper's Table I.
+
+use emprof_bench::table::Table;
+use emprof_sim::DeviceModel;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "device",
+        "stands in for",
+        "clock",
+        "width",
+        "LLC",
+        "L1",
+        "prefetch",
+        "miss latency",
+    ]);
+    let devices = [
+        (DeviceModel::alcatel(), "Alcatel Ideal (Cortex-A7)"),
+        (DeviceModel::samsung(), "Samsung Centura (Cortex-A5)"),
+        (DeviceModel::olimex(), "Olimex A13 (Cortex-A8)"),
+        (DeviceModel::sesc_like(), "enhanced SESC simulator"),
+    ];
+    for (d, role) in devices {
+        let miss_ns = d.cycles_to_ns(d.nominal_miss_latency_cycles());
+        t.row(vec![
+            d.name.to_string(),
+            role.to_string(),
+            format!("{:.3} GHz", d.clock_hz / 1e9),
+            format!("{}", d.width),
+            format!("{} KiB", d.llc.size_bytes >> 10),
+            format!("{} KiB", d.l1d.size_bytes >> 10),
+            if d.prefetcher.is_some() { "yes" } else { "no" }.to_string(),
+            format!("~{miss_ns:.0} ns"),
+        ]);
+    }
+    println!("Table I — modeled device specifications\n");
+    println!("{}", t.render());
+}

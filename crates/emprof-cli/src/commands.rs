@@ -1,0 +1,352 @@
+//! Command execution.
+
+use std::fmt::Write as _;
+
+use emprof_core::report::{self, ProfileSummary};
+use emprof_core::{Emprof, EmprofConfig, Profile};
+use emprof_emsim::{Receiver, ReceiverConfig};
+use emprof_sim::{DeviceModel, Interpreter, Simulator};
+use emprof_workloads::microbench::MicrobenchConfig;
+use emprof_workloads::spec::WorkloadSpec;
+use emprof_workloads::{boot, iot};
+
+use crate::opts::{parse, CliError, Command, ProfileOpts, SimulateOpts, USAGE};
+
+/// Parses and executes an invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage mistakes and runtime failures; the
+/// binary prints the error and exits nonzero.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match parse(args)? {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Devices => Ok(devices()),
+        Command::Demo => demo(),
+        Command::Simulate(opts) => simulate(&opts),
+        Command::Profile(opts) => profile_csv(&opts),
+    }
+}
+
+fn devices() -> String {
+    let mut out = String::new();
+    for d in [
+        DeviceModel::alcatel(),
+        DeviceModel::samsung(),
+        DeviceModel::olimex(),
+        DeviceModel::sesc_like(),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>6.3} GHz  width {}  LLC {:>5} KiB  prefetch {}  ~{:.0} ns/miss",
+            d.name,
+            d.clock_hz / 1e9,
+            d.width,
+            d.llc.size_bytes >> 10,
+            if d.prefetcher.is_some() { "yes" } else { "no " },
+            d.cycles_to_ns(d.nominal_miss_latency_cycles()),
+        );
+    }
+    out
+}
+
+fn device_by_name(name: &str) -> Result<DeviceModel, CliError> {
+    match name {
+        "alcatel" => Ok(DeviceModel::alcatel()),
+        "samsung" => Ok(DeviceModel::samsung()),
+        "olimex" => Ok(DeviceModel::olimex()),
+        "sesc" | "sesc-sim" => Ok(DeviceModel::sesc_like()),
+        other => Err(CliError::Runtime(format!(
+            "unknown device {other} (try: alcatel, samsung, olimex, sesc)"
+        ))),
+    }
+}
+
+/// Runs a named workload on a device, returning the simulation result.
+fn run_workload(
+    workload: &str,
+    device: &DeviceModel,
+    scale: f64,
+    seed: u64,
+) -> Result<emprof_sim::SimResult, CliError> {
+    let sim = Simulator::new(device.clone())
+        .with_max_cycles(4_000_000_000)
+        .with_seed(seed);
+    let interp_run = |program: emprof_sim::Program| sim.run(Interpreter::new(&program));
+    let err = |e: String| CliError::Runtime(e);
+
+    if let Some(spec) = workload.strip_prefix("microbench:") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [tm, cm] = parts.as_slice() else {
+            return Err(err(format!("bad microbench spec {workload} (want microbench:TM:CM)")));
+        };
+        let tm: u64 = tm.parse().map_err(|_| err(format!("bad TM {tm}")))?;
+        let cm: u64 = cm.parse().map_err(|_| err(format!("bad CM {cm}")))?;
+        let program = MicrobenchConfig::new(tm, cm)
+            .build()
+            .map_err(|e| err(e.to_string()))?;
+        return Ok(interp_run(program));
+    }
+    match workload {
+        "boot" => Ok(sim.run(boot::boot_sequence(seed, scale).source())),
+        "sensor-filter" => {
+            let program = iot::sensor_filter(16, 64, (20_000.0 * scale) as i64 + 100)
+                .map_err(|e| err(e.to_string()))?;
+            Ok(interp_run(program))
+        }
+        "block-transfer" => {
+            let program = iot::block_transfer((320.0 * scale) as i64 + 4)
+                .map_err(|e| err(e.to_string()))?;
+            Ok(interp_run(program))
+        }
+        "table-crypto" => {
+            let program = iot::table_crypto((10_000.0 * scale) as i64 + 64, 8 << 20, 40)
+                .map_err(|e| err(e.to_string()))?;
+            Ok(interp_run(program))
+        }
+        name => {
+            let spec = WorkloadSpec::all_spec2000()
+                .into_iter()
+                .find(|w| w.name == name)
+                .ok_or_else(|| err(format!("unknown workload {name}")))?;
+            Ok(sim.run(spec.scaled(scale).with_seed(seed).source()))
+        }
+    }
+}
+
+fn profile_of(
+    result: &emprof_sim::SimResult,
+    device: &DeviceModel,
+    bandwidth: f64,
+    seed: u64,
+) -> (Profile, Vec<f64>, f64) {
+    let rx = Receiver::new(ReceiverConfig::paper_setup(bandwidth));
+    let capture = rx.capture(&result.power, seed);
+    let emprof = Emprof::new(EmprofConfig::for_rates(
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    ));
+    let magnitude = capture.magnitude();
+    let profile =
+        emprof.profile_capture(&magnitude, capture.sample_rate_hz(), device.clock_hz);
+    (profile, magnitude, capture.sample_rate_hz())
+}
+
+fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
+    let device = device_by_name(&opts.device)?;
+    let result = run_workload(&opts.workload, &device, opts.scale, opts.seed)?;
+    let (profile, magnitude, rate) = profile_of(&result, &device, opts.bandwidth_hz, opts.seed);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {}: {} cycles, {} instructions (IPC {:.2})",
+        opts.workload,
+        device.name,
+        result.stats.cycles,
+        result.stats.instructions,
+        result.stats.ipc()
+    );
+    let _ = writeln!(
+        out,
+        "capture: {} samples at {:.0} MS/s",
+        magnitude.len(),
+        rate / 1e6
+    );
+    let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    let _ = writeln!(
+        out,
+        "ground truth: {} LLC misses, {} stall cycles",
+        result.ground_truth.llc_miss_count(),
+        result.ground_truth.llc_stall_cycles()
+    );
+    if let Some(path) = &opts.signal_out {
+        write_file(path, &report::signal_to_csv(&magnitude))?;
+        let _ = writeln!(out, "signal written to {path}");
+    }
+    if let Some(path) = &opts.events_out {
+        write_file(path, &report::events_to_csv(&profile))?;
+        let _ = writeln!(out, "events written to {path}");
+    }
+    Ok(out)
+}
+
+fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
+    let csv = std::fs::read_to_string(&opts.signal_path)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.signal_path)))?;
+    let signal =
+        report::signal_from_csv(&csv).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let emprof = Emprof::new(EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz));
+    let profile = emprof.profile_magnitude(&signal, opts.sample_rate_hz, opts.clock_hz);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} samples ({:.3} ms of execution)",
+        opts.signal_path,
+        signal.len(),
+        signal.len() as f64 / opts.sample_rate_hz * 1e3
+    );
+    let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    if let Some(path) = &opts.events_out {
+        write_file(path, &report::events_to_csv(&profile))?;
+        let _ = writeln!(out, "events written to {path}");
+    }
+    Ok(out)
+}
+
+fn demo() -> Result<String, CliError> {
+    let device = DeviceModel::olimex();
+    let config = MicrobenchConfig::new(256, 1);
+    let program = config
+        .build()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let result = Simulator::new(device.clone())
+        .with_max_cycles(4_000_000_000)
+        .run(Interpreter::new(&program));
+    let (profile, _, _) = profile_of(&result, &device, 40e6, 7);
+    let window = result
+        .ground_truth
+        .marker_window(
+            emprof_workloads::MARKER_MISS_START,
+            emprof_workloads::MARKER_MISS_END,
+        )
+        .ok_or_else(|| CliError::Runtime("markers missing".into()))?;
+    let section = profile.slice_cycles(window.0, window.1);
+    let reported = section.miss_count() + section.refresh_count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "microbenchmark engineered for {} LLC misses on the Olimex model",
+        config.total_misses
+    );
+    let _ = writeln!(
+        out,
+        "EMPROF detected {} stalls in the measured section ({:.2}% accuracy)",
+        reported,
+        emprof_core::accuracy::count_accuracy(reported as f64, config.total_misses as f64)
+            * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "mean measured latency {:.0} cycles (~{:.0} ns at {:.3} GHz)",
+        section.mean_latency_cycles(),
+        section.mean_latency_cycles() / device.clock_hz * 1e9,
+        device.clock_hz / 1e9
+    );
+    Ok(out)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn devices_lists_all_models() {
+        let out = run(&argv("devices")).unwrap();
+        for name in ["alcatel", "samsung", "olimex", "sesc-sim"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn help_is_returned() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn simulate_microbench_reports_counts() {
+        let out = run(&argv("simulate microbench:64:4 --device olimex --seed 3")).unwrap();
+        assert!(out.contains("misses:"), "{out}");
+        assert!(out.contains("ground truth:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_iot_kernel() {
+        let out = run(&argv("simulate table-crypto --scale 0.05")).unwrap();
+        assert!(out.contains("table-crypto on olimex"));
+    }
+
+    #[test]
+    fn simulate_spec_scaled() {
+        let out = run(&argv("simulate vpr --scale 0.01 --device sesc")).unwrap();
+        assert!(out.contains("vpr on sesc-sim"));
+    }
+
+    #[test]
+    fn unknown_workload_and_device_error() {
+        assert!(matches!(
+            run(&argv("simulate nope --scale 0.01")),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(&argv("simulate mcf --device toaster")),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(&argv("simulate microbench:abc:1")),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn signal_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("emprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sig = dir.join("sig.csv");
+        let ev = dir.join("ev.csv");
+        let out = run(&argv(&format!(
+            "simulate microbench:64:4 --seed 5 --signal-out {} --events-out {}",
+            sig.display(),
+            ev.display()
+        )))
+        .unwrap();
+        assert!(out.contains("signal written"));
+
+        // Profile the exported capture; counts must match the simulate run.
+        let out2 = run(&argv(&format!(
+            "profile {} --rate 40e6 --clock 1.008e9",
+            sig.display()
+        )))
+        .unwrap();
+        let miss_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("misses:"))
+                .map(str::to_string)
+                .expect("misses line")
+        };
+        assert_eq!(miss_line(&out), miss_line(&out2));
+        // The events CSV parses back.
+        let events =
+            report::events_from_csv(&std::fs::read_to_string(&ev).unwrap()).unwrap();
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn profile_missing_file_errors() {
+        assert!(matches!(
+            run(&argv("profile /nonexistent.csv --rate 1e6 --clock 1e9")),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn demo_reports_high_accuracy() {
+        let out = run(&argv("demo")).unwrap();
+        let pct: f64 = out
+            .split('(')
+            .nth(1)
+            .and_then(|s| s.split('%').next())
+            .and_then(|s| s.parse().ok())
+            .expect("accuracy in output");
+        assert!(pct > 95.0, "demo accuracy {pct}: {out}");
+    }
+}

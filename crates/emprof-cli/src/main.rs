@@ -1,0 +1,13 @@
+//! The `emprof` command-line tool; see [`emprof_cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match emprof_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("emprof: {e}");
+            eprintln!("run `emprof help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

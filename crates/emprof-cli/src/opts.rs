@@ -1,0 +1,321 @@
+//! Command-line parsing (hand-rolled; the crate stays dependency-light).
+
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the modeled devices.
+    Devices,
+    /// Simulate a workload, capture it, and profile the capture.
+    Simulate(SimulateOpts),
+    /// Profile an existing magnitude-CSV capture.
+    Profile(ProfileOpts),
+    /// Run the end-to-end demonstration.
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+/// Options of `emprof simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOpts {
+    /// Workload spec string (e.g. `mcf`, `microbench:256:1`, `boot`).
+    pub workload: String,
+    /// Device model name (`alcatel`, `samsung`, `olimex`, `sesc`).
+    pub device: String,
+    /// Measurement bandwidth in Hz.
+    pub bandwidth_hz: f64,
+    /// Length scale for scalable workloads.
+    pub scale: f64,
+    /// Capture/workload seed.
+    pub seed: u64,
+    /// Write the captured magnitude signal to this CSV path.
+    pub signal_out: Option<String>,
+    /// Write the detected events to this CSV path.
+    pub events_out: Option<String>,
+}
+
+impl Default for SimulateOpts {
+    fn default() -> Self {
+        SimulateOpts {
+            workload: String::new(),
+            device: "olimex".to_string(),
+            bandwidth_hz: 40e6,
+            scale: 0.1,
+            seed: 1,
+            signal_out: None,
+            events_out: None,
+        }
+    }
+}
+
+/// Options of `emprof profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOpts {
+    /// Path of the magnitude CSV to analyze.
+    pub signal_path: String,
+    /// Capture sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Profiled core clock in Hz.
+    pub clock_hz: f64,
+    /// Write the detected events to this CSV path.
+    pub events_out: Option<String>,
+}
+
+/// Errors produced while parsing or executing a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// The arguments did not form a valid command.
+    Usage(String),
+    /// A runtime failure (I/O, bad CSV, unknown workload, ...).
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses a full argument list (excluding argv\[0\]).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on unknown commands, unknown flags,
+/// missing values, or unparsable numbers.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "devices" => expect_end(it).map(|()| Command::Devices),
+        "demo" => expect_end(it).map(|()| Command::Demo),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => {
+            let mut opts = SimulateOpts::default();
+            let mut positional = Vec::new();
+            let mut it = it.peekable();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--device" => opts.device = take_value(&mut it, "--device")?,
+                    "--bandwidth" => {
+                        opts.bandwidth_hz = take_parsed(&mut it, "--bandwidth")?
+                    }
+                    "--scale" => opts.scale = take_parsed(&mut it, "--scale")?,
+                    "--seed" => opts.seed = take_parsed(&mut it, "--seed")?,
+                    "--signal-out" => {
+                        opts.signal_out = Some(take_value(&mut it, "--signal-out")?)
+                    }
+                    "--events-out" => {
+                        opts.events_out = Some(take_value(&mut it, "--events-out")?)
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")))
+                    }
+                    _ => positional.push(arg.clone()),
+                }
+            }
+            match positional.as_slice() {
+                [workload] => {
+                    opts.workload = workload.clone();
+                    Ok(Command::Simulate(opts))
+                }
+                [] => Err(CliError::Usage("simulate requires a workload".into())),
+                _ => Err(CliError::Usage("simulate takes one workload".into())),
+            }
+        }
+        "profile" => {
+            let mut positional = Vec::new();
+            let mut rate = None;
+            let mut clock = None;
+            let mut events_out = None;
+            let mut it = it.peekable();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
+                    "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
+                    "--events-out" => {
+                        events_out = Some(take_value(&mut it, "--events-out")?)
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag {flag}")))
+                    }
+                    _ => positional.push(arg.clone()),
+                }
+            }
+            let signal_path = match positional.as_slice() {
+                [p] => p.clone(),
+                _ => {
+                    return Err(CliError::Usage(
+                        "profile requires exactly one signal CSV path".into(),
+                    ))
+                }
+            };
+            Ok(Command::Profile(ProfileOpts {
+                signal_path,
+                sample_rate_hz: rate
+                    .ok_or_else(|| CliError::Usage("profile requires --rate".into()))?,
+                clock_hz: clock
+                    .ok_or_else(|| CliError::Usage("profile requires --clock".into()))?,
+                events_out,
+            }))
+        }
+        other => Err(CliError::Usage(format!("unknown command {other}"))),
+    }
+}
+
+fn expect_end<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<(), CliError> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(CliError::Usage(format!("unexpected argument {extra}"))),
+    }
+}
+
+fn take_value<'a, I: Iterator<Item = &'a String>>(
+    it: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+fn take_parsed<'a, I: Iterator<Item = &'a String>, T: std::str::FromStr>(
+    it: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<T, CliError> {
+    let raw = take_value(it, flag)?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {raw}")))
+}
+
+/// The usage text printed by `emprof help`.
+pub const USAGE: &str = "\
+emprof — memory profiling via EM emanations (reproduction of MICRO'18)
+
+USAGE:
+  emprof devices
+      List the modeled devices and their parameters.
+
+  emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
+                  [--seed N] [--signal-out FILE] [--events-out FILE]
+      Simulate a workload on a device model, synthesize its EM capture,
+      and profile it with EMPROF. Workloads: microbench:TM:CM, ammp,
+      bzip2, crafty, equake, gzip, mcf, parser, twolf, vortex, vpr,
+      boot, sensor-filter, block-transfer, table-crypto.
+
+  emprof profile <signal.csv> --rate HZ --clock HZ [--events-out FILE]
+      Run the EMPROF detector on an externally captured magnitude signal
+      (one-column CSV with a `magnitude` header).
+
+  emprof demo
+      End-to-end demonstration against known ground truth.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_devices_and_demo() {
+        assert_eq!(parse(&argv("devices")).unwrap(), Command::Devices);
+        assert_eq!(parse(&argv("demo")).unwrap(), Command::Demo);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_simulate_with_flags() {
+        let cmd = parse(&argv(
+            "simulate mcf --device alcatel --bandwidth 20e6 --scale 0.5 --seed 9 \
+             --signal-out sig.csv --events-out ev.csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate(o) => {
+                assert_eq!(o.workload, "mcf");
+                assert_eq!(o.device, "alcatel");
+                assert_eq!(o.bandwidth_hz, 20e6);
+                assert_eq!(o.scale, 0.5);
+                assert_eq!(o.seed, 9);
+                assert_eq!(o.signal_out.as_deref(), Some("sig.csv"));
+                assert_eq!(o.events_out.as_deref(), Some("ev.csv"));
+            }
+            other => panic!("expected simulate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        match parse(&argv("simulate boot")).unwrap() {
+            Command::Simulate(o) => {
+                assert_eq!(o.device, "olimex");
+                assert_eq!(o.bandwidth_hz, 40e6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_profile() {
+        match parse(&argv("profile cap.csv --rate 40e6 --clock 1.008e9")).unwrap() {
+            Command::Profile(o) => {
+                assert_eq!(o.signal_path, "cap.csv");
+                assert_eq!(o.sample_rate_hz, 40e6);
+                assert_eq!(o.clock_hz, 1.008e9);
+                assert!(o.events_out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv("simulate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("simulate a b")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate mcf --bandwidth nope")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate mcf --wat 3")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("profile cap.csv --rate 40e6")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("devices extra")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("profile --rate 1 --clock 1")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CliError::Usage("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

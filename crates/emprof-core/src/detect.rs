@@ -1,0 +1,311 @@
+//! The EMPROF detector: normalization and dip extraction.
+
+use emprof_signal::stats;
+use emprof_sim::PowerTrace;
+
+use crate::config::EmprofConfig;
+use crate::profile::{Profile, StallEvent, StallKind};
+
+/// The EMPROF profiler (Section IV of the paper).
+///
+/// Stateless apart from its configuration: the detector needs no training
+/// and no a-priori knowledge of the profiled program, which is what lets
+/// the paper profile boot sequences before any software infrastructure is
+/// up (Section VI-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Emprof {
+    config: EmprofConfig,
+}
+
+impl Emprof {
+    /// Creates a profiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`EmprofConfig::validate`].
+    pub fn new(config: EmprofConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid EMPROF configuration: {e}"));
+        Emprof { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> EmprofConfig {
+        self.config
+    }
+
+    /// Profiles a magnitude signal sampled at `sample_rate_hz` from a core
+    /// clocked at `clock_hz`.
+    ///
+    /// This is the heart of EMPROF: moving-min/max normalization, then a
+    /// duration-filtered threshold detector over the normalized signal.
+    pub fn profile_magnitude(
+        &self,
+        magnitude: &[f64],
+        sample_rate_hz: f64,
+        clock_hz: f64,
+    ) -> Profile {
+        let cps = clock_hz / sample_rate_hz;
+        let norm = stats::normalize_moving_minmax(magnitude, self.config.norm_window_samples);
+        let dips = self.detect_dips(&norm);
+        let min_samples =
+            (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
+        let events: Vec<StallEvent> = dips
+            .into_iter()
+            .filter(|&(s, e)| (e - s) as f64 >= min_samples)
+            .map(|(s, e)| {
+                let duration_cycles = (e - s) as f64 * cps;
+                StallEvent {
+                    start_sample: s,
+                    end_sample: e,
+                    duration_cycles,
+                    kind: if duration_cycles >= self.config.refresh_min_cycles {
+                        StallKind::RefreshCollision
+                    } else {
+                        StallKind::Normal
+                    },
+                }
+            })
+            .collect();
+        Profile::new(events, magnitude.len(), sample_rate_hz, clock_hz)
+    }
+
+    /// Profiles a captured EM signal (the physical-device path).
+    ///
+    /// Generic over anything that can provide a magnitude signal with its
+    /// rates; in practice this is `emprof_emsim::CapturedSignal` via the
+    /// `(magnitude, sample_rate, clock)` triple.
+    pub fn profile_capture(
+        &self,
+        magnitude: &[f64],
+        sample_rate_hz: f64,
+        clock_hz: f64,
+    ) -> Profile {
+        self.profile_magnitude(magnitude, sample_rate_hz, clock_hz)
+    }
+
+    /// Profiles a simulator power trace, first averaging it over
+    /// `cycles_per_sample`-cycle intervals exactly as the paper does
+    /// (20-cycle intervals, Section III-B) — the Table III validation
+    /// path.
+    pub fn profile_power_trace(&self, trace: &PowerTrace, cycles_per_sample: usize) -> Profile {
+        let (samples, rate) = trace.averaged(cycles_per_sample);
+        self.profile_magnitude(&samples, rate, trace.clock_hz())
+    }
+
+    /// Finds below-threshold runs in the normalized signal, merges runs
+    /// separated by at most `merge_gap_samples`, and widens each run
+    /// outward to the `edge_level` crossings.
+    fn detect_dips(&self, norm: &[f64]) -> Vec<(usize, usize)> {
+        let th = self.config.threshold;
+        let mut raw: Vec<(usize, usize)> = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, &v) in norm.iter().enumerate() {
+            if v < th {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(s) = start.take() {
+                raw.push((s, i));
+            }
+        }
+        if let Some(s) = start {
+            raw.push((s, norm.len()));
+        }
+        // Merge nearby runs.
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(raw.len());
+        for run in raw {
+            match merged.last_mut() {
+                Some(last) if run.0 - last.1 <= self.config.merge_gap_samples => {
+                    last.1 = run.1;
+                }
+                _ => merged.push(run),
+            }
+        }
+        // Refine edges outward to the edge_level crossing, without letting
+        // adjacent events overlap.
+        let edge = self.config.edge_level;
+        let mut refined: Vec<(usize, usize)> = Vec::with_capacity(merged.len());
+        for (idx, &(mut s, mut e)) in merged.iter().enumerate() {
+            let left_bound = refined.last().map_or(0, |r: &(usize, usize)| r.1);
+            while s > left_bound && norm[s - 1] < edge {
+                s -= 1;
+            }
+            let right_bound = merged.get(idx + 1).map_or(norm.len(), |n| n.0);
+            while e < right_bound && norm[e] < edge {
+                e += 1;
+            }
+            refined.push((s, e));
+        }
+        // Refinement can make neighbours touch; merge any that now abut.
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(refined.len());
+        for run in refined {
+            match out.last_mut() {
+                Some(last) if run.0 <= last.1 => last.1 = last.1.max(run.1),
+                _ => out.push(run),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 40e6;
+    const CLK: f64 = 1.0e9;
+    const CPS: f64 = CLK / FS; // 25 cycles per sample
+
+    fn emprof() -> Emprof {
+        Emprof::new(EmprofConfig::for_rates(FS, CLK))
+    }
+
+    /// Busy signal at 5.0 with dips of `dip_samples` at the given starts.
+    fn signal_with_dips(len: usize, dips: &[(usize, usize)]) -> Vec<f64> {
+        let mut s = vec![5.0; len];
+        for &(start, width) in dips {
+            for v in s.iter_mut().skip(start).take(width) {
+                *v = 0.8;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn detects_isolated_stalls() {
+        let mag = signal_with_dips(20_000, &[(5_000, 12), (9_000, 12), (13_000, 12)]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 3);
+        for e in p.events() {
+            // 12 samples = 300 cycles; edge refinement may widen slightly.
+            assert!(
+                (250.0..450.0).contains(&e.duration_cycles),
+                "latency {}",
+                e.duration_cycles
+            );
+            assert_eq!(e.kind, StallKind::Normal);
+        }
+    }
+
+    #[test]
+    fn short_dips_are_rejected() {
+        // 2 samples = 50 cycles < 100-cycle minimum: on-chip latency, not
+        // an LLC miss.
+        let mag = signal_with_dips(20_000, &[(5_000, 2)]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 0);
+    }
+
+    #[test]
+    fn long_stall_classified_as_refresh() {
+        // 100 samples = 2500 cycles = 2.5 us at 1 GHz: a refresh collision.
+        let mag = signal_with_dips(20_000, &[(5_000, 100)]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 0);
+        assert_eq!(p.refresh_count(), 1);
+        assert!(p.events()[0].duration_cycles >= 2000.0);
+    }
+
+    #[test]
+    fn noise_spike_inside_dip_does_not_split_it() {
+        let mut mag = signal_with_dips(20_000, &[(5_000, 12)]);
+        mag[5_006] = 5.0; // single-sample spike into the dip
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 1, "merge_gap should absorb the spike");
+    }
+
+    #[test]
+    fn gain_step_does_not_create_false_stalls() {
+        // Probe gain drops 40% mid-capture; normalization must absorb it.
+        let mut mag = vec![5.0; 30_000];
+        for v in mag.iter_mut().skip(15_000) {
+            *v = 3.0;
+        }
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 0, "gain step misread as a stall");
+    }
+
+    #[test]
+    fn dips_detected_under_slow_drift() {
+        // ±10% sinusoidal drift over the capture plus real dips.
+        let mut mag: Vec<f64> = (0..40_000)
+            .map(|i| 5.0 * (1.0 + 0.1 * (i as f64 * 1e-4).sin()))
+            .collect();
+        for &start in &[10_000usize, 20_000, 30_000] {
+            for v in mag.iter_mut().skip(start).take(12) {
+                *v *= 0.15;
+            }
+        }
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 3);
+    }
+
+    #[test]
+    fn measured_latency_tracks_true_duration() {
+        // Dips of 8, 16, and 40 samples: 200, 400, 1000 cycles.
+        let mag = signal_with_dips(30_000, &[(5_000, 8), (10_000, 16), (15_000, 40)]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.events().len(), 3);
+        let measured: Vec<f64> = p.events().iter().map(|e| e.duration_cycles).collect();
+        for (m, expected) in measured.iter().zip([200.0, 400.0, 1000.0]) {
+            let err = (m - expected).abs() / expected;
+            assert!(err < 0.3, "measured {m} vs expected {expected}");
+        }
+        // Ordering must be preserved exactly.
+        assert!(measured[0] < measured[1] && measured[1] < measured[2]);
+    }
+
+    #[test]
+    fn event_positions_map_to_cycles() {
+        let mag = signal_with_dips(20_000, &[(5_000, 12)]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        let cycle = p.sample_to_cycle(p.events()[0].center_sample());
+        let expected = (5_006.0 * CPS) as i64;
+        assert!((cycle as i64 - expected).abs() < (3.0 * CPS) as i64);
+    }
+
+    #[test]
+    fn dip_at_signal_edges_is_handled() {
+        // Dip running off the end of the capture.
+        let mut mag = vec![5.0; 10_000];
+        for v in mag.iter_mut().skip(9_990) {
+            *v = 0.8;
+        }
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert!(p.events().len() <= 1);
+        if let Some(e) = p.events().first() {
+            assert_eq!(e.end_sample, 10_000);
+        }
+    }
+
+    #[test]
+    fn power_trace_path_uses_20_cycle_averaging() {
+        // A 1 GHz power trace with a 300-cycle stall; averaged per 20
+        // cycles -> 50 MS/s, stall = 15 samples.
+        let mut power = vec![5.0f32; 100_000];
+        for v in power.iter_mut().skip(50_000).take(300) {
+            *v = 1.0;
+        }
+        let trace = PowerTrace::from_samples(power, 1.0e9);
+        let emprof = Emprof::new(EmprofConfig::for_rates(50e6, 1.0e9));
+        let p = emprof.profile_power_trace(&trace, 20);
+        assert_eq!(p.miss_count(), 1);
+        assert!((p.events()[0].duration_cycles - 300.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn empty_signal_gives_empty_profile() {
+        let p = emprof().profile_magnitude(&[], FS, CLK);
+        assert_eq!(p.events().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EMPROF configuration")]
+    fn bad_config_panics() {
+        let mut c = EmprofConfig::for_rates(FS, CLK);
+        c.threshold = 2.0;
+        Emprof::new(c);
+    }
+}

@@ -1,0 +1,158 @@
+//! Signal-driven section isolation.
+//!
+//! The paper's microbenchmark brackets its miss-generating section with
+//! tight "blank" loops whose signal is stable and dip-free, "which allows
+//! us to identify the point in the signal where this loop ends and the
+//! part of the application with LLC miss activity begins" (Section V-B).
+//! This module implements that identification from the profile alone: the
+//! two longest stall-free quiet spans are taken to be the marker loops and
+//! the measured window lies between them.
+
+use crate::profile::Profile;
+
+/// A stall-free span of the capture, in samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuietSpan {
+    /// First sample of the span.
+    pub start_sample: usize,
+    /// One past the last sample.
+    pub end_sample: usize,
+}
+
+impl QuietSpan {
+    /// Span length in samples.
+    pub fn len(&self) -> usize {
+        self.end_sample - self.start_sample
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lists maximal stall-free spans at least `min_len` samples long, in time
+/// order.
+pub fn quiet_spans(profile: &Profile, min_len: usize) -> Vec<QuietSpan> {
+    let mut spans = Vec::new();
+    let mut cursor = 0usize;
+    for e in profile.events() {
+        if e.start_sample > cursor && e.start_sample - cursor >= min_len {
+            spans.push(QuietSpan {
+                start_sample: cursor,
+                end_sample: e.start_sample,
+            });
+        }
+        cursor = cursor.max(e.end_sample);
+    }
+    let total = profile.total_samples();
+    if total > cursor && total - cursor >= min_len {
+        spans.push(QuietSpan {
+            start_sample: cursor,
+            end_sample: total,
+        });
+    }
+    spans
+}
+
+/// Identifies the measured window of a marker-bracketed run: the two
+/// longest quiet spans are the identifier loops; the window is everything
+/// between the end of the earlier one and the start of the later one.
+///
+/// Returns `None` when fewer than two sufficiently long quiet spans
+/// exist, or when they do not bracket anything.
+pub fn measured_window(profile: &Profile, min_quiet_samples: usize) -> Option<(usize, usize)> {
+    let mut spans = quiet_spans(profile, min_quiet_samples);
+    if spans.len() < 2 {
+        return None;
+    }
+    // Two longest spans, then restore time order.
+    spans.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let (mut a, mut b) = (spans[0], spans[1]);
+    if a.start_sample > b.start_sample {
+        std::mem::swap(&mut a, &mut b);
+    }
+    (b.start_sample > a.end_sample).then_some((a.end_sample, b.start_sample))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{StallEvent, StallKind};
+
+    fn ev(start: usize, end: usize) -> StallEvent {
+        StallEvent {
+            start_sample: start,
+            end_sample: end,
+            duration_cycles: (end - start) as f64 * 25.0,
+            kind: StallKind::Normal,
+        }
+    }
+
+    /// A microbenchmark-shaped profile: page-touch dips, long quiet span
+    /// (blank loop), dense miss section, long quiet span, tail.
+    fn microbench_profile() -> Profile {
+        let mut events = Vec::new();
+        // Page-touch phase: dips at 100..1000.
+        for i in 0..5 {
+            events.push(ev(100 + i * 150, 112 + i * 150));
+        }
+        // Quiet 1000..5000 (blank loop).
+        // Miss section: dense dips 5000..8000.
+        for i in 0..20 {
+            events.push(ev(5000 + i * 150, 5012 + i * 150));
+        }
+        // Quiet 8000..12000 (blank loop), then end.
+        Profile::new(events, 12_000, 40e6, 1.0e9)
+    }
+
+    #[test]
+    fn quiet_spans_found() {
+        let p = microbench_profile();
+        let spans = quiet_spans(&p, 1000);
+        assert_eq!(spans.len(), 2);
+        // Last page-touch dip ends at 712; the blank loop runs to 5000.
+        assert_eq!(spans[0].start_sample, 712);
+        assert_eq!(spans[0].end_sample, 5000);
+        // Last miss dip ends at 7862; the closing blank loop runs to 12000.
+        assert_eq!(spans[1].start_sample, 7862);
+        assert_eq!(spans[1].end_sample, 12_000);
+    }
+
+    #[test]
+    fn measured_window_brackets_miss_section() {
+        let p = microbench_profile();
+        let (start, end) = measured_window(&p, 1000).expect("window found");
+        assert_eq!(start, 5000);
+        // Last dip ends at 5012 + 19*150 = 7862; quiet span starts there.
+        assert_eq!(end, 7862);
+        let sliced = p.slice_samples(start, end);
+        assert_eq!(sliced.miss_count(), 20);
+    }
+
+    #[test]
+    fn no_window_without_two_quiet_spans() {
+        // Uniform dips everywhere: no bracketing loops.
+        let events: Vec<StallEvent> = (0..50).map(|i| ev(i * 200, i * 200 + 12)).collect();
+        let p = Profile::new(events, 10_000, 40e6, 1.0e9);
+        assert_eq!(measured_window(&p, 1000), None);
+    }
+
+    #[test]
+    fn empty_profile_is_one_big_quiet_span() {
+        let p = Profile::new(vec![], 5_000, 40e6, 1.0e9);
+        let spans = quiet_spans(&p, 100);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].len(), 5_000);
+        assert_eq!(measured_window(&p, 100), None);
+    }
+
+    #[test]
+    fn min_len_filters_short_gaps() {
+        let p = microbench_profile();
+        // With a tiny min_len the inter-dip gaps also count.
+        assert!(quiet_spans(&p, 10).len() > 2);
+        // With a huge min_len nothing qualifies.
+        assert!(quiet_spans(&p, 100_000).is_empty());
+    }
+}

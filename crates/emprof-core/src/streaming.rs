@@ -1,0 +1,506 @@
+//! Streaming (online) EMPROF.
+//!
+//! The paper's SPEC captures already exceed what a spectrum analyzer can
+//! buffer ("the N9020A MXA has a limit on how long it can continuously
+//! record a signal", Section VI), and a deployed profiler would watch a
+//! device for hours. This module runs the EMPROF pipeline incrementally:
+//! samples are pushed as they arrive, completed stall events are emitted
+//! as soon as they can no longer change, and memory use is bounded by the
+//! normalization window — independent of capture length.
+//!
+//! The streaming detector is *exactly equivalent* to the batch detector
+//! on the interior of a capture: it computes the same centered moving
+//! min/max, the same thresholding, merging, and edge refinement. (At the
+//! very edges of a finite capture the batch detector sees truncated
+//! windows; feed the same finite signal through [`StreamingEmprof`] and
+//! the results match the batch profile event for event — see the
+//! equivalence tests.)
+
+use std::collections::VecDeque;
+
+use crate::config::EmprofConfig;
+use crate::profile::{Profile, StallEvent, StallKind};
+
+/// Incremental EMPROF detector with bounded memory.
+///
+/// # Example
+///
+/// ```
+/// use emprof_core::{EmprofConfig, StreamingEmprof};
+///
+/// let mut s = StreamingEmprof::new(EmprofConfig::for_rates(40e6, 1.0e9), 40e6, 1.0e9);
+/// // Push a busy signal with one 12-sample stall dip.
+/// for i in 0..30_000 {
+///     let v = if (15_000..15_012).contains(&i) { 0.8 } else { 5.0 };
+///     s.push(v);
+/// }
+/// let profile = s.finish();
+/// assert_eq!(profile.miss_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEmprof {
+    config: EmprofConfig,
+    sample_rate_hz: f64,
+    clock_hz: f64,
+    /// Raw samples still needed: the normalization window must be able to
+    /// look `half` samples ahead of the sample being normalized, and edge
+    /// refinement needs the normalized values themselves, so we buffer
+    /// `window` raw samples.
+    raw: VecDeque<f64>,
+    /// Index of the first sample in `raw`.
+    raw_base: usize,
+    /// Monotonic deques of (index, value) for windowed min and max.
+    min_wedge: VecDeque<(usize, f64)>,
+    max_wedge: VecDeque<(usize, f64)>,
+    /// Total samples pushed.
+    pushed: usize,
+    /// Next sample index to normalize (trails `pushed` by `half`).
+    normalized: usize,
+    /// Recent normalized samples (for edge refinement), indexed from
+    /// `norm_base`.
+    norm: VecDeque<f64>,
+    norm_base: usize,
+    /// Current below-threshold run start, if inside a dip.
+    open_dip: Option<usize>,
+    /// Completed raw dips awaiting merge/refine/flush, as (start, end).
+    pending: VecDeque<(usize, usize)>,
+    /// Most recent normalized index at or above `edge_level` — the left
+    /// boundary any future edge refinement could reach, hence the trim
+    /// point for normalized history while no dip is in flight.
+    last_high: usize,
+    /// Finished events ready for the caller.
+    events: Vec<StallEvent>,
+    /// Events already drained via [`StreamingEmprof::drain_events`].
+    drained: usize,
+}
+
+impl StreamingEmprof {
+    /// Creates a streaming detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`EmprofConfig::validate`] or a
+    /// rate is not positive.
+    pub fn new(config: EmprofConfig, sample_rate_hz: f64, clock_hz: f64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid EMPROF configuration: {e}"));
+        assert!(
+            sample_rate_hz > 0.0 && clock_hz > 0.0,
+            "rates must be positive"
+        );
+        StreamingEmprof {
+            config,
+            sample_rate_hz,
+            clock_hz,
+            raw: VecDeque::new(),
+            raw_base: 0,
+            min_wedge: VecDeque::new(),
+            max_wedge: VecDeque::new(),
+            pushed: 0,
+            normalized: 0,
+            norm: VecDeque::new(),
+            norm_base: 0,
+            open_dip: None,
+            pending: VecDeque::new(),
+            last_high: 0,
+            events: Vec::new(),
+            drained: 0,
+        }
+    }
+
+    /// Core cycles per capture sample.
+    pub fn cycles_per_sample(&self) -> f64 {
+        self.clock_hz / self.sample_rate_hz
+    }
+
+    /// Pushes one magnitude sample.
+    pub fn push(&mut self, value: f64) {
+        let idx = self.pushed;
+        self.pushed += 1;
+        self.raw.push_back(value);
+        // Admit into the monotonic wedges.
+        while let Some(&(_, v)) = self.min_wedge.back() {
+            if value <= v {
+                self.min_wedge.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.min_wedge.push_back((idx, value));
+        while let Some(&(_, v)) = self.max_wedge.back() {
+            if value >= v {
+                self.max_wedge.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.max_wedge.push_back((idx, value));
+
+        // Normalize every sample whose centered window is now complete:
+        // sample i needs samples up to i + half.
+        let half = self.config.norm_window_samples / 2;
+        while self.normalized + half < self.pushed {
+            self.normalize_one();
+        }
+        self.process_pending(false);
+    }
+
+    /// Pushes a batch of samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, samples: I) {
+        for s in samples {
+            self.push(s);
+        }
+    }
+
+    /// Normalizes sample `self.normalized` using the exact centered
+    /// window the batch detector uses, then advances the detector state.
+    fn normalize_one(&mut self) {
+        let i = self.normalized;
+        let half = self.config.norm_window_samples / 2;
+        let win_start = i.saturating_sub(half);
+        // Evict wedge entries that fell out of the window.
+        while self.min_wedge.front().is_some_and(|&(j, _)| j < win_start) {
+            self.min_wedge.pop_front();
+        }
+        while self.max_wedge.front().is_some_and(|&(j, _)| j < win_start) {
+            self.max_wedge.pop_front();
+        }
+        let lo = self.min_wedge.front().expect("window non-empty").1;
+        let hi = self.max_wedge.front().expect("window non-empty").1;
+        let value = self.raw[i - self.raw_base];
+        let normalized = if hi > lo {
+            ((value - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        self.norm.push_back(normalized);
+        self.normalized += 1;
+
+        // Threshold crossing bookkeeping.
+        if normalized < self.config.threshold {
+            if self.open_dip.is_none() {
+                self.open_dip = Some(i);
+            }
+        } else if let Some(start) = self.open_dip.take() {
+            self.push_raw_dip(start, i);
+        }
+        if normalized >= self.config.edge_level {
+            self.last_high = i;
+        }
+        // With nothing in flight, normalized history older than the last
+        // above-edge sample can never be consulted again.
+        if self.pending.is_empty() && self.open_dip.is_none() {
+            while self.norm_base < self.last_high {
+                self.norm.pop_front();
+                self.norm_base += 1;
+            }
+        }
+
+        // Trim raw samples no longer needed by any future window. Sample j
+        // is needed while some i with |i - j| <= half is un-normalized;
+        // the oldest such j is normalized - half.
+        let keep_from = self.normalized.saturating_sub(half + 1);
+        while self.raw_base < keep_from {
+            self.raw.pop_front();
+            self.raw_base += 1;
+        }
+    }
+
+    fn push_raw_dip(&mut self, start: usize, end: usize) {
+        // Merge with the previous pending dip when close enough.
+        if let Some(last) = self.pending.back_mut() {
+            if start - last.1 <= self.config.merge_gap_samples {
+                last.1 = end;
+                return;
+            }
+        }
+        self.pending.push_back((start, end));
+    }
+
+    /// Refines and emits pending dips that can no longer change. A dip is
+    /// final once normalization has advanced `merge_gap + 1` samples past
+    /// its end (no future dip can merge into it) and its right edge has
+    /// been refined to a sample at or above `edge_level`.
+    fn process_pending(&mut self, flush: bool) {
+        let gap = self.config.merge_gap_samples;
+        let edge = self.config.edge_level;
+        while let Some(&(start, end)) = self.pending.front() {
+            if !flush {
+                // It may still merge with an ongoing or future dip.
+                if self.open_dip.is_some() {
+                    break;
+                }
+                if self.normalized < end + gap + 2 {
+                    break;
+                }
+            }
+            // Edge refinement within the retained normalized history.
+            let mut s = start;
+            let left_bound = self
+                .events
+                .last()
+                .map(|e| e.end_sample)
+                .unwrap_or(0)
+                .max(self.norm_base);
+            while s > left_bound && self.norm_at(s - 1).is_some_and(|v| v < edge) {
+                s -= 1;
+            }
+            let right_bound = self
+                .pending
+                .get(1)
+                .map(|n| n.0)
+                .unwrap_or(self.normalized);
+            let mut e = end;
+            while e < right_bound && self.norm_at(e).is_some_and(|v| v < edge) {
+                e += 1;
+            }
+            if !flush && e == right_bound && self.pending.len() < 2 && e == self.normalized {
+                // The right edge is still growing; wait for more samples.
+                break;
+            }
+            self.pending.pop_front();
+            self.emit(s, e);
+            // Trim normalized history: keep what edge refinement of the
+            // next dip might need (back to this event's end).
+            let keep_from = e.min(self.normalized.saturating_sub(1));
+            while self.norm_base < keep_from {
+                self.norm.pop_front();
+                self.norm_base += 1;
+            }
+        }
+    }
+
+    fn norm_at(&self, idx: usize) -> Option<f64> {
+        idx.checked_sub(self.norm_base)
+            .and_then(|o| self.norm.get(o))
+            .copied()
+    }
+
+    fn emit(&mut self, start: usize, end: usize) {
+        let cps = self.cycles_per_sample();
+        let min_samples =
+            (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
+        if ((end - start) as f64) < min_samples {
+            return;
+        }
+        // Merge with the previous event if refinement made them touch
+        // (mirrors the batch detector's final merge pass).
+        if let Some(last) = self.events.last_mut() {
+            if start <= last.end_sample {
+                last.end_sample = last.end_sample.max(end);
+                last.duration_cycles =
+                    (last.end_sample - last.start_sample) as f64 * cps;
+                last.kind = if last.duration_cycles >= self.config.refresh_min_cycles {
+                    StallKind::RefreshCollision
+                } else {
+                    StallKind::Normal
+                };
+                return;
+            }
+        }
+        let duration_cycles = (end - start) as f64 * cps;
+        self.events.push(StallEvent {
+            start_sample: start,
+            end_sample: end,
+            duration_cycles,
+            kind: if duration_cycles >= self.config.refresh_min_cycles {
+                StallKind::RefreshCollision
+            } else {
+                StallKind::Normal
+            },
+        });
+    }
+
+    /// Events finalized since the last drain — the live-monitoring
+    /// interface: call periodically and act on completed stalls while the
+    /// capture continues.
+    pub fn drain_events(&mut self) -> Vec<StallEvent> {
+        let out = self.events[self.drained..].to_vec();
+        self.drained = self.events.len();
+        out
+    }
+
+    /// Number of samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Current buffered-memory footprint in samples (bounded by the
+    /// normalization window plus any unfinished dip).
+    pub fn buffered_samples(&self) -> usize {
+        self.raw.len() + self.norm.len()
+    }
+
+    /// Finalizes the capture: normalizes the tail (whose windows are
+    /// truncated, exactly as in the batch detector), closes any open dip,
+    /// flushes pending events, and returns the complete [`Profile`].
+    pub fn finish(mut self) -> Profile {
+        // The tail samples have truncated (right-clipped) windows; the
+        // wedges already contain exactly the in-window candidates.
+        while self.normalized < self.pushed {
+            self.normalize_one();
+        }
+        if let Some(start) = self.open_dip.take() {
+            self.push_raw_dip(start, self.pushed);
+        }
+        self.process_pending(true);
+        Profile::new(
+            self.events,
+            self.pushed,
+            self.sample_rate_hz,
+            self.clock_hz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Emprof;
+
+    const FS: f64 = 40e6;
+    const CLK: f64 = 1.0e9;
+
+    fn config() -> EmprofConfig {
+        EmprofConfig::for_rates(FS, CLK)
+    }
+
+    fn batch(signal: &[f64]) -> Profile {
+        Emprof::new(config()).profile_magnitude(signal, FS, CLK)
+    }
+
+    fn stream(signal: &[f64]) -> Profile {
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        s.extend(signal.iter().copied());
+        s.finish()
+    }
+
+    fn dipped_signal(dips: &[(usize, usize)], len: usize) -> Vec<f64> {
+        let mut v = vec![5.0; len];
+        for &(start, width) in dips {
+            for x in v.iter_mut().skip(start).take(width) {
+                *x = 0.8;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn matches_batch_on_clean_dips() {
+        let signal = dipped_signal(&[(5_000, 12), (9_000, 30), (15_000, 8)], 30_000);
+        assert_eq!(stream(&signal).events(), batch(&signal).events());
+    }
+
+    #[test]
+    fn matches_batch_with_merge_gaps() {
+        // Dips separated by 1-2 samples must merge identically.
+        let mut signal = dipped_signal(&[(5_000, 10)], 30_000);
+        signal[5_011] = 0.8; // gap of 1 busy sample then more dip
+        for v in signal.iter_mut().skip(5_012).take(8) {
+            *v = 0.8;
+        }
+        assert_eq!(stream(&signal).events(), batch(&signal).events());
+    }
+
+    #[test]
+    fn matches_batch_on_noisy_signal() {
+        // Deterministic pseudo-noise plus dips.
+        let mut signal: Vec<f64> = (0..60_000)
+            .map(|i| 5.0 + ((i * 2654435761usize) % 1000) as f64 / 2000.0)
+            .collect();
+        for &start in &[10_000usize, 20_000, 30_000, 40_000] {
+            for v in signal.iter_mut().skip(start).take(14) {
+                *v = 0.7 + ((start * 31) % 100) as f64 / 1000.0;
+            }
+        }
+        let s = stream(&signal);
+        let b = batch(&signal);
+        assert_eq!(s.events(), b.events());
+    }
+
+    #[test]
+    fn matches_batch_with_gain_drift() {
+        let mut signal: Vec<f64> = (0..80_000)
+            .map(|i| 5.0 * (1.0 + 0.1 * (i as f64 * 2e-4).sin()))
+            .collect();
+        for k in 0..20usize {
+            let start = 3_000 + k * 3_700;
+            for v in signal.iter_mut().skip(start).take(12) {
+                *v *= 0.15;
+            }
+        }
+        assert_eq!(stream(&signal).events(), batch(&signal).events());
+    }
+
+    #[test]
+    fn matches_batch_on_dip_at_capture_end() {
+        let mut signal = dipped_signal(&[(5_000, 12)], 20_000);
+        for v in signal.iter_mut().skip(19_990) {
+            *v = 0.8;
+        }
+        assert_eq!(stream(&signal).events(), batch(&signal).events());
+    }
+
+    #[test]
+    fn matches_batch_on_refresh_length_dips() {
+        let signal = dipped_signal(&[(5_000, 100), (20_000, 12)], 40_000);
+        let s = stream(&signal);
+        let b = batch(&signal);
+        assert_eq!(s.events(), b.events());
+        assert_eq!(s.refresh_count(), 1);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let window = config().norm_window_samples;
+        for i in 0..500_000usize {
+            let v = if i % 5_000 < 12 { 0.8 } else { 5.0 };
+            s.push(v);
+            assert!(
+                s.buffered_samples() <= 2 * window + 64,
+                "buffer grew to {} at sample {i}",
+                s.buffered_samples()
+            );
+        }
+        let profile = s.finish();
+        assert!(profile.miss_count() > 90);
+    }
+
+    #[test]
+    fn drain_delivers_events_incrementally() {
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let signal = dipped_signal(&[(5_000, 12), (40_000, 12)], 60_000);
+        let mut seen = 0;
+        let mut first_seen_at = None;
+        for (i, &v) in signal.iter().enumerate() {
+            s.push(v);
+            let drained = s.drain_events();
+            if !drained.is_empty() && first_seen_at.is_none() {
+                first_seen_at = Some(i);
+            }
+            seen += drained.len();
+        }
+        // The first dip must be delivered long before the capture ends.
+        let at = first_seen_at.expect("an event was streamed");
+        assert!(at < 20_000, "first event only delivered at sample {at}");
+        let profile = s.finish();
+        assert_eq!(seen + profile.events().len() - seen, 2);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_profile() {
+        let s = StreamingEmprof::new(config(), FS, CLK);
+        let profile = s.finish();
+        assert_eq!(profile.events().len(), 0);
+        assert_eq!(profile.total_samples(), 0);
+    }
+
+    #[test]
+    fn flat_stream_has_no_events() {
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        s.extend(std::iter::repeat(3.3).take(50_000));
+        assert_eq!(s.finish().events().len(), 0);
+    }
+}

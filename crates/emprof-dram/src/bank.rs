@@ -1,0 +1,119 @@
+//! Per-bank open-row state machine.
+
+use crate::config::DramTiming;
+
+/// How an access interacted with the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The requested row was already open: CAS only.
+    Hit,
+    /// The bank was idle: activate + CAS.
+    ClosedMiss,
+    /// A different row was open: precharge + activate + CAS.
+    Conflict,
+}
+
+/// One DRAM bank: tracks the open row and when the bank becomes free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bank {
+    open_row: Option<u64>,
+    busy_until_ns: f64,
+}
+
+impl Bank {
+    /// Services one access beginning no earlier than `now_ns`.
+    ///
+    /// Returns `(service_start_ns, complete_ns, outcome)`: when the bank
+    /// starts working on the request (precharge/activate onward — the
+    /// span of visible DRAM die activity, recorded in the CAS trace),
+    /// when data transfer finishes, and the row-buffer outcome. The
+    /// open-page policy keeps the row open afterwards.
+    pub(crate) fn access(
+        &mut self,
+        row: u64,
+        now_ns: f64,
+        timing: &DramTiming,
+    ) -> (f64, f64, RowOutcome) {
+        let start = now_ns.max(self.busy_until_ns);
+        let (pre_cas_delay, outcome) = match self.open_row {
+            Some(open) if open == row => (0.0, RowOutcome::Hit),
+            Some(_) => (timing.t_rp + timing.t_rcd, RowOutcome::Conflict),
+            None => (timing.t_rcd, RowOutcome::ClosedMiss),
+        };
+        let complete = start + pre_cas_delay + timing.t_cl + timing.t_burst;
+        self.open_row = Some(row);
+        self.busy_until_ns = complete;
+        (start, complete, outcome)
+    }
+
+    /// Forces the bank idle (used when refresh closes all rows).
+    pub(crate) fn close(&mut self, free_at_ns: f64) {
+        self.open_row = None;
+        self.busy_until_ns = self.busy_until_ns.max(free_at_ns);
+    }
+
+    /// When the bank next becomes free.
+    #[cfg(test)]
+    pub(crate) fn busy_until(&self) -> f64 {
+        self.busy_until_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramTiming {
+        DramTiming::ddr3_1066()
+    }
+
+    #[test]
+    fn first_access_is_closed_miss() {
+        let mut b = Bank::default();
+        let (_, _, outcome) = b.access(5, 100.0, &timing());
+        assert_eq!(outcome, RowOutcome::ClosedMiss);
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut b = Bank::default();
+        let t = timing();
+        let (_, done, _) = b.access(5, 100.0, &t);
+        let (_, done2, outcome) = b.access(5, done, &t);
+        assert_eq!(outcome, RowOutcome::Hit);
+        // Hit latency = tCL + burst only.
+        assert!((done2 - done - (t.t_cl + t.t_burst)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_row_conflicts() {
+        let mut b = Bank::default();
+        let t = timing();
+        let (_, done, _) = b.access(5, 100.0, &t);
+        let (_, done2, outcome) = b.access(9, done, &t);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        let expected = t.t_rp + t.t_rcd + t.t_cl + t.t_burst;
+        assert!((done2 - done - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_bank_queues_request() {
+        let mut b = Bank::default();
+        let t = timing();
+        let (_, done, _) = b.access(5, 100.0, &t);
+        // Request arriving mid-service waits for the bank.
+        let (cas, _, _) = b.access(5, done - 10.0, &t);
+        assert!(cas >= done);
+    }
+
+    #[test]
+    fn close_resets_row() {
+        let mut b = Bank::default();
+        let t = timing();
+        b.access(5, 100.0, &t);
+        b.close(1000.0);
+        let (_, _, outcome) = b.access(5, 2000.0, &t);
+        assert_eq!(outcome, RowOutcome::ClosedMiss);
+        assert!(b.busy_until() > 2000.0);
+    }
+}

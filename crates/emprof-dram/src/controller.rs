@@ -1,0 +1,352 @@
+//! The memory controller: address mapping, bank arbitration, refresh.
+
+use crate::bank::{Bank, RowOutcome};
+use crate::config::DramConfig;
+use crate::trace::{CasEvent, CasEventKind, CasTrace};
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessResult {
+    /// Absolute time the requested line is available (ns).
+    pub complete_ns: f64,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+    /// Whether the access was delayed by refresh activity. Accesses with
+    /// this flag set are the paper's 2–3 µs "refresh collision" stalls
+    /// (Fig. 5), which EMPROF counts separately.
+    pub refresh_collision: bool,
+}
+
+impl AccessResult {
+    /// Latency relative to a request time.
+    pub fn latency_ns(&self, request_ns: f64) -> f64 {
+        self.complete_ns - request_ns
+    }
+}
+
+/// A single-channel DRAM controller with open-page policy.
+///
+/// Maps physical addresses to (bank, row) with the row-interleaved scheme
+/// typical of embedded SoCs (column bits low, bank bits middle, row bits
+/// high), services requests through per-bank state machines, injects
+/// refresh windows, and logs every observable memory event into a
+/// [`CasTrace`].
+///
+/// # Example
+///
+/// ```
+/// use emprof_dram::{DramConfig, MemoryController};
+///
+/// let mut mem = MemoryController::new(DramConfig::h5tq2g63bfr());
+/// let r = mem.access(0x1234_5678, 3000.0, false);
+/// assert!(r.complete_ns > 3000.0);
+/// // The trace holds the read plus the refresh windows already elapsed.
+/// assert_eq!(mem.trace().count_kind(emprof_dram::CasEventKind::Read), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    trace: CasTrace,
+    /// Index of the last fine-grained refresh window already logged.
+    fine_refresh_logged_until: u64,
+    /// Index of the last maintenance burst already logged.
+    burst_logged_until: u64,
+    accesses: u64,
+    row_hits: u64,
+    refresh_collisions: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given device configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`]; a
+    /// controller must never run with meaningless timing.
+    pub fn new(config: DramConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DRAM configuration: {e}"));
+        let banks = vec![Bank::default(); config.banks];
+        MemoryController {
+            config,
+            banks,
+            trace: CasTrace::new(),
+            fine_refresh_logged_until: 0,
+            burst_logged_until: 0,
+            accesses: 0,
+            row_hits: 0,
+            refresh_collisions: 0,
+        }
+    }
+
+    /// Services a read (`is_write == false`) or write access to `addr`
+    /// issued at `now_ns`.
+    ///
+    /// The returned [`AccessResult`] carries the absolute completion time;
+    /// callers (the CPU simulator's miss handling) convert it to cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_ns` is negative or not finite.
+    pub fn access(&mut self, addr: u64, now_ns: f64, is_write: bool) -> AccessResult {
+        assert!(
+            now_ns >= 0.0 && now_ns.is_finite(),
+            "access time must be non-negative and finite, got {now_ns}"
+        );
+        self.accesses += 1;
+        // Refresh gating: the request cannot start while the device is
+        // refreshing.
+        let (start, refresh_collision) = self.refresh_gate(now_ns);
+        if refresh_collision {
+            self.refresh_collisions += 1;
+            // Refresh closes all rows.
+            for bank in &mut self.banks {
+                bank.close(start);
+            }
+        }
+        let (bank_idx, row) = self.map(addr);
+        let (service_start, complete, outcome) =
+            self.banks[bank_idx].access(row, start, &self.config.timing);
+        if outcome == RowOutcome::Hit {
+            self.row_hits += 1;
+        }
+        self.trace.push(CasEvent {
+            start_ns: service_start,
+            duration_ns: complete - service_start,
+            kind: if is_write {
+                CasEventKind::Write
+            } else {
+                CasEventKind::Read
+            },
+        });
+        AccessResult {
+            complete_ns: complete,
+            row_hit: outcome == RowOutcome::Hit,
+            refresh_collision,
+        }
+    }
+
+    /// If `now_ns` falls inside a refresh window, returns the end of the
+    /// window and `true`; also logs refresh windows into the trace as they
+    /// are first observed.
+    fn refresh_gate(&mut self, now_ns: f64) -> (f64, bool) {
+        let mut start = now_ns;
+        let mut collided = false;
+        if self.config.refresh.burst {
+            let interval = self.config.refresh.burst_interval_ns;
+            let duration = self.config.refresh.burst_duration_ns;
+            let idx = (start / interval).floor() as u64;
+            // Log bursts up to and including the current window so the
+            // memory-side trace shows refresh activity even with no access.
+            while self.burst_logged_until <= idx {
+                self.trace.push(CasEvent {
+                    start_ns: self.burst_logged_until as f64 * interval,
+                    duration_ns: duration,
+                    kind: CasEventKind::Refresh,
+                });
+                self.burst_logged_until += 1;
+            }
+            let phase = start - idx as f64 * interval;
+            if phase < duration {
+                start += duration - phase;
+                collided = true;
+            }
+        }
+        if self.config.refresh.fine_grained {
+            let interval = self.config.timing.t_refi;
+            let duration = self.config.timing.t_rfc;
+            let idx = (start / interval).floor() as u64;
+            while self.fine_refresh_logged_until <= idx {
+                self.trace.push(CasEvent {
+                    start_ns: self.fine_refresh_logged_until as f64 * interval,
+                    duration_ns: duration,
+                    kind: CasEventKind::Refresh,
+                });
+                self.fine_refresh_logged_until += 1;
+            }
+            let phase = start - idx as f64 * interval;
+            if phase < duration {
+                start += duration - phase;
+                collided = true;
+            }
+        }
+        (start, collided)
+    }
+
+    /// Maps an address to (bank index, row number).
+    fn map(&self, addr: u64) -> (usize, u64) {
+        let row_addr = addr / self.config.row_bytes;
+        let bank = (row_addr % self.config.banks as u64) as usize;
+        let row = row_addr / self.config.banks as u64;
+        (bank, row)
+    }
+
+    /// The CAS/refresh activity trace accumulated so far.
+    pub fn trace(&self) -> &CasTrace {
+        &self.trace
+    }
+
+    /// Consumes the controller, returning the trace.
+    pub fn into_trace(self) -> CasTrace {
+        self.trace
+    }
+
+    /// Total accesses serviced.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Fraction of accesses that hit an open row (0 if no accesses yet).
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Number of accesses delayed by refresh.
+    pub fn refresh_collision_count(&self) -> u64 {
+        self.refresh_collisions
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefreshConfig;
+
+    fn no_refresh_config() -> DramConfig {
+        DramConfig {
+            refresh: RefreshConfig::disabled(),
+            ..DramConfig::h5tq2g63bfr()
+        }
+    }
+
+    #[test]
+    fn sequential_lines_hit_open_row() {
+        let mut mem = MemoryController::new(no_refresh_config());
+        let mut now = 0.0;
+        // Touch the row once, then walk lines within it.
+        let r = mem.access(0, now, false);
+        now = r.complete_ns;
+        for line in 1..8u64 {
+            let r = mem.access(line * 64, now, false);
+            assert!(r.row_hit, "line {line} should hit the open row");
+            now = r.complete_ns;
+        }
+        assert!(mem.row_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn different_rows_same_bank_conflict() {
+        let cfg = no_refresh_config();
+        let stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
+        let mut mem = MemoryController::new(cfg);
+        let r1 = mem.access(0, 0.0, false);
+        let r2 = mem.access(stride, r1.complete_ns, false);
+        assert!(!r2.row_hit);
+        // Conflict latency exceeds hit latency.
+        let t = mem.config().timing;
+        assert!(r2.latency_ns(r1.complete_ns) >= t.t_rp + t.t_rcd + t.t_cl);
+    }
+
+    #[test]
+    fn banks_service_in_parallel_addresses() {
+        let cfg = no_refresh_config();
+        let row_bytes = cfg.row_bytes;
+        let mut mem = MemoryController::new(cfg);
+        // Consecutive rows land in different banks (row-interleaving).
+        let r1 = mem.access(0, 0.0, false);
+        let r2 = mem.access(row_bytes, 0.0, false);
+        // Second access does not wait for the first: both start at ~0.
+        assert!((r2.complete_ns - r1.complete_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_burst_delays_colliding_access() {
+        let cfg = DramConfig::h5tq2g63bfr();
+        let burst = cfg.refresh.burst_duration_ns;
+        let interval = cfg.refresh.burst_interval_ns;
+        let mut mem = MemoryController::new(cfg);
+        // Request right at the start of the second maintenance burst.
+        let r = mem.access(0, interval + 1.0, false);
+        assert!(r.refresh_collision);
+        // The latency includes most of the burst: the paper's 2-3 us stall.
+        assert!(r.latency_ns(interval + 1.0) > burst * 0.8);
+        assert_eq!(mem.refresh_collision_count(), 1);
+    }
+
+    #[test]
+    fn access_between_refreshes_is_fast() {
+        let cfg = DramConfig::h5tq2g63bfr();
+        let mut mem = MemoryController::new(cfg.clone());
+        // Mid-interval, away from both refresh mechanisms.
+        let now = 3_000.0;
+        let r = mem.access(0, now, false);
+        assert!(!r.refresh_collision);
+        assert!(r.latency_ns(now) < cfg.worst_case_access_ns() + 1.0);
+    }
+
+    #[test]
+    fn refresh_windows_are_logged_without_accesses() {
+        let mut mem = MemoryController::new(DramConfig::h5tq2g63bfr());
+        // One access far into the timeline forces logging of earlier windows.
+        mem.access(0, 500_000.0, false);
+        let refreshes = mem.trace().count_kind(CasEventKind::Refresh);
+        // 500 us => ~7 maintenance bursts and ~64 fine refreshes.
+        assert!(refreshes > 60, "logged {refreshes} refresh windows");
+    }
+
+    #[test]
+    fn trace_records_reads_and_writes() {
+        let mut mem = MemoryController::new(no_refresh_config());
+        mem.access(0, 0.0, false);
+        mem.access(64, 100.0, true);
+        assert_eq!(mem.trace().count_kind(CasEventKind::Read), 1);
+        assert_eq!(mem.trace().count_kind(CasEventKind::Write), 1);
+        assert_eq!(mem.access_count(), 2);
+    }
+
+    #[test]
+    fn random_access_latency_band() {
+        // Random accesses across a large space should mostly be row misses
+        // with bounded worst-case latency (no refresh).
+        let cfg = no_refresh_config();
+        let worst = cfg.worst_case_access_ns();
+        let mut mem = MemoryController::new(cfg);
+        let mut now = 0.0;
+        let mut state = 0x12345u64;
+        for _ in 0..1000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = state % (64 << 20);
+            let r = mem.access(addr, now, false);
+            let lat = r.latency_ns(now);
+            assert!(lat > 0.0 && lat <= worst + 1e-9, "latency {lat}");
+            now = r.complete_ns + 50.0;
+        }
+        assert!(mem.row_hit_rate() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = DramConfig::h5tq2g63bfr();
+        cfg.banks = 0;
+        MemoryController::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "access time")]
+    fn negative_time_panics() {
+        let mut mem = MemoryController::new(no_refresh_config());
+        mem.access(0, -1.0, false);
+    }
+}

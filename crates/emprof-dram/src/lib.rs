@@ -1,0 +1,44 @@
+//! DRAM timing and refresh model for the EMPROF reproduction.
+//!
+//! Section III-C of the paper observes two behaviours of the Olimex board's
+//! H5TQ2G63BFR DDR3 SDRAM that the original SESC simulator did not model:
+//!
+//! 1. ordinary LLC-miss stalls of ~300 ns whose latency varies with row
+//!    buffer locality, and
+//! 2. *refresh collisions*: an LLC miss arriving while the memory performs
+//!    its periodic refresh activity stalls for 2–3 µs, and this happens at
+//!    least every ~70 µs.
+//!
+//! This crate models a single-channel DDR3-style device: per-bank open-row
+//! state machines with tRCD/tRP/tCL timing, JEDEC-style fine-grained
+//! auto-refresh (tREFI/tRFC) plus the coarse maintenance burst that matches
+//! the board-level observation above, and a CAS activity trace that the
+//! EM-synthesis crate turns into the memory-side probe signal of Fig. 10.
+//!
+//! Time is measured in nanoseconds (`f64`) throughout, because the CPU
+//! simulator and the receiver chain both work in continuous time and the
+//! CPU and DRAM clocks are not harmonically related.
+//!
+//! # Example
+//!
+//! ```
+//! use emprof_dram::{DramConfig, MemoryController};
+//!
+//! let mut mem = MemoryController::new(DramConfig::h5tq2g63bfr());
+//! let first = mem.access(0x4000, 1000.0, false);
+//! let second = mem.access(0x4040, first.complete_ns, false);
+//! // The second access hits the open row, so it completes faster.
+//! assert!(second.complete_ns - first.complete_ns < first.complete_ns - 1000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod config;
+mod controller;
+mod trace;
+
+pub use config::{DramConfig, DramTiming, RefreshConfig};
+pub use controller::{AccessResult, MemoryController};
+pub use trace::{CasEvent, CasEventKind, CasTrace};

@@ -1,0 +1,126 @@
+//! The captured baseband signal.
+
+use emprof_signal::Complex;
+
+/// A band-limited complex-baseband capture, as produced by the receiver
+/// chain — the reproduction's equivalent of the digitized output of the
+/// paper's spectrum-analyzer / SDR front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedSignal {
+    iq: Vec<Complex>,
+    sample_rate_hz: f64,
+    source_clock_hz: f64,
+}
+
+impl CapturedSignal {
+    /// Wraps raw IQ samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not strictly positive.
+    pub fn new(iq: Vec<Complex>, sample_rate_hz: f64, source_clock_hz: f64) -> Self {
+        assert!(
+            sample_rate_hz > 0.0 && source_clock_hz > 0.0,
+            "rates must be positive ({sample_rate_hz}, {source_clock_hz})"
+        );
+        CapturedSignal {
+            iq,
+            sample_rate_hz,
+            source_clock_hz,
+        }
+    }
+
+    /// The complex samples.
+    pub fn iq(&self) -> &[Complex] {
+        &self.iq
+    }
+
+    /// The magnitude signal EMPROF analyzes.
+    pub fn magnitude(&self) -> Vec<f64> {
+        self.iq.iter().map(|c| c.norm()).collect()
+    }
+
+    /// Complex sample rate in Hz (equals the measurement bandwidth).
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The clock frequency of the profiled core, for sample/cycle
+    /// conversion.
+    pub fn source_clock_hz(&self) -> f64 {
+        self.source_clock_hz
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.iq.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.iq.is_empty()
+    }
+
+    /// Core clock cycles represented by one capture sample.
+    pub fn cycles_per_sample(&self) -> f64 {
+        self.source_clock_hz / self.sample_rate_hz
+    }
+
+    /// Converts a sample index to the corresponding core cycle.
+    pub fn sample_to_cycle(&self, sample: usize) -> u64 {
+        (sample as f64 * self.cycles_per_sample()).round() as u64
+    }
+
+    /// Converts a core cycle to the nearest sample index.
+    pub fn cycle_to_sample(&self, cycle: u64) -> usize {
+        (cycle as f64 / self.cycles_per_sample()).round() as usize
+    }
+
+    /// Converts a sample count to a duration in cycles — how EMPROF turns
+    /// a dip length into a stall latency (Section III-A: "the number of
+    /// cycles this stall corresponds to can be computed by multiplying
+    /// Δt with the processor's clock frequency").
+    pub fn samples_to_cycles(&self, samples: usize) -> f64 {
+        samples as f64 * self.cycles_per_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> CapturedSignal {
+        let iq = vec![Complex::new(3.0, 4.0); 100];
+        CapturedSignal::new(iq, 40e6, 1.0e9)
+    }
+
+    #[test]
+    fn magnitude_of_iq() {
+        let c = capture();
+        assert!(c.magnitude().iter().all(|&m| (m - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cycle_sample_conversions() {
+        let c = capture();
+        assert!((c.cycles_per_sample() - 25.0).abs() < 1e-9);
+        assert_eq!(c.sample_to_cycle(4), 100);
+        assert_eq!(c.cycle_to_sample(100), 4);
+        assert!((c.samples_to_cycles(12) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let c = CapturedSignal::new(vec![Complex::ZERO; 10], 40e6, 1.008e9);
+        for s in [0usize, 3, 7] {
+            let cyc = c.sample_to_cycle(s);
+            assert_eq!(c.cycle_to_sample(cyc), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_panics() {
+        CapturedSignal::new(vec![], 0.0, 1e9);
+    }
+}

@@ -1,0 +1,53 @@
+//! EM-emanation synthesis: the capture-rig substitution.
+//!
+//! The paper receives the processor's EM emanations with a near-field
+//! magnetic probe, centered at the clock frequency, through a spectrum
+//! analyzer or SDR front-end (Keysight N9020A MXA / ThinkRF WSA5000 +
+//! Signatec PX14400), at a measurement bandwidth of 20–160 MHz
+//! (Section V-A, VI-B). None of that hardware is available to a pure
+//! software reproduction, so this crate synthesizes the captured signal
+//! from the simulator's activity traces, preserving every phenomenon the
+//! EMPROF pipeline depends on:
+//!
+//! * switching activity amplitude-modulates the clock-frequency carrier,
+//!   so the received *magnitude* tracks per-cycle power ([Section III]);
+//! * the receiver band-limits to the measurement bandwidth `B`, so the
+//!   capture has one complex sample per `f_clk / B` cycles and stall
+//!   durations are only readable in those increments (Section III-B);
+//! * probe position scales the whole signal by an unknown constant and the
+//!   supply voltage drifts slowly — the reasons EMPROF normalizes with a
+//!   moving min/max (Section IV);
+//! * front-end noise is additive white Gaussian at a configurable SNR.
+//!
+//! The same chain renders the memory-side probe signal of Fig. 10 from the
+//! DRAM controller's CAS trace.
+//!
+//! # Example
+//!
+//! ```
+//! use emprof_emsim::{Receiver, ReceiverConfig};
+//! use emprof_sim::PowerTrace;
+//!
+//! // A 1 GHz power trace with a stall dip in the middle.
+//! let mut power = vec![5.0f32; 30_000];
+//! for p in power.iter_mut().skip(15_000).take(300) { *p = 1.0; }
+//! let trace = PowerTrace::from_samples(power, 1.0e9);
+//!
+//! let rx = Receiver::new(ReceiverConfig::paper_setup(40e6));
+//! let capture = rx.capture(&trace, 1);
+//! // 30 us at 40 MHz -> ~1200 samples.
+//! assert!((capture.len() as i64 - 1200).abs() < 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod drift;
+mod memory_probe;
+mod receiver;
+
+pub use capture::CapturedSignal;
+pub use drift::DriftModel;
+pub use memory_probe::MemoryProbe;
+pub use receiver::{Receiver, ReceiverConfig, PAPER_BANDWIDTHS_HZ};

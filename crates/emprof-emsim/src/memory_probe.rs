@@ -1,0 +1,125 @@
+//! The memory-side probe of the dual-probe experiment (Fig. 9/10).
+//!
+//! Section V-D: a second probe over the SDRAM (plus a passive probe on the
+//! CAS pin) shows a *burst* of memory activity exactly where the
+//! processor's signal *dips* — the complementary signature that confirms
+//! detected stalls are really memory accesses. Here the DRAM controller's
+//! CAS trace is rendered as an activity envelope and passed through the
+//! same receiver chain as the processor signal.
+
+use emprof_dram::CasTrace;
+
+use crate::capture::CapturedSignal;
+use crate::receiver::{Receiver, ReceiverConfig};
+
+/// Renders memory-side EM captures from CAS traces.
+#[derive(Debug, Clone)]
+pub struct MemoryProbe {
+    receiver: Receiver,
+    /// Idle emission level of the memory (clock drivers, self-refresh
+    /// logic) relative to a full-activity burst at 1.0.
+    idle_level: f64,
+}
+
+impl MemoryProbe {
+    /// Creates a memory probe using the given receiver front-end.
+    pub fn new(config: ReceiverConfig) -> Self {
+        MemoryProbe {
+            receiver: Receiver::new(config),
+            idle_level: 0.08,
+        }
+    }
+
+    /// Overrides the idle emission level (fraction of burst level).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= idle_level < 1.0`.
+    pub fn with_idle_level(mut self, idle_level: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&idle_level),
+            "idle level must be in [0, 1), got {idle_level}"
+        );
+        self.idle_level = idle_level;
+        self
+    }
+
+    /// Captures the memory's emanations over `[0, horizon_ns)`.
+    ///
+    /// `source_clock_hz` is the *processor* clock, so that sample/cycle
+    /// conversions line up with the simultaneously captured processor
+    /// signal — the two captures of Fig. 10 share a time base.
+    pub fn capture(
+        &self,
+        trace: &CasTrace,
+        horizon_ns: f64,
+        source_clock_hz: f64,
+        seed: u64,
+    ) -> CapturedSignal {
+        let b = self.receiver.config().bandwidth_hz;
+        let sample_period_ns = 1e9 / b;
+        let envelope: Vec<f64> = trace
+            .activity_envelope(horizon_ns, sample_period_ns)
+            .into_iter()
+            .map(|a| self.idle_level + (1.0 - self.idle_level) * a)
+            .collect();
+        self.receiver
+            .capture_envelope(&envelope, b, source_clock_hz, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emprof_dram::{CasEvent, CasEventKind};
+
+    fn trace_with_burst() -> CasTrace {
+        let mut t = CasTrace::new();
+        // A cluster of CAS activity between 10 us and 11 us.
+        for i in 0..20 {
+            t.push(CasEvent {
+                start_ns: 10_000.0 + i as f64 * 50.0,
+                duration_ns: 45.0,
+                kind: CasEventKind::Read,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn burst_raises_magnitude_above_idle() {
+        let probe = MemoryProbe::new(ReceiverConfig::ideal(40e6));
+        let c = probe.capture(&trace_with_burst(), 20_000.0, 1e9, 5);
+        let mag = c.magnitude();
+        // 20 us at 40 MS/s = 800 samples; burst at samples 400..440.
+        assert_eq!(mag.len(), 800);
+        let idle = mag[100];
+        let burst = mag[415];
+        assert!(
+            burst > 3.0 * idle,
+            "burst {burst} should stand above idle {idle}"
+        );
+    }
+
+    #[test]
+    fn quiet_trace_sits_at_idle() {
+        let probe = MemoryProbe::new(ReceiverConfig::ideal(40e6));
+        let c = probe.capture(&CasTrace::new(), 10_000.0, 1e9, 5);
+        let mag = c.magnitude();
+        let mean = mag.iter().sum::<f64>() / mag.len() as f64;
+        assert!((mean - 0.08).abs() < 0.02, "idle mean {mean}");
+    }
+
+    #[test]
+    fn shares_processor_time_base() {
+        let probe = MemoryProbe::new(ReceiverConfig::ideal(40e6));
+        let c = probe.capture(&trace_with_burst(), 20_000.0, 1.008e9, 5);
+        assert!((c.cycles_per_sample() - 25.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle level")]
+    fn invalid_idle_level_panics() {
+        MemoryProbe::new(ReceiverConfig::ideal(40e6)).with_idle_level(1.5);
+    }
+}

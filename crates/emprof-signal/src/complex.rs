@@ -1,0 +1,289 @@
+//! A minimal complex-number type for IQ baseband samples.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex sample with `f64` real (`re`, in-phase) and imaginary
+/// (`im`, quadrature) parts.
+///
+/// The fields are public in the spirit of a passive data structure: every
+/// stage of the receiver chain reads and writes both components.
+///
+/// # Example
+///
+/// ```
+/// use emprof_signal::Complex;
+///
+/// let a = Complex::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a * Complex::I, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a unit-magnitude complex number `e^{i theta}` from a phase in
+    /// radians.
+    ///
+    /// This is the workhorse of mixing (frequency translation) and FFT
+    /// twiddle-factor generation.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Creates a complex number from polar magnitude and phase.
+    #[inline]
+    pub fn from_polar(mag: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex {
+            re: mag * c,
+            im: mag * s,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`Complex::norm`] when only relative
+    /// ordering or power is needed.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a - a, Complex::ZERO);
+        assert_eq!(-a + a, Complex::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12 i^2 = -14 + 5i
+        assert_eq!(a * b, Complex::new(-14.0, 5.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn norm_and_norm_sqr_agree() {
+        let a = Complex::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < EPS);
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm_sqr() {
+        let a = Complex::new(-2.5, 1.25);
+        let p = a * a.conj();
+        assert!((p.re - a.norm_sqr()).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = Complex::from_polar(2.0, 0.7);
+        assert!((a.norm() - 2.0).abs() < EPS);
+        assert!((a.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn from_phase_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            let u = Complex::from_phase(theta);
+            assert!((u.norm() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn sum_of_samples() {
+        let v = vec![Complex::new(1.0, 1.0); 8];
+        let s: Complex = v.into_iter().sum();
+        assert_eq!(s, Complex::new(8.0, 8.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex::new(2.0, -4.0);
+        assert_eq!(a * 0.5, Complex::new(1.0, -2.0));
+        assert_eq!(a / 2.0, Complex::new(1.0, -2.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! Windowed-sinc FIR filter design and application.
+//!
+//! The capture rig in the paper band-limits the EM signal to the measurement
+//! bandwidth (20–160 MHz around the clock frequency). The reproduction's
+//! receiver models that band-limiting with linear-phase FIR lowpass filters
+//! designed here.
+
+use crate::window::WindowKind;
+use crate::Complex;
+
+/// Designs a linear-phase lowpass FIR filter with the windowed-sinc method.
+///
+/// `cutoff` is the −6 dB cutoff as a fraction of the *sampling* frequency,
+/// so it must lie in `(0, 0.5)`. `taps` is the filter length; odd lengths
+/// give a symmetric type-I filter with an integral group delay of
+/// `(taps - 1) / 2` samples. A [`WindowKind::Blackman`] window is applied,
+/// giving ~−58 dB stop-band ripple.
+///
+/// The taps are normalized to unit DC gain, so filtering a constant signal
+/// reproduces the constant — important because EMPROF's stall detection
+/// keys off absolute signal *levels*.
+///
+/// # Panics
+///
+/// Panics if `taps == 0` or `cutoff` is outside `(0, 0.5)`.
+///
+/// # Example
+///
+/// ```
+/// use emprof_signal::fir;
+///
+/// let taps = fir::lowpass(63, 0.125);
+/// let dc_gain: f64 = taps.iter().sum();
+/// assert!((dc_gain - 1.0).abs() < 1e-12);
+/// ```
+pub fn lowpass(taps: usize, cutoff: f64) -> Vec<f64> {
+    lowpass_with_window(taps, cutoff, WindowKind::Blackman)
+}
+
+/// Like [`lowpass`] but with an explicit window choice.
+///
+/// # Panics
+///
+/// Panics if `taps == 0` or `cutoff` is outside `(0, 0.5)`.
+pub fn lowpass_with_window(taps: usize, cutoff: f64, window: WindowKind) -> Vec<f64> {
+    assert!(taps > 0, "FIR filter must have at least one tap");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff {cutoff} must be in (0, 0.5) of the sample rate"
+    );
+    let mid = (taps as f64 - 1.0) / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let t = n as f64 - mid;
+            let sinc = if t == 0.0 {
+                2.0 * cutoff
+            } else {
+                (std::f64::consts::TAU * cutoff * t).sin() / (std::f64::consts::PI * t)
+            };
+            sinc * window.value(n, taps)
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= sum;
+    }
+    h
+}
+
+/// Applies an FIR filter to a real signal, returning a signal of the same
+/// length.
+///
+/// The filter is applied causally with zero-padded history; the output is
+/// then advanced by the filter's group delay `(taps - 1) / 2` so features in
+/// the output line up with features in the input (zero-phase behaviour for
+/// symmetric filters). The trailing `(taps - 1) / 2` samples are filled by
+/// holding the last fully-computed value, which keeps downstream
+/// sample-index arithmetic simple.
+///
+/// # Example
+///
+/// ```
+/// use emprof_signal::fir;
+///
+/// let x = vec![1.0; 256];
+/// let taps = fir::lowpass(31, 0.2);
+/// let y = fir::filter(&x, &taps);
+/// // Unit DC gain: the plateau passes through unchanged.
+/// assert!((y[128] - 1.0).abs() < 1e-9);
+/// ```
+pub fn filter(signal: &[f64], taps: &[f64]) -> Vec<f64> {
+    assert!(!taps.is_empty(), "FIR filter must have at least one tap");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let delay = (taps.len() - 1) / 2;
+    let n = signal.len();
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        // Output index i corresponds to convolution output at i + delay.
+        let center = i + delay;
+        let mut acc = 0.0;
+        for (k, &t) in taps.iter().enumerate() {
+            if let Some(j) = center.checked_sub(k) {
+                if j < n {
+                    acc += t * signal[j];
+                }
+            }
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Applies an FIR filter to a complex signal; see [`filter`] for the
+/// alignment conventions.
+pub fn filter_complex(signal: &[Complex], taps: &[f64]) -> Vec<Complex> {
+    assert!(!taps.is_empty(), "FIR filter must have at least one tap");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let delay = (taps.len() - 1) / 2;
+    let n = signal.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let center = i + delay;
+        let mut acc = Complex::ZERO;
+        for (k, &t) in taps.iter().enumerate() {
+            if let Some(j) = center.checked_sub(k) {
+                if j < n {
+                    acc += signal[j] * t;
+                }
+            }
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Measures the magnitude response of a filter at a normalized frequency
+/// (fraction of the sample rate, in `[0, 0.5]`).
+///
+/// Used by tests and ablations to verify pass-band flatness and stop-band
+/// rejection.
+pub fn magnitude_response(taps: &[f64], freq: f64) -> f64 {
+    let omega = std::f64::consts::TAU * freq;
+    let mut acc = Complex::ZERO;
+    for (n, &t) in taps.iter().enumerate() {
+        acc += Complex::from_phase(-omega * n as f64) * t;
+    }
+    acc.norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_has_unit_dc_gain() {
+        let taps = lowpass(101, 0.1);
+        assert!((magnitude_response(&taps, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_passes_passband_and_rejects_stopband() {
+        let taps = lowpass(127, 0.1);
+        // Passband (well below cutoff): near unity.
+        assert!((magnitude_response(&taps, 0.02) - 1.0).abs() < 1e-3);
+        // Stopband (well above cutoff): heavily attenuated.
+        assert!(magnitude_response(&taps, 0.25) < 1e-3);
+        assert!(magnitude_response(&taps, 0.45) < 1e-3);
+    }
+
+    #[test]
+    fn filter_preserves_length() {
+        let x = vec![0.5; 300];
+        let taps = lowpass(31, 0.2);
+        assert_eq!(filter(&x, &taps).len(), 300);
+    }
+
+    #[test]
+    fn filter_is_aligned_with_input() {
+        // A step should transition at the same index in input and output
+        // (the symmetric filter's half-amplitude point sits on the edge).
+        let mut x = vec![0.0; 400];
+        for v in x.iter_mut().skip(200) {
+            *v = 1.0;
+        }
+        let taps = lowpass(63, 0.1);
+        let y = filter(&x, &taps);
+        // Half-amplitude crossing should be within a couple of samples of 200.
+        let crossing = y.iter().position(|&v| v >= 0.5).unwrap();
+        assert!(
+            (crossing as i64 - 200).unsigned_abs() <= 2,
+            "step crossing at {crossing}, expected near 200"
+        );
+    }
+
+    #[test]
+    fn filter_smooths_high_frequency() {
+        // Alternating +1/-1 is at Nyquist; a 0.1 lowpass should crush it.
+        let x: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let taps = lowpass(63, 0.1);
+        let y = filter(&x, &taps);
+        let peak = y[100..400].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak < 1e-3, "Nyquist tone leaked through: {peak}");
+    }
+
+    #[test]
+    fn complex_filter_matches_real_filter_on_real_input() {
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.05).sin()).collect();
+        let xc: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let taps = lowpass(31, 0.15);
+        let yr = filter(&x, &taps);
+        let yc = filter_complex(&xc, &taps);
+        for (a, b) in yr.iter().zip(&yc) {
+            assert!((a - b.re).abs() < 1e-12);
+            assert!(b.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_signal_gives_empty_output() {
+        let taps = lowpass(31, 0.2);
+        assert!(filter(&[], &taps).is_empty());
+        assert!(filter_complex(&[], &taps).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn cutoff_above_nyquist_panics() {
+        lowpass(31, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn zero_taps_panics() {
+        lowpass(0, 0.1);
+    }
+
+    #[test]
+    fn single_tap_identity() {
+        let taps = vec![1.0];
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(filter(&x, &taps), x);
+    }
+}

@@ -1,0 +1,220 @@
+//! Sample-rate conversion for the receiver chain.
+//!
+//! The processor emits one activity sample per clock cycle (~1 GHz) while
+//! the capture rig digitizes at the measurement bandwidth (20–160 MHz).
+//! The ratio is rarely an integer (e.g. 1.008 GHz / 40 MHz = 25.2), so the
+//! chain needs both integer decimation and fractional resampling. Both are
+//! anti-aliased by filtering *before* rate reduction.
+
+use crate::fir;
+use crate::Complex;
+
+/// Decimates a real signal by an integer factor after applying an
+/// anti-aliasing lowpass filter.
+///
+/// The cutoff is placed at `0.45 / factor` of the input rate (slightly
+/// inside Nyquist of the output rate) and the filter length scales with the
+/// factor so the transition band stays proportionally narrow.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// use emprof_signal::resample;
+///
+/// let x = vec![1.0; 1000];
+/// let y = resample::decimate(&x, 10);
+/// assert_eq!(y.len(), 100);
+/// assert!((y[50] - 1.0).abs() < 1e-9);
+/// ```
+pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be nonzero");
+    if factor == 1 {
+        return signal.to_vec();
+    }
+    let taps = fir::lowpass(anti_alias_taps(factor), 0.45 / factor as f64);
+    let filtered = fir::filter(signal, &taps);
+    filtered.iter().step_by(factor).copied().collect()
+}
+
+/// Resamples a real signal by an arbitrary positive rational-ish ratio
+/// `out_rate / in_rate`, anti-alias filtering first when the rate is being
+/// reduced.
+///
+/// Output sample `n` is produced by linear interpolation at input position
+/// `n * in_rate / out_rate`. Linear interpolation after proper band-limiting
+/// introduces negligible error for the smooth envelope signals this crate
+/// processes.
+///
+/// # Panics
+///
+/// Panics if either rate is not strictly positive.
+pub fn resample(signal: &[f64], in_rate: f64, out_rate: f64) -> Vec<f64> {
+    assert!(
+        in_rate > 0.0 && out_rate > 0.0,
+        "sample rates must be positive (got {in_rate}, {out_rate})"
+    );
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let ratio = in_rate / out_rate;
+    let filtered: Vec<f64>;
+    let src: &[f64] = if ratio > 1.0 {
+        // Downsampling: band-limit to the output Nyquist first.
+        let factor = ratio.ceil() as usize;
+        let taps = fir::lowpass(anti_alias_taps(factor), 0.45 / ratio);
+        filtered = fir::filter(signal, &taps);
+        &filtered
+    } else {
+        signal
+    };
+    let out_len = ((signal.len() as f64) / ratio).floor() as usize;
+    let mut out = Vec::with_capacity(out_len);
+    for n in 0..out_len {
+        out.push(sample_linear(src, n as f64 * ratio));
+    }
+    out
+}
+
+/// Linearly interpolates `signal` at a fractional index, clamping to the
+/// final sample at the right edge.
+fn sample_linear(signal: &[f64], pos: f64) -> f64 {
+    let i = pos.floor() as usize;
+    if i + 1 >= signal.len() {
+        return *signal.last().expect("non-empty checked by caller");
+    }
+    let frac = pos - i as f64;
+    signal[i] * (1.0 - frac) + signal[i + 1] * frac
+}
+
+/// Complex variant of [`resample`] for IQ streams.
+///
+/// # Panics
+///
+/// Panics if either rate is not strictly positive.
+pub fn resample_complex(signal: &[Complex], in_rate: f64, out_rate: f64) -> Vec<Complex> {
+    let re: Vec<f64> = signal.iter().map(|c| c.re).collect();
+    let im: Vec<f64> = signal.iter().map(|c| c.im).collect();
+    let re_out = resample(&re, in_rate, out_rate);
+    let im_out = resample(&im, in_rate, out_rate);
+    re_out
+        .into_iter()
+        .zip(im_out)
+        .map(|(re, im)| Complex::new(re, im))
+        .collect()
+}
+
+/// Picks an anti-aliasing filter length appropriate for a decimation factor:
+/// longer filters for larger factors so the transition band stays narrow
+/// relative to the output Nyquist. Clamped to keep cost bounded.
+fn anti_alias_taps(factor: usize) -> usize {
+    (16 * factor + 1).clamp(33, 513)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(decimate(&x, 1), x);
+    }
+
+    #[test]
+    fn decimate_length() {
+        let x = vec![0.0; 1003];
+        assert_eq!(decimate(&x, 10).len(), 101); // ceil(1003/10) via step_by
+    }
+
+    #[test]
+    fn decimate_preserves_dc() {
+        let x = vec![2.5; 2000];
+        let y = decimate(&x, 25);
+        assert!((y[40] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimate_removes_aliasing_tone() {
+        // A tone just above the output Nyquist must not alias into the output.
+        let factor = 8;
+        let f = 0.45 / factor as f64 * 2.2; // above output Nyquist at input rate
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (std::f64::consts::TAU * f * i as f64).sin())
+            .collect();
+        let y = decimate(&x, factor);
+        let peak = y[50..y.len() - 50]
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak < 0.02, "aliased energy {peak}");
+    }
+
+    #[test]
+    fn fractional_resample_length_and_dc() {
+        // 1.008 GHz -> 40 MHz, the paper's Olimex capture ratio (25.2x).
+        let x = vec![1.0; 25200];
+        let y = resample(&x, 1.008e9, 40e6);
+        assert_eq!(y.len(), 1000);
+        assert!((y[500] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upsample_interpolates_between_points() {
+        let x = vec![0.0, 1.0];
+        let y = resample(&x, 1.0, 4.0);
+        assert_eq!(y.len(), 8);
+        assert!((y[2] - 0.5).abs() < 1e-12); // position 0.5
+    }
+
+    #[test]
+    fn resample_tracks_slow_feature_position() {
+        // A dip at 60% of the signal should remain at 60% after resampling.
+        let n = 10000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = (i as f64 - 6000.0) / 200.0;
+                1.0 - (-d * d).exp()
+            })
+            .collect();
+        let y = resample(&x, 1.0, 1.0 / 7.3);
+        let min_idx = y
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let expected = (6000.0 / 7.3) as i64;
+        assert!(
+            (min_idx as i64 - expected).abs() <= 2,
+            "dip at {min_idx}, expected near {expected}"
+        );
+    }
+
+    #[test]
+    fn complex_resample_matches_componentwise() {
+        let x: Vec<Complex> = (0..500)
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), (i as f64 * 0.013).cos()))
+            .collect();
+        let y = resample_complex(&x, 10.0, 3.0);
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let yr = resample(&re, 10.0, 3.0);
+        assert_eq!(y.len(), yr.len());
+        for (a, b) in y.iter().zip(&yr) {
+            assert!((a.re - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(resample(&[], 10.0, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_panics() {
+        resample(&[1.0], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cycle-accurate in-order CPU and cache-hierarchy simulator.
+//!
+//! This crate plays the role of the paper's enhanced SESC simulator
+//! (Section V-C): a 4-wide in-order superscalar processor with two cache
+//! levels (the last level with a random replacement policy), extended to
+//! produce
+//!
+//! * a **per-cycle power-consumption trace** that serves as a side-channel
+//!   signal for EMPROF, and
+//! * a **ground-truth trace** of when each LLC miss is detected, and when
+//!   the resulting full-pipeline stall (if any) begins and ends.
+//!
+//! The processor model captures the behaviours the paper's analysis relies
+//! on: ILP lets the core keep issuing independent instructions during a
+//! miss, MLP lets several misses overlap through MSHRs (Fig. 3a), I$ and
+//! D$ misses can overlap (Fig. 3b), and once the core runs out of
+//! independent work it fully stalls and its switching activity — hence
+//! power, hence EM emanation — collapses.
+//!
+//! Programs come from any [`InstructionSource`]: either the bundled
+//! [`Interpreter`] executing mini-ISA [`Program`]s (used for the engineered
+//! microbenchmarks, where computed addresses must be real), or synthetic
+//! trace generators (used for the SPEC-CPU2000-like workloads).
+//!
+//! # Example
+//!
+//! ```
+//! use emprof_sim::{DeviceModel, Program, Interpreter, Simulator};
+//! use emprof_sim::isa::{Inst, Reg};
+//!
+//! // A ten-iteration empty loop.
+//! let mut p = Program::builder();
+//! let r1 = Reg(1);
+//! p.push(Inst::Li(r1, 10));
+//! let top = p.label();
+//! p.push(Inst::Addi(r1, r1, -1));
+//! p.push(Inst::Bne(r1, Reg(0), top));
+//! p.push(Inst::Halt);
+//! let program = p.build()?;
+//!
+//! let device = DeviceModel::sesc_like();
+//! let result = Simulator::new(device).run(Interpreter::new(&program));
+//! assert!(result.stats.cycles > 10);
+//! # Ok::<(), emprof_sim::isa::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod cache;
+pub mod device;
+pub mod ground_truth;
+pub mod interp;
+pub mod isa;
+pub mod memory;
+pub mod pipeline;
+pub mod power;
+pub mod prefetch;
+pub mod source;
+
+pub use device::DeviceModel;
+pub use ground_truth::{GroundTruth, MissRecord, StallCause, StallInterval};
+pub use interp::Interpreter;
+pub use isa::Program;
+pub use pipeline::{SimResult, SimStats, Simulator};
+pub use power::PowerTrace;
+pub use source::{DynInst, DynOp, InstructionSource};

@@ -1,0 +1,831 @@
+//! The in-order superscalar timing pipeline and the top-level simulator.
+//!
+//! Models the processor class the paper targets (Section II-B): a simple
+//! in-order superscalar core, as found in IoT and hand-held devices, that
+//! can dispatch multiple instructions per cycle and keep multiple memory
+//! requests in flight, but fully stalls once the instruction at the head
+//! of the window depends on an outstanding miss or resources run out.
+//!
+//! Each simulated cycle produces one power sample (see
+//! [`crate::power::PowerModel`]) and fully-stalled cycles are aggregated
+//! into ground-truth [`StallInterval`]s — the two traces the paper's
+//! enhanced SESC emits for EMPROF validation.
+
+use std::collections::VecDeque;
+
+use emprof_dram::CasTrace;
+
+use crate::bpred::BimodalPredictor;
+use crate::device::DeviceModel;
+use crate::ground_truth::{GroundTruth, MissRecord, StallCause, StallInterval};
+use crate::memory::{MemorySystem, MshrFull};
+use crate::power::{CycleActivity, PowerTrace, PowerTraceBuilder};
+use crate::source::{DynInst, DynOp, InstructionSource};
+
+/// Aggregate counters of one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instructions retired (markers excluded).
+    pub instructions: u64,
+    /// Fully-stalled cycles (no instruction issued).
+    pub stall_cycles: u64,
+    /// Fully-stalled cycles attributable to LLC misses.
+    pub llc_stall_cycles: u64,
+    /// Demand LLC misses.
+    pub llc_misses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// LLC misses that collided with DRAM refresh.
+    pub refresh_collisions: u64,
+    /// Lines prefetched into the LLC.
+    pub prefetches: u64,
+    /// Branch mispredictions (always 0 without a configured predictor).
+    pub branch_mispredicts: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of execution time spent fully stalled on LLC misses —
+    /// the "Miss Latency (%Total Time)" column of Table IV.
+    pub fn llc_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.llc_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Everything one simulation produces.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Per-cycle power trace (the side-channel signal source).
+    pub power: PowerTrace,
+    /// Ground-truth miss and stall events.
+    pub ground_truth: GroundTruth,
+    /// Memory-side CAS/refresh activity (for the Fig. 10 dual-probe
+    /// experiment).
+    pub cas_trace: CasTrace,
+    /// Aggregate counters.
+    pub stats: SimStats,
+}
+
+/// Default simulation-cycle guard; hitting it almost always means a
+/// livelocked workload rather than a legitimately long run.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Cycle-accurate simulator for one [`DeviceModel`].
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    device: DeviceModel,
+    max_cycles: u64,
+    seed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device fails [`DeviceModel::validate`].
+    pub fn new(device: DeviceModel) -> Self {
+        device
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid device model: {e}"));
+        Simulator {
+            device,
+            max_cycles: DEFAULT_MAX_CYCLES,
+            seed: 0xE0_E0_E0,
+        }
+    }
+
+    /// Overrides the runaway-cycle guard.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Overrides the seed used by random replacement.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Runs a dynamic instruction stream to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the cycle guard (see
+    /// [`Simulator::with_max_cycles`]).
+    pub fn run<S: InstructionSource>(&self, source: S) -> SimResult {
+        Pipeline::new(&self.device, self.seed).run(source, self.max_cycles)
+    }
+}
+
+/// What kind of miss, if any, is responsible for a blockage (internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum MissKind {
+    /// An LLC miss (to memory); `refresh` marks a refresh collision.
+    Llc {
+        /// Whether the memory access collided with DRAM refresh.
+        refresh: bool,
+    },
+    /// An L1 miss that hit in the LLC.
+    L1,
+    /// Not a miss (compute dependency, branch bubble, ...).
+    #[default]
+    None,
+}
+
+impl MissKind {
+    fn from_access(info: &crate::memory::AccessInfo) -> MissKind {
+        if info.llc_miss {
+            MissKind::Llc {
+                refresh: info.refresh_collision,
+            }
+        } else if info.llc_hit {
+            MissKind::L1
+        } else {
+            MissKind::None
+        }
+    }
+
+    /// Combines two causes, preferring the more severe (LLC > L1 > none).
+    fn worst(self, other: MissKind) -> MissKind {
+        match (self, other) {
+            (MissKind::Llc { refresh: a }, MissKind::Llc { refresh: b }) => {
+                MissKind::Llc { refresh: a || b }
+            }
+            (k @ MissKind::Llc { .. }, _) | (_, k @ MissKind::Llc { .. }) => k,
+            (MissKind::L1, _) | (_, MissKind::L1) => MissKind::L1,
+            _ => MissKind::None,
+        }
+    }
+}
+
+/// Why the head of the fetch queue could not issue this cycle (internal).
+enum IssueBlock {
+    /// Source operand not ready yet.
+    Dependency,
+    /// A structural resource (MSHR, store buffer, window, memory port) is
+    /// busy.
+    Structural,
+}
+
+/// One in-flight (issued, not yet completed) instruction.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    complete_cycle: u64,
+    kind: MissKind,
+}
+
+struct Pipeline<'d> {
+    device: &'d DeviceModel,
+    mem: MemorySystem,
+    fetch_queue: VecDeque<DynInst>,
+    reg_ready: [u64; crate::isa::NUM_REGS],
+    /// What produced each register's pending value (attributes dependency
+    /// stalls to the right miss kind).
+    reg_source: [MissKind; crate::isa::NUM_REGS],
+    /// In-order completion window (only maintained when the device has
+    /// one).
+    inflight: VecDeque<InFlight>,
+    fetch_blocked_until: u64,
+    /// Why fetch is blocked (for attributing queue-empty stalls).
+    fetch_block_kind: MissKind,
+    current_fetch_line: Option<u64>,
+    /// An instruction peeked from the source but not yet admitted because
+    /// its I$ line is still being fetched.
+    pending_fetch: Option<DynInst>,
+    store_buffer: Vec<u64>,
+    bpred: Option<BimodalPredictor>,
+    power: PowerTraceBuilder,
+    gt: GroundTruth,
+    stats: SimStats,
+    /// The blockage cause observed during this cycle's issue attempt.
+    cycle_block: MissKind,
+    /// Open stall run: (start_cycle, saw_llc, saw_refresh, saw_l1).
+    open_stall: Option<(u64, bool, bool, bool)>,
+}
+
+impl<'d> Pipeline<'d> {
+    fn new(device: &'d DeviceModel, seed: u64) -> Self {
+        Pipeline {
+            device,
+            mem: MemorySystem::new(device, seed),
+            fetch_queue: VecDeque::with_capacity(device.fetch_queue),
+            reg_ready: [0; crate::isa::NUM_REGS],
+            reg_source: [MissKind::None; crate::isa::NUM_REGS],
+            inflight: VecDeque::new(),
+            fetch_blocked_until: 0,
+            fetch_block_kind: MissKind::None,
+            current_fetch_line: None,
+            pending_fetch: None,
+            store_buffer: Vec::with_capacity(device.store_buffer),
+            bpred: device.branch_predictor.map(BimodalPredictor::new),
+            power: PowerTraceBuilder::new(device.power),
+            gt: GroundTruth::new(),
+            stats: SimStats::default(),
+            cycle_block: MissKind::None,
+            open_stall: None,
+        }
+    }
+
+    fn run<S: InstructionSource>(mut self, mut source: S, max_cycles: u64) -> SimResult {
+        let mut source_done = false;
+        let mut now: u64 = 0;
+        loop {
+            assert!(
+                now < max_cycles,
+                "simulation exceeded {max_cycles} cycles — livelocked workload?"
+            );
+            self.mem.retire_completed(now);
+            self.retire(now);
+            self.store_buffer.retain(|&ready| ready > now);
+
+            let mut activity = CycleActivity::default();
+            let issued = self.issue(now, &mut activity);
+            if !source_done {
+                source_done = self.fetch(&mut source, now, &mut activity);
+            }
+            self.track_stall(now, issued);
+            self.power.record(&activity);
+            now += 1;
+
+            if source_done
+                && self.fetch_queue.is_empty()
+                && self.pending_fetch.is_none()
+                && self.store_buffer.is_empty()
+                && self.inflight.is_empty()
+                && self.mem.next_completion().is_none()
+            {
+                break;
+            }
+        }
+        // Close a trailing stall run, if any.
+        if let Some((start, llc, refresh, l1)) = self.open_stall.take() {
+            self.push_stall(start, now, llc, refresh, l1);
+        }
+        let mem_stats = self.mem.stats();
+        self.stats.cycles = now;
+        self.stats.llc_misses = mem_stats.llc_misses;
+        self.stats.l1d_misses = mem_stats.l1d_misses;
+        self.stats.l1i_misses = mem_stats.l1i_misses;
+        self.stats.refresh_collisions = mem_stats.refresh_collisions;
+        self.stats.prefetches = mem_stats.prefetches;
+        self.stats.llc_stall_cycles = self.gt.llc_stall_cycles();
+        SimResult {
+            power: self.power.finish(self.device.clock_hz),
+            ground_truth: self.gt,
+            cas_trace: self.mem.into_cas_trace(),
+            stats: self.stats,
+        }
+    }
+
+    /// Retires completed instructions from the in-order window.
+    fn retire(&mut self, now: u64) {
+        while let Some(head) = self.inflight.front() {
+            if head.complete_cycle <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Issues up to `width` instructions in order; returns how many issued.
+    fn issue(&mut self, now: u64, activity: &mut CycleActivity) -> u32 {
+        self.cycle_block = MissKind::None;
+        let mut issued = 0u32;
+        let mut mem_ops = 0u32;
+        while issued < self.device.width as u32 {
+            let Some(inst) = self.fetch_queue.front().copied() else {
+                // Queue empty: if we are draining behind incomplete work,
+                // the stall belongs to the window head; otherwise to
+                // whatever blocked fetch (e.g. an I$ miss).
+                let blocked_on = self
+                    .inflight
+                    .front()
+                    .map(|f| f.kind)
+                    .unwrap_or(self.fetch_block_kind);
+                self.cycle_block = self.cycle_block.worst(blocked_on);
+                break;
+            };
+            // Markers are free and invisible to timing.
+            if let DynOp::Marker(id) = inst.op {
+                self.gt.push_marker(id, now);
+                self.fetch_queue.pop_front();
+                continue;
+            }
+            // In-order completion: no issue past a full window; the stall
+            // belongs to whatever the window head is waiting on.
+            if let Some(window) = self.device.inflight_window {
+                if self.inflight.len() >= window {
+                    let head = self.inflight.front().expect("window full implies nonempty");
+                    self.cycle_block = self.cycle_block.worst(head.kind);
+                    break;
+                }
+            }
+            match self.try_issue(&inst, now, mem_ops, activity) {
+                Ok(used_mem_port) => {
+                    self.fetch_queue.pop_front();
+                    self.stats.instructions += 1;
+                    issued += 1;
+                    if used_mem_port {
+                        mem_ops += 1;
+                    }
+                }
+                Err(IssueBlock::Dependency) | Err(IssueBlock::Structural) => break,
+            }
+        }
+        issued
+    }
+
+    /// Attempts to issue one instruction; `Ok(true)` means a memory port
+    /// was consumed.
+    fn try_issue(
+        &mut self,
+        inst: &DynInst,
+        now: u64,
+        mem_ops: u32,
+        activity: &mut CycleActivity,
+    ) -> Result<bool, IssueBlock> {
+        for src in inst.op.srcs().into_iter().flatten() {
+            if self.reg_ready[src.0 as usize] > now {
+                // Attribute the dependency stall to whatever produced the
+                // pending value (a missing load, or plain compute).
+                let kind = self.reg_source[src.0 as usize];
+                self.cycle_block = self.cycle_block.worst(kind);
+                return Err(IssueBlock::Dependency);
+            }
+        }
+        match inst.op {
+            DynOp::Alu { dst, .. } => {
+                if let Some(d) = dst {
+                    self.set_ready(d, now + 1, MissKind::None);
+                }
+                self.push_inflight(now + 1, MissKind::None);
+                activity.alu_issued += 1;
+                Ok(false)
+            }
+            DynOp::Mul { dst, .. } => {
+                self.set_ready(dst, now + 3, MissKind::None);
+                self.push_inflight(now + 3, MissKind::None);
+                activity.mul_issued += 1;
+                Ok(false)
+            }
+            DynOp::Branch { .. } => {
+                // Branch resolution itself is a single-cycle ALU-class op;
+                // the taken-branch fetch bubble is charged at fetch time.
+                self.push_inflight(now + 1, MissKind::None);
+                activity.alu_issued += 1;
+                Ok(false)
+            }
+            DynOp::Nop => {
+                self.push_inflight(now + 1, MissKind::None);
+                activity.alu_issued += 1;
+                Ok(false)
+            }
+            DynOp::Load { dst, addr, .. } => {
+                if mem_ops >= 1 {
+                    return Err(IssueBlock::Structural);
+                }
+                let info = match self.mem.access_data(inst.pc, addr, false, now) {
+                    Ok(info) => info,
+                    Err(MshrFull) => {
+                        // The structural stall is caused by the misses
+                        // holding the MSHRs.
+                        let s = self.mem.outstanding_summary(now);
+                        let kind = if s.llc_miss {
+                            MissKind::Llc { refresh: s.refresh }
+                        } else if s.l1_miss {
+                            MissKind::L1
+                        } else {
+                            MissKind::None
+                        };
+                        self.cycle_block = self.cycle_block.worst(kind);
+                        return Err(IssueBlock::Structural);
+                    }
+                };
+                self.record_mem_access(inst.pc, addr, false, now, &info, activity);
+                let kind = MissKind::from_access(&info);
+                let ready = info.ready_cycle.max(now + 1);
+                self.set_ready(dst, ready, kind);
+                self.push_inflight(ready, kind);
+                activity.mem_issued += 1;
+                Ok(true)
+            }
+            DynOp::Store { addr, .. } => {
+                if mem_ops >= 1 {
+                    return Err(IssueBlock::Structural);
+                }
+                if self.store_buffer.len() >= self.device.store_buffer {
+                    let s = self.mem.outstanding_summary(now);
+                    let kind = if s.llc_miss {
+                        MissKind::Llc { refresh: s.refresh }
+                    } else if s.l1_miss {
+                        MissKind::L1
+                    } else {
+                        MissKind::None
+                    };
+                    self.cycle_block = self.cycle_block.worst(kind);
+                    return Err(IssueBlock::Structural);
+                }
+                let info = match self.mem.access_data(inst.pc, addr, true, now) {
+                    Ok(info) => info,
+                    Err(MshrFull) => {
+                        let s = self.mem.outstanding_summary(now);
+                        let kind = if s.llc_miss {
+                            MissKind::Llc { refresh: s.refresh }
+                        } else if s.l1_miss {
+                            MissKind::L1
+                        } else {
+                            MissKind::None
+                        };
+                        self.cycle_block = self.cycle_block.worst(kind);
+                        return Err(IssueBlock::Structural);
+                    }
+                };
+                self.record_mem_access(inst.pc, addr, true, now, &info, activity);
+                // The store retires into the buffer (it completes
+                // immediately from the window's point of view); the buffer
+                // entry drains when the line arrives.
+                self.store_buffer.push(info.ready_cycle.max(now + 1));
+                self.push_inflight(now + 1, MissKind::None);
+                activity.mem_issued += 1;
+                Ok(true)
+            }
+            DynOp::Marker(_) => unreachable!("markers handled by the issue loop"),
+        }
+    }
+
+    fn push_inflight(&mut self, complete_cycle: u64, kind: MissKind) {
+        if self.device.inflight_window.is_some() {
+            self.inflight.push_back(InFlight {
+                complete_cycle,
+                kind,
+            });
+        }
+    }
+
+    fn record_mem_access(
+        &mut self,
+        pc: u64,
+        addr: u64,
+        _is_write: bool,
+        now: u64,
+        info: &crate::memory::AccessInfo,
+        activity: &mut CycleActivity,
+    ) {
+        if info.llc_accessed {
+            activity.llc_accesses += 1;
+        }
+        if info.llc_miss && !info.merged {
+            self.gt.push_miss(MissRecord {
+                line_addr: addr / self.device.llc.line_bytes * self.device.llc.line_bytes,
+                pc,
+                is_instr: false,
+                detect_cycle: now,
+                complete_cycle: info.ready_cycle,
+                refresh_collision: info.refresh_collision,
+            });
+        }
+    }
+
+    fn set_ready(&mut self, reg: crate::isa::Reg, cycle: u64, kind: MissKind) {
+        if reg != crate::isa::Reg::ZERO {
+            self.reg_ready[reg.0 as usize] = self.reg_ready[reg.0 as usize].max(cycle);
+            self.reg_source[reg.0 as usize] = kind;
+        }
+    }
+
+    /// Fetches up to `width` instructions; returns `true` when the source
+    /// is exhausted.
+    fn fetch<S: InstructionSource>(
+        &mut self,
+        source: &mut S,
+        now: u64,
+        activity: &mut CycleActivity,
+    ) -> bool {
+        if now < self.fetch_blocked_until {
+            return false;
+        }
+        let line_bytes = self.device.l1i.line_bytes;
+        for _ in 0..self.device.width {
+            if self.fetch_queue.len() >= self.device.fetch_queue {
+                break;
+            }
+            let inst = match self.pending_fetch.take().or_else(|| source.next_inst()) {
+                Some(i) => i,
+                None => return true,
+            };
+            let line = inst.pc / line_bytes * line_bytes;
+            if self.current_fetch_line != Some(line) {
+                let info = self.mem.access_instr(inst.pc, now);
+                if info.llc_accessed {
+                    activity.llc_accesses += 1;
+                }
+                if info.llc_miss && !info.merged {
+                    self.gt.push_miss(MissRecord {
+                        line_addr: line,
+                        pc: inst.pc,
+                        is_instr: true,
+                        detect_cycle: now,
+                        complete_cycle: info.ready_cycle,
+                        refresh_collision: info.refresh_collision,
+                    });
+                }
+                if info.ready_cycle > now {
+                    // I$ miss (or slow path): fetch resumes when the line
+                    // arrives; remember the instruction we peeked.
+                    self.fetch_blocked_until = info.ready_cycle;
+                    self.fetch_block_kind = MissKind::from_access(&info);
+                    self.pending_fetch = Some(inst);
+                    break;
+                }
+                self.current_fetch_line = Some(line);
+            }
+            let branch_taken = match inst.op {
+                DynOp::Branch { taken, .. } => Some(taken),
+                _ => None,
+            };
+            activity.fetched += 1;
+            self.fetch_queue.push_back(inst);
+            if let Some(taken) = branch_taken {
+                let bubble = match self.bpred.as_mut() {
+                    Some(bp) => {
+                        // Predicted path: a correct taken prediction still
+                        // redirects for one cycle (BTB turnaround); a
+                        // misprediction pays the full refill.
+                        let correct = bp.update(inst.pc, taken);
+                        if !correct {
+                            self.stats.branch_mispredicts += 1;
+                            Some(1 + self.device.branch_penalty
+                                + self.device
+                                    .branch_predictor
+                                    .expect("predictor configured")
+                                    .mispredict_penalty)
+                        } else if taken {
+                            Some(1)
+                        } else {
+                            None
+                        }
+                    }
+                    // No predictor: every taken branch pays the redirect.
+                    None => taken.then_some(1 + self.device.branch_penalty),
+                };
+                if let Some(cycles) = bubble {
+                    // A branch bubble is not a miss-caused blockage.
+                    self.fetch_blocked_until = now + cycles;
+                    self.fetch_block_kind = MissKind::None;
+                    self.current_fetch_line = None;
+                    break;
+                }
+            }
+        }
+        false
+    }
+
+    fn track_stall(&mut self, now: u64, issued: u32) {
+        if issued == 0 {
+            self.stats.stall_cycles += 1;
+            // Attribution comes from what actually blocked issue this
+            // cycle, so branch bubbles during an unrelated outstanding
+            // miss stay classified as `Other` rather than polluting the
+            // LLC stall accounting.
+            let (is_llc, is_refresh, is_l1) = match self.cycle_block {
+                MissKind::Llc { refresh } => (true, refresh, false),
+                MissKind::L1 => (false, false, true),
+                MissKind::None => (false, false, false),
+            };
+            match &mut self.open_stall {
+                Some((_, llc, refresh, l1)) => {
+                    *llc |= is_llc;
+                    *refresh |= is_refresh;
+                    *l1 |= is_l1;
+                }
+                None => {
+                    self.open_stall = Some((now, is_llc, is_refresh, is_l1));
+                }
+            }
+        } else if let Some((start, llc, refresh, l1)) = self.open_stall.take() {
+            self.push_stall(start, now, llc, refresh, l1);
+        }
+    }
+
+    fn push_stall(&mut self, start: u64, end: u64, llc: bool, refresh: bool, l1: bool) {
+        let cause = if llc {
+            StallCause::LlcMiss { refresh }
+        } else if l1 {
+            StallCause::LlcHit
+        } else {
+            StallCause::Other
+        };
+        self.gt.push_stall(StallInterval {
+            start_cycle: start,
+            end_cycle: end,
+            cause,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Inst, Program, Reg};
+    use crate::Interpreter;
+
+    /// A blank loop (no memory accesses) of `n` iterations.
+    fn blank_loop(n: i64) -> Program {
+        let mut b = Program::builder();
+        b.push(Inst::Li(Reg(1), n));
+        let top = b.label();
+        b.push(Inst::Addi(Reg(1), Reg(1), -1));
+        b.push(Inst::Bne(Reg(1), Reg::ZERO, top));
+        b.push(Inst::Halt);
+        b.build().unwrap()
+    }
+
+    /// Loads walking `lines` distinct cache lines, `reps` passes.
+    fn array_walk(lines: i64, reps: i64) -> Program {
+        let mut b = Program::builder();
+        let base = Reg(1);
+        let i = Reg(2);
+        let limit = Reg(3);
+        let addr = Reg(4);
+        let val = Reg(5);
+        let rep = Reg(6);
+        b.push(Inst::Li(base, 0x100_0000));
+        b.push(Inst::Li(rep, reps));
+        let rep_top = b.label();
+        b.push(Inst::Li(i, 0));
+        b.push(Inst::Li(limit, lines));
+        let top = b.label();
+        b.push(Inst::Slli(addr, i, 6)); // i * 64
+        b.push(Inst::Add(addr, addr, base));
+        b.push(Inst::Ld(val, addr, 0));
+        b.push(Inst::Addi(i, i, 1));
+        b.push(Inst::Blt(i, limit, top));
+        b.push(Inst::Addi(rep, rep, -1));
+        b.push(Inst::Bne(rep, Reg::ZERO, rep_top));
+        b.push(Inst::Halt);
+        b.build().unwrap()
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(DeviceModel::sesc_like()).with_max_cycles(100_000_000)
+    }
+
+    fn no_refresh_sim() -> Simulator {
+        let mut d = DeviceModel::sesc_like();
+        d.dram.refresh = emprof_dram::RefreshConfig::disabled();
+        Simulator::new(d).with_max_cycles(100_000_000)
+    }
+
+    /// Demand data-side LLC misses (the cold fetch of the tiny code
+    /// footprint adds a couple of instruction-side misses that the tables
+    /// in the paper also exclude by isolating the measured section).
+    fn data_misses(r: &SimResult) -> usize {
+        r.ground_truth
+            .misses()
+            .iter()
+            .filter(|m| !m.is_instr)
+            .count()
+    }
+
+    #[test]
+    fn blank_loop_has_high_ipc_and_no_llc_misses() {
+        let r = sim().run(Interpreter::new(&blank_loop(10_000)));
+        assert_eq!(data_misses(&r), 0);
+        assert!(
+            r.stats.ipc() > 0.5,
+            "blank loop should keep the core busy, ipc={}",
+            r.stats.ipc()
+        );
+        // At most the cold code-fetch stall; nothing from the loop body.
+        assert!(r.ground_truth.llc_stall_count() <= 1);
+    }
+
+    #[test]
+    fn power_trace_length_equals_cycles() {
+        let r = sim().run(Interpreter::new(&blank_loop(1000)));
+        assert_eq!(r.power.len() as u64, r.stats.cycles);
+    }
+
+    #[test]
+    fn cold_array_walk_misses_once_per_line() {
+        let lines = 512;
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(lines, 1)));
+        // Every line is cold: one LLC miss per line (32 KiB walk fits LLC).
+        assert_eq!(data_misses(&r) as i64, lines);
+    }
+
+    #[test]
+    fn second_pass_hits_when_working_set_fits() {
+        let lines = 256; // 16 KiB, fits both L1D (32 KiB) and LLC
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(lines, 3)));
+        assert_eq!(data_misses(&r) as i64, lines);
+    }
+
+    #[test]
+    fn llc_misses_produce_long_stalls() {
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(512, 1)));
+        let stalls: Vec<_> = r.ground_truth.llc_stalls().collect();
+        assert!(!stalls.is_empty());
+        let avg: f64 = stalls.iter().map(|s| s.duration() as f64).sum::<f64>()
+            / stalls.len() as f64;
+        // LLC miss latency is ~300 cycles; sequential dependent-ish walk
+        // stalls for a large fraction of it.
+        assert!(avg > 50.0, "average LLC stall {avg} cycles is too short");
+    }
+
+    #[test]
+    fn stall_cycles_show_up_as_low_power() {
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(512, 1)));
+        let samples = r.power.samples();
+        let base = DeviceModel::sesc_like().power.base as f32;
+        // Inside a known stall interval the power sits at the base level.
+        let stall = r
+            .ground_truth
+            .llc_stalls()
+            .find(|s| s.duration() > 20)
+            .expect("a long stall exists");
+        let mid = ((stall.start_cycle + stall.end_cycle) / 2) as usize;
+        assert!((samples[mid] - base).abs() < 1e-6);
+        // And a busy cycle is well above it.
+        let max = samples.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > 2.0 * base);
+    }
+
+    #[test]
+    fn stall_count_at_most_miss_count() {
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(1024, 1)));
+        assert!(
+            r.ground_truth.llc_stall_count() <= r.ground_truth.llc_miss_count(),
+            "MLP can only merge stalls, never split them"
+        );
+    }
+
+    #[test]
+    fn markers_record_cycles() {
+        let mut b = Program::builder();
+        b.push(Inst::Marker(1));
+        b.push(Inst::Li(Reg(1), 100));
+        let top = b.label();
+        b.push(Inst::Addi(Reg(1), Reg(1), -1));
+        b.push(Inst::Bne(Reg(1), Reg::ZERO, top));
+        b.push(Inst::Marker(2));
+        b.push(Inst::Halt);
+        let r = sim().run(Interpreter::new(&b.build().unwrap()));
+        let w = r.ground_truth.marker_window(1, 2).expect("both markers hit");
+        assert!(w.1 > w.0);
+        assert!(w.1 - w.0 >= 100, "window spans the loop");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let r = no_refresh_sim().run(Interpreter::new(&array_walk(256, 2)));
+        assert!(r.stats.stall_cycles <= r.stats.cycles);
+        assert!(r.stats.llc_stall_cycles <= r.stats.stall_cycles);
+        assert_eq!(
+            r.stats.llc_stall_cycles,
+            r.ground_truth.llc_stall_cycles()
+        );
+        assert!(r.stats.instructions > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let r = no_refresh_sim().run(Interpreter::new(&array_walk(128, 2)));
+            (r.stats.cycles, r.stats.llc_misses, r.power.samples().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn cycle_guard_trips() {
+        let sim = Simulator::new(DeviceModel::sesc_like()).with_max_cycles(50);
+        sim.run(Interpreter::new(&blank_loop(100_000)));
+    }
+}

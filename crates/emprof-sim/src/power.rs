@@ -1,0 +1,249 @@
+//! Unit-level activity power model.
+//!
+//! Section III-B: the paper collects "the average power consumption for
+//! each 20-cycle interval" from the simulator and treats it as the
+//! side-channel signal. This module charges per-event energies as the
+//! pipeline reports activity and produces a per-cycle power trace; the
+//! paper's 20-cycle averaging is [`PowerTrace::averaged`].
+//!
+//! The absolute numbers are arbitrary units — EMPROF normalizes the signal
+//! before detection — but the *ratios* matter: a fully-stalled cycle burns
+//! only clock-tree and leakage power, a busy 4-wide cycle several times
+//! more, which is precisely the contrast EMPROF detects (Fig. 1).
+
+/// Per-event energy weights (arbitrary units per event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Baseline burned every cycle regardless of activity (clock tree +
+    /// leakage). This is the "stall floor" of the signal.
+    pub base: f64,
+    /// Per instruction fetched from the I$.
+    pub fetch: f64,
+    /// Per simple ALU/branch instruction issued.
+    pub alu: f64,
+    /// Per multiply issued.
+    pub mul: f64,
+    /// Per load/store issued (address generation + L1 access).
+    pub mem: f64,
+    /// Per LLC access (on L1 misses).
+    pub llc: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Busy 4-wide cycle: base + ~4*(fetch+alu) ~ 5x the stall floor,
+        // matching the qualitative contrast of Figs. 1-2.
+        PowerModel {
+            base: 1.0,
+            fetch: 0.25,
+            alu: 0.55,
+            mul: 0.85,
+            mem: 0.70,
+            llc: 0.50,
+        }
+    }
+}
+
+/// Events observed in one cycle; the pipeline fills one of these per cycle
+/// and hands it to [`PowerTraceBuilder::record`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleActivity {
+    /// Instructions fetched this cycle.
+    pub fetched: u32,
+    /// Simple ALU/branch instructions issued.
+    pub alu_issued: u32,
+    /// Multiplies issued.
+    pub mul_issued: u32,
+    /// Memory operations issued.
+    pub mem_issued: u32,
+    /// LLC accesses started.
+    pub llc_accesses: u32,
+}
+
+impl CycleActivity {
+    /// Total instructions issued this cycle.
+    pub fn issued(&self) -> u32 {
+        self.alu_issued + self.mul_issued + self.mem_issued
+    }
+}
+
+/// Accumulates per-cycle power samples.
+#[derive(Debug, Clone)]
+pub struct PowerTraceBuilder {
+    model: PowerModel,
+    samples: Vec<f32>,
+}
+
+impl PowerTraceBuilder {
+    /// Creates a builder with the given weights.
+    pub fn new(model: PowerModel) -> Self {
+        PowerTraceBuilder {
+            model,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Converts one cycle's activity into a power sample and appends it.
+    pub fn record(&mut self, activity: &CycleActivity) {
+        let m = &self.model;
+        let p = m.base
+            + m.fetch * activity.fetched as f64
+            + m.alu * activity.alu_issued as f64
+            + m.mul * activity.mul_issued as f64
+            + m.mem * activity.mem_issued as f64
+            + m.llc * activity.llc_accesses as f64;
+        self.samples.push(p as f32);
+    }
+
+    /// Finalizes the trace.
+    pub fn finish(self, clock_hz: f64) -> PowerTrace {
+        PowerTrace {
+            samples: self.samples,
+            clock_hz,
+        }
+    }
+
+    /// Cycles recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A per-cycle power trace tagged with the clock it was sampled at.
+///
+/// This is the simulator-side stand-in for the captured EM signal: the
+/// EM-synthesis crate consumes it as the emission envelope, and EMPROF can
+/// also analyze it directly (the paper's Section V-C validation path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    samples: Vec<f32>,
+    clock_hz: f64,
+}
+
+impl PowerTrace {
+    /// Wraps raw per-cycle samples.
+    pub fn from_samples(samples: Vec<f32>, clock_hz: f64) -> Self {
+        PowerTrace { samples, clock_hz }
+    }
+
+    /// Per-cycle samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// The simulated core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Trace length in cycles.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Averages the trace over `cycles_per_sample`-cycle intervals — the
+    /// paper's "average power consumption for each 20-cycle interval",
+    /// giving a 50 MHz-equivalent signal for a 1 GHz core. The trailing
+    /// partial interval, if any, is averaged over its actual length.
+    ///
+    /// Returns the averaged samples as `f64` together with the effective
+    /// sample rate in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_sample == 0`.
+    pub fn averaged(&self, cycles_per_sample: usize) -> (Vec<f64>, f64) {
+        assert!(cycles_per_sample > 0, "cycles_per_sample must be nonzero");
+        let out: Vec<f64> = self
+            .samples
+            .chunks(cycles_per_sample)
+            .map(|c| c.iter().map(|&v| v as f64).sum::<f64>() / c.len() as f64)
+            .collect();
+        (out, self.clock_hz / cycles_per_sample as f64)
+    }
+
+    /// The samples widened to `f64` (the receiver chain works in `f64`).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.samples.iter().map(|&v| v as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_cycles_sit_at_base() {
+        let mut b = PowerTraceBuilder::new(PowerModel::default());
+        b.record(&CycleActivity::default());
+        let trace = b.finish(1e9);
+        assert!((trace.samples()[0] as f64 - PowerModel::default().base).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_cycles_burn_more() {
+        let mut b = PowerTraceBuilder::new(PowerModel::default());
+        b.record(&CycleActivity::default());
+        b.record(&CycleActivity {
+            fetched: 4,
+            alu_issued: 3,
+            mem_issued: 1,
+            ..Default::default()
+        });
+        let trace = b.finish(1e9);
+        let stall = trace.samples()[0];
+        let busy = trace.samples()[1];
+        assert!(
+            busy > 3.0 * stall,
+            "busy ({busy}) should dwarf stall ({stall})"
+        );
+    }
+
+    #[test]
+    fn averaged_matches_paper_convention() {
+        // 1 GHz trace averaged over 20 cycles -> 50 MHz samples.
+        let samples = vec![2.0f32; 200];
+        let trace = PowerTrace::from_samples(samples, 1e9);
+        let (avg, rate) = trace.averaged(20);
+        assert_eq!(avg.len(), 10);
+        assert!((rate - 50e6).abs() < 1.0);
+        assert!(avg.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn averaged_partial_tail() {
+        let trace = PowerTrace::from_samples(vec![1.0, 1.0, 1.0, 5.0, 5.0], 1e9);
+        let (avg, _) = trace.averaged(3);
+        assert_eq!(avg.len(), 2);
+        assert!((avg[0] - 1.0).abs() < 1e-9);
+        assert!((avg[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn issued_sums_classes() {
+        let act = CycleActivity {
+            fetched: 4,
+            alu_issued: 2,
+            mul_issued: 1,
+            mem_issued: 1,
+            llc_accesses: 0,
+        };
+        assert_eq!(act.issued(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycles_per_sample")]
+    fn zero_average_window_panics() {
+        PowerTrace::from_samples(vec![1.0], 1e9).averaged(0);
+    }
+}

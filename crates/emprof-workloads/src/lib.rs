@@ -1,0 +1,36 @@
+//! Workloads for the EMPROF reproduction.
+//!
+//! Three families, matching the paper's evaluation:
+//!
+//! * [`microbench`] — the engineered TM/CM microbenchmark of Fig. 6,
+//!   built as a real mini-ISA program (its access pattern is computed by
+//!   an in-program pseudo-random generator, exactly as the paper's C code
+//!   calls `rand()`), bracketed by the identifier "blank loops".
+//! * [`array_walk`] — the small load-loop application of Section III-B
+//!   whose array size selects which cache level misses (Figs. 2 and 4).
+//! * [`spec`] — ten synthetic workload generators standing in for the
+//!   SPEC CPU2000 integer benchmarks (Tables III/IV, Figs. 11/12/14),
+//!   plus the [`boot`] sequence of Fig. 13. SPEC itself cannot run on the
+//!   mini-ISA, so each generator reproduces the *memory behaviour class*
+//!   of its namesake: working-set sizes straddling the devices' LLC
+//!   capacities, cold-excursion rates, streaming vs pointer-chasing
+//!   access, code footprint, and loop structure (the knobs the paper's
+//!   cross-device analysis turns on).
+//!
+//! All workloads are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array_walk;
+pub mod boot;
+pub mod iot;
+pub mod microbench;
+pub mod spec;
+
+/// Marker ID: start of the microbenchmark's miss-generating section.
+pub const MARKER_MISS_START: u32 = 10;
+/// Marker ID: end of the microbenchmark's miss-generating section.
+pub const MARKER_MISS_END: u32 = 11;
+/// Marker IDs for workload phases/regions are `MARKER_REGION_BASE + index`.
+pub const MARKER_REGION_BASE: u32 = 100;

@@ -1,0 +1,69 @@
+//! Scenario: live monitoring with the streaming detector.
+//!
+//! A deployed EMPROF rig watches a device indefinitely; captures never
+//! fit in memory and stalls must be reported as they happen. This example
+//! feeds a boot capture through [`StreamingEmprof`] in small chunks (as a
+//! digitizer would deliver them), reacts to events as they finalize, and
+//! shows that the streaming result matches the offline batch analysis
+//! exactly — with memory bounded by the normalization window.
+//!
+//! Run with: `cargo run --release --example live_monitor`
+
+use emprof::core::{Emprof, EmprofConfig, StreamingEmprof};
+use emprof::emsim::{Receiver, ReceiverConfig};
+use emprof::sim::{DeviceModel, Simulator};
+use emprof::workloads::boot::boot_sequence;
+
+fn main() {
+    let device = DeviceModel::olimex();
+    let result = Simulator::new(device.clone()).run(boot_sequence(3, 0.25).source());
+    let capture = Receiver::new(ReceiverConfig::paper_setup(40e6)).capture(&result.power, 3);
+    let magnitude = capture.magnitude();
+    let config = EmprofConfig::for_rates(capture.sample_rate_hz(), device.clock_hz);
+
+    // Stream the capture in 4096-sample chunks (≈100 µs of signal each).
+    let mut streaming = StreamingEmprof::new(config, capture.sample_rate_hz(), device.clock_hz);
+    let mut live_events = 0usize;
+    let mut refresh_alerts = 0usize;
+    let mut peak_buffer = 0usize;
+    for chunk in magnitude.chunks(4096) {
+        streaming.extend(chunk.iter().copied());
+        peak_buffer = peak_buffer.max(streaming.buffered_samples());
+        for event in streaming.drain_events() {
+            live_events += 1;
+            if event.kind == emprof::core::StallKind::RefreshCollision {
+                refresh_alerts += 1;
+            }
+        }
+    }
+    let streamed = streaming.finish();
+
+    // The offline batch analysis of the same capture.
+    let batch = Emprof::new(config).profile_capture(
+        &magnitude,
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    );
+
+    println!(
+        "streamed {} samples in 4096-sample chunks; peak buffer {} samples \
+         (window = {})",
+        magnitude.len(),
+        peak_buffer,
+        config.norm_window_samples
+    );
+    println!(
+        "events delivered live: {live_events} (of {} total; {refresh_alerts} refresh alerts)",
+        streamed.events().len()
+    );
+    println!(
+        "streaming vs batch: {} vs {} events — {}",
+        streamed.events().len(),
+        batch.events().len(),
+        if streamed.events() == batch.events() {
+            "identical"
+        } else {
+            "DIFFERENT (bug!)"
+        }
+    );
+}

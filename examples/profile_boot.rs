@@ -1,0 +1,60 @@
+//! Scenario: profile a device's boot sequence — the paper's flagship
+//! "impossible for any other profiler" use case (Section VI-C).
+//!
+//! No performance counters are initialized, no OS is up, no storage for
+//! profiling data exists during boot; EMPROF needs none of them. This
+//! example boots the modeled IoT device twice, profiles both runs from
+//! the EM capture alone, and prints the per-phase miss-rate profile a
+//! developer would use to decide where boot-time memory-locality work
+//! pays off.
+//!
+//! Run with: `cargo run --release --example profile_boot`
+
+use emprof::core::{Emprof, EmprofConfig, Profile};
+use emprof::emsim::{Receiver, ReceiverConfig};
+use emprof::sim::{DeviceModel, Simulator};
+use emprof::workloads::boot::boot_sequence;
+
+fn profile_one_boot(seed: u64) -> (Profile, u64) {
+    let device = DeviceModel::olimex();
+    let result = Simulator::new(device.clone()).run(boot_sequence(seed, 0.5).source());
+    let capture = Receiver::new(ReceiverConfig::paper_setup(40e6)).capture(&result.power, seed);
+    let emprof = Emprof::new(EmprofConfig::for_rates(
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    ));
+    let profile = emprof.profile_capture(
+        &capture.magnitude(),
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    );
+    (profile, result.stats.cycles)
+}
+
+fn main() {
+    for seed in [1u64, 2] {
+        let (profile, cycles) = profile_one_boot(seed);
+        let ms = cycles as f64 / 1.008e9 * 1e3;
+        println!(
+            "boot #{seed}: {:.2} ms, {} LLC-miss stalls, {} refresh collisions, \
+             {:.1}% of boot time stalled on memory",
+            ms,
+            profile.miss_count(),
+            profile.refresh_count(),
+            profile.stall_fraction() * 100.0
+        );
+        // Miss rate per 10 slices of the boot — where does locality work pay?
+        let slices = 10;
+        let per = profile.total_samples() / slices;
+        print!("  miss rate by boot decile (per Mcycle): ");
+        for s in 0..slices {
+            let p = profile.slice_samples(s * per, (s + 1) * per);
+            print!("{:.0} ", p.miss_rate_per_mcycle());
+        }
+        println!();
+    }
+    println!();
+    println!("the early deciles (loader copy, decompression, device init) and");
+    println!("the filesystem scan dominate: those are the boot phases where");
+    println!("memory-locality optimization would shorten time-to-ready.");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: profile an engineered workload end to end.
+//!
+//! Builds the paper's TM/CM microbenchmark, runs it on the Olimex device
+//! model, synthesizes the EM capture at the paper's 40 MHz setup, runs
+//! EMPROF on the magnitude signal, and checks the detected miss count
+//! against the known ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use emprof::core::{accuracy::AccuracyReport, Emprof, EmprofConfig};
+use emprof::emsim::{Receiver, ReceiverConfig};
+use emprof::sim::{DeviceModel, Interpreter, Simulator};
+use emprof::workloads::microbench::MicrobenchConfig;
+use emprof::workloads::{MARKER_MISS_END, MARKER_MISS_START};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload with known memory behaviour: 256 LLC misses, one per
+    //    group, bracketed by identifier loops.
+    let config = MicrobenchConfig::new(256, 1);
+    let program = config.build()?;
+
+    // 2. Simulate it cycle-accurately on the Olimex A13 model.
+    let device = DeviceModel::olimex();
+    let result = Simulator::new(device.clone()).run(Interpreter::new(&program));
+    println!(
+        "simulated {} cycles ({} instructions, IPC {:.2})",
+        result.stats.cycles,
+        result.stats.instructions,
+        result.stats.ipc()
+    );
+
+    // 3. Synthesize the EM capture the paper's probe + SDR rig would see.
+    let receiver = Receiver::new(ReceiverConfig::paper_setup(40e6));
+    let capture = receiver.capture(&result.power, 7);
+    println!(
+        "captured {} IQ samples at {:.0} MS/s",
+        capture.len(),
+        capture.sample_rate_hz() / 1e6
+    );
+
+    // 4. EMPROF: normalize, detect dips, report stalls.
+    let emprof = Emprof::new(EmprofConfig::for_rates(
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    ));
+    let profile = emprof.profile_capture(
+        &capture.magnitude(),
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    );
+
+    // 5. Score inside the marker-bracketed measured section.
+    let window = result
+        .ground_truth
+        .marker_window(MARKER_MISS_START, MARKER_MISS_END)
+        .expect("the microbenchmark brackets its miss section with markers");
+    let section = profile.slice_cycles(window.0, window.1);
+    let report = AccuracyReport::against_known_count(&section, config.total_misses as usize);
+    println!(
+        "EMPROF reported {} misses (expected {}): {:.2}% accuracy",
+        report.reported_misses,
+        report.actual_misses,
+        report.miss_accuracy * 100.0
+    );
+    println!(
+        "mean measured stall latency: {:.0} cycles (~{:.0} ns)",
+        section.mean_latency_cycles(),
+        section.mean_latency_cycles() / device.clock_hz * 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the EMPROF paper (see DESIGN.md's
+# experiment index). Results land on stdout; EXPERIMENTS.md records the
+# outputs of a reference run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINARIES=(
+  table01_devices
+  table02_device_accuracy
+  table03_sim_accuracy
+  table04_profiles
+  table05_attribution
+  fig01_stall_signal
+  fig02_sim_stall_shapes
+  fig03_hidden_misses
+  fig04_em_stall_shapes
+  fig05_refresh
+  fig07_microbench_signal
+  fig08_sim_vs_device
+  fig10_dual_probe
+  fig11_latency_histogram
+  fig12_bandwidth_sweep
+  fig13_boot_profile
+  fig14_spectrogram
+  stat_perf_baseline
+  ablate_threshold
+  ablate_norm_window
+  ablate_mlp
+  ablate_replacement
+  ablate_branch_predictor
+)
+for bin in "${BINARIES[@]}"; do
+  echo
+  echo "================================================================"
+  echo "== $bin"
+  echo "================================================================"
+  cargo run --release -q -p emprof-bench --bin "$bin"
+done

@@ -1,0 +1,62 @@
+//! # EMPROF — memory profiling via EM emanations
+//!
+//! A from-scratch reproduction of *EMPROF: Memory Profiling via
+//! EM-Emanation in IoT and Hand-Held Devices* (Dey, Nazari, Zajic,
+//! Prvulovic — MICRO 2018), packaged as a facade over the workspace
+//! crates:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `emprof-core` | the EMPROF detector itself |
+//! | [`sim`] | `emprof-sim` | cycle-accurate CPU/cache simulator (the paper's enhanced SESC) |
+//! | [`dram`] | `emprof-dram` | DRAM timing + refresh model |
+//! | [`signal`] | `emprof-signal` | DSP substrate |
+//! | [`emsim`] | `emprof-emsim` | EM capture-rig synthesis |
+//! | [`workloads`] | `emprof-workloads` | microbenchmark, SPEC-like and boot workloads |
+//! | [`attrib`] | `emprof-attrib` | spectral-profiling code attribution |
+//! | [`baseline`] | `emprof-baseline` | perf-style counter-sampling baseline |
+//!
+//! # Quickstart
+//!
+//! Profile an engineered microbenchmark end to end — simulate it on the
+//! Olimex device model, synthesize the EM capture, run EMPROF, and check
+//! the detected miss count against the known ground truth:
+//!
+//! ```
+//! use emprof::emsim::{Receiver, ReceiverConfig};
+//! use emprof::core::{Emprof, EmprofConfig};
+//! use emprof::sim::{DeviceModel, Interpreter, Simulator};
+//! use emprof::workloads::microbench::MicrobenchConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let device = DeviceModel::olimex();
+//! let program = MicrobenchConfig::new(64, 4).build()?;
+//! let result = Simulator::new(device.clone()).run(Interpreter::new(&program));
+//!
+//! let rx = Receiver::new(ReceiverConfig::paper_setup(40e6));
+//! let capture = rx.capture(&result.power, 7);
+//!
+//! let emprof = Emprof::new(EmprofConfig::for_rates(
+//!     capture.sample_rate_hz(),
+//!     device.clock_hz,
+//! ));
+//! let profile = emprof.profile_capture(
+//!     &capture.magnitude(),
+//!     capture.sample_rate_hz(),
+//!     device.clock_hz,
+//! );
+//! assert!(profile.miss_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use emprof_attrib as attrib;
+pub use emprof_baseline as baseline;
+pub use emprof_core as core;
+pub use emprof_dram as dram;
+pub use emprof_emsim as emsim;
+pub use emprof_signal as signal;
+pub use emprof_sim as sim;
+pub use emprof_workloads as workloads;

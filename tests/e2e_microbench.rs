@@ -1,0 +1,101 @@
+//! End-to-end integration: microbenchmark → simulator → EM synthesis →
+//! EMPROF → accuracy, the full Table II pipeline on one configuration.
+
+use emprof::core::{accuracy::AccuracyReport, Emprof, EmprofConfig};
+use emprof::emsim::{Receiver, ReceiverConfig};
+use emprof::sim::{DeviceModel, Interpreter, Simulator};
+use emprof::workloads::microbench::MicrobenchConfig;
+use emprof::workloads::{MARKER_MISS_END, MARKER_MISS_START};
+
+/// Full physical-path pipeline: the EM capture of a TM=256/CM=1
+/// microbenchmark on the Olimex model must yield ≥95 % miss-count
+/// accuracy inside the marker window (the paper reports >99 % on the
+/// real board; the threshold here leaves margin for the synthetic
+/// noise).
+#[test]
+fn microbench_em_path_accuracy() {
+    let device = DeviceModel::olimex();
+    let config = MicrobenchConfig::new(256, 1);
+    let program = config.build().expect("valid microbenchmark");
+    let result = Simulator::new(device.clone())
+        .with_max_cycles(300_000_000)
+        .run(Interpreter::new(&program));
+
+    // Ground truth: misses inside the marker-bracketed section.
+    let window = result
+        .ground_truth
+        .marker_window(MARKER_MISS_START, MARKER_MISS_END)
+        .expect("markers recorded");
+    let actual: usize = result
+        .ground_truth
+        .misses_in_window(window)
+        .filter(|m| !m.is_instr)
+        .count();
+    assert!(
+        (actual as i64 - 256).abs() <= 8,
+        "workload generated {actual} misses, expected ~256"
+    );
+
+    // Capture and profile.
+    let rx = Receiver::new(ReceiverConfig::paper_setup(40e6));
+    let capture = rx.capture(&result.power, 42);
+    let emprof = Emprof::new(EmprofConfig::for_rates(
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    ));
+    let profile = emprof.profile_capture(
+        &capture.magnitude(),
+        capture.sample_rate_hz(),
+        device.clock_hz,
+    );
+    let windowed = profile.slice_cycles(window.0, window.1);
+
+    let report = AccuracyReport::against_known_count(&windowed, actual);
+    assert!(
+        report.miss_accuracy > 0.95,
+        "EM-path miss accuracy {:.4} (reported {}, actual {})",
+        report.miss_accuracy,
+        report.reported_misses,
+        report.actual_misses
+    );
+}
+
+/// Simulator-path pipeline (Table III): EMPROF on the 20-cycle-averaged
+/// power trace, scored against full ground truth.
+#[test]
+fn microbench_power_trace_accuracy() {
+    let device = DeviceModel::sesc_like();
+    let config = MicrobenchConfig::new(256, 5);
+    let program = config.build().expect("valid microbenchmark");
+    let result = Simulator::new(device.clone())
+        .with_max_cycles(300_000_000)
+        .run(Interpreter::new(&program));
+
+    let emprof = Emprof::new(EmprofConfig::for_rates(
+        device.clock_hz / 20.0,
+        device.clock_hz,
+    ));
+    let profile = emprof.profile_power_trace(&result.power, 20);
+
+    let window = result
+        .ground_truth
+        .marker_window(MARKER_MISS_START, MARKER_MISS_END)
+        .expect("markers recorded");
+    let windowed = profile.slice_cycles(window.0, window.1);
+    let report =
+        AccuracyReport::against_ground_truth(&windowed, &result.ground_truth, Some(window));
+    assert!(
+        report.miss_accuracy > 0.90,
+        "sim-path miss accuracy {:.4} (reported {}, actual {})",
+        report.miss_accuracy,
+        report.reported_misses,
+        report.actual_misses
+    );
+    assert!(
+        report.stall_accuracy > 0.80,
+        "sim-path stall accuracy {:.4} (reported {:.0}, actual {:.0})",
+        report.stall_accuracy,
+        report.reported_stall_cycles,
+        report.actual_stall_cycles
+    );
+}

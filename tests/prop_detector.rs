@@ -1,0 +1,124 @@
+//! Property-based tests on the EMPROF detector's invariants.
+
+use emprof::core::{Emprof, EmprofConfig, StallKind};
+use proptest::prelude::*;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+
+/// Builds a busy signal with dips at the given (start, width) positions;
+/// positions are sanitized to be disjoint and in range.
+fn signal_with_dips(len: usize, dips: &[(usize, usize)]) -> (Vec<f64>, Vec<(usize, usize)>) {
+    let mut s = vec![5.0; len];
+    let mut placed = Vec::new();
+    let mut cursor = 200usize;
+    for &(gap, width) in dips {
+        let start = cursor + 30 + gap % 400;
+        let width = 6 + width % 60;
+        if start + width + 200 >= len {
+            break;
+        }
+        for v in s.iter_mut().skip(start).take(width) {
+            *v = 0.6;
+        }
+        placed.push((start, width));
+        cursor = start + width;
+    }
+    (s, placed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every planted dip of detectable width is found, no event overlaps
+    /// another, and events are time-ordered.
+    #[test]
+    fn detector_finds_planted_dips(
+        dips in prop::collection::vec((0usize..1000, 0usize..1000), 1..20),
+    ) {
+        let (signal, placed) = signal_with_dips(60_000, &dips);
+        let emprof = Emprof::new(EmprofConfig::for_rates(FS, CLK));
+        let profile = emprof.profile_magnitude(&signal, FS, CLK);
+
+        // Ordering and disjointness.
+        for pair in profile.events().windows(2) {
+            prop_assert!(pair[0].end_sample <= pair[1].start_sample);
+        }
+        // Planted dips that clear both duration criteria must be found
+        // (gaps of >= 30 busy samples cannot merge away).
+        let cps = CLK / FS;
+        let min_samples = (120.0 / cps).max(5.0);
+        let detectable = placed
+            .iter()
+            .filter(|&&(_, w)| (w as f64) >= min_samples + 1.0)
+            .count();
+        prop_assert!(
+            profile.events().len() >= detectable,
+            "found {} events for {} clearly detectable dips",
+            profile.events().len(),
+            detectable
+        );
+        // Every detected event overlaps a planted dip (no phantom events
+        // in a noiseless signal).
+        for e in profile.events() {
+            let hit = placed
+                .iter()
+                .any(|&(s, w)| e.start_sample < s + w + 3 && s < e.end_sample + 3);
+            prop_assert!(hit, "event at {} matches no planted dip", e.start_sample);
+        }
+    }
+
+    /// Measured durations grow monotonically with planted dip width.
+    #[test]
+    fn durations_track_width(widths in prop::collection::vec(6usize..80, 2..8)) {
+        let mut signal = vec![5.0; 4000 * (widths.len() + 1)];
+        let mut sorted = widths.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (i, &w) in sorted.iter().enumerate() {
+            let start = 2000 + i * 4000;
+            for v in signal.iter_mut().skip(start).take(w) {
+                *v = 0.6;
+            }
+        }
+        let emprof = Emprof::new(EmprofConfig::for_rates(FS, CLK));
+        let profile = emprof.profile_magnitude(&signal, FS, CLK);
+        let durations: Vec<f64> = profile.events().iter().map(|e| e.duration_cycles).collect();
+        for pair in durations.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-9, "durations not monotone: {durations:?}");
+        }
+    }
+
+    /// Classification is a pure function of duration: every event at or
+    /// beyond the refresh threshold is RefreshCollision, all others Normal.
+    #[test]
+    fn refresh_classification_is_consistent(
+        dips in prop::collection::vec((0usize..1000, 0usize..1000), 1..12),
+    ) {
+        let (signal, _) = signal_with_dips(60_000, &dips);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let profile = Emprof::new(config).profile_magnitude(&signal, FS, CLK);
+        for e in profile.events() {
+            let expected = if e.duration_cycles >= config.refresh_min_cycles {
+                StallKind::RefreshCollision
+            } else {
+                StallKind::Normal
+            };
+            prop_assert_eq!(e.kind, expected);
+        }
+    }
+
+    /// Profiling is deterministic and scale-invariant in the gain.
+    #[test]
+    fn detection_is_gain_invariant(
+        dips in prop::collection::vec((0usize..1000, 0usize..1000), 1..10),
+        gain in 0.05f64..50.0,
+    ) {
+        let (signal, _) = signal_with_dips(40_000, &dips);
+        let scaled: Vec<f64> = signal.iter().map(|&v| v * gain).collect();
+        let emprof = Emprof::new(EmprofConfig::for_rates(FS, CLK));
+        let a = emprof.profile_magnitude(&signal, FS, CLK);
+        let b = emprof.profile_magnitude(&scaled, FS, CLK);
+        prop_assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the DSP substrate's invariants.
+
+use emprof::signal::stats::{moving_average, moving_max, moving_min, normalize_moving_minmax};
+use emprof::signal::{fft, fir, resample, Complex};
+use proptest::prelude::*;
+
+fn bounded_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The moving minimum never exceeds the sample it is centered on, the
+    /// moving maximum never undercuts it, and both bound the average.
+    #[test]
+    fn moving_extrema_bound_the_signal(
+        signal in bounded_signal(300),
+        window in 1usize..64,
+    ) {
+        let lo = moving_min(&signal, window);
+        let hi = moving_max(&signal, window);
+        let avg = moving_average(&signal, window);
+        for i in 0..signal.len() {
+            prop_assert!(lo[i] <= signal[i]);
+            prop_assert!(hi[i] >= signal[i]);
+            prop_assert!(lo[i] <= avg[i] + 1e-9 && avg[i] <= hi[i] + 1e-9);
+        }
+    }
+
+    /// Normalization always lands in [0, 1] and is invariant under
+    /// positive affine gain (the probe-position property EMPROF relies on).
+    #[test]
+    fn normalization_is_gain_invariant(
+        signal in bounded_signal(300),
+        window in 2usize..128,
+        gain in 0.01f64..100.0,
+    ) {
+        let a = normalize_moving_minmax(&signal, window);
+        prop_assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let scaled: Vec<f64> = signal.iter().map(|&v| v * gain).collect();
+        let b = normalize_moving_minmax(&scaled, window);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6, "gain changed normalization: {x} vs {y}");
+        }
+    }
+
+    /// FFT round trip is the identity (within numerical tolerance).
+    #[test]
+    fn fft_round_trip(
+        re in prop::collection::vec(-1e3f64..1e3, 1..=128),
+    ) {
+        let n = re.len().next_power_of_two();
+        let mut buf: Vec<Complex> = re.iter().map(|&v| Complex::from_re(v)).collect();
+        buf.resize(n, Complex::ZERO);
+        let original = buf.clone();
+        fft::forward(&mut buf);
+        fft::inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((*a - *b).norm() < 1e-6);
+        }
+    }
+
+    /// Parseval: the FFT preserves energy (up to the 1/n convention).
+    #[test]
+    fn fft_preserves_energy(
+        re in prop::collection::vec(-1e3f64..1e3, 1..=256),
+    ) {
+        let n = re.len().next_power_of_two();
+        let mut buf: Vec<Complex> = re.iter().map(|&v| Complex::from_re(v)).collect();
+        buf.resize(n, Complex::ZERO);
+        let time: f64 = buf.iter().map(|c| c.norm_sqr()).sum();
+        fft::forward(&mut buf);
+        let freq: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0));
+    }
+
+    /// FIR lowpass taps always sum to one (unit DC gain), so constant
+    /// signals pass through unchanged.
+    #[test]
+    fn fir_has_unit_dc_gain(
+        taps in 1usize..200,
+        cutoff in 0.01f64..0.49,
+        level in -100.0f64..100.0,
+    ) {
+        let h = fir::lowpass(taps, cutoff);
+        let sum: f64 = h.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let x = vec![level; 300];
+        let y = fir::filter(&x, &h);
+        // Check away from the edges.
+        prop_assert!((y[150] - level).abs() < 1e-6 * level.abs().max(1.0));
+    }
+
+    /// Resampling preserves length proportionally and preserves the mean
+    /// of a constant signal.
+    #[test]
+    fn resample_preserves_constants(
+        level in -10.0f64..10.0,
+        in_rate in 1.0f64..100.0,
+        out_rate in 1.0f64..100.0,
+    ) {
+        let x = vec![level; 2000];
+        let y = resample::resample(&x, in_rate, out_rate);
+        let expected_len = (2000.0 * out_rate / in_rate).floor() as usize;
+        prop_assert!((y.len() as i64 - expected_len as i64).abs() <= 1);
+        if y.len() > 200 {
+            let mid = y[y.len() / 2];
+            prop_assert!((mid - level).abs() < 1e-6 * level.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based equivalence of the streaming and batch detectors.
+//!
+//! The streaming detector must produce *exactly* the batch detector's
+//! events for any signal: same starts, same ends, same classification —
+//! this is what makes live monitoring trustworthy.
+
+use emprof::core::{Emprof, EmprofConfig, StreamingEmprof};
+use proptest::prelude::*;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+
+/// Arbitrary busy/dip signal: alternating busy gaps and dips of random
+/// lengths and depths, with deterministic pseudo-noise.
+fn build_signal(segments: &[(u16, u16, u8)], noise: bool) -> Vec<f64> {
+    let mut s = Vec::new();
+    for (i, &(gap, dip, depth)) in segments.iter().enumerate() {
+        let gap = 3 + gap as usize % 600;
+        let dip = dip as usize % 160;
+        let dip_level = 0.3 + (depth as f64 / 255.0) * 1.2; // 0.3..1.5
+        for k in 0..gap {
+            let n = if noise {
+                (((i * 131 + k) * 2654435761) % 997) as f64 / 3000.0
+            } else {
+                0.0
+            };
+            s.push(5.0 + n);
+        }
+        for k in 0..dip {
+            let n = if noise {
+                (((i * 137 + k) * 2654435761) % 997) as f64 / 5000.0
+            } else {
+                0.0
+            };
+            s.push(dip_level + n);
+        }
+    }
+    // Trailing busy tail so the last dip closes normally... sometimes.
+    if segments.len() % 2 == 0 {
+        s.extend(std::iter::repeat(5.0).take(500));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming equals batch, event for event, on arbitrary signals.
+    #[test]
+    fn streaming_equals_batch(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..40),
+        noise in any::<bool>(),
+    ) {
+        let signal = build_signal(&segments, noise);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let batch = Emprof::new(config).profile_magnitude(&signal, FS, CLK);
+        let mut streaming = StreamingEmprof::new(config, FS, CLK);
+        streaming.extend(signal.iter().copied());
+        let streamed = streaming.finish();
+        prop_assert_eq!(streamed.events(), batch.events());
+        prop_assert_eq!(streamed.total_samples(), batch.total_samples());
+    }
+
+    /// Chunk boundaries never change the result.
+    #[test]
+    fn chunking_is_irrelevant(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..20),
+        chunk in 1usize..5000,
+    ) {
+        let signal = build_signal(&segments, true);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let mut a = StreamingEmprof::new(config, FS, CLK);
+        for c in signal.chunks(chunk) {
+            a.extend(c.iter().copied());
+        }
+        let mut b = StreamingEmprof::new(config, FS, CLK);
+        b.extend(signal.iter().copied());
+        let pa = a.finish();
+        let pb = b.finish();
+        prop_assert_eq!(pa.events(), pb.events());
+    }
+
+    /// Drained events are a prefix of the final event list (no event is
+    /// delivered live that later changes).
+    #[test]
+    fn drained_events_are_final(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..20),
+    ) {
+        let signal = build_signal(&segments, true);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let mut streaming = StreamingEmprof::new(config, FS, CLK);
+        let mut live = Vec::new();
+        for chunk in signal.chunks(777) {
+            streaming.extend(chunk.iter().copied());
+            live.extend(streaming.drain_events());
+        }
+        let profile = streaming.finish();
+        prop_assert!(live.len() <= profile.events().len());
+        prop_assert_eq!(&live[..], &profile.events()[..live.len()]);
+    }
+}
