@@ -103,7 +103,7 @@ mod tests {
             1,
         );
         assert_eq!(run.result.power.len() as u64, run.result.stats.cycles);
-        assert!(run.capture.len() > 0);
+        assert!(!run.capture.is_empty());
         assert_eq!(run.profile.total_samples(), run.capture.len());
     }
 

@@ -3,14 +3,19 @@
 use std::fmt::Write as _;
 
 use emprof_core::report::{self, ProfileSummary};
-use emprof_core::{Emprof, EmprofConfig, Profile};
+use emprof_core::{Emprof, EmprofConfig, Profile, StreamingEmprof};
 use emprof_emsim::{Receiver, ReceiverConfig};
+use emprof_obs as obs;
+use emprof_obs::TelemetrySink;
 use emprof_sim::{DeviceModel, Interpreter, Simulator};
 use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
-use crate::opts::{parse, CliError, Command, ProfileOpts, SimulateOpts, USAGE};
+use crate::opts::{parse, CliError, Command, ObsOpts, ProfileOpts, SimulateOpts, USAGE};
+
+/// How many span occurrences `--trace` retains before counting drops.
+const TRACE_CAPACITY: usize = 65_536;
 
 /// Parses and executes an invocation, returning the text to print.
 ///
@@ -23,9 +28,94 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Devices => Ok(devices()),
         Command::Demo => demo(),
-        Command::Simulate(opts) => simulate(&opts),
-        Command::Profile(opts) => profile_csv(&opts),
+        Command::Simulate(opts) | Command::Stats(opts) => {
+            with_telemetry(&opts.obs, || simulate(&opts))
+        }
+        Command::Profile(opts) => with_telemetry(&opts.obs, || profile_csv(&opts)),
     }
+}
+
+/// Runs `f` with telemetry recording on when any `--metrics`/`--trace`/
+/// `--verbose-stats` output was requested, then writes the requested
+/// outputs. With no telemetry flags this is a plain call to `f`.
+fn with_telemetry<F>(obs_opts: &ObsOpts, f: F) -> Result<String, CliError>
+where
+    F: FnOnce() -> Result<String, CliError>,
+{
+    if !obs_opts.active() {
+        return f();
+    }
+    obs::reset();
+    obs::enable();
+    if obs_opts.trace_out.is_some() {
+        obs::span::start_tracing(TRACE_CAPACITY);
+    }
+    let result = f();
+    let snapshot = obs::snapshot();
+    let (trace_events, trace_dropped) = if obs_opts.trace_out.is_some() {
+        obs::span::stop_tracing()
+    } else {
+        (Vec::new(), 0)
+    };
+    obs::disable();
+    let mut out = result?;
+    let io_err = |path: &str, e: std::io::Error| CliError::Runtime(format!("{path}: {e}"));
+    if let Some(path) = &obs_opts.metrics_out {
+        let mut sink = obs::JsonLinesSink::new(Vec::new());
+        sink.write_snapshot(&snapshot).map_err(|e| io_err(path, e))?;
+        std::fs::write(path, sink.into_inner()).map_err(|e| io_err(path, e))?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    if let Some(path) = &obs_opts.trace_out {
+        let mut buf = Vec::new();
+        obs::sink::write_trace_jsonl(&mut buf, &trace_events, trace_dropped)
+            .map_err(|e| io_err(path, e))?;
+        std::fs::write(path, buf).map_err(|e| io_err(path, e))?;
+        let _ = writeln!(
+            out,
+            "trace written to {path} ({} events, {trace_dropped} dropped)",
+            trace_events.len()
+        );
+    }
+    if obs_opts.verbose_stats {
+        let mut sink = obs::PrettyTableSink::new(Vec::new());
+        sink.write_snapshot(&snapshot)
+            .map_err(|e| io_err("<stdout>", e))?;
+        let table = String::from_utf8(sink.into_inner())
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let _ = writeln!(out, "\ntelemetry:\n{table}");
+    }
+    Ok(out)
+}
+
+/// With telemetry on, re-runs the magnitude through the streaming
+/// detector: this records the `stream.*` throughput gauges and doubles as
+/// a live equivalence check against the batch profile.
+fn streaming_cross_check(
+    out: &mut String,
+    magnitude: &[f64],
+    rate: f64,
+    clock_hz: f64,
+    batch: &Profile,
+) {
+    if !obs::is_enabled() {
+        return;
+    }
+    let mut s = StreamingEmprof::new(EmprofConfig::for_rates(rate, clock_hz), rate, clock_hz);
+    s.extend(magnitude.iter().copied());
+    let stats = s.stats();
+    let streamed = s.finish();
+    let agreement = if streamed.events() == batch.events() {
+        "matches batch"
+    } else {
+        "MISMATCH vs batch"
+    };
+    let _ = writeln!(
+        out,
+        "streaming cross-check: {} events ({agreement}), {:.1} MS/s ingest",
+        streamed.events().len(),
+        stats.samples_per_sec.unwrap_or(0.0) / 1e6
+    );
 }
 
 fn devices() -> String {
@@ -160,6 +250,7 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
         result.ground_truth.llc_miss_count(),
         result.ground_truth.llc_stall_cycles()
     );
+    streaming_cross_check(&mut out, &magnitude, rate, device.clock_hz, &profile);
     if let Some(path) = &opts.signal_out {
         write_file(path, &report::signal_to_csv(&magnitude))?;
         let _ = writeln!(out, "signal written to {path}");
@@ -187,6 +278,7 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
         signal.len() as f64 / opts.sample_rate_hz * 1e3
     );
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    streaming_cross_check(&mut out, &signal, opts.sample_rate_hz, opts.clock_hz, &profile);
     if let Some(path) = &opts.events_out {
         write_file(path, &report::events_to_csv(&profile))?;
         let _ = writeln!(out, "events written to {path}");
@@ -247,6 +339,10 @@ mod tests {
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
     }
+
+    /// Telemetry state is process-global; tests that toggle it must not
+    /// overlap.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn devices_lists_all_models() {
@@ -328,6 +424,76 @@ mod tests {
         let events =
             report::events_from_csv(&std::fs::read_to_string(&ev).unwrap()).unwrap();
         assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn metrics_jsonl_covers_the_whole_pipeline() {
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("emprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        let trace = dir.join("trace.jsonl");
+        let out = run(&argv(&format!(
+            "simulate microbench:64:4 --seed 5 --metrics {} --trace {}",
+            metrics.display(),
+            trace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        assert!(out.contains("streaming cross-check"), "{out}");
+        assert!(out.contains("matches batch"), "{out}");
+
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        // Detect-stage wall-time spans.
+        for span in ["detect.normalize", "detect.threshold", "detect.merge"] {
+            assert!(
+                body.contains(&format!("{{\"type\":\"span\",\"name\":\"{span}\"")),
+                "missing span {span} in:\n{body}"
+            );
+        }
+        // Per-level cache hit/miss counters from the simulator.
+        for ctr in [
+            "sim.cache.l1d.hit",
+            "sim.cache.l1d.miss",
+            "sim.cache.l1i.hit",
+            "sim.cache.l1i.miss",
+            "sim.cache.llc.hit",
+            "sim.cache.llc.miss",
+        ] {
+            assert!(
+                body.contains(&format!("{{\"type\":\"counter\",\"name\":\"{ctr}\"")),
+                "missing counter {ctr} in:\n{body}"
+            );
+        }
+        // Streaming throughput gauge.
+        assert!(
+            body.contains("{\"type\":\"gauge\",\"name\":\"stream.samples_per_sec\""),
+            "missing throughput gauge in:\n{body}"
+        );
+        // Every line is a JSON object.
+        for line in body.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+
+        let trace_body = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_body.contains("{\"type\":\"trace\",\"name\":\"sim.run\""));
+    }
+
+    #[test]
+    fn stats_subcommand_prints_telemetry_table() {
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out = run(&argv("stats microbench:64:4 --seed 5")).unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("spans (wall time per stage)"), "{out}");
+        assert!(out.contains("detect.normalize"), "{out}");
+        assert!(out.contains("sim.cache.llc.miss"), "{out}");
+    }
+
+    #[test]
+    fn telemetry_off_leaves_recording_disabled() {
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = run(&argv("simulate microbench:64:4 --seed 5")).unwrap();
+        assert!(!emprof_obs::is_enabled());
     }
 
     #[test]

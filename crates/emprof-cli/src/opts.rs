@@ -11,10 +11,45 @@ pub enum Command {
     Simulate(SimulateOpts),
     /// Profile an existing magnitude-CSV capture.
     Profile(ProfileOpts),
+    /// Run a workload pipeline and report its telemetry.
+    Stats(SimulateOpts),
     /// Run the end-to-end demonstration.
     Demo,
     /// Print usage.
     Help,
+}
+
+/// Telemetry output options shared by the pipeline-running commands.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsOpts {
+    /// Write a metrics snapshot as JSON lines to this path.
+    pub metrics_out: Option<String>,
+    /// Write individual span occurrences as JSON lines to this path.
+    pub trace_out: Option<String>,
+    /// Append a human-readable telemetry table to the report.
+    pub verbose_stats: bool,
+}
+
+impl ObsOpts {
+    /// Whether any telemetry output was requested.
+    pub fn active(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.verbose_stats
+    }
+
+    /// Consumes `arg` if it is a telemetry flag; returns whether it was.
+    fn take_flag<'a, I: Iterator<Item = &'a String>>(
+        &mut self,
+        arg: &str,
+        it: &mut std::iter::Peekable<I>,
+    ) -> Result<bool, CliError> {
+        match arg {
+            "--metrics" => self.metrics_out = Some(take_value(it, "--metrics")?),
+            "--trace" => self.trace_out = Some(take_value(it, "--trace")?),
+            "--verbose-stats" => self.verbose_stats = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
 }
 
 /// Options of `emprof simulate`.
@@ -34,6 +69,8 @@ pub struct SimulateOpts {
     pub signal_out: Option<String>,
     /// Write the detected events to this CSV path.
     pub events_out: Option<String>,
+    /// Telemetry outputs.
+    pub obs: ObsOpts,
 }
 
 impl Default for SimulateOpts {
@@ -46,6 +83,7 @@ impl Default for SimulateOpts {
             seed: 1,
             signal_out: None,
             events_out: None,
+            obs: ObsOpts::default(),
         }
     }
 }
@@ -61,6 +99,8 @@ pub struct ProfileOpts {
     pub clock_hz: f64,
     /// Write the detected events to this CSV path.
     pub events_out: Option<String>,
+    /// Telemetry outputs.
+    pub obs: ObsOpts,
 }
 
 /// Errors produced while parsing or executing a command.
@@ -98,44 +138,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "devices" => expect_end(it).map(|()| Command::Devices),
         "demo" => expect_end(it).map(|()| Command::Demo),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "simulate" => {
-            let mut opts = SimulateOpts::default();
-            let mut positional = Vec::new();
-            let mut it = it.peekable();
-            while let Some(arg) = it.next() {
-                match arg.as_str() {
-                    "--device" => opts.device = take_value(&mut it, "--device")?,
-                    "--bandwidth" => {
-                        opts.bandwidth_hz = take_parsed(&mut it, "--bandwidth")?
-                    }
-                    "--scale" => opts.scale = take_parsed(&mut it, "--scale")?,
-                    "--seed" => opts.seed = take_parsed(&mut it, "--seed")?,
-                    "--signal-out" => {
-                        opts.signal_out = Some(take_value(&mut it, "--signal-out")?)
-                    }
-                    "--events-out" => {
-                        opts.events_out = Some(take_value(&mut it, "--events-out")?)
-                    }
-                    flag if flag.starts_with("--") => {
-                        return Err(CliError::Usage(format!("unknown flag {flag}")))
-                    }
-                    _ => positional.push(arg.clone()),
-                }
-            }
-            match positional.as_slice() {
-                [workload] => {
-                    opts.workload = workload.clone();
-                    Ok(Command::Simulate(opts))
-                }
-                [] => Err(CliError::Usage("simulate requires a workload".into())),
-                _ => Err(CliError::Usage("simulate takes one workload".into())),
-            }
-        }
+        "simulate" => parse_simulate(it, "simulate").map(Command::Simulate),
+        "stats" => parse_simulate(it, "stats").map(|mut opts| {
+            // The whole point of `stats` is the telemetry table.
+            opts.obs.verbose_stats = true;
+            Command::Stats(opts)
+        }),
         "profile" => {
             let mut positional = Vec::new();
             let mut rate = None;
             let mut clock = None;
             let mut events_out = None;
+            let mut obs = ObsOpts::default();
             let mut it = it.peekable();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -145,7 +159,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         events_out = Some(take_value(&mut it, "--events-out")?)
                     }
                     flag if flag.starts_with("--") => {
-                        return Err(CliError::Usage(format!("unknown flag {flag}")))
+                        if !obs.take_flag(flag, &mut it)? {
+                            return Err(CliError::Usage(format!("unknown flag {flag}")));
+                        }
                     }
                     _ => positional.push(arg.clone()),
                 }
@@ -165,9 +181,44 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 clock_hz: clock
                     .ok_or_else(|| CliError::Usage("profile requires --clock".into()))?,
                 events_out,
+                obs,
             }))
         }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
+    }
+}
+
+/// Parses the shared `simulate`/`stats` argument form.
+fn parse_simulate<'a, I: Iterator<Item = &'a String>>(
+    it: I,
+    cmd: &str,
+) -> Result<SimulateOpts, CliError> {
+    let mut opts = SimulateOpts::default();
+    let mut positional = Vec::new();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--device" => opts.device = take_value(&mut it, "--device")?,
+            "--bandwidth" => opts.bandwidth_hz = take_parsed(&mut it, "--bandwidth")?,
+            "--scale" => opts.scale = take_parsed(&mut it, "--scale")?,
+            "--seed" => opts.seed = take_parsed(&mut it, "--seed")?,
+            "--signal-out" => opts.signal_out = Some(take_value(&mut it, "--signal-out")?),
+            "--events-out" => opts.events_out = Some(take_value(&mut it, "--events-out")?),
+            flag if flag.starts_with("--") => {
+                if !opts.obs.take_flag(flag, &mut it)? {
+                    return Err(CliError::Usage(format!("unknown flag {flag}")));
+                }
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [workload] => {
+            opts.workload = workload.clone();
+            Ok(opts)
+        }
+        [] => Err(CliError::Usage(format!("{cmd} requires a workload"))),
+        _ => Err(CliError::Usage(format!("{cmd} takes one workload"))),
     }
 }
 
@@ -206,17 +257,28 @@ USAGE:
 
   emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
                   [--seed N] [--signal-out FILE] [--events-out FILE]
+                  [--metrics FILE] [--trace FILE] [--verbose-stats]
       Simulate a workload on a device model, synthesize its EM capture,
       and profile it with EMPROF. Workloads: microbench:TM:CM, ammp,
       bzip2, crafty, equake, gzip, mcf, parser, twolf, vortex, vpr,
       boot, sensor-filter, block-transfer, table-crypto.
 
   emprof profile <signal.csv> --rate HZ --clock HZ [--events-out FILE]
+                 [--metrics FILE] [--trace FILE] [--verbose-stats]
       Run the EMPROF detector on an externally captured magnitude signal
       (one-column CSV with a `magnitude` header).
 
+  emprof stats <workload> [same flags as simulate]
+      Run the simulate pipeline with telemetry on and print a report:
+      per-stage wall time, cache hit/miss counters, streaming throughput.
+
   emprof demo
       End-to-end demonstration against known ground truth.
+
+TELEMETRY (simulate / profile / stats):
+  --metrics FILE   write a metrics snapshot as JSON lines
+  --trace FILE     write individual span occurrences as JSON lines
+  --verbose-stats  append the human-readable telemetry table
 ";
 
 #[cfg(test)]
@@ -278,6 +340,44 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        match parse(&argv(
+            "simulate mcf --metrics m.jsonl --trace t.jsonl --verbose-stats",
+        ))
+        .unwrap()
+        {
+            Command::Simulate(o) => {
+                assert_eq!(o.obs.metrics_out.as_deref(), Some("m.jsonl"));
+                assert_eq!(o.obs.trace_out.as_deref(), Some("t.jsonl"));
+                assert!(o.obs.verbose_stats);
+                assert!(o.obs.active());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("profile cap.csv --rate 40e6 --clock 1e9 --metrics m.jsonl"))
+            .unwrap()
+        {
+            Command::Profile(o) => {
+                assert_eq!(o.obs.metrics_out.as_deref(), Some("m.jsonl"));
+                assert!(!o.obs.verbose_stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_implies_verbose_stats() {
+        match parse(&argv("stats microbench:64:4 --seed 2")).unwrap() {
+            Command::Stats(o) => {
+                assert_eq!(o.workload, "microbench:64:4");
+                assert!(o.obs.verbose_stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse(&argv("stats")), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl EmprofConfig {
         if self.min_duration_samples == 0 {
             return Err("minimum duration in samples must be nonzero".into());
         }
-        if !(self.refresh_min_cycles > self.min_duration_cycles) {
+        if self.refresh_min_cycles.partial_cmp(&self.min_duration_cycles)
+            != Some(std::cmp::Ordering::Greater)
+        {
             return Err(format!(
                 "refresh threshold ({}) must exceed the minimum duration ({})",
                 self.refresh_min_cycles, self.min_duration_cycles

@@ -1,5 +1,6 @@
 //! The EMPROF detector: normalization and dip extraction.
 
+use emprof_obs as obs;
 use emprof_signal::stats;
 use emprof_sim::PowerTrace;
 
@@ -46,8 +47,12 @@ impl Emprof {
         sample_rate_hz: f64,
         clock_hz: f64,
     ) -> Profile {
+        let _profile_span = obs::span!("detect.profile");
         let cps = clock_hz / sample_rate_hz;
-        let norm = stats::normalize_moving_minmax(magnitude, self.config.norm_window_samples);
+        let norm = {
+            let _s = obs::span!("detect.normalize");
+            stats::normalize_moving_minmax(magnitude, self.config.norm_window_samples)
+        };
         let dips = self.detect_dips(&norm);
         let min_samples =
             (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
@@ -68,6 +73,8 @@ impl Emprof {
                 }
             })
             .collect();
+        obs::counter_add!("detect.samples", magnitude.len() as u64);
+        record_event_metrics(&events);
         Profile::new(events, magnitude.len(), sample_rate_hz, clock_hz)
     }
 
@@ -98,6 +105,20 @@ impl Emprof {
     /// separated by at most `merge_gap_samples`, and widens each run
     /// outward to the `edge_level` crossings.
     fn detect_dips(&self, norm: &[f64]) -> Vec<(usize, usize)> {
+        let raw = {
+            let _s = obs::span!("detect.threshold");
+            self.threshold_runs(norm)
+        };
+        let merged = {
+            let _s = obs::span!("detect.merge");
+            self.merge_runs(raw)
+        };
+        let _s = obs::span!("detect.refine");
+        self.refine_edges(norm, merged)
+    }
+
+    /// Below-threshold runs of the normalized signal, as `(start, end)`.
+    fn threshold_runs(&self, norm: &[f64]) -> Vec<(usize, usize)> {
         let th = self.config.threshold;
         let mut raw: Vec<(usize, usize)> = Vec::new();
         let mut start: Option<usize> = None;
@@ -113,7 +134,11 @@ impl Emprof {
         if let Some(s) = start {
             raw.push((s, norm.len()));
         }
-        // Merge nearby runs.
+        raw
+    }
+
+    /// Merges runs separated by at most `merge_gap_samples`.
+    fn merge_runs(&self, raw: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
         let mut merged: Vec<(usize, usize)> = Vec::with_capacity(raw.len());
         for run in raw {
             match merged.last_mut() {
@@ -123,8 +148,12 @@ impl Emprof {
                 _ => merged.push(run),
             }
         }
-        // Refine edges outward to the edge_level crossing, without letting
-        // adjacent events overlap.
+        merged
+    }
+
+    /// Widens each run outward to the `edge_level` crossings, without
+    /// letting adjacent events overlap, then re-merges any that now abut.
+    fn refine_edges(&self, norm: &[f64], merged: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
         let edge = self.config.edge_level;
         let mut refined: Vec<(usize, usize)> = Vec::with_capacity(merged.len());
         for (idx, &(mut s, mut e)) in merged.iter().enumerate() {
@@ -138,7 +167,6 @@ impl Emprof {
             }
             refined.push((s, e));
         }
-        // Refinement can make neighbours touch; merge any that now abut.
         let mut out: Vec<(usize, usize)> = Vec::with_capacity(refined.len());
         for run in refined {
             match out.last_mut() {
@@ -147,6 +175,27 @@ impl Emprof {
             }
         }
         out
+    }
+}
+
+/// Flushes per-event telemetry shared by the batch and streaming paths:
+/// `detect.events` / `detect.refresh_events` counters and the
+/// `detect.event_width_samples` width histogram.
+pub(crate) fn record_event_metrics(events: &[StallEvent]) {
+    if !obs::is_enabled() {
+        return;
+    }
+    obs::counter_add!("detect.events", events.len() as u64);
+    let refresh = events
+        .iter()
+        .filter(|e| e.kind == StallKind::RefreshCollision)
+        .count();
+    obs::counter_add!("detect.refresh_events", refresh as u64);
+    for e in events {
+        obs::histogram_record!(
+            "detect.event_width_samples",
+            (e.end_sample - e.start_sample) as u64
+        );
     }
 }
 

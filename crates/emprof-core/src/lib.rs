@@ -56,4 +56,4 @@ pub use config::EmprofConfig;
 pub use detect::Emprof;
 pub use histogram::Histogram;
 pub use profile::{Profile, StallEvent, StallKind};
-pub use streaming::StreamingEmprof;
+pub use streaming::{StreamingEmprof, StreamingStats};

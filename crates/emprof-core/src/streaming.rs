@@ -17,9 +17,32 @@
 //! equivalence tests.)
 
 use std::collections::VecDeque;
+use std::time::Instant;
+
+use emprof_obs as obs;
 
 use crate::config::EmprofConfig;
 use crate::profile::{Profile, StallEvent, StallKind};
+
+/// How many pushed samples accumulate between telemetry flushes. Pushing
+/// is the hot path, so the `detect.samples` counter and the streaming
+/// gauges are updated in batches rather than per sample.
+const OBS_FLUSH_INTERVAL: usize = 65_536;
+
+/// A point-in-time view of a [`StreamingEmprof`]'s progress, from
+/// [`StreamingEmprof::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingStats {
+    /// Total magnitude samples pushed so far.
+    pub samples_pushed: usize,
+    /// Stall events finalized so far (drained or not).
+    pub events_emitted: usize,
+    /// Current buffered-memory footprint in samples.
+    pub buffered_samples: usize,
+    /// Observed ingest throughput in samples per second of wall time;
+    /// `None` before the first sample arrives.
+    pub samples_per_sec: Option<f64>,
+}
 
 /// Incremental EMPROF detector with bounded memory.
 ///
@@ -70,8 +93,19 @@ pub struct StreamingEmprof {
     last_high: usize,
     /// Finished events ready for the caller.
     events: Vec<StallEvent>,
+    /// The most recent refined run as `(start, end, represented)`,
+    /// *before* the duration filter. Batch applies the filter after its
+    /// final abut-merge pass, so a run too short to be an event on its own
+    /// can still extend (or seed) one when a later run abuts it;
+    /// `represented` records whether the run currently has an entry in
+    /// `events`.
+    last_run: Option<(usize, usize, bool)>,
     /// Events already drained via [`StreamingEmprof::drain_events`].
     drained: usize,
+    /// Wall-clock instant of the first push, for throughput reporting.
+    started_at: Option<Instant>,
+    /// Samples pushed since the last telemetry flush.
+    unflushed: usize,
 }
 
 impl StreamingEmprof {
@@ -105,7 +139,10 @@ impl StreamingEmprof {
             pending: VecDeque::new(),
             last_high: 0,
             events: Vec::new(),
+            last_run: None,
             drained: 0,
+            started_at: None,
+            unflushed: 0,
         }
     }
 
@@ -116,6 +153,13 @@ impl StreamingEmprof {
 
     /// Pushes one magnitude sample.
     pub fn push(&mut self, value: f64) {
+        if self.started_at.is_none() {
+            self.started_at = Some(Instant::now());
+        }
+        self.unflushed += 1;
+        if self.unflushed >= OBS_FLUSH_INTERVAL {
+            self.flush_obs();
+        }
         let idx = self.pushed;
         self.pushed += 1;
         self.raw.push_back(value);
@@ -235,12 +279,14 @@ impl StreamingEmprof {
                     break;
                 }
             }
-            // Edge refinement within the retained normalized history.
+            // Edge refinement within the retained normalized history. The
+            // left bound is the previous *refined run* (not the previous
+            // emitted event — a run can fail the duration filter and
+            // still bound refinement, exactly as in the batch detector).
             let mut s = start;
             let left_bound = self
-                .events
-                .last()
-                .map(|e| e.end_sample)
+                .last_run
+                .map(|(_, end, _)| end)
                 .unwrap_or(0)
                 .max(self.norm_base);
             while s > left_bound && self.norm_at(s - 1).is_some_and(|v| v < edge) {
@@ -277,30 +323,15 @@ impl StreamingEmprof {
             .copied()
     }
 
-    fn emit(&mut self, start: usize, end: usize) {
-        let cps = self.cycles_per_sample();
-        let min_samples =
-            (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
-        if ((end - start) as f64) < min_samples {
-            return;
-        }
-        // Merge with the previous event if refinement made them touch
-        // (mirrors the batch detector's final merge pass).
-        if let Some(last) = self.events.last_mut() {
-            if start <= last.end_sample {
-                last.end_sample = last.end_sample.max(end);
-                last.duration_cycles =
-                    (last.end_sample - last.start_sample) as f64 * cps;
-                last.kind = if last.duration_cycles >= self.config.refresh_min_cycles {
-                    StallKind::RefreshCollision
-                } else {
-                    StallKind::Normal
-                };
-                return;
-            }
-        }
-        let duration_cycles = (end - start) as f64 * cps;
-        self.events.push(StallEvent {
+    /// The duration filter floor, in samples.
+    fn min_samples(&self) -> f64 {
+        (self.config.min_duration_cycles / self.cycles_per_sample())
+            .max(self.config.min_duration_samples as f64)
+    }
+
+    fn make_event(&self, start: usize, end: usize) -> StallEvent {
+        let duration_cycles = (end - start) as f64 * self.cycles_per_sample();
+        StallEvent {
             start_sample: start,
             end_sample: end,
             duration_cycles,
@@ -309,7 +340,55 @@ impl StreamingEmprof {
             } else {
                 StallKind::Normal
             },
-        });
+        }
+    }
+
+    /// Admits a refined run. Mirrors the batch detector's ordering
+    /// exactly: abutting runs merge first, and the duration filter applies
+    /// to the *merged* run — so a sub-threshold run can still grow into
+    /// (or extend) an event when a neighbour touches it.
+    fn emit(&mut self, start: usize, end: usize) {
+        let min_samples = self.min_samples();
+        if let Some((run_start, run_end, represented)) = self.last_run {
+            if start <= run_end {
+                let new_end = run_end.max(end);
+                let passes = ((new_end - run_start) as f64) >= min_samples;
+                if passes {
+                    let ev = self.make_event(run_start, new_end);
+                    if represented {
+                        let last = self
+                            .events
+                            .last_mut()
+                            .expect("represented run has an event");
+                        // Durations only grow on merge, so the only
+                        // possible kind change is an upgrade to refresh.
+                        let was_refresh = last.kind == StallKind::RefreshCollision;
+                        *last = ev;
+                        if !was_refresh && ev.kind == StallKind::RefreshCollision {
+                            obs::counter_add!("detect.refresh_events", 1);
+                        }
+                    } else {
+                        self.push_event(ev);
+                    }
+                }
+                self.last_run = Some((run_start, new_end, passes));
+                return;
+            }
+        }
+        let passes = ((end - start) as f64) >= min_samples;
+        if passes {
+            let ev = self.make_event(start, end);
+            self.push_event(ev);
+        }
+        self.last_run = Some((start, end, passes));
+    }
+
+    fn push_event(&mut self, ev: StallEvent) {
+        obs::counter_add!("detect.events", 1);
+        if ev.kind == StallKind::RefreshCollision {
+            obs::counter_add!("detect.refresh_events", 1);
+        }
+        self.events.push(ev);
     }
 
     /// Events finalized since the last drain — the live-monitoring
@@ -332,10 +411,39 @@ impl StreamingEmprof {
         self.raw.len() + self.norm.len()
     }
 
+    /// Progress counters for live monitoring: samples seen, events
+    /// finalized, current buffer occupancy, and ingest throughput.
+    pub fn stats(&self) -> StreamingStats {
+        StreamingStats {
+            samples_pushed: self.pushed,
+            events_emitted: self.events.len(),
+            buffered_samples: self.buffered_samples(),
+            samples_per_sec: self.started_at.and_then(|t0| {
+                let secs = t0.elapsed().as_secs_f64();
+                (secs > 0.0).then(|| self.pushed as f64 / secs)
+            }),
+        }
+    }
+
+    /// Flushes batched telemetry: the `detect.samples` counter plus the
+    /// `stream.samples_per_sec` / `stream.buffer_samples` gauges.
+    fn flush_obs(&mut self) {
+        obs::counter_add!("detect.samples", self.unflushed as u64);
+        self.unflushed = 0;
+        if !obs::is_enabled() {
+            return;
+        }
+        obs::gauge_set!("stream.buffer_samples", self.buffered_samples() as f64);
+        if let Some(sps) = self.stats().samples_per_sec {
+            obs::gauge_set!("stream.samples_per_sec", sps);
+        }
+    }
+
     /// Finalizes the capture: normalizes the tail (whose windows are
     /// truncated, exactly as in the batch detector), closes any open dip,
     /// flushes pending events, and returns the complete [`Profile`].
     pub fn finish(mut self) -> Profile {
+        let _s = obs::span!("stream.finish");
         // The tail samples have truncated (right-clipped) windows; the
         // wedges already contain exactly the in-window candidates.
         while self.normalized < self.pushed {
@@ -345,6 +453,17 @@ impl StreamingEmprof {
             self.push_raw_dip(start, self.pushed);
         }
         self.process_pending(true);
+        self.flush_obs();
+        if obs::is_enabled() {
+            // Widths are only final now (merges may have grown events), so
+            // the histogram — unlike the counters — is recorded at the end.
+            for e in &self.events {
+                obs::histogram_record!(
+                    "detect.event_width_samples",
+                    (e.end_sample - e.start_sample) as u64
+                );
+            }
+        }
         Profile::new(
             self.events,
             self.pushed,
@@ -500,7 +619,7 @@ mod tests {
     #[test]
     fn flat_stream_has_no_events() {
         let mut s = StreamingEmprof::new(config(), FS, CLK);
-        s.extend(std::iter::repeat(3.3).take(50_000));
+        s.extend(std::iter::repeat_n(3.3, 50_000));
         assert_eq!(s.finish().events().len(), 0);
     }
 }

@@ -218,15 +218,19 @@ mod tests {
 
     #[test]
     fn rejects_zero_banks() {
-        let mut cfg = DramConfig::default();
-        cfg.banks = 0;
+        let cfg = DramConfig {
+            banks: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn rejects_non_power_of_two_rows() {
-        let mut cfg = DramConfig::default();
-        cfg.row_bytes = 1000;
+        let cfg = DramConfig {
+            row_bytes: 1000,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -171,7 +171,7 @@ mod tests {
         for (i, &e) in env.iter().enumerate() {
             if (10..15).contains(&i) {
                 assert!((e - 1.0).abs() < 1e-12, "bin {i}: {e}");
-            } else if i < 9 || i > 15 {
+            } else if !(9..=15).contains(&i) {
                 assert_eq!(e, 0.0, "bin {i}");
             }
         }

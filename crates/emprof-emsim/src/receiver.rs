@@ -1,5 +1,6 @@
 //! The receiver chain: band-limit, resample, apply channel, add noise.
 
+use emprof_obs as obs;
 use emprof_signal::{noise, resample, Complex};
 use emprof_sim::PowerTrace;
 use rand::rngs::StdRng;
@@ -127,23 +128,34 @@ impl Receiver {
         source_clock_hz: f64,
         seed: u64,
     ) -> CapturedSignal {
+        let _capture_span = obs::span!("emsim.capture");
         let b = self.config.bandwidth_hz;
         // Band-limit and resample to the output rate. `resample` applies
         // the anti-alias lowpass internally when reducing the rate.
-        let baseband = if (envelope_rate_hz - b).abs() / b < 1e-9 {
-            envelope.to_vec()
-        } else {
-            resample::resample(envelope, envelope_rate_hz, b)
+        let baseband = {
+            let _s = obs::span!("emsim.resample");
+            if (envelope_rate_hz - b).abs() / b < 1e-9 {
+                envelope.to_vec()
+            } else {
+                resample::resample(envelope, envelope_rate_hz, b)
+            }
         };
+        obs::counter_add!("emsim.samples", baseband.len() as u64);
         // Channel gain (probe + drift), then front-end noise.
         let mut rng = StdRng::seed_from_u64(seed);
-        let gains = self.config.drift.gains(baseband.len(), b, &mut rng);
-        let mut iq: Vec<Complex> = baseband
-            .iter()
-            .zip(&gains)
-            .map(|(&v, &g)| Complex::from_re(v * g))
-            .collect();
-        noise::add_awgn_complex(&mut iq, self.config.snr_db, &mut rng);
+        let mut iq: Vec<Complex> = {
+            let _s = obs::span!("emsim.channel");
+            let gains = self.config.drift.gains(baseband.len(), b, &mut rng);
+            baseband
+                .iter()
+                .zip(&gains)
+                .map(|(&v, &g)| Complex::from_re(v * g))
+                .collect()
+        };
+        {
+            let _s = obs::span!("emsim.noise");
+            noise::add_awgn_complex(&mut iq, self.config.snr_db, &mut rng);
+        }
         CapturedSignal::new(iq, b, source_clock_hz)
     }
 }

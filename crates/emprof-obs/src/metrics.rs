@@ -1,0 +1,295 @@
+//! Typed metric primitives: counters, gauges, and log-scale histograms.
+//!
+//! All three are lock-free atomics so instrumented hot paths never block
+//! each other. Counters wrap on overflow (a deliberate choice: a stuck
+//! saturated counter is indistinguishable from a merely large one, while
+//! wrap-around is detectable from successive snapshots).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing (wrapping) event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter, wrapping on overflow.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero (snapshots are unaffected).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins instantaneous measurement (`f64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets the gauge to `0.0`.
+    pub fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds zeros, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, and the last bucket also
+/// absorbs everything at or above `2^63`.
+pub const LOG_BUCKETS: usize = 65;
+
+/// A base-2 log-scale histogram of `u64` values.
+///
+/// In the spirit of `emprof_core::Histogram` (the paper's Fig. 11
+/// latency distributions) but built for always-on telemetry: fixed
+/// storage, lock-free recording, and a dynamic range of the full `u64`
+/// space at the cost of power-of-two resolution.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Minimum recorded value (u64::MAX when empty).
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not Copy; a fresh const per array slot is the
+        // intended initializer idiom here, not a shared mutable const.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LogHistogram {
+            buckets: [ZERO; LOG_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index covering `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The `[low, high)` range of bucket `i` (bucket 0 is `[0, 1)`; the
+    /// last bucket's `high` saturates to `u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < LOG_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            let lo = 1u64 << (i - 1);
+            let hi = if i >= 64 { u64::MAX } else { 1u64 << i };
+            (lo, hi)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Minimum recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (self.count() > 0).then_some(v)
+    }
+
+    /// Maximum recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        (0..LOG_BUCKETS)
+            .filter_map(|i| {
+                let n = self.bucket_count(i);
+                (n > 0).then(|| {
+                    let (lo, hi) = Self::bucket_bounds(i);
+                    (lo, hi, n)
+                })
+            })
+            .collect()
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(3);
+        // Wrapping, not saturating: u64::MAX + 3 == 2.
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        g.set(40e6);
+        assert_eq!(g.get(), 40e6);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        // Exhaustive around every boundary: 2^k - 1, 2^k, 2^k + 1.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(LogHistogram::bucket_index(v - 1), k as usize, "below 2^{k}");
+            assert_eq!(LogHistogram::bucket_index(v), k as usize + 1, "at 2^{k}");
+            assert_eq!(
+                LogHistogram::bucket_index(v + 1),
+                k as usize + 1,
+                "above 2^{k}"
+            );
+        }
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_bounds_match_index() {
+        for i in 0..LOG_BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(i);
+            assert_eq!(LogHistogram::bucket_index(lo), i, "low bound of {i}");
+            if hi != u64::MAX {
+                assert_eq!(LogHistogram::bucket_index(hi - 1), i, "top of {i}");
+                assert_eq!(LogHistogram::bucket_index(hi), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2, 3
+        assert_eq!(h.bucket_count(3), 1); // 4
+        assert_eq!(h.bucket_count(10), 1); // 1000 in [512, 1024)
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.iter().map(|&(_, _, n)| n).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = LogHistogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+}

@@ -62,7 +62,7 @@ impl CacheConfig {
             ));
         }
         let denom = self.ways as u64 * self.line_bytes;
-        if self.size_bytes == 0 || self.size_bytes % denom != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(denom) {
             return Err(format!(
                 "size {} is not a multiple of ways*line ({denom})",
                 self.size_bytes

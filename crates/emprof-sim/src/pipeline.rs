@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use emprof_dram::CasTrace;
+use emprof_obs as obs;
 
 use crate::bpred::BimodalPredictor;
 use crate::device::DeviceModel;
@@ -66,6 +67,26 @@ impl SimStats {
             self.llc_stall_cycles as f64 / self.cycles as f64
         }
     }
+}
+
+/// Flushes end-of-run simulator statistics into the telemetry registry:
+/// per-level cache hit/miss counters, DRAM refresh collisions, and the
+/// cycle/instruction totals.
+fn flush_sim_metrics(stats: &SimStats, mem: &crate::memory::MemStats) {
+    if !obs::is_enabled() {
+        return;
+    }
+    obs::counter_add!("sim.cycles", stats.cycles);
+    obs::counter_add!("sim.instructions", stats.instructions);
+    obs::counter_add!("sim.stall_cycles", stats.stall_cycles);
+    obs::counter_add!("sim.cache.l1d.hit", mem.data_accesses.saturating_sub(mem.l1d_misses));
+    obs::counter_add!("sim.cache.l1d.miss", mem.l1d_misses);
+    obs::counter_add!("sim.cache.l1i.hit", mem.instr_accesses.saturating_sub(mem.l1i_misses));
+    obs::counter_add!("sim.cache.l1i.miss", mem.l1i_misses);
+    obs::counter_add!("sim.cache.llc.hit", mem.llc_accesses.saturating_sub(mem.llc_misses));
+    obs::counter_add!("sim.cache.llc.miss", mem.llc_misses);
+    obs::counter_add!("sim.dram.refresh_collision", mem.refresh_collisions);
+    obs::counter_add!("sim.llc.prefetch", mem.prefetches);
 }
 
 /// Everything one simulation produces.
@@ -251,6 +272,7 @@ impl<'d> Pipeline<'d> {
     }
 
     fn run<S: InstructionSource>(mut self, mut source: S, max_cycles: u64) -> SimResult {
+        let _run_span = obs::span!("sim.run");
         let mut source_done = false;
         let mut now: u64 = 0;
         loop {
@@ -293,6 +315,7 @@ impl<'d> Pipeline<'d> {
         self.stats.refresh_collisions = mem_stats.refresh_collisions;
         self.stats.prefetches = mem_stats.prefetches;
         self.stats.llc_stall_cycles = self.gt.llc_stall_cycles();
+        flush_sim_metrics(&self.stats, &mem_stats);
         SimResult {
             power: self.power.finish(self.device.clock_hz),
             ground_truth: self.gt,

@@ -176,7 +176,7 @@ mod tests {
         .lines();
         // 3 passes over 4x the LLC: essentially every access misses.
         assert!(
-            r.stats.llc_misses as u64 > 2 * lines,
+            r.stats.llc_misses > 2 * lines,
             "llc misses {} vs {} lines/pass",
             r.stats.llc_misses,
             lines

@@ -115,7 +115,7 @@ impl Phase {
                 self.name
             ));
         }
-        if self.code_footprint < 64 || self.code_footprint % 4 != 0 {
+        if self.code_footprint < 64 || !self.code_footprint.is_multiple_of(4) {
             return Err(format!("phase {}: bad code footprint", self.name));
         }
         let warm_lines = self.warm_bytes / 64;
@@ -705,7 +705,7 @@ impl InstructionSource for TraceGen {
             // for a while (dwell), then moves to another loop — the way
             // real code covers a large text segment, rather than sweeping
             // it linearly (which would thrash the I$ unrealistically).
-            if i % p.loop_body == 0 {
+            if i.is_multiple_of(p.loop_body) {
                 if self.dwell_left == 0 {
                     let n_loops = p.code_footprint / (4 * p.loop_body);
                     if n_loops > 1 {
@@ -724,7 +724,7 @@ impl InstructionSource for TraceGen {
                     srcs: [Some(Reg(1 + (self.alu_rot % 12))), None],
                     taken: true,
                 }
-            } else if i % p.mem_every == 0 {
+            } else if i.is_multiple_of(p.mem_every) {
                 self.gen_mem_op()
             } else {
                 self.gen_alu()

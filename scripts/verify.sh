@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, all tests, pedantic lints.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "verify: OK"

@@ -57,6 +57,7 @@ pub use emprof_baseline as baseline;
 pub use emprof_core as core;
 pub use emprof_dram as dram;
 pub use emprof_emsim as emsim;
+pub use emprof_obs as obs;
 pub use emprof_signal as signal;
 pub use emprof_sim as sim;
 pub use emprof_workloads as workloads;

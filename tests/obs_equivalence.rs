@@ -1,0 +1,101 @@
+//! Batch and streaming detectors must report identical `detect.*`
+//! telemetry for the same signal.
+//!
+//! This file intentionally holds a single test: telemetry state is
+//! process-global, and a dedicated integration-test binary is its own
+//! process, so nothing else can record into the registry mid-run.
+
+use emprof::core::{Emprof, EmprofConfig, StreamingEmprof};
+use emprof::obs;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+
+/// A busy signal with dips of several widths, deterministic pseudo-noise,
+/// and slow gain drift — enough structure to exercise thresholding,
+/// gap-merging, edge refinement, abut-merging, and refresh
+/// classification.
+fn test_signal() -> Vec<f64> {
+    let mut signal: Vec<f64> = (0..120_000)
+        .map(|i| {
+            let drift = 1.0 + 0.1 * (i as f64 * 2e-4).sin();
+            let noise = ((i * 2_654_435_761_usize) % 1000) as f64 / 2500.0;
+            5.0 * drift + noise
+        })
+        .collect();
+    // Normal stalls, a refresh-length stall, and a close pair that the
+    // merge pass must join.
+    for &(start, width) in &[
+        (10_000usize, 12usize),
+        (20_000, 8),
+        (30_000, 100),
+        (40_000, 14),
+        (50_000, 12),
+        (70_000, 30),
+        (90_000, 12),
+    ] {
+        for v in signal.iter_mut().skip(start).take(width) {
+            *v *= 0.15;
+        }
+    }
+    signal[50_013] *= 0.15;
+    signal[50_014] *= 0.15;
+    signal
+}
+
+fn detect_counters(snapshot: &obs::Snapshot) -> Vec<(String, u64)> {
+    snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("detect."))
+        .map(|(name, value)| (name.clone(), *value))
+        .collect()
+}
+
+#[test]
+fn batch_and_streaming_report_identical_detect_counters() {
+    let signal = test_signal();
+    let config = EmprofConfig::for_rates(FS, CLK);
+
+    obs::reset();
+    obs::enable();
+    let batch = Emprof::new(config).profile_magnitude(&signal, FS, CLK);
+    let batch_snap = obs::snapshot();
+    let batch_counters = detect_counters(&batch_snap);
+
+    obs::reset();
+    let mut s = StreamingEmprof::new(config, FS, CLK);
+    s.extend(signal.iter().copied());
+    let streamed = s.finish();
+    let stream_snap = obs::snapshot();
+    let stream_counters = detect_counters(&stream_snap);
+    obs::disable();
+
+    // The detectors agree on the events themselves...
+    assert_eq!(batch.events(), streamed.events());
+    assert!(batch.events().len() >= 7, "signal produced too few events");
+    // ...and on every detect.* counter they report.
+    assert_eq!(batch_counters, stream_counters);
+    assert!(
+        batch_counters
+            .iter()
+            .any(|(name, v)| name == "detect.samples" && *v == signal.len() as u64),
+        "detect.samples should equal the signal length: {batch_counters:?}"
+    );
+    assert!(
+        batch_counters
+            .iter()
+            .any(|(name, v)| name == "detect.refresh_events" && *v >= 1),
+        "the 100-sample stall should be a refresh event: {batch_counters:?}"
+    );
+
+    // The event-width histograms match too.
+    let widths = |snap: &obs::Snapshot| {
+        snap.histograms
+            .iter()
+            .find(|(name, _)| name == "detect.event_width_samples")
+            .map(|(_, h)| (h.count, h.sum, h.min, h.max, h.buckets.clone()))
+            .expect("width histogram recorded")
+    };
+    assert_eq!(widths(&batch_snap), widths(&stream_snap));
+}

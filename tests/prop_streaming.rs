@@ -36,8 +36,8 @@ fn build_signal(segments: &[(u16, u16, u8)], noise: bool) -> Vec<f64> {
         }
     }
     // Trailing busy tail so the last dip closes normally... sometimes.
-    if segments.len() % 2 == 0 {
-        s.extend(std::iter::repeat(5.0).take(500));
+    if segments.len().is_multiple_of(2) {
+        s.extend(std::iter::repeat_n(5.0, 500));
     }
     s
 }
