@@ -1,0 +1,224 @@
+//! Pipeline throughput benchmark: sequential vs parallel analysis, and
+//! the direct-vs-FFT FIR crossover.
+//!
+//! Three legs, each doubling as a correctness check (every parallel or
+//! FFT result is compared against its sequential/direct reference):
+//!
+//! 1. **detector** — `profile_magnitude_par` over a synthetic magnitude
+//!    signal at 1, 2 and 4 threads; reports samples/sec and the speedup
+//!    over the sequential run.
+//! 2. **pipeline** — the full sim→EM→detect chain (power trace → receiver
+//!    capture → magnitude → detector) at 1, 2 and 4 threads.
+//! 3. **fir** — [`fir::filter_direct`] vs the auto-dispatching
+//!    [`fir::filter`] across kernel lengths, locating the overlap-save
+//!    crossover.
+//!
+//! Results are printed as tables and written to `BENCH_pipeline.json`
+//! (override with `--out PATH`). `--smoke` shrinks every leg for CI;
+//! absolute numbers are only meaningful in full mode on an idle host, and
+//! parallel *speedups* are only meaningful on a multi-core host (the
+//! `host_parallelism` field records what the bench ran on).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use emprof_bench::table::Table;
+use emprof_core::{Emprof, EmprofConfig, Profile};
+use emprof_emsim::{Receiver, ReceiverConfig};
+use emprof_par::Parallelism;
+use emprof_signal::fir;
+use emprof_sim::PowerTrace;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let host = Parallelism::available().get();
+    println!(
+        "pipeline throughput bench ({} mode, host parallelism {host})\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+
+    bench_detector(smoke, &mut json);
+    bench_pipeline(smoke, &mut json);
+    bench_fir(smoke, &mut json);
+
+    json.push_str("  \"unit\": \"samples_per_sec\"\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("results written to {out_path}");
+}
+
+/// Wall-clock of the fastest of `reps` runs of `f`, with the last result.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        result = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, result.expect("at least one reap"))
+}
+
+/// A busy magnitude signal with drift, pseudo-noise, and periodic dips.
+fn synthetic_magnitude(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let drift = 1.0 + 0.1 * (i as f64 * 1e-5).sin();
+            let noise = ((i * 2_654_435_761_usize) % 1000) as f64 / 2500.0;
+            let dip = if i % 9973 < 12 { 0.15 } else { 1.0 };
+            5.0 * drift * dip + noise
+        })
+        .collect()
+}
+
+/// Renders one thread-sweep leg as a table and JSON array entry.
+fn report_sweep(
+    title: &str,
+    json_key: &str,
+    samples: usize,
+    runs: &[(usize, f64)],
+    json: &mut String,
+) {
+    let mut t = Table::new(vec!["threads", "secs", "Msamples/s", "speedup vs 1T"]);
+    let base = runs[0].1;
+    let _ = writeln!(json, "  \"{json_key}\": {{");
+    let _ = writeln!(json, "    \"samples\": {samples},");
+    let _ = writeln!(json, "    \"runs\": [");
+    for (idx, &(threads, secs)) in runs.iter().enumerate() {
+        let sps = samples as f64 / secs;
+        t.row(vec![
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", sps / 1e6),
+            format!("{:.2}x", base / secs),
+        ]);
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"secs\": {secs:.6}, \
+             \"samples_per_sec\": {sps:.0}, \"speedup_vs_1\": {:.3}}}{}",
+            base / secs,
+            if idx + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    println!("{title} ({samples} samples)");
+    println!("{}", t.render());
+}
+
+fn bench_detector(smoke: bool, json: &mut String) {
+    let len = if smoke { 400_000 } else { 12_000_000 };
+    let reps = if smoke { 1 } else { 3 };
+    let magnitude = synthetic_magnitude(len);
+    let emprof = Emprof::new(EmprofConfig::for_rates(FS, CLK));
+
+    let mut runs = Vec::new();
+    let mut reference: Option<Profile> = None;
+    for threads in THREAD_SWEEP {
+        let par = Parallelism::new(threads);
+        let (secs, profile) =
+            time_best(reps, || emprof.profile_magnitude_par(&magnitude, FS, CLK, par));
+        match &reference {
+            None => reference = Some(profile),
+            Some(r) => assert_eq!(r, &profile, "thread count changed the profile"),
+        }
+        runs.push((threads, secs));
+    }
+    report_sweep("detector leg", "detector", len, &runs, json);
+}
+
+fn bench_pipeline(smoke: bool, json: &mut String) {
+    // Power trace cycles = resample-input samples; the capture itself is
+    // cycles * FS / CLK samples.
+    let cycles = if smoke { 500_000 } else { 16_000_000 };
+    let reps = if smoke { 1 } else { 2 };
+    let power: Vec<f32> = (0..cycles)
+        .map(|i| {
+            let stall = i % 40_001 < 300;
+            if stall {
+                1.0
+            } else {
+                5.0
+            }
+        })
+        .collect();
+    let trace = PowerTrace::from_samples(power, CLK);
+
+    let mut runs = Vec::new();
+    let mut reference: Option<Profile> = None;
+    for threads in THREAD_SWEEP {
+        let par = Parallelism::new(threads);
+        let (secs, profile) = time_best(reps, || {
+            let rx =
+                Receiver::new(ReceiverConfig::paper_setup(FS)).with_parallelism(par);
+            let capture = rx.capture(&trace, 11);
+            let magnitude = capture.magnitude_par(par);
+            let emprof =
+                Emprof::new(EmprofConfig::for_rates(capture.sample_rate_hz(), CLK));
+            emprof.profile_magnitude_par(&magnitude, capture.sample_rate_hz(), CLK, par)
+        });
+        match &reference {
+            None => reference = Some(profile),
+            Some(r) => assert_eq!(r, &profile, "thread count changed the pipeline output"),
+        }
+        runs.push((threads, secs));
+    }
+    report_sweep("end-to-end sim→EM→detect leg", "pipeline", cycles, &runs, json);
+}
+
+fn bench_fir(smoke: bool, json: &mut String) {
+    let len = if smoke { 100_000 } else { 2_000_000 };
+    let reps = if smoke { 1 } else { 2 };
+    let signal: Vec<f64> = (0..len)
+        .map(|i| (i as f64 * 0.01).sin() + ((i * 31) % 97) as f64 / 97.0)
+        .collect();
+
+    let mut t = Table::new(vec!["taps", "direct Msps", "auto Msps", "path", "speedup"]);
+    let _ = writeln!(json, "  \"fir\": [");
+    let taps_sweep = [33usize, 65, 129, 257, 513];
+    for (idx, &n_taps) in taps_sweep.iter().enumerate() {
+        let taps = fir::lowpass(n_taps, 0.1);
+        let (direct_secs, direct_out) = time_best(reps, || fir::filter_direct(&signal, &taps));
+        let (auto_secs, auto_out) = time_best(reps, || fir::filter(&signal, &taps));
+        let fft_used = fir::uses_overlap_save(signal.len(), n_taps);
+        // Correctness: the auto path must match direct to FFT round-off.
+        let max_err = direct_out
+            .iter()
+            .zip(&auto_out)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(max_err < 1e-9, "taps {n_taps}: auto path diverged ({max_err:e})");
+
+        let speedup = direct_secs / auto_secs;
+        t.row(vec![
+            n_taps.to_string(),
+            format!("{:.1}", len as f64 / direct_secs / 1e6),
+            format!("{:.1}", len as f64 / auto_secs / 1e6),
+            if fft_used { "overlap-save".into() } else { "direct".into() },
+            format!("{speedup:.2}x"),
+        ]);
+        let _ = writeln!(
+            json,
+            "    {{\"taps\": {n_taps}, \"signal_len\": {len}, \
+             \"direct_secs\": {direct_secs:.6}, \"auto_secs\": {auto_secs:.6}, \
+             \"overlap_save\": {fft_used}, \"speedup\": {speedup:.3}}}{}",
+            if idx + 1 < taps_sweep.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    println!("FIR direct vs auto (crossover at {} taps)", fir::FFT_MIN_TAPS);
+    println!("{}", t.render());
+}

@@ -7,6 +7,7 @@ use emprof_core::{Emprof, EmprofConfig, Profile, StreamingEmprof};
 use emprof_emsim::{Receiver, ReceiverConfig};
 use emprof_obs as obs;
 use emprof_obs::TelemetrySink;
+use emprof_par::Parallelism;
 use emprof_sim::{DeviceModel, Interpreter, Simulator};
 use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
@@ -209,23 +210,30 @@ fn profile_of(
     device: &DeviceModel,
     bandwidth: f64,
     seed: u64,
+    par: Parallelism,
 ) -> (Profile, Vec<f64>, f64) {
-    let rx = Receiver::new(ReceiverConfig::paper_setup(bandwidth));
+    let rx = Receiver::new(ReceiverConfig::paper_setup(bandwidth)).with_parallelism(par);
     let capture = rx.capture(&result.power, seed);
     let emprof = Emprof::new(EmprofConfig::for_rates(
         capture.sample_rate_hz(),
         device.clock_hz,
     ));
-    let magnitude = capture.magnitude();
-    let profile =
-        emprof.profile_capture(&magnitude, capture.sample_rate_hz(), device.clock_hz);
+    let magnitude = capture.magnitude_par(par);
+    let profile = emprof.profile_magnitude_par(
+        &magnitude,
+        capture.sample_rate_hz(),
+        device.clock_hz,
+        par,
+    );
     (profile, magnitude, capture.sample_rate_hz())
 }
 
 fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
     let device = device_by_name(&opts.device)?;
     let result = run_workload(&opts.workload, &device, opts.scale, opts.seed)?;
-    let (profile, magnitude, rate) = profile_of(&result, &device, opts.bandwidth_hz, opts.seed);
+    let par = Parallelism::resolve(opts.threads);
+    let (profile, magnitude, rate) =
+        profile_of(&result, &device, opts.bandwidth_hz, opts.seed, par);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -268,7 +276,12 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
     let signal =
         report::signal_from_csv(&csv).map_err(|e| CliError::Runtime(e.to_string()))?;
     let emprof = Emprof::new(EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz));
-    let profile = emprof.profile_magnitude(&signal, opts.sample_rate_hz, opts.clock_hz);
+    let profile = emprof.profile_magnitude_par(
+        &signal,
+        opts.sample_rate_hz,
+        opts.clock_hz,
+        Parallelism::resolve(opts.threads),
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -295,7 +308,7 @@ fn demo() -> Result<String, CliError> {
     let result = Simulator::new(device.clone())
         .with_max_cycles(4_000_000_000)
         .run(Interpreter::new(&program));
-    let (profile, _, _) = profile_of(&result, &device, 40e6, 7);
+    let (profile, _, _) = profile_of(&result, &device, 40e6, 7, Parallelism::resolve(None));
     let window = result
         .ground_truth
         .marker_window(
@@ -494,6 +507,18 @@ mod tests {
         let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _ = run(&argv("simulate microbench:64:4 --seed 5")).unwrap();
         assert!(!emprof_obs::is_enabled());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_output() {
+        let base = run(&argv("simulate microbench:64:4 --seed 5 --threads 1")).unwrap();
+        for threads in [2, 4] {
+            let out = run(&argv(&format!(
+                "simulate microbench:64:4 --seed 5 --threads {threads}"
+            )))
+            .unwrap();
+            assert_eq!(base, out, "--threads {threads} changed the report");
+        }
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct SimulateOpts {
     pub scale: f64,
     /// Capture/workload seed.
     pub seed: u64,
+    /// Worker threads for the analysis pipeline (`None` = the
+    /// `EMPROF_THREADS` environment variable, falling back to the
+    /// hardware's available parallelism; `1` forces the sequential path).
+    pub threads: Option<usize>,
     /// Write the captured magnitude signal to this CSV path.
     pub signal_out: Option<String>,
     /// Write the detected events to this CSV path.
@@ -81,6 +85,7 @@ impl Default for SimulateOpts {
             bandwidth_hz: 40e6,
             scale: 0.1,
             seed: 1,
+            threads: None,
             signal_out: None,
             events_out: None,
             obs: ObsOpts::default(),
@@ -97,6 +102,9 @@ pub struct ProfileOpts {
     pub sample_rate_hz: f64,
     /// Profiled core clock in Hz.
     pub clock_hz: f64,
+    /// Worker threads for the detector (`None` = environment/hardware
+    /// default, `1` forces the sequential path).
+    pub threads: Option<usize>,
     /// Write the detected events to this CSV path.
     pub events_out: Option<String>,
     /// Telemetry outputs.
@@ -148,6 +156,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut positional = Vec::new();
             let mut rate = None;
             let mut clock = None;
+            let mut threads = None;
             let mut events_out = None;
             let mut obs = ObsOpts::default();
             let mut it = it.peekable();
@@ -155,6 +164,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 match arg.as_str() {
                     "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
                     "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
+                    "--threads" => threads = Some(take_threads(&mut it)?),
                     "--events-out" => {
                         events_out = Some(take_value(&mut it, "--events-out")?)
                     }
@@ -180,6 +190,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("profile requires --rate".into()))?,
                 clock_hz: clock
                     .ok_or_else(|| CliError::Usage("profile requires --clock".into()))?,
+                threads,
                 events_out,
                 obs,
             }))
@@ -202,6 +213,7 @@ fn parse_simulate<'a, I: Iterator<Item = &'a String>>(
             "--bandwidth" => opts.bandwidth_hz = take_parsed(&mut it, "--bandwidth")?,
             "--scale" => opts.scale = take_parsed(&mut it, "--scale")?,
             "--seed" => opts.seed = take_parsed(&mut it, "--seed")?,
+            "--threads" => opts.threads = Some(take_threads(&mut it)?),
             "--signal-out" => opts.signal_out = Some(take_value(&mut it, "--signal-out")?),
             "--events-out" => opts.events_out = Some(take_value(&mut it, "--events-out")?),
             flag if flag.starts_with("--") => {
@@ -247,6 +259,17 @@ fn take_parsed<'a, I: Iterator<Item = &'a String>, T: std::str::FromStr>(
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {raw}")))
 }
 
+/// Parses `--threads N`, rejecting 0 (there is no zero-worker pipeline).
+fn take_threads<'a, I: Iterator<Item = &'a String>>(
+    it: &mut std::iter::Peekable<I>,
+) -> Result<usize, CliError> {
+    let n: usize = take_parsed(it, "--threads")?;
+    if n == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 /// The usage text printed by `emprof help`.
 pub const USAGE: &str = "\
 emprof — memory profiling via EM emanations (reproduction of MICRO'18)
@@ -256,15 +279,17 @@ USAGE:
       List the modeled devices and their parameters.
 
   emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
-                  [--seed N] [--signal-out FILE] [--events-out FILE]
-                  [--metrics FILE] [--trace FILE] [--verbose-stats]
+                  [--seed N] [--threads N] [--signal-out FILE]
+                  [--events-out FILE] [--metrics FILE] [--trace FILE]
+                  [--verbose-stats]
       Simulate a workload on a device model, synthesize its EM capture,
       and profile it with EMPROF. Workloads: microbench:TM:CM, ammp,
       bzip2, crafty, equake, gzip, mcf, parser, twolf, vortex, vpr,
       boot, sensor-filter, block-transfer, table-crypto.
 
-  emprof profile <signal.csv> --rate HZ --clock HZ [--events-out FILE]
-                 [--metrics FILE] [--trace FILE] [--verbose-stats]
+  emprof profile <signal.csv> --rate HZ --clock HZ [--threads N]
+                 [--events-out FILE] [--metrics FILE] [--trace FILE]
+                 [--verbose-stats]
       Run the EMPROF detector on an externally captured magnitude signal
       (one-column CSV with a `magnitude` header).
 
@@ -274,6 +299,12 @@ USAGE:
 
   emprof demo
       End-to-end demonstration against known ground truth.
+
+PARALLELISM (simulate / profile / stats):
+  --threads N      worker threads for the analysis pipeline; the output is
+                   identical for every setting. Defaults to the EMPROF_THREADS
+                   environment variable, then the hardware's parallelism.
+                   --threads 1 forces the plain sequential code path.
 
 TELEMETRY (simulate / profile / stats):
   --metrics FILE   write a metrics snapshot as JSON lines
@@ -324,9 +355,30 @@ mod tests {
             Command::Simulate(o) => {
                 assert_eq!(o.device, "olimex");
                 assert_eq!(o.bandwidth_hz, 40e6);
+                assert_eq!(o.threads, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        match parse(&argv("simulate boot --threads 4")).unwrap() {
+            Command::Simulate(o) => assert_eq!(o.threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("profile cap.csv --rate 40e6 --clock 1e9 --threads 1")).unwrap() {
+            Command::Profile(o) => assert_eq!(o.threads, Some(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("simulate boot --threads 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate boot --threads lots")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -54,25 +54,7 @@ impl Emprof {
             stats::normalize_moving_minmax(magnitude, self.config.norm_window_samples)
         };
         let dips = self.detect_dips(&norm);
-        let min_samples =
-            (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
-        let events: Vec<StallEvent> = dips
-            .into_iter()
-            .filter(|&(s, e)| (e - s) as f64 >= min_samples)
-            .map(|(s, e)| {
-                let duration_cycles = (e - s) as f64 * cps;
-                StallEvent {
-                    start_sample: s,
-                    end_sample: e,
-                    duration_cycles,
-                    kind: if duration_cycles >= self.config.refresh_min_cycles {
-                        StallKind::RefreshCollision
-                    } else {
-                        StallKind::Normal
-                    },
-                }
-            })
-            .collect();
+        let events = self.events_from_dips(dips, cps);
         obs::counter_add!("detect.samples", magnitude.len() as u64);
         record_event_metrics(&events);
         Profile::new(events, magnitude.len(), sample_rate_hz, clock_hz)
@@ -117,8 +99,36 @@ impl Emprof {
         self.refine_edges(norm, merged)
     }
 
+    /// Turns refined dips into duration-filtered, classified stall
+    /// events — the last detection stage, shared verbatim by the batch
+    /// and parallel paths so their event streams cannot diverge.
+    pub(crate) fn events_from_dips(
+        &self,
+        dips: Vec<(usize, usize)>,
+        cps: f64,
+    ) -> Vec<StallEvent> {
+        let min_samples =
+            (self.config.min_duration_cycles / cps).max(self.config.min_duration_samples as f64);
+        dips.into_iter()
+            .filter(|&(s, e)| (e - s) as f64 >= min_samples)
+            .map(|(s, e)| {
+                let duration_cycles = (e - s) as f64 * cps;
+                StallEvent {
+                    start_sample: s,
+                    end_sample: e,
+                    duration_cycles,
+                    kind: if duration_cycles >= self.config.refresh_min_cycles {
+                        StallKind::RefreshCollision
+                    } else {
+                        StallKind::Normal
+                    },
+                }
+            })
+            .collect()
+    }
+
     /// Below-threshold runs of the normalized signal, as `(start, end)`.
-    fn threshold_runs(&self, norm: &[f64]) -> Vec<(usize, usize)> {
+    pub(crate) fn threshold_runs(&self, norm: &[f64]) -> Vec<(usize, usize)> {
         let th = self.config.threshold;
         let mut raw: Vec<(usize, usize)> = Vec::new();
         let mut start: Option<usize> = None;
@@ -153,7 +163,11 @@ impl Emprof {
 
     /// Widens each run outward to the `edge_level` crossings, without
     /// letting adjacent events overlap, then re-merges any that now abut.
-    fn refine_edges(&self, norm: &[f64], merged: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    pub(crate) fn refine_edges(
+        &self,
+        norm: &[f64],
+        merged: Vec<(usize, usize)>,
+    ) -> Vec<(usize, usize)> {
         let edge = self.config.edge_level;
         let mut refined: Vec<(usize, usize)> = Vec::with_capacity(merged.len());
         for (idx, &(mut s, mut e)) in merged.iter().enumerate() {

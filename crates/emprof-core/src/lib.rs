@@ -47,6 +47,7 @@ pub mod accuracy;
 mod config;
 mod detect;
 mod histogram;
+mod parallel;
 mod profile;
 pub mod report;
 pub mod section;
@@ -57,3 +58,5 @@ pub use detect::Emprof;
 pub use histogram::Histogram;
 pub use profile::{Profile, StallEvent, StallKind};
 pub use streaming::{StreamingEmprof, StreamingStats};
+
+pub use emprof_par::Parallelism;

@@ -1,0 +1,208 @@
+//! Multi-core dip detection with overlap-merge equivalence.
+//!
+//! [`Emprof::profile_magnitude_par`] splits the capture into per-worker
+//! chunks, runs normalization and thresholding per chunk on a scoped
+//! worker pool, and stitches the per-chunk results back into exactly the
+//! event stream the batch detector produces. The equivalence argument
+//! (DESIGN.md §8) has three legs:
+//!
+//! 1. **Normalization** — each chunk normalizes its *core* range with
+//!    [`stats::normalize_moving_minmax_range`], which reads moving-extreme
+//!    context from the full signal. The concatenated chunk outputs are
+//!    therefore bit-identical to the batch normalization; the overlap
+//!    margin (`norm_window / 2` on each side) is implicit in the shared
+//!    full-signal slice.
+//! 2. **Threshold runs** — runs found per chunk over disjoint core ranges
+//!    concatenate to the batch run list, except that a run straddling a
+//!    seam arrives split into abutting pieces. The batch gap-merge
+//!    criterion (`gap <= merge_gap_samples`) always rejoins a gap-0 split,
+//!    and left-to-right greedy merging is invariant under splitting of
+//!    abutting runs, so the merged run list is identical. Each seam rejoin
+//!    is counted in the `par.merge_fixups` gauge.
+//! 3. **Edge refinement and classification** — both run on the stitched
+//!    full-length normalized signal and the identical merged run list,
+//!    through literally the same code as the batch path.
+//!
+//! Net: for any thread count and any input, the parallel profile is
+//! event-for-event (in fact bit-for-bit) identical to
+//! [`Emprof::profile_magnitude`].
+
+use emprof_obs as obs;
+use emprof_par::chunk::ChunkPlan;
+use emprof_par::{pool, Parallelism};
+use emprof_signal::stats;
+
+use crate::detect::{record_event_metrics, Emprof};
+use crate::profile::Profile;
+
+impl Emprof {
+    /// Parallel [`profile_magnitude`](Emprof::profile_magnitude): same
+    /// arguments, same result, fanned out over `par` workers.
+    ///
+    /// With a sequential [`Parallelism`] this *is* the batch detector
+    /// (same code path), which is what `--threads 1` relies on. Otherwise
+    /// the capture is chunked per worker and the results are stitched as
+    /// described in the module docs; the output `Profile` is identical to
+    /// the batch detector's for any thread count.
+    ///
+    /// Emits the same `detect.samples` / `detect.events` /
+    /// `detect.refresh_events` counters and `detect.event_width_samples`
+    /// histogram as the batch path, plus `par.chunks`, `par.threads` and
+    /// `par.merge_fixups` gauges describing the chunking itself.
+    pub fn profile_magnitude_par(
+        &self,
+        magnitude: &[f64],
+        sample_rate_hz: f64,
+        clock_hz: f64,
+        par: Parallelism,
+    ) -> Profile {
+        let n = magnitude.len();
+        if par.is_sequential() || n < 2 {
+            return self.profile_magnitude(magnitude, sample_rate_hz, clock_hz);
+        }
+        let _span = obs::span!("par.profile");
+        let cfg = self.config();
+        let margin = cfg.norm_window_samples / 2;
+        let plan = ChunkPlan::new(n, par.get(), margin);
+        obs::gauge_set!("par.chunks", plan.count() as f64);
+        obs::gauge_set!("par.threads", par.get().min(plan.count()) as f64);
+
+        // Per chunk: normalize the core range against full-signal context,
+        // then collect its below-threshold runs in global coordinates.
+        type ChunkPart = (Vec<f64>, Vec<(usize, usize)>);
+        let parts: Vec<ChunkPart> =
+            pool::parallel_map(par, plan.chunks(), |c| {
+                let norm = stats::normalize_moving_minmax_range(
+                    magnitude,
+                    cfg.norm_window_samples,
+                    c.start,
+                    c.end,
+                );
+                let runs: Vec<(usize, usize)> = self
+                    .threshold_runs(&norm)
+                    .into_iter()
+                    .map(|(s, e)| (s + c.start, e + c.start))
+                    .collect();
+                (norm, runs)
+            });
+
+        let _stitch = obs::span!("par.stitch");
+        let mut norm: Vec<f64> = Vec::with_capacity(n);
+        let mut raw: Vec<(usize, usize)> = Vec::new();
+        for (part, runs) in parts {
+            norm.extend(part);
+            raw.extend(runs);
+        }
+        debug_assert_eq!(norm.len(), n, "chunk cores must tile the capture");
+
+        // The batch merge criterion, with seam-rejoin accounting. Within a
+        // chunk, threshold runs are never abutting (a run only ends on an
+        // above-threshold sample), so a gap of exactly 0 can only be a run
+        // split at a chunk seam.
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(raw.len());
+        let mut fixups = 0u64;
+        for run in raw {
+            match merged.last_mut() {
+                Some(last) if run.0 - last.1 <= cfg.merge_gap_samples => {
+                    if run.0 == last.1 {
+                        fixups += 1;
+                    }
+                    last.1 = run.1;
+                }
+                _ => merged.push(run),
+            }
+        }
+        obs::gauge_set!("par.merge_fixups", fixups as f64);
+
+        let dips = self.refine_edges(&norm, merged);
+        let events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        obs::counter_add!("detect.samples", n as u64);
+        record_event_metrics(&events);
+        Profile::new(events, n, sample_rate_hz, clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmprofConfig;
+
+    const FS: f64 = 40e6;
+    const CLK: f64 = 1.0e9;
+
+    fn emprof() -> Emprof {
+        Emprof::new(EmprofConfig::for_rates(FS, CLK))
+    }
+
+    /// Busy signal with ±10% drift and dips of the given (start, width).
+    fn signal(len: usize, dips: &[(usize, usize)]) -> Vec<f64> {
+        let mut s: Vec<f64> = (0..len)
+            .map(|i| 5.0 * (1.0 + 0.1 * (i as f64 * 7e-5).sin()))
+            .collect();
+        for &(start, width) in dips {
+            for v in s.iter_mut().skip(start).take(width) {
+                *v *= 0.15;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_profile_matches_batch_bit_for_bit() {
+        let mag = signal(
+            60_000,
+            &[(5_000, 12), (9_000, 8), (9_030, 8), (20_000, 100), (55_000, 40)],
+        );
+        let e = emprof();
+        let batch = e.profile_magnitude(&mag, FS, CLK);
+        for threads in [2, 3, 5, 8] {
+            let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(threads));
+            assert_eq!(batch, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn dip_straddling_a_seam_is_rejoined() {
+        // With 2 threads over 40_000 samples the seam is at 20_000; plant
+        // a dip right across it (flat busy level so it is the only event).
+        let mut mag = vec![5.0; 40_000];
+        for v in mag.iter_mut().skip(19_990).take(20) {
+            *v = 0.8;
+        }
+        let e = emprof();
+        let batch = e.profile_magnitude(&mag, FS, CLK);
+        assert_eq!(batch.events().len(), 1);
+        let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(2));
+        assert_eq!(batch, par, "seam-straddling dip must not split");
+    }
+
+    #[test]
+    fn sequential_parallelism_is_the_batch_path() {
+        let mag = signal(30_000, &[(12_000, 12)]);
+        let e = emprof();
+        let batch = e.profile_magnitude(&mag, FS, CLK);
+        let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::sequential());
+        assert_eq!(batch, par);
+    }
+
+    #[test]
+    fn degenerate_inputs_match() {
+        let e = emprof();
+        for mag in [vec![], vec![5.0], vec![0.1; 3]] {
+            let batch = e.profile_magnitude(&mag, FS, CLK);
+            let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(4));
+            assert_eq!(batch, par, "len {}", mag.len());
+        }
+    }
+
+    #[test]
+    fn many_more_threads_than_structure_still_match() {
+        // Chunks much smaller than the normalization window: every chunk's
+        // extrema context crosses multiple seams.
+        let mag = signal(4_096, &[(1_000, 12), (2_040, 30), (3_900, 60)]);
+        let e = emprof();
+        let batch = e.profile_magnitude(&mag, FS, CLK);
+        let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(16));
+        assert_eq!(batch, par);
+    }
+}

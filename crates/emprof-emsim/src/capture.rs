@@ -1,5 +1,6 @@
 //! The captured baseband signal.
 
+use emprof_par::{pool, Parallelism};
 use emprof_signal::Complex;
 
 /// A band-limited complex-baseband capture, as produced by the receiver
@@ -38,6 +39,15 @@ impl CapturedSignal {
     /// The magnitude signal EMPROF analyzes.
     pub fn magnitude(&self) -> Vec<f64> {
         self.iq.iter().map(|c| c.norm()).collect()
+    }
+
+    /// [`magnitude`](CapturedSignal::magnitude) fanned out over a worker
+    /// pool; bit-identical for any thread count (each output sample is a
+    /// function of one IQ sample).
+    pub fn magnitude_par(&self, par: Parallelism) -> Vec<f64> {
+        pool::map_ranges(par, self.iq.len(), |range| {
+            range.map(|i| self.iq[i].norm()).collect()
+        })
     }
 
     /// Complex sample rate in Hz (equals the measurement bandwidth).

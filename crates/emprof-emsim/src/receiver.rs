@@ -1,6 +1,7 @@
 //! The receiver chain: band-limit, resample, apply channel, add noise.
 
 use emprof_obs as obs;
+use emprof_par::Parallelism;
 use emprof_signal::{noise, resample, Complex};
 use emprof_sim::PowerTrace;
 use rand::rngs::StdRng;
@@ -77,6 +78,7 @@ impl ReceiverConfig {
 #[derive(Debug, Clone)]
 pub struct Receiver {
     config: ReceiverConfig,
+    parallelism: Parallelism,
 }
 
 impl Receiver {
@@ -89,7 +91,25 @@ impl Receiver {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid receiver configuration: {e}"));
-        Receiver { config }
+        Receiver {
+            config,
+            parallelism: Parallelism::sequential(),
+        }
+    }
+
+    /// Fans the deterministic stages of the capture chain (anti-alias
+    /// filtering and resampling) out over `par` workers. The capture is
+    /// bit-identical for any setting — the stochastic stages (drift gains
+    /// and front-end noise) always consume the seeded RNG sequentially, so
+    /// per-seed determinism is independent of the thread count.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// The worker-count setting for the deterministic capture stages.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The configuration in use.
@@ -137,7 +157,7 @@ impl Receiver {
             if (envelope_rate_hz - b).abs() / b < 1e-9 {
                 envelope.to_vec()
             } else {
-                resample::resample(envelope, envelope_rate_hz, b)
+                resample::resample_par(envelope, envelope_rate_hz, b, self.parallelism)
             }
         };
         obs::counter_add!("emsim.samples", baseband.len() as u64);
@@ -272,6 +292,24 @@ mod tests {
         assert_eq!(a, b);
         let c = rx.capture(&trace, 12);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_capture_is_bit_exact() {
+        let trace = dipped_trace(5.0, 1.0, 300);
+        let seq = Receiver::new(ReceiverConfig::paper_setup(40e6));
+        let base = seq.capture(&trace, 11);
+        for threads in [2, 4, 7] {
+            let rx = Receiver::new(ReceiverConfig::paper_setup(40e6))
+                .with_parallelism(Parallelism::new(threads));
+            let c = rx.capture(&trace, 11);
+            assert_eq!(base, c, "threads {threads}");
+            assert_eq!(
+                base.magnitude(),
+                c.magnitude_par(Parallelism::new(threads)),
+                "magnitude threads {threads}"
+            );
+        }
     }
 
     #[test]

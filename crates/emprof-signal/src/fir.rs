@@ -5,6 +5,13 @@
 //! receiver models that band-limiting with linear-phase FIR lowpass filters
 //! designed here.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use emprof_obs as obs;
+use emprof_par::{pool, Parallelism};
+
+use crate::fft;
 use crate::window::WindowKind;
 use crate::Complex;
 
@@ -67,15 +74,70 @@ pub fn lowpass_with_window(taps: usize, cutoff: f64, window: WindowKind) -> Vec<
     h
 }
 
+/// Caches designed lowpass filters, keyed by `(taps, cutoff, window)`.
+///
+/// The receiver chain redesigns the same anti-aliasing filter for every
+/// capture (identical length and cutoff each time); a 513-tap design costs
+/// hundreds of transcendental evaluations, so repeated `decimate`/
+/// `resample` calls pull the taps from this process-wide cache instead.
+/// Hits and misses are visible as the `signal.taps_cache.hit` / `.miss`
+/// counters when telemetry is on.
+pub fn lowpass_cached(taps: usize, cutoff: f64, window: WindowKind) -> Arc<Vec<f64>> {
+    type TapCache = Mutex<HashMap<(usize, u64, WindowKind), Arc<Vec<f64>>>>;
+    static CACHE: OnceLock<TapCache> = OnceLock::new();
+    // Distinct designs in practice number in the dozens (one per
+    // decimation ratio); the cap only guards against pathological sweeps.
+    const CACHE_CAP: usize = 64;
+
+    let key = (taps, cutoff.to_bits(), window);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&key) {
+            obs::counter_add!("signal.taps_cache.hit", 1);
+            return Arc::clone(hit);
+        }
+    }
+    obs::counter_add!("signal.taps_cache.miss", 1);
+    // Design outside the lock; a racing duplicate design is harmless.
+    let designed = Arc::new(lowpass_with_window(taps, cutoff, window));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(designed))
+}
+
+/// Kernel length at or above which [`filter`] switches from direct
+/// convolution to overlap-save FFT convolution.
+///
+/// Direct convolution costs `k` multiply-adds per sample; overlap-save
+/// costs two FFTs of `N ≈ 4k` points per `N - k + 1` samples, roughly
+/// `16·log2(4k)` flops per sample. The curves cross near `k ≈ 48` on
+/// commodity cores (measured by the `perf_pipeline` bench scenario, FIR
+/// leg), so short kernels keep the cache-friendly direct path.
+pub const FFT_MIN_TAPS: usize = 48;
+
+/// Whether [`filter`] will take the overlap-save FFT path for this
+/// signal/kernel combination.
+///
+/// Exposed so benches and tests can pin down the crossover; the choice
+/// depends only on the two lengths, never on the thread count, keeping
+/// outputs bit-identical across `--threads` settings.
+pub fn uses_overlap_save(signal_len: usize, taps: usize) -> bool {
+    taps >= FFT_MIN_TAPS && signal_len >= 4 * taps
+}
+
 /// Applies an FIR filter to a real signal, returning a signal of the same
 /// length.
 ///
-/// The filter is applied causally with zero-padded history; the output is
-/// then advanced by the filter's group delay `(taps - 1) / 2` so features in
-/// the output line up with features in the input (zero-phase behaviour for
-/// symmetric filters). The trailing `(taps - 1) / 2` samples are filled by
-/// holding the last fully-computed value, which keeps downstream
-/// sample-index arithmetic simple.
+/// The filter is applied with zero-padded history; the output is advanced
+/// by the filter's group delay `(taps - 1) / 2` so features in the output
+/// line up with features in the input (zero-phase behaviour for symmetric
+/// filters). Long kernels are applied by overlap-save FFT convolution,
+/// short ones by direct convolution ([`uses_overlap_save`] is the
+/// crossover); both produce the same zero-padded linear convolution, the
+/// FFT path within a few ulps.
 ///
 /// # Example
 ///
@@ -89,25 +151,103 @@ pub fn lowpass_with_window(taps: usize, cutoff: f64, window: WindowKind) -> Vec<
 /// assert!((y[128] - 1.0).abs() < 1e-9);
 /// ```
 pub fn filter(signal: &[f64], taps: &[f64]) -> Vec<f64> {
+    filter_par(signal, taps, Parallelism::sequential())
+}
+
+/// [`filter`] with the work fanned out over a worker pool.
+///
+/// Output is bit-for-bit identical to [`filter`] for any thread count:
+/// the direct path computes each output sample with the same summation
+/// order, and the FFT path uses fixed block boundaries that depend only
+/// on the kernel length.
+pub fn filter_par(signal: &[f64], taps: &[f64], par: Parallelism) -> Vec<f64> {
     assert!(!taps.is_empty(), "FIR filter must have at least one tap");
     if signal.is_empty() {
         return Vec::new();
     }
+    if uses_overlap_save(signal.len(), taps.len()) {
+        filter_overlap_save(signal, taps, par)
+    } else {
+        filter_direct_par(signal, taps, par)
+    }
+}
+
+/// Direct (time-domain) convolution, always, regardless of kernel length.
+///
+/// This is the reference implementation the FFT path is validated
+/// against; production code calls [`filter`], which picks the faster
+/// path.
+pub fn filter_direct(signal: &[f64], taps: &[f64]) -> Vec<f64> {
+    assert!(!taps.is_empty(), "FIR filter must have at least one tap");
+    filter_direct_par(signal, taps, Parallelism::sequential())
+}
+
+fn filter_direct_par(signal: &[f64], taps: &[f64], par: Parallelism) -> Vec<f64> {
     let delay = (taps.len() - 1) / 2;
     let n = signal.len();
-    let mut out = vec![0.0; n];
-    for (i, o) in out.iter_mut().enumerate() {
-        // Output index i corresponds to convolution output at i + delay.
-        let center = i + delay;
-        let mut acc = 0.0;
-        for (k, &t) in taps.iter().enumerate() {
-            if let Some(j) = center.checked_sub(k) {
-                if j < n {
-                    acc += t * signal[j];
+    pool::map_ranges(par, n, |range| {
+        range
+            .map(|i| {
+                // Output index i corresponds to convolution output at
+                // i + delay.
+                let center = i + delay;
+                let mut acc = 0.0;
+                for (k, &t) in taps.iter().enumerate() {
+                    if let Some(j) = center.checked_sub(k) {
+                        if j < n {
+                            acc += t * signal[j];
+                        }
+                    }
                 }
-            }
+                acc
+            })
+            .collect()
+    })
+}
+
+/// Overlap-save FFT convolution of the zero-padded linear convolution,
+/// sliced to the same delay-compensated window as the direct path.
+///
+/// Blocks are independent, so they distribute over the pool; block
+/// boundaries are a pure function of the kernel length, which is what
+/// makes the output identical for every thread count.
+fn filter_overlap_save(signal: &[f64], taps: &[f64], par: Parallelism) -> Vec<f64> {
+    let n = signal.len();
+    let k = taps.len();
+    let delay = (k - 1) / 2;
+    // Block size: ~4x the kernel keeps the wasted overlap under a third
+    // while the FFTs stay cache-resident.
+    let nfft = (4 * k).next_power_of_two().max(1024);
+    let valid = nfft - (k - 1);
+
+    let mut taps_spectrum: Vec<Complex> = taps.iter().map(|&t| Complex::from_re(t)).collect();
+    taps_spectrum.resize(nfft, Complex::ZERO);
+    fft::forward(&mut taps_spectrum);
+    let taps_spectrum = &taps_spectrum;
+
+    let blocks: Vec<usize> = (0..n.div_ceil(valid)).collect();
+    let pieces = pool::parallel_map(par, &blocks, |&b| {
+        // This block produces convolution outputs y[t0 .. t0 + valid)
+        // (t = i + delay), which need inputs x[t0 - (k-1) .. t0 + valid).
+        let t0 = (delay + b * valid) as i64;
+        let seg_origin = t0 - (k as i64 - 1);
+        let mut seg = vec![Complex::ZERO; nfft];
+        let lo = seg_origin.max(0) as usize;
+        let hi = ((seg_origin + nfft as i64).min(n as i64)).max(0) as usize;
+        for idx in lo..hi {
+            seg[(idx as i64 - seg_origin) as usize] = Complex::from_re(signal[idx]);
         }
-        *o = acc;
+        fft::forward(&mut seg);
+        for (s, h) in seg.iter_mut().zip(taps_spectrum) {
+            *s *= *h;
+        }
+        fft::inverse(&mut seg);
+        let take = valid.min(n - b * valid);
+        seg[(k - 1)..(k - 1 + take)].iter().map(|c| c.re).collect::<Vec<f64>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for piece in pieces {
+        out.extend(piece);
     }
     out
 }
@@ -243,5 +383,72 @@ mod tests {
         let taps = vec![1.0];
         let x = vec![1.0, -2.0, 3.0];
         assert_eq!(filter(&x, &taps), x);
+    }
+
+    /// A deterministic broadband test signal.
+    fn wiggle(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.11).sin() + 0.4 * (t * 0.037).cos() + ((i * 2654435761) % 97) as f64 / 97.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlap_save_matches_direct() {
+        // Long kernels route through the FFT; compare against the direct
+        // reference at several signal lengths, including lengths that are
+        // not multiples of the FFT block and shorter than one block.
+        for k in [49, 63, 128, 257, 513] {
+            let taps = lowpass(k, 0.08);
+            for n in [4 * k, 4 * k + 1, 5000, 12_345] {
+                let x = wiggle(n);
+                assert!(uses_overlap_save(n, k), "n={n} k={k}");
+                let direct = filter_direct(&x, &taps);
+                let fft = filter(&x, &taps);
+                let scale = x.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+                for (i, (a, b)) in fft.iter().zip(&direct).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9 * scale,
+                        "n={n} k={k} i={i}: fft {a} vs direct {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_kernels_stay_on_the_direct_path() {
+        assert!(!uses_overlap_save(1_000_000, 31));
+        assert!(!uses_overlap_save(100, 513)); // signal shorter than 4k
+        assert!(uses_overlap_save(4 * 513, 513));
+    }
+
+    #[test]
+    fn parallel_filter_is_bit_exact() {
+        // Both the direct path (short kernel) and the FFT path (long
+        // kernel) must produce identical bits for every thread count.
+        for k in [31usize, 257] {
+            let taps = lowpass(k, 0.1);
+            let x = wiggle(9_876);
+            let seq = filter(&x, &taps);
+            for threads in [2, 3, 8] {
+                let par = filter_par(&x, &taps, Parallelism::new(threads));
+                assert_eq!(seq, par, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tap_cache_returns_identical_designs() {
+        let fresh = lowpass_with_window(101, 0.07, WindowKind::Blackman);
+        let a = lowpass_cached(101, 0.07, WindowKind::Blackman);
+        let b = lowpass_cached(101, 0.07, WindowKind::Blackman);
+        assert_eq!(*a, fresh);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        // A different key designs a different filter.
+        let c = lowpass_cached(101, 0.08, WindowKind::Blackman);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

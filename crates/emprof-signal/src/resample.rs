@@ -6,7 +6,10 @@
 //! chain needs both integer decimation and fractional resampling. Both are
 //! anti-aliased by filtering *before* rate reduction.
 
+use emprof_par::{pool, Parallelism};
+
 use crate::fir;
+use crate::window::WindowKind;
 use crate::Complex;
 
 /// Decimates a real signal by an integer factor after applying an
@@ -31,12 +34,26 @@ use crate::Complex;
 /// assert!((y[50] - 1.0).abs() < 1e-9);
 /// ```
 pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    decimate_par(signal, factor, Parallelism::sequential())
+}
+
+/// [`decimate`] with the anti-aliasing filter fanned out over a worker
+/// pool; output is bit-identical to [`decimate`] for any thread count.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn decimate_par(signal: &[f64], factor: usize, par: Parallelism) -> Vec<f64> {
     assert!(factor > 0, "decimation factor must be nonzero");
     if factor == 1 {
         return signal.to_vec();
     }
-    let taps = fir::lowpass(anti_alias_taps(factor), 0.45 / factor as f64);
-    let filtered = fir::filter(signal, &taps);
+    let taps = fir::lowpass_cached(
+        anti_alias_taps(factor),
+        0.45 / factor as f64,
+        WindowKind::Blackman,
+    );
+    let filtered = fir::filter_par(signal, &taps, par);
     filtered.iter().step_by(factor).copied().collect()
 }
 
@@ -53,6 +70,25 @@ pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
 ///
 /// Panics if either rate is not strictly positive.
 pub fn resample(signal: &[f64], in_rate: f64, out_rate: f64) -> Vec<f64> {
+    resample_par(signal, in_rate, out_rate, Parallelism::sequential())
+}
+
+/// [`resample`] with the anti-aliasing filter and the interpolation loop
+/// fanned out over a worker pool.
+///
+/// Output is bit-identical to [`resample`] for any thread count: every
+/// output sample is an independent function of the (identically filtered)
+/// source signal.
+///
+/// # Panics
+///
+/// Panics if either rate is not strictly positive.
+pub fn resample_par(
+    signal: &[f64],
+    in_rate: f64,
+    out_rate: f64,
+    par: Parallelism,
+) -> Vec<f64> {
     assert!(
         in_rate > 0.0 && out_rate > 0.0,
         "sample rates must be positive (got {in_rate}, {out_rate})"
@@ -65,18 +101,17 @@ pub fn resample(signal: &[f64], in_rate: f64, out_rate: f64) -> Vec<f64> {
     let src: &[f64] = if ratio > 1.0 {
         // Downsampling: band-limit to the output Nyquist first.
         let factor = ratio.ceil() as usize;
-        let taps = fir::lowpass(anti_alias_taps(factor), 0.45 / ratio);
-        filtered = fir::filter(signal, &taps);
+        let taps =
+            fir::lowpass_cached(anti_alias_taps(factor), 0.45 / ratio, WindowKind::Blackman);
+        filtered = fir::filter_par(signal, &taps, par);
         &filtered
     } else {
         signal
     };
     let out_len = ((signal.len() as f64) / ratio).floor() as usize;
-    let mut out = Vec::with_capacity(out_len);
-    for n in 0..out_len {
-        out.push(sample_linear(src, n as f64 * ratio));
-    }
-    out
+    pool::map_ranges(par, out_len, |range| {
+        range.map(|n| sample_linear(src, n as f64 * ratio)).collect()
+    })
 }
 
 /// Linearly interpolates `signal` at a fractional index, clamping to the
@@ -216,5 +251,23 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_rate_panics() {
         resample(&[1.0], 0.0, 1.0);
+    }
+
+    #[test]
+    fn parallel_resample_is_bit_exact() {
+        let x: Vec<f64> = (0..40_000usize)
+            .map(|i| (i as f64 * 0.002).sin() + ((i * 2_654_435_761) % 89) as f64 / 89.0)
+            .collect();
+        // Downsampling (filter + interpolate) and upsampling (interpolate
+        // only), across thread counts.
+        for (in_rate, out_rate) in [(1.008e9, 40e6), (1.0, 2.5)] {
+            let seq = resample(&x, in_rate, out_rate);
+            for threads in [2, 5] {
+                let par = resample_par(&x, in_rate, out_rate, Parallelism::new(threads));
+                assert_eq!(seq, par, "{in_rate}->{out_rate} threads {threads}");
+            }
+        }
+        let seq = decimate(&x, 25);
+        assert_eq!(seq, decimate_par(&x, 25, Parallelism::new(3)));
     }
 }

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 ///
 /// Panics if `window == 0`.
 pub fn moving_min(signal: &[f64], window: usize) -> Vec<f64> {
-    moving_extreme(signal, window, |a, b| a <= b)
+    moving_min_range(signal, window, 0, signal.len())
 }
 
 /// Sliding-window maximum; see [`moving_min`] for window conventions.
@@ -29,20 +29,60 @@ pub fn moving_min(signal: &[f64], window: usize) -> Vec<f64> {
 ///
 /// Panics if `window == 0`.
 pub fn moving_max(signal: &[f64], window: usize) -> Vec<f64> {
-    moving_extreme(signal, window, |a, b| a >= b)
+    moving_max_range(signal, window, 0, signal.len())
+}
+
+/// [`moving_min`] restricted to output positions `[start, end)`.
+///
+/// Each output still sees the same centered window *into the full
+/// signal* as [`moving_min`] would, so the result equals the
+/// corresponding slice of the full computation — the property the
+/// parallel chunked normalizer relies on (each chunk reads up to
+/// `window / 2` samples beyond its core range, its overlap margin).
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `start..end` is not a valid range into the
+/// signal.
+pub fn moving_min_range(signal: &[f64], window: usize, start: usize, end: usize) -> Vec<f64> {
+    moving_extreme_range(signal, window, |a, b| a <= b, start, end)
+}
+
+/// [`moving_max`] restricted to output positions `[start, end)`; see
+/// [`moving_min_range`].
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `start..end` is not a valid range into the
+/// signal.
+pub fn moving_max_range(signal: &[f64], window: usize, start: usize, end: usize) -> Vec<f64> {
+    moving_extreme_range(signal, window, |a, b| a >= b, start, end)
 }
 
 /// Shared monotonic-wedge implementation: `keep(a, b)` returns true when
 /// `a` should survive `b` arriving behind it in the deque.
-fn moving_extreme(signal: &[f64], window: usize, keep: fn(f64, f64) -> bool) -> Vec<f64> {
+fn moving_extreme_range(
+    signal: &[f64],
+    window: usize,
+    keep: fn(f64, f64) -> bool,
+    start: usize,
+    end: usize,
+) -> Vec<f64> {
     assert!(window > 0, "window must be nonzero");
     let n = signal.len();
-    let mut out = Vec::with_capacity(n);
+    assert!(
+        start <= end && end <= n,
+        "range {start}..{end} out of bounds for length {n}"
+    );
+    let mut out = Vec::with_capacity(end - start);
+    if start == end {
+        return out;
+    }
     let half = window / 2;
     // Deque of indices with monotone values.
     let mut dq: VecDeque<usize> = VecDeque::new();
-    let mut right = 0usize; // next index to admit
-    for i in 0..n {
+    let mut right = start.saturating_sub(half); // next index to admit
+    for i in start..end {
         let win_end = (i + half).min(n - 1);
         let win_start = i.saturating_sub(half);
         while right <= win_end {
@@ -119,9 +159,32 @@ pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
 /// assert!(norm[80] > 0.8);         // busy level near 1 where the window sees the dip
 /// ```
 pub fn normalize_moving_minmax(signal: &[f64], window: usize) -> Vec<f64> {
-    let lo = moving_min(signal, window);
-    let hi = moving_max(signal, window);
-    signal
+    normalize_moving_minmax_range(signal, window, 0, signal.len())
+}
+
+/// [`normalize_moving_minmax`] restricted to output positions
+/// `[start, end)`.
+///
+/// Every output sample is normalized against the same centered
+/// moving-extrema windows into the *full* signal, so the result is
+/// bit-identical to the corresponding slice of
+/// [`normalize_moving_minmax`] — concatenating the outputs of a disjoint
+/// range partition reconstructs the full normalization exactly. This is
+/// the chunk-equivalence primitive of the parallel detector.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `start..end` is not a valid range into the
+/// signal.
+pub fn normalize_moving_minmax_range(
+    signal: &[f64],
+    window: usize,
+    start: usize,
+    end: usize,
+) -> Vec<f64> {
+    let lo = moving_min_range(signal, window, start, end);
+    let hi = moving_max_range(signal, window, start, end);
+    signal[start..end]
         .iter()
         .zip(lo.iter().zip(&hi))
         .map(|(&v, (&lo, &hi))| {
@@ -336,5 +399,51 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         moving_min(&[1.0], 0);
+    }
+
+    #[test]
+    fn range_outputs_equal_full_slices() {
+        let signal: Vec<f64> = (0..500)
+            .map(|i| ((i * 6151) % 173) as f64 / 7.0 - 10.0)
+            .collect();
+        for window in [1, 3, 16, 101, 499, 1200] {
+            let full_min = moving_min(&signal, window);
+            let full_max = moving_max(&signal, window);
+            let full_norm = normalize_moving_minmax(&signal, window);
+            for (start, end) in [(0, 500), (0, 1), (499, 500), (120, 377), (250, 250)] {
+                assert_eq!(
+                    moving_min_range(&signal, window, start, end),
+                    full_min[start..end],
+                    "min window {window} range {start}..{end}"
+                );
+                assert_eq!(
+                    moving_max_range(&signal, window, start, end),
+                    full_max[start..end],
+                    "max window {window} range {start}..{end}"
+                );
+                assert_eq!(
+                    normalize_moving_minmax_range(&signal, window, start, end),
+                    full_norm[start..end],
+                    "norm window {window} range {start}..{end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_ranges_reconstruct_the_full_normalization() {
+        let signal: Vec<f64> = (0..1000).map(|i| ((i * 37) % 91) as f64).collect();
+        let full = normalize_moving_minmax(&signal, 128);
+        let mut stitched = Vec::new();
+        for (start, end) in [(0, 333), (333, 666), (666, 1000)] {
+            stitched.extend(normalize_moving_minmax_range(&signal, 128, start, end));
+        }
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_range_panics() {
+        moving_min_range(&[1.0, 2.0], 3, 1, 5);
     }
 }

@@ -7,4 +7,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Pipeline throughput smoke: sequential vs parallel at 1/2/4 threads plus
+# the direct-vs-FFT FIR crossover; asserts thread-count invariance and
+# writes BENCH_pipeline.json.
+cargo run -q --release -p emprof-bench --bin perf_pipeline -- --smoke --out BENCH_pipeline.json
+
 echo "verify: OK"

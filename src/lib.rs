@@ -15,6 +15,7 @@
 //! | [`workloads`] | `emprof-workloads` | microbenchmark, SPEC-like and boot workloads |
 //! | [`attrib`] | `emprof-attrib` | spectral-profiling code attribution |
 //! | [`baseline`] | `emprof-baseline` | perf-style counter-sampling baseline |
+//! | [`par`] | `emprof-par` | worker pool + chunk planning for the parallel pipeline |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use emprof_core as core;
 pub use emprof_dram as dram;
 pub use emprof_emsim as emsim;
 pub use emprof_obs as obs;
+pub use emprof_par as par;
 pub use emprof_signal as signal;
 pub use emprof_sim as sim;
 pub use emprof_workloads as workloads;
