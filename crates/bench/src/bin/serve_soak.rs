@@ -1,0 +1,202 @@
+//! Soak test for emprof-serve: concurrent sessions hammering one server
+//! for a bounded duration, verifying the service's three load-bearing
+//! claims under sustained load:
+//!
+//! 1. **zero lost events** — every session's served event stream equals
+//!    the batch detector's output on the same signal, bit for bit;
+//! 2. **bounded queues** — the peak per-session queue depth never
+//!    exceeds the configured bound (backpressure, not buffering);
+//! 3. **conserved counters** — server-wide samples/events equal the sum
+//!    over sessions.
+//!
+//! `--smoke` runs 4 concurrent sessions for a few bounded rounds (CI
+//! sized); full mode runs 8 sessions and ~10× the work. `--seconds N`
+//! overrides the soak budget. Exits non-zero on any violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use emprof_core::{Emprof, EmprofConfig, StallEvent};
+use emprof_serve::{ProfileClient, ServeConfig, Server};
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+const QUEUE_FRAMES: usize = 16;
+
+fn config() -> EmprofConfig {
+    EmprofConfig::for_rates(FS, CLK)
+}
+
+/// Deterministic busy/dip signal, distinct per (session, round).
+fn build_signal(session: usize, round: usize, segments: usize) -> Vec<f64> {
+    let mut s = Vec::new();
+    for j in 0..segments {
+        let x = (session * 7919 + round * 15485863 + j * 104729) as u64;
+        let gap = 3 + (x % 601) as usize;
+        let dip = ((x / 601) % 160) as usize;
+        let dip_level = 0.3 + ((x / 96160) % 256) as f64 / 255.0 * 1.2;
+        for k in 0..gap {
+            s.push(5.0 + (((j * 131 + k) * 2654435761) % 997) as f64 / 3000.0);
+        }
+        for k in 0..dip {
+            s.push(dip_level + (((j * 137 + k) * 2654435761) % 997) as f64 / 5000.0);
+        }
+    }
+    s.extend(std::iter::repeat_n(5.0, 400));
+    s
+}
+
+fn batch_events(signal: &[f64]) -> Vec<StallEvent> {
+    Emprof::new(config())
+        .profile_magnitude(signal, FS, CLK)
+        .events()
+        .to_vec()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let budget = args
+        .iter()
+        .position(|a| a == "--seconds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(if smoke {
+            Duration::from_secs(10)
+        } else {
+            Duration::from_secs(60)
+        });
+    let sessions = if smoke { 4 } else { 8 };
+    let segments = if smoke { 12 } else { 40 };
+
+    println!(
+        "serve soak: {sessions} concurrent sessions, {:?} budget ({} mode)",
+        budget,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let server = Arc::new(
+        Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                queue_frames: QUEUE_FRAMES,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback server"),
+    );
+    let barrier = Arc::new(Barrier::new(sessions));
+    let deadline = Instant::now() + budget;
+    let total_samples = Arc::new(AtomicU64::new(0));
+    let total_events = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..sessions)
+        .map(|k| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let total_samples = Arc::clone(&total_samples);
+            let total_events = Arc::clone(&total_events);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let frame = 64 + k * 997;
+                let mut rounds = 0usize;
+                let mut mismatches = 0usize;
+                while Instant::now() < deadline {
+                    let signal = build_signal(k, rounds, segments);
+                    let mut client = ProfileClient::connect(
+                        server.local_addr(),
+                        &format!("soak-{k}"),
+                        config(),
+                        FS,
+                        CLK,
+                    )
+                    .expect("open session");
+                    let mut served = Vec::new();
+                    for (i, chunk) in signal.chunks(frame).enumerate() {
+                        client.send(chunk).expect("stream frame");
+                        if (i + 1) % 4 == 0 {
+                            let (events, _) = client.flush().expect("flush");
+                            served.extend(events);
+                        }
+                    }
+                    let (tail, stats) = client.finish().expect("finish");
+                    served.extend(tail);
+                    assert!(stats.final_report);
+                    assert_eq!(stats.samples_pushed, signal.len() as u64);
+                    if served != batch_events(&signal) {
+                        mismatches += 1;
+                    }
+                    total_samples.fetch_add(signal.len() as u64, Ordering::Relaxed);
+                    total_events.fetch_add(served.len() as u64, Ordering::Relaxed);
+                    rounds += 1;
+                }
+                (rounds, mismatches)
+            })
+        })
+        .collect();
+
+    let mut rounds = 0usize;
+    let mut mismatches = 0usize;
+    for h in handles {
+        let (r, m) = h.join().expect("session thread panicked");
+        rounds += r;
+        mismatches += m;
+    }
+    let server = Arc::into_inner(server).expect("all clients done");
+    let stats = server.shutdown();
+
+    println!(
+        "{rounds} sessions completed: {} samples, {} events, peak queue depth {} \
+         (bound {QUEUE_FRAMES}), backpressure {:.3}s, {} sheds",
+        stats.samples_in,
+        stats.events_total,
+        stats.peak_queue_depth,
+        stats.backpressure_ns as f64 / 1e9,
+        stats.sheds,
+    );
+
+    let mut failures = Vec::new();
+    if mismatches > 0 {
+        failures.push(format!("{mismatches} sessions diverged from batch"));
+    }
+    if stats.samples_in != total_samples.load(Ordering::Relaxed) {
+        failures.push(format!(
+            "server counted {} samples, clients sent {}",
+            stats.samples_in,
+            total_samples.load(Ordering::Relaxed)
+        ));
+    }
+    if stats.events_total != total_events.load(Ordering::Relaxed) {
+        failures.push(format!(
+            "server counted {} events, clients received {}",
+            stats.events_total,
+            total_events.load(Ordering::Relaxed)
+        ));
+    }
+    if stats.peak_queue_depth > QUEUE_FRAMES as u64 {
+        failures.push(format!(
+            "peak queue depth {} exceeded bound {QUEUE_FRAMES}",
+            stats.peak_queue_depth
+        ));
+    }
+    if stats.sheds != 0 {
+        failures.push(format!(
+            "{} batches shed in backpressure mode",
+            stats.sheds
+        ));
+    }
+    if rounds == 0 {
+        failures.push("no session completed a full round within the budget".into());
+    }
+
+    if failures.is_empty() {
+        println!("serve soak PASS: zero lost events, bounded queues");
+    } else {
+        for f in &failures {
+            eprintln!("serve soak FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

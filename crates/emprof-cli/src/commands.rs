@@ -13,7 +13,12 @@ use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
-use crate::opts::{parse, CliError, Command, ObsOpts, ProfileOpts, SimulateOpts, USAGE};
+use emprof_serve::{ProfileClient, ServeConfig, Server, WatchClient};
+
+use crate::opts::{
+    parse, CliError, Command, ObsOpts, ProfileOpts, PushOpts, ServeOpts, SimulateOpts,
+    WatchOpts, USAGE,
+};
 
 /// How many span occurrences `--trace` retains before counting drops.
 const TRACE_CAPACITY: usize = 65_536;
@@ -33,6 +38,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             with_telemetry(&opts.obs, || simulate(&opts))
         }
         Command::Profile(opts) => with_telemetry(&opts.obs, || profile_csv(&opts)),
+        Command::Serve(opts) => with_telemetry(&opts.obs, || serve(&opts)),
+        Command::Push(opts) => push(&opts),
+        Command::Watch(opts) => watch(&opts),
     }
 }
 
@@ -299,6 +307,137 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs the profiling service, optionally for a bounded duration.
+fn serve(opts: &ServeOpts) -> Result<String, CliError> {
+    let config = ServeConfig {
+        threads: Parallelism::resolve(opts.threads),
+        queue_frames: opts.queue_frames,
+        shed: opts.shed,
+        idle_timeout: std::time::Duration::from_secs(opts.idle_timeout_secs),
+        max_sessions: opts.max_sessions,
+        ..ServeConfig::default()
+    };
+    let threads = config.threads.get();
+    let server = Server::bind(opts.addr.as_str(), config)
+        .map_err(|e| CliError::Runtime(format!("bind {}: {e}", opts.addr)))?;
+    // The banner goes out immediately: callers script against it.
+    println!(
+        "emprof-serve listening on {} ({} workers, queue {} frames, {})",
+        server.local_addr(),
+        threads,
+        opts.queue_frames,
+        if opts.shed { "shed" } else { "backpressure" },
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match opts.duration_secs {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+        },
+    }
+    let stats = server.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} connections, {} sessions",
+        stats.connections, stats.sessions_opened
+    );
+    let _ = writeln!(
+        out,
+        "ingested {} samples in {} frames ({} bytes), {} events",
+        stats.samples_in, stats.frames_in, stats.bytes_in, stats.events_total
+    );
+    let _ = writeln!(
+        out,
+        "backpressure {:.3} s blocked, {} batches shed, peak queue depth {}",
+        stats.backpressure_ns as f64 / 1e9,
+        stats.sheds,
+        stats.peak_queue_depth
+    );
+    Ok(out)
+}
+
+/// Streams a magnitude CSV to a running service and summarizes the reply.
+fn push(opts: &PushOpts) -> Result<String, CliError> {
+    let csv = std::fs::read_to_string(&opts.signal_path)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.signal_path)))?;
+    let signal =
+        report::signal_from_csv(&csv).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let config = EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz);
+    let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
+    let mut client = ProfileClient::connect(
+        opts.addr.as_str(),
+        &opts.device,
+        config,
+        opts.sample_rate_hz,
+        opts.clock_hz,
+    )
+    .map_err(err)?;
+    for chunk in signal.chunks(opts.frame) {
+        client.send(chunk).map_err(err)?;
+    }
+    let (events, stats) = client.finish().map_err(err)?;
+    let profile = Profile::new(events, signal.len(), opts.sample_rate_hz, opts.clock_hz);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} samples served by {} ({} queued at flush, {} shed)",
+        opts.signal_path,
+        stats.samples_pushed,
+        opts.addr,
+        stats.queue_depth,
+        stats.sheds
+    );
+    let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    if let Some(path) = &opts.events_out {
+        write_file(path, &report::events_to_csv(&profile))?;
+        let _ = writeln!(out, "events written to {path}");
+    }
+    Ok(out)
+}
+
+/// Tails a running service's finalized-event stream.
+fn watch(opts: &WatchOpts) -> Result<String, CliError> {
+    let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
+    let mut client = WatchClient::connect(opts.addr.as_str()).map_err(err)?;
+    let mut out = String::new();
+    let mut polled = 0u64;
+    loop {
+        let tail = client.poll().map_err(err)?;
+        for te in &tail.events {
+            let _ = writeln!(
+                out,
+                "session {} [{}..{}) {:.0} cycles {:?}",
+                te.session_id,
+                te.event.start_sample,
+                te.event.end_sample,
+                te.event.duration_cycles,
+                te.event.kind
+            );
+        }
+        if tail.missed > 0 {
+            let _ = writeln!(out, "({} events missed: tail overflowed)", tail.missed);
+        }
+        let _ = writeln!(
+            out,
+            "sessions {} | samples {} | events {} | sheds {}",
+            tail.server.sessions_active,
+            tail.server.samples_in,
+            tail.server.events_total,
+            tail.server.sheds
+        );
+        polled += 1;
+        if let Some(max) = opts.polls {
+            if polled >= max {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+    Ok(out)
+}
+
 fn demo() -> Result<String, CliError> {
     let device = DeviceModel::olimex();
     let config = MicrobenchConfig::new(256, 1);
@@ -519,6 +658,77 @@ mod tests {
             .unwrap();
             assert_eq!(base, out, "--threads {threads} changed the report");
         }
+    }
+
+    #[test]
+    fn push_and_watch_against_in_process_server() {
+        let dir = std::env::temp_dir().join("emprof-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sig = dir.join("push-sig.csv");
+        run(&argv(&format!(
+            "simulate microbench:64:4 --seed 5 --signal-out {}",
+            sig.display()
+        )))
+        .unwrap();
+
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let pushed = run(&argv(&format!(
+            "push {} --rate 40e6 --clock 1.008e9 --addr {addr} --frame 1000 --device cli",
+            sig.display()
+        )))
+        .unwrap();
+        let local = run(&argv(&format!(
+            "profile {} --rate 40e6 --clock 1.008e9",
+            sig.display()
+        )))
+        .unwrap();
+        let miss_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("misses:"))
+                .map(str::to_string)
+                .expect("misses line")
+        };
+        // The served profile is the local profile, bit for bit.
+        assert_eq!(miss_line(&pushed), miss_line(&local));
+
+        let watched = run(&argv(&format!(
+            "watch --addr {addr} --polls 1 --interval-ms 10"
+        )))
+        .unwrap();
+        assert!(watched.contains("sessions"), "{watched}");
+        assert!(watched.contains("session "), "tail events missing: {watched}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_bounded_duration_reports_stats() {
+        let out = run(&argv(
+            "serve --addr 127.0.0.1:0 --duration 1 --queue-frames 8 --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("served 0 connections"), "{out}");
+        assert!(out.contains("peak queue depth"), "{out}");
+    }
+
+    #[test]
+    fn push_unreachable_server_errors() {
+        let dir = std::env::temp_dir().join("emprof-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sig = dir.join("unreachable-sig.csv");
+        std::fs::write(&sig, "magnitude\n1.0\n2.0\n").unwrap();
+        // A fresh ephemeral listener, immediately closed: nothing is there.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        assert!(matches!(
+            run(&argv(&format!(
+                "push {} --rate 1e6 --clock 1e9 --addr 127.0.0.1:{port}",
+                sig.display()
+            ))),
+            Err(CliError::Runtime(_))
+        ));
     }
 
     #[test]

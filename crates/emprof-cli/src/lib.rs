@@ -8,6 +8,9 @@
 //! emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
 //!                 [--seed N] [--signal-out FILE] [--events-out FILE]
 //! emprof profile <signal.csv> --rate HZ --clock HZ [--events-out FILE]
+//! emprof serve [--addr HOST:PORT] [--threads N] [--queue-frames N] [--shed]
+//! emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
+//! emprof watch [--addr HOST:PORT] [--interval-ms MS] [--polls N]
 //! emprof demo
 //! ```
 //!
@@ -23,4 +26,6 @@ mod commands;
 mod opts;
 
 pub use commands::run;
-pub use opts::{CliError, Command, ProfileOpts, SimulateOpts};
+pub use opts::{
+    CliError, Command, ProfileOpts, PushOpts, ServeOpts, SimulateOpts, WatchOpts,
+};

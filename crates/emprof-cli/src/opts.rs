@@ -15,6 +15,12 @@ pub enum Command {
     Stats(SimulateOpts),
     /// Run the end-to-end demonstration.
     Demo,
+    /// Run the network profiling service.
+    Serve(ServeOpts),
+    /// Stream a magnitude CSV to a running service.
+    Push(PushOpts),
+    /// Tail the finalized-event stream of a running service.
+    Watch(WatchOpts),
     /// Print usage.
     Help,
 }
@@ -111,6 +117,73 @@ pub struct ProfileOpts {
     pub obs: ObsOpts,
 }
 
+/// Options of `emprof serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Ingest worker threads (`None` = the `EMPROF_THREADS` environment
+    /// variable, falling back to the hardware's available parallelism).
+    pub threads: Option<usize>,
+    /// Per-session bounded queue capacity, in frames.
+    pub queue_frames: usize,
+    /// Shed oldest sample batches instead of blocking when a queue fills.
+    pub shed: bool,
+    /// Seconds of silence before a session is reaped and finalized.
+    pub idle_timeout_secs: u64,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Run for this many seconds, then drain and report (`None` = forever).
+    pub duration_secs: Option<u64>,
+    /// Telemetry outputs.
+    pub obs: ObsOpts,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:7700".to_string(),
+            threads: None,
+            queue_frames: 64,
+            shed: false,
+            idle_timeout_secs: 60,
+            max_sessions: 256,
+            duration_secs: None,
+            obs: ObsOpts::default(),
+        }
+    }
+}
+
+/// Options of `emprof push`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushOpts {
+    /// Path of the magnitude CSV to stream.
+    pub signal_path: String,
+    /// Service address.
+    pub addr: String,
+    /// Capture sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Profiled core clock in Hz.
+    pub clock_hz: f64,
+    /// Samples per SAMPLES batch sent to the service.
+    pub frame: usize,
+    /// Device label reported in the HELLO handshake.
+    pub device: String,
+    /// Write the served events to this CSV path.
+    pub events_out: Option<String>,
+}
+
+/// Options of `emprof watch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchOpts {
+    /// Service address.
+    pub addr: String,
+    /// Milliseconds between polls.
+    pub interval_ms: u64,
+    /// Stop after this many polls (`None` = until interrupted).
+    pub polls: Option<u64>,
+}
+
 /// Errors produced while parsing or executing a command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
@@ -146,6 +219,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "devices" => expect_end(it).map(|()| Command::Devices),
         "demo" => expect_end(it).map(|()| Command::Demo),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "serve" => parse_serve(it).map(Command::Serve),
+        "push" => parse_push(it).map(Command::Push),
+        "watch" => parse_watch(it).map(Command::Watch),
         "simulate" => parse_simulate(it, "simulate").map(Command::Simulate),
         "stats" => parse_simulate(it, "stats").map(|mut opts| {
             // The whole point of `stats` is the telemetry table.
@@ -234,6 +310,111 @@ fn parse_simulate<'a, I: Iterator<Item = &'a String>>(
     }
 }
 
+/// Parses the `emprof serve` argument form.
+fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, CliError> {
+    let mut opts = ServeOpts::default();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--threads" => opts.threads = Some(take_threads(&mut it)?),
+            "--queue-frames" => {
+                opts.queue_frames = take_parsed(&mut it, "--queue-frames")?;
+                if opts.queue_frames == 0 {
+                    return Err(CliError::Usage("--queue-frames must be at least 1".into()));
+                }
+            }
+            "--shed" => opts.shed = true,
+            "--idle-timeout" => {
+                opts.idle_timeout_secs = take_parsed(&mut it, "--idle-timeout")?;
+            }
+            "--max-sessions" => {
+                opts.max_sessions = take_parsed(&mut it, "--max-sessions")?;
+                if opts.max_sessions == 0 {
+                    return Err(CliError::Usage("--max-sessions must be at least 1".into()));
+                }
+            }
+            "--duration" => opts.duration_secs = Some(take_parsed(&mut it, "--duration")?),
+            flag => {
+                if !(flag.starts_with("--") && opts.obs.take_flag(flag, &mut it)?) {
+                    return Err(CliError::Usage(format!("serve: unknown argument {flag}")));
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the `emprof push` argument form.
+fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, CliError> {
+    let mut positional = Vec::new();
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut rate = None;
+    let mut clock = None;
+    let mut frame = 8_192usize;
+    let mut device = "push".to_string();
+    let mut events_out = None;
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value(&mut it, "--addr")?,
+            "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
+            "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
+            "--frame" => {
+                frame = take_parsed(&mut it, "--frame")?;
+                if frame == 0 {
+                    return Err(CliError::Usage("--frame must be at least 1".into()));
+                }
+            }
+            "--device" => device = take_value(&mut it, "--device")?,
+            "--events-out" => events_out = Some(take_value(&mut it, "--events-out")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("push: unknown flag {flag}")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let signal_path = match positional.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            return Err(CliError::Usage(
+                "push requires exactly one signal CSV path".into(),
+            ))
+        }
+    };
+    Ok(PushOpts {
+        signal_path,
+        addr,
+        sample_rate_hz: rate
+            .ok_or_else(|| CliError::Usage("push requires --rate".into()))?,
+        clock_hz: clock.ok_or_else(|| CliError::Usage("push requires --clock".into()))?,
+        frame,
+        device,
+        events_out,
+    })
+}
+
+/// Parses the `emprof watch` argument form.
+fn parse_watch<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<WatchOpts, CliError> {
+    let mut opts = WatchOpts {
+        addr: "127.0.0.1:7700".to_string(),
+        interval_ms: 500,
+        polls: None,
+    };
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--interval-ms" => opts.interval_ms = take_parsed(&mut it, "--interval-ms")?,
+            "--polls" => opts.polls = Some(take_parsed(&mut it, "--polls")?),
+            other => {
+                return Err(CliError::Usage(format!("watch: unknown argument {other}")));
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn expect_end<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<(), CliError> {
     match it.next() {
         None => Ok(()),
@@ -300,13 +481,36 @@ USAGE:
   emprof demo
       End-to-end demonstration against known ground truth.
 
-PARALLELISM (simulate / profile / stats):
-  --threads N      worker threads for the analysis pipeline; the output is
-                   identical for every setting. Defaults to the EMPROF_THREADS
-                   environment variable, then the hardware's parallelism.
-                   --threads 1 forces the plain sequential code path.
+  emprof serve [--addr HOST:PORT] [--threads N] [--queue-frames N] [--shed]
+               [--idle-timeout SECS] [--max-sessions N] [--duration SECS]
+               [--metrics FILE] [--trace FILE] [--verbose-stats]
+      Run the network profiling service: one streaming EMPROF detector per
+      connected producer, a bounded ingest queue per session, and a worker
+      pool draining them. A full queue blocks that producer's socket
+      (explicit backpressure); --shed instead drops oldest sample batches
+      and counts them. Defaults: 127.0.0.1:7700, 64 queued frames,
+      60 s idle timeout, 256 sessions. --duration N drains after N seconds
+      and prints the aggregate stats (omit it to serve until interrupted).
 
-TELEMETRY (simulate / profile / stats):
+  emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
+              [--frame N] [--device NAME] [--events-out FILE]
+      Stream a magnitude CSV to a running service in N-sample batches
+      (default 8192) and print the served profile summary. The events are
+      bit-for-bit what `emprof profile` reports for the same file.
+
+  emprof watch [--addr HOST:PORT] [--interval-ms MS] [--polls N]
+      Tail the service's finalized-event stream and aggregate stats,
+      polling every MS milliseconds (default 500) until interrupted or,
+      with --polls N, for a bounded number of polls.
+
+PARALLELISM (simulate / profile / stats / serve):
+  --threads N      worker threads for the analysis pipeline (and the serve
+                   ingest pool); the output is identical for every setting.
+                   When the flag is absent the EMPROF_THREADS environment
+                   variable is consulted, then the hardware's available
+                   parallelism. --threads 1 forces the sequential path.
+
+TELEMETRY (simulate / profile / stats / serve):
   --metrics FILE   write a metrics snapshot as JSON lines
   --trace FILE     write individual span occurrences as JSON lines
   --verbose-stats  append the human-readable telemetry table
@@ -463,6 +667,103 @@ mod tests {
             parse(&argv("profile --rate 1 --clock 1")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(parse(&argv("serve")).unwrap(), Command::Serve(ServeOpts::default()));
+        match parse(&argv(
+            "serve --addr 0.0.0.0:9000 --threads 3 --queue-frames 16 --shed \
+             --idle-timeout 5 --max-sessions 8 --duration 2 --verbose-stats",
+        ))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.addr, "0.0.0.0:9000");
+                assert_eq!(o.threads, Some(3));
+                assert_eq!(o.queue_frames, 16);
+                assert!(o.shed);
+                assert_eq!(o.idle_timeout_secs, 5);
+                assert_eq!(o.max_sessions, 8);
+                assert_eq!(o.duration_secs, Some(2));
+                assert!(o.obs.verbose_stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve --queue-frames 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("serve extra")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_push() {
+        match parse(&argv(
+            "push cap.csv --rate 40e6 --clock 1e9 --addr 10.0.0.2:7700 \
+             --frame 4096 --device olimex --events-out ev.csv",
+        ))
+        .unwrap()
+        {
+            Command::Push(o) => {
+                assert_eq!(o.signal_path, "cap.csv");
+                assert_eq!(o.addr, "10.0.0.2:7700");
+                assert_eq!(o.sample_rate_hz, 40e6);
+                assert_eq!(o.clock_hz, 1e9);
+                assert_eq!(o.frame, 4096);
+                assert_eq!(o.device, "olimex");
+                assert_eq!(o.events_out.as_deref(), Some("ev.csv"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("push cap.csv --rate 40e6")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("push --rate 1 --clock 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("push cap.csv --rate 1 --clock 1 --frame 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_watch() {
+        match parse(&argv("watch --addr 10.0.0.2:7700 --interval-ms 50 --polls 3")).unwrap()
+        {
+            Command::Watch(o) => {
+                assert_eq!(o.addr, "10.0.0.2:7700");
+                assert_eq!(o.interval_ms, 50);
+                assert_eq!(o.polls, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("watch")).unwrap() {
+            Command::Watch(o) => {
+                assert_eq!(o.addr, "127.0.0.1:7700");
+                assert_eq!(o.interval_ms, 500);
+                assert_eq!(o.polls, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("watch --wat")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn usage_documents_serving_and_threads_env() {
+        assert!(USAGE.contains("emprof serve"));
+        assert!(USAGE.contains("emprof push"));
+        assert!(USAGE.contains("emprof watch"));
+        assert!(USAGE.contains("EMPROF_THREADS"));
     }
 
     #[test]

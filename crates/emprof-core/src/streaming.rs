@@ -102,6 +102,12 @@ pub struct StreamingEmprof {
     last_run: Option<(usize, usize, bool)>,
     /// Events already drained via [`StreamingEmprof::drain_events`].
     drained: usize,
+    /// Whether the most recent refined run ended on a normalized sample
+    /// at or above `edge_level`. A cleanly-ended run can never be merged
+    /// into by a later dip (that sample blocks left refinement), so its
+    /// event — if any — is immutable; a clipped run is still growing and
+    /// its event must not be drained yet.
+    tail_sealed: bool,
     /// Wall-clock instant of the first push, for throughput reporting.
     started_at: Option<Instant>,
     /// Samples pushed since the last telemetry flush.
@@ -141,6 +147,7 @@ impl StreamingEmprof {
             events: Vec::new(),
             last_run: None,
             drained: 0,
+            tail_sealed: true,
             started_at: None,
             unflushed: 0,
         }
@@ -149,6 +156,21 @@ impl StreamingEmprof {
     /// Core cycles per capture sample.
     pub fn cycles_per_sample(&self) -> f64 {
         self.clock_hz / self.sample_rate_hz
+    }
+
+    /// The detector configuration this stream was built with.
+    pub fn config(&self) -> EmprofConfig {
+        self.config
+    }
+
+    /// The capture sample rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The profiled core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
     }
 
     /// Pushes one magnitude sample.
@@ -306,6 +328,7 @@ impl StreamingEmprof {
                 break;
             }
             self.pending.pop_front();
+            self.tail_sealed = self.norm_at(e).is_some_and(|v| v >= edge);
             self.emit(s, e);
             // Trim normalized history: keep what edge refinement of the
             // next dip might need (back to this event's end).
@@ -394,9 +417,25 @@ impl StreamingEmprof {
     /// Events finalized since the last drain — the live-monitoring
     /// interface: call periodically and act on completed stalls while the
     /// capture continues.
+    ///
+    /// Only *immutable* events are released: the most recent event is
+    /// withheld while a later dip could still refine back to its end and
+    /// merge into it in place (a drained copy must never go stale). That
+    /// is exactly while the run behind it ended *clipped* — its right
+    /// edge never reached a sample at or above `edge_level` — because
+    /// such a sample is what blocks all future left refinement. The held
+    /// event is released by the next non-abutting emission or by
+    /// [`finish`].
+    ///
+    /// [`finish`]: StreamingEmprof::finish
     pub fn drain_events(&mut self) -> Vec<StallEvent> {
-        let out = self.events[self.drained..].to_vec();
-        self.drained = self.events.len();
+        let mut stable = self.events.len();
+        if !self.tail_sealed && matches!(self.last_run, Some((_, _, true))) && stable > 0 {
+            stable -= 1;
+        }
+        let stable = stable.max(self.drained);
+        let out = self.events[self.drained..stable].to_vec();
+        self.drained = stable;
         out
     }
 
@@ -606,6 +645,60 @@ mod tests {
         assert!(at < 20_000, "first event only delivered at sample {at}");
         let profile = s.finish();
         assert_eq!(seen + profile.events().len() - seen, 2);
+    }
+
+    #[test]
+    fn drained_events_never_go_stale() {
+        // Two dips bridged by a shelf that sits above `threshold` (so the
+        // raw dips do not merge) but below `edge_level` (so refinement of
+        // the second dip reaches back and merges the *emitted* first
+        // event in place). A drain between the two emits must withhold
+        // the first event until it can no longer change; otherwise the
+        // incremental view diverges from the batch profile.
+        let mut signal = dipped_signal(&[(5_000, 8)], 30_000);
+        for v in signal.iter_mut().skip(5_008).take(6) {
+            *v = 2.1; // normalizes to ~0.42: above threshold, below edge
+        }
+        for v in signal.iter_mut().skip(5_014).take(8) {
+            *v = 0.8; // the second dip
+        }
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let mut drained = Vec::new();
+        for &v in &signal {
+            s.push(v);
+            drained.extend(s.drain_events());
+        }
+        let profile = s.finish();
+        drained.extend_from_slice(&profile.events()[drained.len()..]);
+        let b = batch(&signal);
+        assert_eq!(drained, b.events());
+        assert_eq!(profile.events(), b.events());
+        // The merge really happened: one event spanning both dips.
+        assert_eq!(b.events().len(), 1);
+        assert!(b.events()[0].end_sample - b.events()[0].start_sample >= 20);
+    }
+
+    #[test]
+    fn incremental_drain_matches_batch_on_noisy_signal() {
+        // The same noisy signal as `matches_batch_on_noisy_signal`, but
+        // consumed through per-push drains (the serve ingest pattern).
+        let mut signal: Vec<f64> = (0..60_000)
+            .map(|i| 5.0 + ((i * 2654435761usize) % 1000) as f64 / 2000.0)
+            .collect();
+        for &start in &[10_000usize, 20_000, 30_000, 40_000] {
+            for v in signal.iter_mut().skip(start).take(14) {
+                *v = 0.7 + ((start * 31) % 100) as f64 / 1000.0;
+            }
+        }
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let mut drained = Vec::new();
+        for chunk in signal.chunks(777) {
+            s.extend(chunk.iter().copied());
+            drained.extend(s.drain_events());
+        }
+        let profile = s.finish();
+        drained.extend_from_slice(&profile.events()[drained.len()..]);
+        assert_eq!(drained, batch(&signal).events());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Blocking client library: [`ProfileClient`] streams a capture to an
+//! `emprof-serve` instance and collects the events it detects;
+//! [`WatchClient`] tails the server-wide event stream. Used by the
+//! `emprof push` / `emprof watch` CLI commands, the examples, and the
+//! equivalence tests.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use emprof_core::{EmprofConfig, StallEvent};
+
+use crate::proto::{
+    self, ErrorCode, Frame, Hello, ProtoError, SessionStatsWire, Tail, VERSION,
+};
+
+/// What can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something unreadable.
+    Proto(ProtoError),
+    /// The server answered with an ERROR frame.
+    Server {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server sent a well-formed frame that makes no sense here.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected server reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// Reads one frame, promoting server ERROR frames to [`ClientError`].
+fn read_reply(stream: &mut TcpStream) -> Result<Frame, ClientError> {
+    match proto::read_frame(stream)? {
+        Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+        frame => Ok(frame),
+    }
+}
+
+/// Reads an `EVENTS* STATS` reply sequence.
+fn read_events_and_stats(
+    stream: &mut TcpStream,
+) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
+    let mut events = Vec::new();
+    loop {
+        match read_reply(stream)? {
+            Frame::Events(batch) => events.extend(batch),
+            Frame::Stats(stats) => return Ok((events, stats)),
+            _ => return Err(ClientError::Unexpected("wanted EVENTS or STATS")),
+        }
+    }
+}
+
+fn handshake(
+    stream: &mut TcpStream,
+    hello: Hello,
+) -> Result<(u64, u32), ClientError> {
+    proto::write_frame(stream, &Frame::Hello(hello))?;
+    match read_reply(stream)? {
+        Frame::HelloAck {
+            version,
+            session_id,
+            max_samples_per_frame,
+        } => {
+            if version != VERSION {
+                return Err(ClientError::Unexpected("server negotiated unknown version"));
+            }
+            Ok((session_id, max_samples_per_frame.max(1)))
+        }
+        _ => Err(ClientError::Unexpected("wanted HELLO_ACK")),
+    }
+}
+
+/// A blocking profiling session against an `emprof-serve` instance.
+///
+/// # Example
+///
+/// ```no_run
+/// use emprof_core::EmprofConfig;
+/// use emprof_serve::ProfileClient;
+///
+/// let mut client = ProfileClient::connect(
+///     "127.0.0.1:7700",
+///     "olimex",
+///     EmprofConfig::for_rates(40e6, 1.0e9),
+///     40e6,
+///     1.0e9,
+/// ).unwrap();
+/// client.send(&[5.0; 30_000]).unwrap();
+/// let (events, stats) = client.finish().unwrap();
+/// assert!(stats.final_report);
+/// assert!(events.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ProfileClient {
+    stream: TcpStream,
+    session_id: u64,
+    max_samples_per_frame: usize,
+}
+
+impl ProfileClient {
+    /// Connects and opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, protocol violations, or a server-side
+    /// rejection (bad config, session limit, shutdown).
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        device: &str,
+        config: EmprofConfig,
+        sample_rate_hz: f64,
+        clock_hz: f64,
+    ) -> Result<ProfileClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let (session_id, max_frame) = handshake(
+            &mut stream,
+            Hello {
+                sample_rate_hz,
+                clock_hz,
+                config,
+                device: device.into(),
+                watch: false,
+            },
+        )?;
+        Ok(ProfileClient {
+            stream,
+            session_id,
+            max_samples_per_frame: max_frame as usize,
+        })
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Streams magnitude samples, splitting into frames the server
+    /// accepts. Returns once the batch is written (the server may still
+    /// be processing it; backpressure shows up as this call blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, samples: &[f64]) -> Result<(), ClientError> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        for chunk in samples.chunks(self.max_samples_per_frame) {
+            proto::write_frame(&mut self.stream, &Frame::Samples(chunk.to_vec()))?;
+        }
+        Ok(())
+    }
+
+    /// Asks for every event finalized since the last delivery, plus a
+    /// stats snapshot. Blocks until the server has ingested everything
+    /// sent before this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn flush(&mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::Flush)?;
+        read_events_and_stats(&mut self.stream)
+    }
+
+    /// Ends the capture: the server finalizes the detector and returns
+    /// every not-yet-delivered event and the final stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn finish(mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::Fin)?;
+        read_events_and_stats(&mut self.stream)
+    }
+}
+
+/// A blocking watch subscription: polls the server's finalized-event
+/// tail and aggregate stats.
+#[derive(Debug)]
+pub struct WatchClient {
+    stream: TcpStream,
+    cursor: u64,
+}
+
+impl WatchClient {
+    /// Connects in watch mode (no session, no detector).
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or protocol violations.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<WatchClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        handshake(
+            &mut stream,
+            Hello {
+                sample_rate_hz: 1.0,
+                clock_hz: 1.0,
+                config: EmprofConfig::for_rates(1.0, 1.0),
+                device: "watch".into(),
+                watch: true,
+            },
+        )?;
+        Ok(WatchClient { stream, cursor: 0 })
+    }
+
+    /// One poll: events finalized since the last poll plus server-wide
+    /// stats. The cursor advances automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn poll(&mut self) -> Result<Tail, ClientError> {
+        proto::write_frame(
+            &mut self.stream,
+            &Frame::Watch {
+                cursor: self.cursor,
+            },
+        )?;
+        match read_reply(&mut self.stream)? {
+            Frame::Tail(tail) => {
+                self.cursor = tail.cursor;
+                Ok(tail)
+            }
+            _ => Err(ClientError::Unexpected("wanted TAIL")),
+        }
+    }
+}

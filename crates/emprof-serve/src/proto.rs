@@ -1,0 +1,964 @@
+//! The EMPROF wire protocol: versioned, length-prefixed, checksummed
+//! binary frames (little-endian throughout).
+//!
+//! A connection carries a sequence of frames in both directions. Every
+//! frame starts with a fixed 16-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic            0x454D ("EM")
+//! 2       2     protocol version (currently 1)
+//! 4       1     frame type       (FrameType)
+//! 5       1     flags            (per-type bits)
+//! 6       2     header checksum  FNV-1a-16 of the other 14 header bytes
+//! 8       4     payload length   bounded by MAX_PAYLOAD
+//! 12      4     payload checksum FNV-1a-32 of the payload bytes
+//! ```
+//!
+//! Decoding is fuzz-resistant by construction: the header is validated
+//! (magic, version, header checksum, length bound) before a single
+//! payload byte is read, payload reads are exact-length, the payload
+//! checksum is verified before decoding, and the decoder itself is a
+//! bounds-checked cursor that can fail but never panic and never
+//! allocates more than the (bounded) payload it was handed.
+
+use std::io::{self, Read, Write};
+
+use emprof_core::{EmprofConfig, StallEvent, StallKind};
+
+/// First two header bytes: `b"EM"` read as a little-endian u16.
+pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
+
+/// The protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on any frame payload (4 MiB). A header announcing more is
+/// rejected before any payload is read.
+pub const MAX_PAYLOAD: u32 = 1 << 22;
+
+/// Upper bound on samples per SAMPLES frame (fits `MAX_PAYLOAD` exactly:
+/// a 4-byte count plus `2^19` 8-byte magnitudes).
+pub const MAX_SAMPLES_PER_FRAME: u32 = 1 << 19;
+
+/// Upper bound on any length-prefixed string in a payload.
+const MAX_STRING: usize = 256;
+
+/// Upper bound on events per EVENTS/TAIL frame.
+const MAX_EVENTS_PER_FRAME: u32 = 100_000;
+
+/// HELLO flag: this connection only watches the server-wide event tail;
+/// no session (and no detector) is created for it.
+pub const FLAG_WATCH: u8 = 0b0000_0001;
+
+/// STATS flag: this is the final report of a finished session.
+pub const FLAG_FINAL: u8 = 0b0000_0001;
+
+/// Frame discriminants (header byte 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server: open a session (or a watch subscription).
+    Hello = 1,
+    /// Server → client: session accepted; carries the negotiated limits.
+    HelloAck = 2,
+    /// Client → server: a batch of f64 magnitude samples.
+    Samples = 3,
+    /// Client → server: deliver all events finalized so far.
+    Flush = 4,
+    /// Client → server: end of capture; finalize and report.
+    Fin = 5,
+    /// Server → client: finalized stall events.
+    Events = 6,
+    /// Server → client: per-session progress counters.
+    Stats = 7,
+    /// Either direction: a fatal protocol or server error.
+    Error = 8,
+    /// Watch client → server: poll the event tail from a cursor.
+    Watch = 9,
+    /// Server → watch client: tail events plus server-wide stats.
+    Tail = 10,
+}
+
+impl FrameType {
+    fn from_u8(v: u8) -> Option<FrameType> {
+        Some(match v {
+            1 => FrameType::Hello,
+            2 => FrameType::HelloAck,
+            3 => FrameType::Samples,
+            4 => FrameType::Flush,
+            5 => FrameType::Fin,
+            6 => FrameType::Events,
+            7 => FrameType::Stats,
+            8 => FrameType::Error,
+            9 => FrameType::Watch,
+            10 => FrameType::Tail,
+            _ => return None,
+        })
+    }
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The peer speaks a protocol version this side does not.
+    UnsupportedVersion = 1,
+    /// A frame failed to decode (truncated, bad discriminant, ...).
+    Malformed = 2,
+    /// A header or payload checksum did not verify.
+    Checksum = 3,
+    /// A frame exceeded a protocol bound.
+    TooLarge = 4,
+    /// A frame arrived that is invalid in the current connection state.
+    Protocol = 5,
+    /// The server is shutting down.
+    Shutdown = 6,
+    /// The server's session limit is reached.
+    SessionLimit = 7,
+    /// The session was reaped (idle timeout) or never existed.
+    NoSession = 8,
+    /// Anything else; see the message.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::Checksum,
+            4 => ErrorCode::TooLarge,
+            5 => ErrorCode::Protocol,
+            6 => ErrorCode::Shutdown,
+            7 => ErrorCode::SessionLimit,
+            8 => ErrorCode::NoSession,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// The HELLO payload: what the client is about to stream and how the
+/// detector should be configured for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Capture sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Profiled core clock in Hz.
+    pub clock_hz: f64,
+    /// Full detector configuration (clients default to
+    /// [`EmprofConfig::for_rates`]; the server validates it).
+    pub config: EmprofConfig,
+    /// Free-form device label for logs and the watch tail.
+    pub device: String,
+    /// Whether this is a watch subscription ([`FLAG_WATCH`]).
+    pub watch: bool,
+}
+
+/// The STATS payload: a session's progress counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStatsWire {
+    /// Samples ingested into the detector so far.
+    pub samples_pushed: u64,
+    /// Stall events finalized so far.
+    pub events_emitted: u64,
+    /// Samples currently buffered inside the detector.
+    pub buffered_samples: u64,
+    /// Current depth of the session's ingest queue, in frames.
+    pub queue_depth: u64,
+    /// SAMPLES batches dropped by shed mode.
+    pub sheds: u64,
+    /// Whether this is the final report of a finished session.
+    pub final_report: bool,
+}
+
+/// Server-wide aggregate stats carried in a TAIL reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsWire {
+    /// Sessions currently registered.
+    pub sessions_active: u64,
+    /// Total frames ingested since the server started.
+    pub frames_in: u64,
+    /// Total payload bytes ingested.
+    pub bytes_in: u64,
+    /// Total magnitude samples ingested.
+    pub samples_in: u64,
+    /// Total stall events finalized across all sessions.
+    pub events_total: u64,
+    /// Total batches dropped by shed mode.
+    pub sheds: u64,
+}
+
+/// One finalized event in the watch tail, tagged with its session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailEvent {
+    /// The session that produced the event.
+    pub session_id: u64,
+    /// The event itself.
+    pub event: StallEvent,
+}
+
+/// The TAIL payload: everything a watch poll gets back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tail {
+    /// Pass this back as the next poll's cursor.
+    pub cursor: u64,
+    /// How many tail events were evicted before the polled cursor (0
+    /// means the tail is gapless from the client's point of view).
+    pub missed: u64,
+    /// Server-wide aggregates.
+    pub server: ServerStatsWire,
+    /// Events finalized after the polled cursor.
+    pub events: Vec<TailEvent>,
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// See [`Hello`].
+    Hello(Hello),
+    /// Session accepted.
+    HelloAck {
+        /// The version the server will speak.
+        version: u16,
+        /// The registry id of the new session (0 for watch connections).
+        session_id: u64,
+        /// The largest SAMPLES batch the server will accept.
+        max_samples_per_frame: u32,
+    },
+    /// A batch of magnitude samples.
+    Samples(Vec<f64>),
+    /// Deliver finalized events now.
+    Flush,
+    /// End of capture.
+    Fin,
+    /// Finalized stall events.
+    Events(Vec<StallEvent>),
+    /// Session progress counters.
+    Stats(SessionStatsWire),
+    /// A fatal error; the sender closes after this frame.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Poll the event tail from this cursor.
+    Watch {
+        /// 0 on the first poll, then the cursor from the last TAIL.
+        cursor: u64,
+    },
+    /// Tail events plus server-wide stats.
+    Tail(Tail),
+}
+
+/// What went wrong while reading or decoding a frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The header did not start with [`MAGIC`].
+    BadMagic,
+    /// The peer's version is not one this build speaks.
+    UnsupportedVersion(u16),
+    /// The header checksum did not verify.
+    HeaderChecksum,
+    /// The payload checksum did not verify.
+    PayloadChecksum,
+    /// The announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The frame type byte is unknown.
+    UnknownType(u8),
+    /// The payload failed to decode.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::BadMagic => write!(f, "bad magic (not an EMPROF stream)"),
+            ProtoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {VERSION})")
+            }
+            ProtoError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            ProtoError::PayloadChecksum => write!(f, "payload checksum mismatch"),
+            ProtoError::Oversized(n) => {
+                write!(f, "payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte bound")
+            }
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl ProtoError {
+    /// The error code a peer should be told about this failure.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ProtoError::Io(_) => ErrorCode::Internal,
+            ProtoError::BadMagic | ProtoError::UnknownType(_) | ProtoError::Malformed(_) => {
+                ErrorCode::Malformed
+            }
+            ProtoError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+            ProtoError::HeaderChecksum | ProtoError::PayloadChecksum => ErrorCode::Checksum,
+            ProtoError::Oversized(_) => ErrorCode::TooLarge,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksums: FNV-1a, dependency-free and plenty for corruption detection
+// (integrity, not authentication).
+
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn fnv1a16(bytes: &[u8]) -> u16 {
+    let h = fnv1a32(bytes);
+    ((h >> 16) ^ (h & 0xffff)) as u16
+}
+
+/// The 14 header bytes the header checksum covers (everything but the
+/// checksum field itself).
+fn header_checksum(buf: &[u8; HEADER_LEN]) -> u16 {
+    let mut covered = [0u8; HEADER_LEN - 2];
+    covered[..6].copy_from_slice(&buf[..6]);
+    covered[6..].copy_from_slice(&buf[8..]);
+    fnv1a16(&covered)
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding/decoding.
+
+/// Bounds-checked little-endian payload reader. Every accessor fails
+/// (rather than panicking) on truncation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Malformed("truncated payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        if len > MAX_STRING {
+            return Err(ProtoError::Malformed("string too long"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed("string not UTF-8"))
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(MAX_STRING);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn encode_event(out: &mut Vec<u8>, e: &StallEvent) {
+    out.extend_from_slice(&(e.start_sample as u64).to_le_bytes());
+    out.extend_from_slice(&(e.end_sample as u64).to_le_bytes());
+    out.extend_from_slice(&e.duration_cycles.to_le_bytes());
+    out.push(match e.kind {
+        StallKind::Normal => 0,
+        StallKind::RefreshCollision => 1,
+    });
+}
+
+fn decode_event(c: &mut Cursor<'_>) -> Result<StallEvent, ProtoError> {
+    let start_sample = c.u64()? as usize;
+    let end_sample = c.u64()? as usize;
+    let duration_cycles = c.f64()?;
+    let kind = match c.u8()? {
+        0 => StallKind::Normal,
+        1 => StallKind::RefreshCollision,
+        _ => return Err(ProtoError::Malformed("unknown stall kind")),
+    };
+    if end_sample < start_sample {
+        return Err(ProtoError::Malformed("event ends before it starts"));
+    }
+    Ok(StallEvent {
+        start_sample,
+        end_sample,
+        duration_cycles,
+        kind,
+    })
+}
+
+fn encode_event_list(out: &mut Vec<u8>, events: &[StallEvent]) {
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for e in events {
+        encode_event(out, e);
+    }
+}
+
+fn decode_event_count(c: &mut Cursor<'_>) -> Result<u32, ProtoError> {
+    let count = c.u32()?;
+    if count > MAX_EVENTS_PER_FRAME {
+        return Err(ProtoError::Malformed("event count exceeds bound"));
+    }
+    Ok(count)
+}
+
+fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
+    let mut p = Vec::new();
+    match frame {
+        Frame::Hello(h) => {
+            p.extend_from_slice(&h.sample_rate_hz.to_le_bytes());
+            p.extend_from_slice(&h.clock_hz.to_le_bytes());
+            let c = &h.config;
+            p.extend_from_slice(&(c.norm_window_samples as u64).to_le_bytes());
+            p.extend_from_slice(&c.threshold.to_le_bytes());
+            p.extend_from_slice(&c.min_duration_cycles.to_le_bytes());
+            p.extend_from_slice(&(c.min_duration_samples as u64).to_le_bytes());
+            p.extend_from_slice(&(c.merge_gap_samples as u64).to_le_bytes());
+            p.extend_from_slice(&c.edge_level.to_le_bytes());
+            p.extend_from_slice(&c.refresh_min_cycles.to_le_bytes());
+            put_string(&mut p, &h.device);
+            (FrameType::Hello, if h.watch { FLAG_WATCH } else { 0 }, p)
+        }
+        Frame::HelloAck {
+            version,
+            session_id,
+            max_samples_per_frame,
+        } => {
+            p.extend_from_slice(&version.to_le_bytes());
+            p.extend_from_slice(&session_id.to_le_bytes());
+            p.extend_from_slice(&max_samples_per_frame.to_le_bytes());
+            (FrameType::HelloAck, 0, p)
+        }
+        Frame::Samples(samples) => {
+            p.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+            for s in samples {
+                p.extend_from_slice(&s.to_le_bytes());
+            }
+            (FrameType::Samples, 0, p)
+        }
+        Frame::Flush => (FrameType::Flush, 0, p),
+        Frame::Fin => (FrameType::Fin, 0, p),
+        Frame::Events(events) => {
+            encode_event_list(&mut p, events);
+            (FrameType::Events, 0, p)
+        }
+        Frame::Stats(s) => {
+            p.extend_from_slice(&s.samples_pushed.to_le_bytes());
+            p.extend_from_slice(&s.events_emitted.to_le_bytes());
+            p.extend_from_slice(&s.buffered_samples.to_le_bytes());
+            p.extend_from_slice(&s.queue_depth.to_le_bytes());
+            p.extend_from_slice(&s.sheds.to_le_bytes());
+            (
+                FrameType::Stats,
+                if s.final_report { FLAG_FINAL } else { 0 },
+                p,
+            )
+        }
+        Frame::Error { code, message } => {
+            p.extend_from_slice(&(*code as u16).to_le_bytes());
+            put_string(&mut p, message);
+            (FrameType::Error, 0, p)
+        }
+        Frame::Watch { cursor } => {
+            p.extend_from_slice(&cursor.to_le_bytes());
+            (FrameType::Watch, 0, p)
+        }
+        Frame::Tail(t) => {
+            p.extend_from_slice(&t.cursor.to_le_bytes());
+            p.extend_from_slice(&t.missed.to_le_bytes());
+            let s = &t.server;
+            p.extend_from_slice(&s.sessions_active.to_le_bytes());
+            p.extend_from_slice(&s.frames_in.to_le_bytes());
+            p.extend_from_slice(&s.bytes_in.to_le_bytes());
+            p.extend_from_slice(&s.samples_in.to_le_bytes());
+            p.extend_from_slice(&s.events_total.to_le_bytes());
+            p.extend_from_slice(&s.sheds.to_le_bytes());
+            p.extend_from_slice(&(t.events.len() as u32).to_le_bytes());
+            for te in &t.events {
+                p.extend_from_slice(&te.session_id.to_le_bytes());
+                encode_event(&mut p, &te.event);
+            }
+            (FrameType::Tail, 0, p)
+        }
+    }
+}
+
+fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        FrameType::Hello => {
+            let sample_rate_hz = c.f64()?;
+            let clock_hz = c.f64()?;
+            let config = EmprofConfig {
+                norm_window_samples: c.u64()? as usize,
+                threshold: c.f64()?,
+                min_duration_cycles: c.f64()?,
+                min_duration_samples: c.u64()? as usize,
+                merge_gap_samples: c.u64()? as usize,
+                edge_level: c.f64()?,
+                refresh_min_cycles: c.f64()?,
+            };
+            let device = c.string()?;
+            Frame::Hello(Hello {
+                sample_rate_hz,
+                clock_hz,
+                config,
+                device,
+                watch: flags & FLAG_WATCH != 0,
+            })
+        }
+        FrameType::HelloAck => Frame::HelloAck {
+            version: c.u16()?,
+            session_id: c.u64()?,
+            max_samples_per_frame: c.u32()?,
+        },
+        FrameType::Samples => {
+            let count = c.u32()?;
+            if count > MAX_SAMPLES_PER_FRAME {
+                return Err(ProtoError::Malformed("sample count exceeds bound"));
+            }
+            let mut samples = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                samples.push(c.f64()?);
+            }
+            Frame::Samples(samples)
+        }
+        FrameType::Flush => Frame::Flush,
+        FrameType::Fin => Frame::Fin,
+        FrameType::Events => {
+            let count = decode_event_count(&mut c)?;
+            let mut events = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                events.push(decode_event(&mut c)?);
+            }
+            Frame::Events(events)
+        }
+        FrameType::Stats => Frame::Stats(SessionStatsWire {
+            samples_pushed: c.u64()?,
+            events_emitted: c.u64()?,
+            buffered_samples: c.u64()?,
+            queue_depth: c.u64()?,
+            sheds: c.u64()?,
+            final_report: flags & FLAG_FINAL != 0,
+        }),
+        FrameType::Error => Frame::Error {
+            code: ErrorCode::from_u16(c.u16()?),
+            message: c.string()?,
+        },
+        FrameType::Watch => Frame::Watch { cursor: c.u64()? },
+        FrameType::Tail => {
+            let cursor = c.u64()?;
+            let missed = c.u64()?;
+            let server = ServerStatsWire {
+                sessions_active: c.u64()?,
+                frames_in: c.u64()?,
+                bytes_in: c.u64()?,
+                samples_in: c.u64()?,
+                events_total: c.u64()?,
+                sheds: c.u64()?,
+            };
+            let count = decode_event_count(&mut c)?;
+            let mut events = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let session_id = c.u64()?;
+                events.push(TailEvent {
+                    session_id,
+                    event: decode_event(&mut c)?,
+                });
+            }
+            Frame::Tail(Tail {
+                cursor,
+                missed,
+                server,
+                events,
+            })
+        }
+    };
+    c.done()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------
+// Framed I/O.
+
+/// Serializes a frame to bytes (header + payload).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let (ty, flags, payload) = encode_payload(frame);
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "frame too large");
+    let mut buf = [0u8; HEADER_LEN];
+    buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[2..4].copy_from_slice(&VERSION.to_le_bytes());
+    buf[4] = ty as u8;
+    buf[5] = flags;
+    buf[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf[12..16].copy_from_slice(&fnv1a32(&payload).to_le_bytes());
+    let hsum = header_checksum(&buf);
+    buf[6..8].copy_from_slice(&hsum.to_le_bytes());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&buf);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates transport errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))?;
+    w.flush()
+}
+
+/// Reads one frame, validating every bound and checksum before decoding.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] on transport failure, corruption, protocol
+/// bound violations, or malformed payloads.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    decode_header_then_payload(&header, |len| {
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(payload)
+    })
+}
+
+/// Header validation shared by the streaming reader and the pure-bytes
+/// decoder: `fetch` is called with the validated, bounded payload length.
+fn decode_header_then_payload<F>(
+    header: &[u8; HEADER_LEN],
+    fetch: F,
+) -> Result<Frame, ProtoError>
+where
+    F: FnOnce(usize) -> Result<Vec<u8>, ProtoError>,
+{
+    if u16::from_le_bytes(header[0..2].try_into().unwrap()) != MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let version = u16::from_le_bytes(header[2..4].try_into().unwrap());
+    if version != VERSION {
+        return Err(ProtoError::UnsupportedVersion(version));
+    }
+    if u16::from_le_bytes(header[6..8].try_into().unwrap()) != header_checksum(header) {
+        return Err(ProtoError::HeaderChecksum);
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    let ty = FrameType::from_u8(header[4]).ok_or(ProtoError::UnknownType(header[4]))?;
+    let payload = fetch(len as usize)?;
+    if fnv1a32(&payload) != u32::from_le_bytes(header[12..16].try_into().unwrap()) {
+        return Err(ProtoError::PayloadChecksum);
+    }
+    decode_payload(ty, header[5], &payload)
+}
+
+/// Decodes one frame from a byte slice, returning the frame and how many
+/// bytes it consumed. Used by tests and anyone framing over a non-`Read`
+/// transport.
+///
+/// # Errors
+///
+/// [`ProtoError::Io`] with `UnexpectedEof` when the slice holds less
+/// than one whole frame; other [`ProtoError`]s as in [`read_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtoError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+    let mut consumed = HEADER_LEN;
+    let frame = decode_header_then_payload(&header, |len| {
+        let end = HEADER_LEN
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()))?;
+        consumed = end;
+        Ok(bytes[HEADER_LEN..end].to_vec())
+    })?;
+    Ok((frame, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> EmprofConfig {
+        EmprofConfig::for_rates(40e6, 1.0e9)
+    }
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).expect("decodes");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+        // And through the Read path too.
+        let mut r = &bytes[..];
+        assert_eq!(read_frame(&mut r).expect("reads"), frame);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello(Hello {
+            sample_rate_hz: 40e6,
+            clock_hz: 1.008e9,
+            config: sample_config(),
+            device: "olimex".into(),
+            watch: false,
+        }));
+        roundtrip(Frame::Hello(Hello {
+            sample_rate_hz: 1.0,
+            clock_hz: 1.0,
+            config: sample_config(),
+            device: String::new(),
+            watch: true,
+        }));
+        roundtrip(Frame::HelloAck {
+            version: VERSION,
+            session_id: 42,
+            max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+        });
+        roundtrip(Frame::Samples(vec![]));
+        roundtrip(Frame::Samples((0..1000).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(Frame::Flush);
+        roundtrip(Frame::Fin);
+        roundtrip(Frame::Events(vec![
+            StallEvent {
+                start_sample: 10,
+                end_sample: 20,
+                duration_cycles: 250.0,
+                kind: StallKind::Normal,
+            },
+            StallEvent {
+                start_sample: 100,
+                end_sample: 220,
+                duration_cycles: 3000.0,
+                kind: StallKind::RefreshCollision,
+            },
+        ]));
+        roundtrip(Frame::Stats(SessionStatsWire {
+            samples_pushed: 1,
+            events_emitted: 2,
+            buffered_samples: 3,
+            queue_depth: 4,
+            sheds: 5,
+            final_report: true,
+        }));
+        roundtrip(Frame::Error {
+            code: ErrorCode::SessionLimit,
+            message: "full".into(),
+        });
+        roundtrip(Frame::Watch { cursor: 7 });
+        roundtrip(Frame::Tail(Tail {
+            cursor: 9,
+            missed: 1,
+            server: ServerStatsWire {
+                sessions_active: 2,
+                frames_in: 3,
+                bytes_in: 4,
+                samples_in: 5,
+                events_total: 6,
+                sheds: 7,
+            },
+            events: vec![TailEvent {
+                session_id: 3,
+                event: StallEvent {
+                    start_sample: 5,
+                    end_sample: 9,
+                    duration_cycles: 100.0,
+                    kind: StallKind::Normal,
+                },
+            }],
+        }));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush);
+        bytes[0] = b'X';
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::BadMagic)));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush);
+        bytes[2] = 99;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let mut bytes = encode_frame(&Frame::Watch { cursor: 3 });
+        bytes[5] ^= 0x40; // flip a flag bit without fixing the checksum
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::HeaderChecksum)
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let mut bytes = encode_frame(&Frame::Samples(vec![1.0, 2.0, 3.0]));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::PayloadChecksum)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_reading_payload() {
+        let mut bytes = encode_frame(&Frame::Flush);
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let hsum = header_checksum(&bytes[..HEADER_LEN].try_into().unwrap());
+        bytes[6..8].copy_from_slice(&hsum.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush);
+        bytes[4] = 200;
+        let hsum = header_checksum(&bytes[..HEADER_LEN].try_into().unwrap());
+        bytes[6..8].copy_from_slice(&hsum.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::UnknownType(200))
+        ));
+    }
+
+    #[test]
+    fn truncated_inputs_want_more_bytes() {
+        let bytes = encode_frame(&Frame::Samples(vec![1.0; 16]));
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                matches!(decode_frame(&bytes[..cut]), Err(ProtoError::Io(_))),
+                "cut at {cut} should want more bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzzed_random_bytes_never_panic() {
+        // Deterministic pseudo-random buffers; the decoder must fail
+        // cleanly (or decode — some buffers may be valid) without
+        // panicking or over-allocating.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for len in [0usize, 3, 15, 16, 17, 64, 300] {
+            for _ in 0..200 {
+                let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+                let _ = decode_frame(&buf);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_fields_are_malformed() {
+        // A Samples frame whose count promises more f64s than the
+        // payload carries: rebuild with a consistent checksum so only
+        // the *decoder* can catch it.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&10u32.to_le_bytes()); // promises 10
+        payload.extend_from_slice(&1.0f64.to_le_bytes()); // delivers 1
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&VERSION.to_le_bytes());
+        buf[4] = FrameType::Samples as u8;
+        buf[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf[12..16].copy_from_slice(&fnv1a32(&payload).to_le_bytes());
+        let hsum = header_checksum(&buf);
+        buf[6..8].copy_from_slice(&hsum.to_le_bytes());
+        let mut bytes = buf.to_vec();
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_codes_map_back() {
+        for code in [
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Malformed,
+            ErrorCode::Checksum,
+            ErrorCode::TooLarge,
+            ErrorCode::Protocol,
+            ErrorCode::Shutdown,
+            ErrorCode::SessionLimit,
+            ErrorCode::NoSession,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), code);
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The ingest server: a `TcpListener`, one reader per connection, a
+//! bounded queue per session, and a shared worker pool sized by
+//! [`Parallelism`].
+//!
+//! ## Threading model
+//!
+//! * **accept thread** — blocks on `accept`, spawns a reader per
+//!   connection. Woken for shutdown by a loopback self-connect (the
+//!   signal-free "shutdown pipe").
+//! * **reader threads** — parse frames with short read timeouts (so
+//!   shutdown is observed within ~100 ms even on idle connections),
+//!   enqueue sample batches into the session's bounded queue, and write
+//!   replies. A full queue makes the reader *block*, which stops socket
+//!   reads — explicit backpressure instead of unbounded buffering.
+//!   With [`ServeConfig::shed`], a full queue instead drops its oldest
+//!   batch and counts it.
+//! * **worker pool** — `threads` workers pop ready sessions from a
+//!   channel and drain their queues under the session lock, feeding the
+//!   per-session [`StreamingEmprof`](emprof_core::StreamingEmprof).
+//! * **reaper thread** — periodically finalizes and removes sessions
+//!   whose producers went idle past [`ServeConfig::idle_timeout`].
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] raises a flag, wakes the acceptor, joins the
+//! readers, lets the workers drain every queue, finalizes every
+//! remaining session (`finish()` runs for each — trailing events are
+//! never lost; they land in the tail and the event counters), and only
+//! then returns the final stats.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use emprof_obs as obs;
+use emprof_par::Parallelism;
+
+use emprof_core::StallEvent;
+
+use crate::proto::{
+    self, ErrorCode, Frame, Hello, ProtoError, ServerStatsWire, Tail, TailEvent,
+    MAX_SAMPLES_PER_FRAME, VERSION,
+};
+use crate::session::{Session, SessionRegistry, Work};
+
+/// Read timeout on server-side sockets: the latency bound on observing
+/// shutdown from a blocked read.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How long a reader waits for the worker pool to answer a FLUSH/FIN
+/// marker before giving up on the connection.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Events per EVENTS frame in a reply (below the protocol bound).
+const EVENTS_PER_FRAME: usize = 50_000;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool size (resolved the same way as the analysis
+    /// pipeline: flag > `EMPROF_THREADS` > hardware).
+    pub threads: Parallelism,
+    /// Per-session ingest-queue bound, in frames. This is the server's
+    /// memory guarantee per session.
+    pub queue_frames: usize,
+    /// Shed mode: drop the oldest queued batch instead of blocking the
+    /// reader when a session queue is full. Off by default — the
+    /// equivalence guarantee requires every sample to be ingested.
+    pub shed: bool,
+    /// Sessions idle longer than this are finalized and removed.
+    pub idle_timeout: Duration,
+    /// Maximum concurrently registered sessions.
+    pub max_sessions: usize,
+    /// How many finalized events the watch tail retains.
+    pub tail_capacity: usize,
+    /// Artificial per-batch processing delay in the workers. A test and
+    /// bench aid for exercising backpressure; `None` in production.
+    pub ingest_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: Parallelism::default(),
+            queue_frames: 64,
+            shed: false,
+            idle_timeout: Duration::from_secs(60),
+            max_sessions: 256,
+            tail_capacity: 4096,
+            ingest_delay: None,
+        }
+    }
+}
+
+/// Monotonic server-wide counters.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    sessions_opened: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    samples_in: AtomicU64,
+    events_total: AtomicU64,
+    sheds: AtomicU64,
+    backpressure_ns: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+/// A point-in-time copy of the server-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Sessions opened since startup.
+    pub sessions_opened: u64,
+    /// Sessions currently registered.
+    pub sessions_active: u64,
+    /// SAMPLES frames ingested.
+    pub frames_in: u64,
+    /// Frame payload bytes ingested.
+    pub bytes_in: u64,
+    /// Magnitude samples ingested.
+    pub samples_in: u64,
+    /// Stall events finalized across all sessions.
+    pub events_total: u64,
+    /// Batches dropped by shed mode.
+    pub sheds: u64,
+    /// Total reader-blocked nanoseconds (the backpressure signal).
+    pub backpressure_ns: u64,
+    /// Highest per-session queue depth ever observed, in frames.
+    pub peak_queue_depth: u64,
+}
+
+/// Ring of recently finalized events for `WATCH` polls.
+#[derive(Debug)]
+struct TailRing {
+    events: VecDeque<(u64, TailEvent)>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl TailRing {
+    fn new(capacity: usize) -> Self {
+        TailRing {
+            events: VecDeque::new(),
+            next_seq: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&mut self, session_id: u64, events: &[StallEvent]) {
+        for &event in events {
+            if self.events.len() >= self.capacity {
+                self.events.pop_front();
+            }
+            self.events.push_back((self.next_seq, TailEvent { session_id, event }));
+            self.next_seq += 1;
+        }
+    }
+
+    fn query(&self, cursor: u64) -> (u64, u64, Vec<TailEvent>) {
+        let oldest = self.events.front().map_or(self.next_seq, |&(seq, _)| seq);
+        let missed = oldest.saturating_sub(cursor);
+        let events = self
+            .events
+            .iter()
+            .filter(|&&(seq, _)| seq >= cursor)
+            .map(|&(_, te)| te)
+            .collect();
+        (self.next_seq, missed, events)
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    config: ServeConfig,
+    registry: SessionRegistry,
+    counters: ServerCounters,
+    tail: Mutex<TailRing>,
+    /// Cloned by readers to notify workers; dropped at shutdown so the
+    /// worker loop drains and exits.
+    ready_tx: Mutex<Option<mpsc::Sender<Arc<Session>>>>,
+    ready_rx: Mutex<mpsc::Receiver<Arc<Session>>>,
+    shutdown: AtomicBool,
+    reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Records newly finalized events: tail ring, counters, telemetry.
+    fn record_events(&self, session_id: u64, events: &[StallEvent]) {
+        self.counters
+            .events_total
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        obs::counter_add!("serve.events", events.len() as u64);
+        let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+        tail.push(session_id, events);
+    }
+
+    fn notify_ready(&self, session: &Arc<Session>) {
+        let tx = self.ready_tx.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tx) = tx.as_ref() {
+            let _ = tx.send(Arc::clone(session));
+        }
+    }
+
+    fn stats(&self) -> ServerStatsSnapshot {
+        let c = &self.counters;
+        ServerStatsSnapshot {
+            connections: c.connections.load(Ordering::Relaxed),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_active: self.registry.active() as u64,
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            samples_in: c.samples_in.load(Ordering::Relaxed),
+            events_total: c.events_total.load(Ordering::Relaxed),
+            sheds: c.sheds.load(Ordering::Relaxed),
+            backpressure_ns: c.backpressure_ns.load(Ordering::Relaxed),
+            peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats_wire(&self) -> ServerStatsWire {
+        let s = self.stats();
+        ServerStatsWire {
+            sessions_active: s.sessions_active,
+            frames_in: s.frames_in,
+            bytes_in: s.bytes_in,
+            samples_in: s.samples_in,
+            events_total: s.events_total,
+            sheds: s.sheds,
+        }
+    }
+
+    fn note_sessions_active(&self) {
+        obs::gauge_set!("serve.sessions_active", self.registry.active() as f64);
+    }
+
+    /// Finalizes and unregisters a session, salvaging queued samples.
+    fn close_session(&self, session: &Arc<Session>) {
+        self.registry.remove(session.id);
+        session.finalize(|evs| self.record_events(session.id, evs));
+        self.note_sessions_active();
+    }
+}
+
+/// A running profiling server. Dropping it (or calling
+/// [`Server::shutdown`]) stops it gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    reaper_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a listener and starts the accept, worker, and reaper
+    /// threads. Bind to port 0 for an ephemeral port; the bound address
+    /// is [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener binding failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.threads.get();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            config,
+            registry: SessionRegistry::new(),
+            counters: ServerCounters::default(),
+            tail: Mutex::new(TailRing::new(1)),
+            ready_tx: Mutex::new(Some(ready_tx)),
+            ready_rx: Mutex::new(ready_rx),
+            shutdown: AtomicBool::new(false),
+            reader_handles: Mutex::new(Vec::new()),
+        });
+        *shared.tail.lock().unwrap_or_else(|e| e.into_inner()) =
+            TailRing::new(shared.config.tail_capacity);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("emprof-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("emprof-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+
+        let reaper_shared = Arc::clone(&shared);
+        let reaper_handle = std::thread::Builder::new()
+            .name("emprof-serve-reaper".into())
+            .spawn(move || reaper_loop(&reaper_shared))?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            reaper_handle: Some(reaper_handle),
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server-wide counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Number of currently registered sessions.
+    pub fn sessions_active(&self) -> usize {
+        self.shared.registry.active()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every session queue,
+    /// finalize every session, join every thread, return final stats.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.shutdown_inner();
+        self.shared.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor with a throwaway loopback connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, POLL_INTERVAL);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Readers observe the flag within one poll interval.
+        let readers = std::mem::take(
+            &mut *self
+                .shared
+                .reader_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in readers {
+            let _ = h.join();
+        }
+        // Closing the ready channel lets workers drain it and exit.
+        self.shared
+            .ready_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper_handle.take() {
+            let _ = h.join();
+        }
+        // Anything still registered gets finish() — no trailing event is
+        // ever dropped by a shutdown.
+        for session in self.shared.registry.all() {
+            self.shared.close_session(&session);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("emprof-serve-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared));
+        if let Ok(handle) = spawned {
+            shared
+                .reader_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let msg = {
+            let rx = shared.ready_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match msg {
+            Ok(session) => {
+                let _sp = obs::span!("serve.drain");
+                session.drain_paced(shared.config.ingest_delay, |evs| {
+                    shared.record_events(session.id, evs);
+                });
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn reaper_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL_INTERVAL);
+        for session in shared.registry.reap_idle(shared.config.idle_timeout) {
+            session.finalize(|evs| shared.record_events(session.id, evs));
+        }
+        shared.note_sessions_active();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling.
+
+/// A framed connection with an accumulation buffer, so short read
+/// timeouts (used to observe shutdown) never lose frame sync.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Reads one frame. `Ok(None)` means the peer closed cleanly between
+    /// frames, or shutdown was requested while waiting.
+    fn read_frame(&mut self, shutdown: &AtomicBool) -> Result<Option<Frame>, ProtoError> {
+        loop {
+            if self.buf.len() >= proto::HEADER_LEN {
+                match proto::decode_frame(&self.buf) {
+                    Ok((frame, consumed)) => {
+                        self.buf.drain(..consumed);
+                        return Ok(Some(frame));
+                    }
+                    Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let mut tmp = [0u8; 64 * 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()))
+                    }
+                }
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn write(&mut self, frame: &Frame) -> io::Result<()> {
+        proto::write_frame(&mut self.stream, frame)
+    }
+
+    /// Best-effort error frame; the connection is abandoned after it.
+    fn bail(&mut self, code: ErrorCode, message: &str) {
+        let _ = self.write(&Frame::Error {
+            code,
+            message: message.into(),
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _sp = obs::span!("serve.session");
+    let Ok(mut conn) = Conn::new(stream) else {
+        return;
+    };
+    let hello = match conn.read_frame(&shared.shutdown) {
+        Ok(Some(Frame::Hello(h))) => h,
+        Ok(Some(_)) => {
+            conn.bail(ErrorCode::Protocol, "expected HELLO first");
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            conn.bail(e.error_code(), &e.to_string());
+            return;
+        }
+    };
+    if hello.watch {
+        watch_connection(&mut conn, shared);
+    } else {
+        session_connection(&mut conn, shared, hello);
+    }
+}
+
+fn watch_connection(conn: &mut Conn, shared: &Arc<Shared>) {
+    if conn
+        .write(&Frame::HelloAck {
+            version: VERSION,
+            session_id: 0,
+            max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+        })
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match conn.read_frame(&shared.shutdown) {
+            Ok(Some(Frame::Watch { cursor })) => {
+                let (next, missed, events) = shared
+                    .tail
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .query(cursor);
+                let tail = Frame::Tail(Tail {
+                    cursor: next,
+                    missed,
+                    server: shared.stats_wire(),
+                    events,
+                });
+                if conn.write(&tail).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Frame::Fin)) | Ok(None) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    conn.bail(ErrorCode::Shutdown, "server shutting down");
+                }
+                return;
+            }
+            Ok(Some(_)) => {
+                conn.bail(ErrorCode::Protocol, "watch connections may only WATCH");
+                return;
+            }
+            Err(e) => {
+                conn.bail(e.error_code(), &e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+/// Validates a HELLO's rates and config without panicking.
+fn validate_hello(h: &Hello) -> Result<(), String> {
+    if !(h.sample_rate_hz > 0.0 && h.sample_rate_hz.is_finite()) {
+        return Err(format!("bad sample rate {}", h.sample_rate_hz));
+    }
+    if !(h.clock_hz > 0.0 && h.clock_hz.is_finite()) {
+        return Err(format!("bad clock {}", h.clock_hz));
+    }
+    h.config.validate()
+}
+
+fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
+    if let Err(why) = validate_hello(&hello) {
+        conn.bail(ErrorCode::Malformed, &why);
+        return;
+    }
+    let Some(session) = shared.registry.create(
+        hello.device,
+        hello.config,
+        hello.sample_rate_hz,
+        hello.clock_hz,
+        shared.config.queue_frames,
+        shared.config.max_sessions,
+    ) else {
+        conn.bail(ErrorCode::SessionLimit, "session limit reached");
+        return;
+    };
+    shared.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    shared.note_sessions_active();
+    if conn
+        .write(&Frame::HelloAck {
+            version: VERSION,
+            session_id: session.id,
+            max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+        })
+        .is_err()
+    {
+        shared.close_session(&session);
+        return;
+    }
+
+    loop {
+        match conn.read_frame(&shared.shutdown) {
+            Ok(Some(Frame::Samples(samples))) => {
+                ingest_batch(shared, &session, samples);
+            }
+            Ok(Some(frame @ (Frame::Flush | Frame::Fin))) => {
+                let fin = matches!(frame, Frame::Fin);
+                session.touch(shared.registry.epoch());
+                let (tx, rx) = mpsc::sync_channel(1);
+                let marker = if fin { Work::Fin(tx) } else { Work::Flush(tx) };
+                // Control markers never shed; they block until there is
+                // room (the workers are guaranteed to make some).
+                session.queue.push_blocking(marker);
+                shared.notify_ready(&session);
+                match rx.recv_timeout(REPLY_TIMEOUT) {
+                    Ok(reply) => {
+                        let mut ok = true;
+                        for chunk in reply.events.chunks(EVENTS_PER_FRAME) {
+                            ok = ok && conn.write(&Frame::Events(chunk.to_vec())).is_ok();
+                        }
+                        if reply.events.is_empty() {
+                            ok = ok && conn.write(&Frame::Events(Vec::new())).is_ok();
+                        }
+                        ok = ok && conn.write(&Frame::Stats(reply.stats)).is_ok();
+                        if !ok || fin {
+                            if fin && session.finished() {
+                                shared.registry.remove(session.id);
+                                shared.note_sessions_active();
+                            } else if !ok {
+                                shared.close_session(&session);
+                            }
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        conn.bail(ErrorCode::Internal, "worker pool did not answer");
+                        shared.close_session(&session);
+                        return;
+                    }
+                }
+            }
+            Ok(Some(_)) => {
+                conn.bail(ErrorCode::Protocol, "unexpected frame in session");
+                shared.close_session(&session);
+                return;
+            }
+            Ok(None) => {
+                // Peer closed without FIN, or shutdown: salvage the tail.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    conn.bail(ErrorCode::Shutdown, "server shutting down; session finalized");
+                }
+                shared.close_session(&session);
+                return;
+            }
+            Err(e) => {
+                conn.bail(e.error_code(), &e.to_string());
+                shared.close_session(&session);
+                return;
+            }
+        }
+    }
+}
+
+fn ingest_batch(shared: &Arc<Shared>, session: &Arc<Session>, samples: Vec<f64>) {
+    session.touch(shared.registry.epoch());
+    let n = samples.len();
+    let bytes = (n * 8 + 4) as u64;
+    let receipt = if shared.config.shed {
+        session.queue.push_shedding(Work::Samples(samples), Work::sheddable)
+    } else {
+        session.queue.push_blocking(Work::Samples(samples))
+    };
+    let c = &session.counters;
+    c.frames_in.fetch_add(1, Ordering::Relaxed);
+    c.samples_in.fetch_add(n as u64, Ordering::Relaxed);
+    c.sheds.fetch_add(receipt.shed as u64, Ordering::Relaxed);
+    c.backpressure_ns
+        .fetch_add(receipt.blocked_ns, Ordering::Relaxed);
+    let sc = &shared.counters;
+    sc.frames_in.fetch_add(1, Ordering::Relaxed);
+    sc.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    sc.samples_in.fetch_add(n as u64, Ordering::Relaxed);
+    sc.sheds.fetch_add(receipt.shed as u64, Ordering::Relaxed);
+    sc.backpressure_ns
+        .fetch_add(receipt.blocked_ns, Ordering::Relaxed);
+    sc.peak_queue_depth
+        .fetch_max(receipt.depth as u64, Ordering::Relaxed);
+    obs::counter_add!("serve.frames_in", 1);
+    obs::counter_add!("serve.bytes_in", bytes);
+    obs::counter_add!("serve.samples_in", n as u64);
+    if receipt.shed > 0 {
+        obs::counter_add!("serve.sheds", receipt.shed as u64);
+    }
+    if receipt.blocked_ns > 0 {
+        obs::counter_add!("serve.backpressure_ns", receipt.blocked_ns);
+    }
+    obs::gauge_set!("serve.queue_depth", receipt.depth as f64);
+    shared.notify_ready(session);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_ring_evicts_and_reports_missed() {
+        let ev = StallEvent {
+            start_sample: 0,
+            end_sample: 1,
+            duration_cycles: 50.0,
+            kind: emprof_core::StallKind::Normal,
+        };
+        let mut ring = TailRing::new(4);
+        ring.push(1, &[ev; 6]);
+        let (cursor, missed, events) = ring.query(0);
+        assert_eq!(cursor, 6);
+        assert_eq!(missed, 2, "two events evicted before the cursor");
+        assert_eq!(events.len(), 4);
+        // Polling from the returned cursor sees nothing new and misses
+        // nothing.
+        let (c2, missed2, events2) = ring.query(cursor);
+        assert_eq!(c2, 6);
+        assert_eq!(missed2, 0);
+        assert!(events2.is_empty());
+    }
+
+    #[test]
+    fn tail_ring_incremental_polls_partition_events() {
+        let ev = |s: usize| StallEvent {
+            start_sample: s,
+            end_sample: s + 1,
+            duration_cycles: 50.0,
+            kind: emprof_core::StallKind::Normal,
+        };
+        let mut ring = TailRing::new(100);
+        ring.push(1, &[ev(0), ev(2)]);
+        let (c1, m1, e1) = ring.query(0);
+        assert_eq!((c1, m1, e1.len()), (2, 0, 2));
+        ring.push(2, &[ev(4)]);
+        let (c2, m2, e2) = ring.query(c1);
+        assert_eq!((c2, m2, e2.len()), (3, 0, 1));
+        assert_eq!(e2[0].session_id, 2);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_frames > 0);
+        assert!(!c.shed);
+        assert!(c.max_sessions > 0);
+        assert!(c.ingest_delay.is_none());
+    }
+}

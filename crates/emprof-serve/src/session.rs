@@ -1,0 +1,462 @@
+//! Sessions: one [`StreamingEmprof`] per connected producer, held in a
+//! registry keyed by session id.
+//!
+//! A session outlives any single socket read: the connection reader
+//! enqueues work into the session's bounded queue, a pool worker drains
+//! the queue under the session lock, and the registry's reaper removes
+//! sessions whose producers went silent (a dead IoT node must not pin a
+//! detector forever). Finalizing a session — whether by FIN, by server
+//! shutdown, or by the reaper — always runs `finish()`, so trailing
+//! events are never lost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use emprof_core::{EmprofConfig, StallEvent, StreamingEmprof};
+
+use crate::proto::SessionStatsWire;
+use crate::queue::BoundedQueue;
+
+/// Reply to a FLUSH marker: the events finalized since the last
+/// delivery, plus a stats snapshot taken after they were drained.
+#[derive(Debug)]
+pub struct FlushReply {
+    /// Newly finalized events (empty if nothing completed since the
+    /// last FLUSH).
+    pub events: Vec<StallEvent>,
+    /// Post-drain progress counters.
+    pub stats: SessionStatsWire,
+}
+
+/// One unit of work in a session's ingest queue.
+#[derive(Debug)]
+pub enum Work {
+    /// A batch of magnitude samples from a SAMPLES frame.
+    Samples(Vec<f64>),
+    /// Deliver pending events through the channel (FLUSH).
+    Flush(mpsc::SyncSender<FlushReply>),
+    /// Finalize the detector and deliver everything (FIN).
+    Fin(mpsc::SyncSender<FlushReply>),
+}
+
+impl Work {
+    /// Whether shed mode may drop this item. Only sample batches are
+    /// sheddable; control markers carry reply channels a client is
+    /// blocked on.
+    pub fn sheddable(&self) -> bool {
+        matches!(self, Work::Samples(_))
+    }
+}
+
+/// The mutable half of a session, guarded by one lock so a session's
+/// samples are always ingested in arrival order even when several pool
+/// workers race to drain the same queue.
+#[derive(Debug)]
+struct SessionState {
+    /// `None` once finalized.
+    detector: Option<StreamingEmprof>,
+    /// All events finalized so far (drained incrementally from the
+    /// detector so the watch tail sees them live).
+    events: Vec<StallEvent>,
+    /// How many of `events` were already delivered to the session's own
+    /// client via FLUSH replies.
+    delivered: usize,
+    /// The detector's sample count at finalization. The wire-level
+    /// `samples_in` counter is not a substitute: in shed mode it also
+    /// counts batches that were dropped before reaching the detector.
+    final_samples_pushed: u64,
+}
+
+/// Counters a session exposes without taking its state lock.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Samples accepted into the queue.
+    pub samples_in: AtomicU64,
+    /// SAMPLES frames accepted into the queue.
+    pub frames_in: AtomicU64,
+    /// Batches dropped by shed mode.
+    pub sheds: AtomicU64,
+    /// Total nanoseconds the connection reader spent blocked on a full
+    /// queue (the backpressure signal).
+    pub backpressure_ns: AtomicU64,
+}
+
+/// One profiling session.
+#[derive(Debug)]
+pub struct Session {
+    /// Registry key, also sent to the client in HELLO_ACK.
+    pub id: u64,
+    /// Device label from HELLO (logs and the watch tail).
+    pub device: String,
+    /// Ingest queue between the connection reader and the worker pool.
+    pub queue: BoundedQueue<Work>,
+    /// Lock-free counters.
+    pub counters: SessionCounters,
+    state: Mutex<SessionState>,
+    /// Nanoseconds since the registry epoch of the last client activity.
+    last_active_ns: AtomicU64,
+}
+
+impl Session {
+    fn new(
+        id: u64,
+        device: String,
+        config: EmprofConfig,
+        sample_rate_hz: f64,
+        clock_hz: f64,
+        queue_capacity: usize,
+        epoch: Instant,
+    ) -> Self {
+        Session {
+            id,
+            device,
+            queue: BoundedQueue::new(queue_capacity),
+            counters: SessionCounters::default(),
+            state: Mutex::new(SessionState {
+                detector: Some(StreamingEmprof::new(config, sample_rate_hz, clock_hz)),
+                events: Vec::new(),
+                delivered: 0,
+                final_samples_pushed: 0,
+            }),
+            last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
+        }
+    }
+
+    /// Marks the session as just-touched by its client.
+    pub fn touch(&self, epoch: Instant) {
+        self.last_active_ns
+            .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// How long since the client last sent a frame.
+    pub fn idle_for(&self, epoch: Instant) -> Duration {
+        let now = epoch.elapsed().as_nanos() as u64;
+        Duration::from_nanos(now.saturating_sub(self.last_active_ns.load(Ordering::Relaxed)))
+    }
+
+    fn stats_locked(&self, st: &SessionState) -> SessionStatsWire {
+        let (pushed, buffered) = match &st.detector {
+            Some(d) => (d.samples_pushed() as u64, d.buffered_samples() as u64),
+            None => (st.final_samples_pushed, 0),
+        };
+        SessionStatsWire {
+            samples_pushed: pushed,
+            events_emitted: st.events.len() as u64,
+            buffered_samples: buffered,
+            queue_depth: self.queue.depth() as u64,
+            sheds: self.counters.sheds.load(Ordering::Relaxed),
+            final_report: st.detector.is_none(),
+        }
+    }
+
+    /// A stats snapshot (takes the state lock briefly).
+    pub fn stats(&self) -> SessionStatsWire {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.stats_locked(&st)
+    }
+
+    /// Drains the session's queue, feeding the detector and answering
+    /// control markers. Called by pool workers under no other lock; the
+    /// internal state lock serializes racing workers so samples are
+    /// consumed in queue order. Newly finalized events are passed to
+    /// `on_events` (the server hangs the watch tail and the `serve.*`
+    /// event counters there). Returns how many batches were processed.
+    pub fn drain<F: FnMut(&[StallEvent])>(&self, on_events: F) -> usize {
+        self.drain_paced(None, on_events)
+    }
+
+    /// [`Session::drain`] with an artificial per-batch delay — the
+    /// deliberately-slow-worker knob backpressure tests and the soak
+    /// bench turn ([`ServeConfig::ingest_delay`](crate::ServeConfig)).
+    pub fn drain_paced<F: FnMut(&[StallEvent])>(
+        &self,
+        per_batch_delay: Option<Duration>,
+        mut on_events: F,
+    ) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut batches = 0;
+        while let Some(work) = self.queue.try_pop() {
+            match work {
+                Work::Samples(samples) => {
+                    batches += 1;
+                    if let Some(delay) = per_batch_delay {
+                        std::thread::sleep(delay);
+                    }
+                    if let Some(detector) = st.detector.as_mut() {
+                        detector.extend(samples.iter().copied());
+                        let fresh = detector.drain_events();
+                        if !fresh.is_empty() {
+                            on_events(&fresh);
+                            st.events.extend(fresh);
+                        }
+                    }
+                    // A finalized session silently discards late batches;
+                    // the client learns its fate on the next control frame.
+                }
+                Work::Flush(reply) => {
+                    let events = st.events[st.delivered..].to_vec();
+                    st.delivered = st.events.len();
+                    let stats = self.stats_locked(&st);
+                    let _ = reply.send(FlushReply { events, stats });
+                }
+                Work::Fin(reply) => {
+                    if let Some(detector) = st.detector.take() {
+                        let profile = detector.finish();
+                        st.final_samples_pushed = profile.total_samples() as u64;
+                        let tail = &profile.events()[st.events.len()..];
+                        if !tail.is_empty() {
+                            on_events(tail);
+                            st.events.extend_from_slice(tail);
+                        }
+                    }
+                    let events = st.events[st.delivered..].to_vec();
+                    st.delivered = st.events.len();
+                    let stats = self.stats_locked(&st);
+                    let _ = reply.send(FlushReply { events, stats });
+                }
+            }
+        }
+        batches
+    }
+
+    /// Finalizes the detector outside the FIN path (server shutdown or
+    /// idle reaping): drains whatever is queued, then runs `finish()` so
+    /// trailing events still reach the tail. Idempotent.
+    pub fn finalize<F: FnMut(&[StallEvent])>(&self, mut on_events: F) {
+        self.drain(&mut on_events);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(detector) = st.detector.take() {
+            let profile = detector.finish();
+            st.final_samples_pushed = profile.total_samples() as u64;
+            let tail = &profile.events()[st.events.len()..];
+            if !tail.is_empty() {
+                on_events(tail);
+                st.events.extend_from_slice(tail);
+            }
+        }
+    }
+
+    /// Whether the detector has been finalized.
+    pub fn finished(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .detector
+            .is_none()
+    }
+}
+
+/// The registry of live sessions.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_id: AtomicU64,
+    /// Timebase for idle accounting (monotonic, shared by all sessions).
+    epoch: Instant,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The idle timebase.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Creates and registers a session; fails when `max_sessions` live
+    /// sessions already exist.
+    pub fn create(
+        &self,
+        device: String,
+        config: EmprofConfig,
+        sample_rate_hz: f64,
+        clock_hz: f64,
+        queue_capacity: usize,
+        max_sessions: usize,
+    ) -> Option<Arc<Session>> {
+        let mut map = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= max_sessions {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session::new(
+            id,
+            device,
+            config,
+            sample_rate_hz,
+            clock_hz,
+            queue_capacity,
+            self.epoch,
+        ));
+        map.insert(id, Arc::clone(&session));
+        Some(session)
+    }
+
+    /// Looks a session up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Session>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Unregisters a session (its `Arc` stays valid for holders).
+    pub fn remove(&self, id: u64) -> Option<Arc<Session>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+    }
+
+    /// Number of live sessions.
+    pub fn active(&self) -> usize {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// All live sessions (snapshot).
+    pub fn all(&self) -> Vec<Arc<Session>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes (and returns) every session idle longer than `timeout`.
+    /// The caller finalizes them so queued samples still produce events.
+    pub fn reap_idle(&self, timeout: Duration) -> Vec<Arc<Session>> {
+        let mut map = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let dead: Vec<u64> = map
+            .iter()
+            .filter(|(_, s)| s.idle_for(self.epoch) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        dead.into_iter().filter_map(|id| map.remove(&id)).collect()
+    }
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emprof_core::{Emprof, EmprofConfig};
+
+    const FS: f64 = 40e6;
+    const CLK: f64 = 1.0e9;
+
+    fn config() -> EmprofConfig {
+        EmprofConfig::for_rates(FS, CLK)
+    }
+
+    fn dipped_signal(len: usize) -> Vec<f64> {
+        let mut v = vec![5.0; len];
+        for x in v.iter_mut().skip(5_000).take(12) {
+            *x = 0.8;
+        }
+        v
+    }
+
+    fn registry_session(reg: &SessionRegistry) -> Arc<Session> {
+        reg.create("dev".into(), config(), FS, CLK, 8, 16)
+            .expect("session created")
+    }
+
+    #[test]
+    fn drain_feeds_detector_and_fin_matches_batch() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        let signal = dipped_signal(30_000);
+        for chunk in signal.chunks(1000) {
+            s.queue.push_blocking(Work::Samples(chunk.to_vec()));
+            s.drain(|_| {});
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        s.queue.push_blocking(Work::Fin(tx));
+        s.drain(|_| {});
+        let reply = rx.recv().unwrap();
+        assert!(reply.stats.final_report);
+        let batch = Emprof::new(config()).profile_magnitude(&signal, FS, CLK);
+        assert_eq!(reply.events, batch.events());
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn flush_delivers_incrementally_without_duplicates() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        let signal = dipped_signal(30_000);
+        let mut delivered = Vec::new();
+        for chunk in signal.chunks(3_000) {
+            s.queue.push_blocking(Work::Samples(chunk.to_vec()));
+            let (tx, rx) = mpsc::sync_channel(1);
+            s.queue.push_blocking(Work::Flush(tx));
+            s.drain(|_| {});
+            delivered.extend(rx.recv().unwrap().events);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        s.queue.push_blocking(Work::Fin(tx));
+        s.drain(|_| {});
+        delivered.extend(rx.recv().unwrap().events);
+        let batch = Emprof::new(config()).profile_magnitude(&signal, FS, CLK);
+        assert_eq!(delivered, batch.events());
+    }
+
+    #[test]
+    fn finalize_salvages_queued_samples() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        let signal = dipped_signal(30_000);
+        let mut seen = Vec::new();
+        // Queue everything without draining: finalize must both drain
+        // the queue and run finish().
+        for chunk in signal.chunks(8_000) {
+            s.queue.push_blocking(Work::Samples(chunk.to_vec()));
+        }
+        s.finalize(|evs| seen.extend_from_slice(evs));
+        let batch = Emprof::new(config()).profile_magnitude(&signal, FS, CLK);
+        assert_eq!(seen, batch.events());
+        // Idempotent.
+        s.finalize(|_| panic!("no events on second finalize"));
+    }
+
+    #[test]
+    fn registry_enforces_session_limit() {
+        let reg = SessionRegistry::new();
+        for _ in 0..3 {
+            assert!(reg.create("d".into(), config(), FS, CLK, 4, 3).is_some());
+        }
+        assert!(reg.create("d".into(), config(), FS, CLK, 4, 3).is_none());
+        assert_eq!(reg.active(), 3);
+    }
+
+    #[test]
+    fn reaper_removes_only_idle_sessions() {
+        let reg = SessionRegistry::new();
+        let stale = registry_session(&reg);
+        std::thread::sleep(Duration::from_millis(30));
+        let fresh = registry_session(&reg);
+        fresh.touch(reg.epoch());
+        let reaped = reg.reap_idle(Duration::from_millis(15));
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].id, stale.id);
+        assert_eq!(reg.active(), 1);
+        assert!(reg.get(fresh.id).is_some());
+        assert!(reg.get(stale.id).is_none());
+    }
+}

@@ -13,4 +13,12 @@ cargo clippy --workspace -- -D warnings
 # writes BENCH_pipeline.json.
 cargo run -q --release -p emprof-bench --bin perf_pipeline -- --smoke --out BENCH_pipeline.json
 
+# Served-equals-batch equivalence: random signals, frame sizes, FLUSH
+# patterns, and concurrent sessions against a real loopback server.
+cargo test -q --release --test serve_equivalence
+
+# Serve soak smoke: 4 concurrent sessions for a bounded duration; fails
+# on any lost event, queue-bound violation, or counter drift.
+cargo run -q --release -p emprof-bench --bin serve_soak -- --smoke --seconds 8
+
 echo "verify: OK"

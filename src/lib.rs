@@ -16,6 +16,7 @@
 //! | [`attrib`] | `emprof-attrib` | spectral-profiling code attribution |
 //! | [`baseline`] | `emprof-baseline` | perf-style counter-sampling baseline |
 //! | [`par`] | `emprof-par` | worker pool + chunk planning for the parallel pipeline |
+//! | [`serve`] | `emprof-serve` | concurrent network profiling service + client |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@ pub use emprof_dram as dram;
 pub use emprof_emsim as emsim;
 pub use emprof_obs as obs;
 pub use emprof_par as par;
+pub use emprof_serve as serve;
 pub use emprof_signal as signal;
 pub use emprof_sim as sim;
 pub use emprof_workloads as workloads;

@@ -98,4 +98,51 @@ proptest! {
         prop_assert!(live.len() <= profile.events().len());
         prop_assert_eq!(&live[..], &profile.events()[..live.len()]);
     }
+
+    /// The most pathological feed possible: one `push` per sample with a
+    /// drain after every single push. The drained stream followed by the
+    /// finish tail must still be the batch profile, event for event.
+    #[test]
+    fn single_sample_push_loop_with_drains_equals_batch(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..12),
+        noise in any::<bool>(),
+    ) {
+        let signal = build_signal(&segments, noise);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let batch = Emprof::new(config).profile_magnitude(&signal, FS, CLK);
+        let mut streaming = StreamingEmprof::new(config, FS, CLK);
+        let mut live = Vec::new();
+        for &v in &signal {
+            streaming.push(v);
+            live.extend(streaming.drain_events());
+        }
+        let profile = streaming.finish();
+        prop_assert_eq!(&live[..], &profile.events()[..live.len()]);
+        live.extend_from_slice(&profile.events()[live.len()..]);
+        prop_assert_eq!(&live[..], batch.events());
+    }
+
+    /// Prime-sized chunks (never aligned with dips, windows, or each
+    /// other) with a drain between every chunk still equal batch.
+    #[test]
+    fn prime_sized_chunks_with_drains_equal_batch(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..20),
+        prime_idx in 0usize..8,
+    ) {
+        const PRIMES: [usize; 8] = [2, 3, 7, 31, 127, 509, 1021, 4093];
+        let chunk = PRIMES[prime_idx];
+        let signal = build_signal(&segments, true);
+        let config = EmprofConfig::for_rates(FS, CLK);
+        let batch = Emprof::new(config).profile_magnitude(&signal, FS, CLK);
+        let mut streaming = StreamingEmprof::new(config, FS, CLK);
+        let mut live = Vec::new();
+        for c in signal.chunks(chunk) {
+            streaming.extend(c.iter().copied());
+            live.extend(streaming.drain_events());
+        }
+        let profile = streaming.finish();
+        prop_assert_eq!(&live[..], &profile.events()[..live.len()]);
+        live.extend_from_slice(&profile.events()[live.len()..]);
+        prop_assert_eq!(&live[..], batch.events());
+    }
 }
