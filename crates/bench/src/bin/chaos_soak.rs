@@ -1,0 +1,273 @@
+//! Chaos soak for emprof-serve: concurrent sessions streaming *faulted*
+//! signals at a server while their connections are repeatedly severed
+//! mid-stream, verifying the resilience layer's load-bearing claims:
+//!
+//! 1. **every session resumes** — each forced transport loss is healed by
+//!    reconnect-and-resume; no round is lost to a dropped socket;
+//! 2. **faults never corrupt events** — the served event stream equals
+//!    the batch detector's output on the same faulted signal, bit for
+//!    bit, so NaN/inf injection can only *remove* samples, never alter
+//!    events on the survivors;
+//! 3. **honest accounting** — the server's rejected-sample count equals
+//!    the number of non-finite samples the faults actually produced.
+//!
+//! `--smoke` runs 4 concurrent sessions for a few bounded rounds (CI
+//! sized); full mode runs 8 sessions and ~3× the work. `--seconds N`
+//! overrides the soak budget. Exits non-zero on any violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use emprof_core::{Emprof, EmprofConfig, StallEvent};
+use emprof_fault::{flag_degraded, survivor_dropout_points, FaultInjector, FaultPlan};
+use emprof_serve::{ClientConfig, ProfileClient, ServeConfig, Server};
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+const QUEUE_FRAMES: usize = 16;
+
+fn config() -> EmprofConfig {
+    EmprofConfig::for_rates(FS, CLK)
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_secs(10),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(100),
+        max_reconnects: 8,
+        ..ClientConfig::default()
+    }
+}
+
+/// Deterministic busy/dip signal, distinct per (session, round).
+fn build_signal(session: usize, round: usize, segments: usize) -> Vec<f64> {
+    let mut s = Vec::new();
+    for j in 0..segments {
+        let x = (session * 7919 + round * 15485863 + j * 104729) as u64;
+        let gap = 3 + (x % 601) as usize;
+        let dip = ((x / 601) % 160) as usize;
+        let dip_level = 0.3 + ((x / 96160) % 256) as f64 / 255.0 * 1.2;
+        for k in 0..gap {
+            s.push(5.0 + (((j * 131 + k) * 2654435761) % 997) as f64 / 3000.0);
+        }
+        for k in 0..dip {
+            s.push(dip_level + (((j * 137 + k) * 2654435761) % 997) as f64 / 5000.0);
+        }
+    }
+    s.extend(std::iter::repeat_n(5.0, 400));
+    s
+}
+
+fn batch_events(signal: &[f64]) -> Vec<StallEvent> {
+    Emprof::new(config())
+        .profile_magnitude(signal, FS, CLK)
+        .events()
+        .to_vec()
+}
+
+struct SessionTally {
+    rounds: usize,
+    mismatches: usize,
+    miscounts: usize,
+    resumes: u64,
+    forced_drops: u64,
+    degraded_events: u64,
+    rejected: u64,
+}
+
+fn run_round(
+    addr: std::net::SocketAddr,
+    session: usize,
+    round: usize,
+    segments: usize,
+    tally: &mut SessionTally,
+) {
+    let mut signal = build_signal(session, round, segments);
+    let seed = (session as u64) << 32 | round as u64 | 1;
+    let mut injector = FaultInjector::new(FaultPlan::chaos(), seed);
+    let report = injector.inject(&mut signal);
+    let non_finite = signal.iter().filter(|v| !v.is_finite()).count() as u64;
+
+    let mut client = ProfileClient::connect_with(
+        addr,
+        &format!("chaos-{session}"),
+        config(),
+        FS,
+        CLK,
+        client_config(),
+    )
+    .expect("open session");
+    let before = client.reconnects();
+
+    let frame = 64 + session * 997;
+    let mut served = Vec::new();
+    for (i, chunk) in signal.chunks(frame).enumerate() {
+        // Sever the transport between sends at deterministic points; the
+        // next operation must reconnect and resume the same session.
+        if (i + session + round) % 9 == 3 {
+            client.drop_connection();
+            tally.forced_drops += 1;
+        }
+        client.send(chunk).expect("stream frame");
+        if (i + 1) % 4 == 0 {
+            let (events, _) = client.flush().expect("flush");
+            served.extend(events);
+        }
+    }
+    let resumed = client.reconnects();
+    let (tail, stats) = client.finish().expect("finish");
+    served.extend(tail);
+    tally.resumes += resumed - before;
+
+    assert!(stats.final_report);
+    tally.rejected += stats.samples_rejected;
+    if stats.samples_pushed + stats.samples_rejected != signal.len() as u64
+        || stats.samples_rejected != non_finite
+    {
+        tally.miscounts += 1;
+    }
+    // The served stream must equal a local batch run on the identical
+    // faulted signal: the sanitizer, not luck, is what keeps NaN/inf
+    // from reaching the detector.
+    if served != batch_events(&signal) {
+        tally.mismatches += 1;
+    }
+    let gap_points = survivor_dropout_points(&report.dropouts, &signal);
+    tally.degraded_events += flag_degraded(&served, &gap_points)
+        .iter()
+        .filter(|&&d| d)
+        .count() as u64;
+    tally.rounds += 1;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let budget = args
+        .iter()
+        .position(|a| a == "--seconds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(if smoke {
+            Duration::from_secs(10)
+        } else {
+            Duration::from_secs(45)
+        });
+    let sessions = if smoke { 4 } else { 8 };
+    let segments = if smoke { 12 } else { 32 };
+
+    println!(
+        "chaos soak: {sessions} concurrent sessions, {:?} budget ({} mode)",
+        budget,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let server = Arc::new(
+        Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                queue_frames: QUEUE_FRAMES,
+                heartbeat_interval: Some(Duration::from_millis(500)),
+                // The resume window: a detached session must survive at
+                // least this long for the client to come back.
+                idle_timeout: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback server"),
+    );
+    let barrier = Arc::new(Barrier::new(sessions));
+    let deadline = Instant::now() + budget;
+    let degraded_total = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..sessions)
+        .map(|k| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let degraded_total = Arc::clone(&degraded_total);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut tally = SessionTally {
+                    rounds: 0,
+                    mismatches: 0,
+                    miscounts: 0,
+                    resumes: 0,
+                    forced_drops: 0,
+                    degraded_events: 0,
+                    rejected: 0,
+                };
+                while Instant::now() < deadline {
+                    run_round(server.local_addr(), k, tally.rounds, segments, &mut tally);
+                }
+                degraded_total.fetch_add(tally.degraded_events, Ordering::Relaxed);
+                tally
+            })
+        })
+        .collect();
+
+    let mut rounds = 0usize;
+    let mut mismatches = 0usize;
+    let mut miscounts = 0usize;
+    let mut resumes = 0u64;
+    let mut forced_drops = 0u64;
+    let mut rejected = 0u64;
+    for h in handles {
+        let t = h.join().expect("session thread panicked");
+        rounds += t.rounds;
+        mismatches += t.mismatches;
+        miscounts += t.miscounts;
+        resumes += t.resumes;
+        forced_drops += t.forced_drops;
+        rejected += t.rejected;
+    }
+    let server = Arc::into_inner(server).expect("all clients done");
+    let stats = server.shutdown();
+
+    println!(
+        "{rounds} rounds: {forced_drops} forced transport losses, {resumes} resumes \
+         (server counted {}), {rejected} samples rejected server-side, {} degraded events flagged",
+        stats.reconnects,
+        degraded_total.load(Ordering::Relaxed),
+    );
+
+    let mut failures = Vec::new();
+    if mismatches > 0 {
+        failures.push(format!(
+            "{mismatches} rounds diverged from the batch detector on the faulted signal"
+        ));
+    }
+    if miscounts > 0 {
+        failures.push(format!(
+            "{miscounts} rounds misaccounted accepted vs rejected samples"
+        ));
+    }
+    if resumes < forced_drops {
+        failures.push(format!(
+            "only {resumes} resumes for {forced_drops} forced drops: sessions died instead"
+        ));
+    }
+    if stats.reconnects < forced_drops {
+        failures.push(format!(
+            "server saw {} resumes for {forced_drops} forced drops",
+            stats.reconnects
+        ));
+    }
+    if forced_drops == 0 {
+        failures.push("no transport loss was ever forced: the soak tested nothing".into());
+    }
+    if rounds == 0 {
+        failures.push("no session completed a full round within the budget".into());
+    }
+
+    if failures.is_empty() {
+        println!("chaos soak PASS: every session resumed, faults never altered events");
+    } else {
+        for f in &failures {
+            eprintln!("chaos soak FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

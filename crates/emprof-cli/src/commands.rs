@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use emprof_core::report::{self, ProfileSummary};
 use emprof_core::{Emprof, EmprofConfig, Profile, StreamingEmprof};
 use emprof_emsim::{Receiver, ReceiverConfig};
+use emprof_fault::{FaultInjector, FaultPlan, FaultReport};
 use emprof_obs as obs;
 use emprof_obs::TelemetrySink;
 use emprof_par::Parallelism;
@@ -13,7 +14,7 @@ use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
-use emprof_serve::{ProfileClient, ServeConfig, Server, WatchClient};
+use emprof_serve::{ClientConfig, ProfileClient, ServeConfig, Server, WatchClient};
 
 use crate::opts::{
     parse, CliError, Command, ObsOpts, ProfileOpts, PushOpts, ServeOpts, SimulateOpts,
@@ -213,6 +214,27 @@ fn run_workload(
     }
 }
 
+/// Parses a `--fault-plan` spec string; a `none`/empty plan is `None`.
+fn parse_fault_plan(spec: Option<&str>) -> Result<Option<FaultPlan>, CliError> {
+    let Some(spec) = spec else { return Ok(None) };
+    let plan: FaultPlan = spec
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--fault-plan {spec}: {e}")))?;
+    Ok(if plan.is_none() { None } else { Some(plan) })
+}
+
+/// Appends a one-line tally of what a fault injector actually did.
+fn fault_summary(out: &mut String, report: &FaultReport) {
+    let _ = writeln!(
+        out,
+        "faults injected: {} dropout bursts, {} corrupted samples, {} gain steps, {} shifts",
+        report.dropouts.len(),
+        report.corrupted.len(),
+        report.gain_steps.len(),
+        report.shifts.len()
+    );
+}
+
 fn profile_of(
     result: &emprof_sim::SimResult,
     device: &DeviceModel,
@@ -237,11 +259,28 @@ fn profile_of(
 }
 
 fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
+    let fault_plan = parse_fault_plan(opts.fault_plan.as_deref())?;
     let device = device_by_name(&opts.device)?;
     let result = run_workload(&opts.workload, &device, opts.scale, opts.seed)?;
     let par = Parallelism::resolve(opts.threads);
-    let (profile, magnitude, rate) =
-        profile_of(&result, &device, opts.bandwidth_hz, opts.seed, par);
+    let (profile, magnitude, rate, fault_report) = match fault_plan {
+        None => {
+            let (p, m, r) = profile_of(&result, &device, opts.bandwidth_hz, opts.seed, par);
+            (p, m, r, None)
+        }
+        Some(plan) => {
+            let rx = Receiver::new(ReceiverConfig::paper_setup(opts.bandwidth_hz))
+                .with_parallelism(par);
+            let capture = rx.capture(&result.power, opts.seed);
+            let rate = capture.sample_rate_hz();
+            let mut injector = FaultInjector::new(plan, opts.fault_seed);
+            let (magnitude, report) = capture.magnitude_faulted(&mut injector, par);
+            let emprof = Emprof::new(EmprofConfig::for_rates(rate, device.clock_hz));
+            let profile =
+                emprof.profile_magnitude_par(&magnitude, rate, device.clock_hz, par);
+            (profile, magnitude, rate, Some(report))
+        }
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -259,6 +298,9 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
         magnitude.len(),
         rate / 1e6
     );
+    if let Some(report) = &fault_report {
+        fault_summary(&mut out, report);
+    }
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
     let _ = writeln!(
         out,
@@ -309,12 +351,17 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
 
 /// Runs the profiling service, optionally for a bounded duration.
 fn serve(opts: &ServeOpts) -> Result<String, CliError> {
+    let fault_plan = parse_fault_plan(opts.fault_plan.as_deref())?;
+    let chaos = fault_plan.is_some();
     let config = ServeConfig {
         threads: Parallelism::resolve(opts.threads),
         queue_frames: opts.queue_frames,
         shed: opts.shed,
         idle_timeout: std::time::Duration::from_secs(opts.idle_timeout_secs),
         max_sessions: opts.max_sessions,
+        heartbeat_interval: opts.heartbeat_secs.map(std::time::Duration::from_secs),
+        fault_plan,
+        fault_seed: opts.fault_seed,
         ..ServeConfig::default()
     };
     let threads = config.threads.get();
@@ -322,11 +369,12 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         .map_err(|e| CliError::Runtime(format!("bind {}: {e}", opts.addr)))?;
     // The banner goes out immediately: callers script against it.
     println!(
-        "emprof-serve listening on {} ({} workers, queue {} frames, {})",
+        "emprof-serve listening on {} ({} workers, queue {} frames, {}{})",
         server.local_addr(),
         threads,
         opts.queue_frames,
         if opts.shed { "shed" } else { "backpressure" },
+        if chaos { ", CHAOS" } else { "" },
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -340,8 +388,8 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "served {} connections, {} sessions",
-        stats.connections, stats.sessions_opened
+        "served {} connections, {} sessions, {} resumes",
+        stats.connections, stats.sessions_opened, stats.reconnects
     );
     let _ = writeln!(
         out,
@@ -360,25 +408,41 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
 
 /// Streams a magnitude CSV to a running service and summarizes the reply.
 fn push(opts: &PushOpts) -> Result<String, CliError> {
+    let fault_plan = parse_fault_plan(opts.fault_plan.as_deref())?;
     let csv = std::fs::read_to_string(&opts.signal_path)
         .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.signal_path)))?;
-    let signal =
-        report::signal_from_csv(&csv).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let (mut signal, csv_rejected) = report::signal_from_csv_sanitized(&csv)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let fault_report = fault_plan
+        .map(|plan| FaultInjector::new(plan, opts.fault_seed).inject(&mut signal));
     let config = EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz);
     let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
-    let mut client = ProfileClient::connect(
+    let client_config = ClientConfig {
+        read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
+        max_reconnects: opts.retries,
+        ..ClientConfig::default()
+    };
+    let mut client = ProfileClient::connect_with(
         opts.addr.as_str(),
         &opts.device,
         config,
         opts.sample_rate_hz,
         opts.clock_hz,
+        client_config,
     )
     .map_err(err)?;
     for chunk in signal.chunks(opts.frame) {
         client.send(chunk).map_err(err)?;
     }
+    let reconnects = client.reconnects();
     let (events, stats) = client.finish().map_err(err)?;
-    let profile = Profile::new(events, signal.len(), opts.sample_rate_hz, opts.clock_hz);
+    let accepted = signal.len() as u64 - stats.samples_rejected;
+    let profile = Profile::new(
+        events,
+        accepted as usize,
+        opts.sample_rate_hz,
+        opts.clock_hz,
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -389,6 +453,22 @@ fn push(opts: &PushOpts) -> Result<String, CliError> {
         stats.queue_depth,
         stats.sheds
     );
+    if csv_rejected > 0 {
+        let _ = writeln!(out, "{csv_rejected} non-finite CSV samples dropped before send");
+    }
+    if let Some(report) = &fault_report {
+        fault_summary(&mut out, report);
+    }
+    if stats.samples_rejected > 0 {
+        let _ = writeln!(
+            out,
+            "server rejected {} non-finite samples",
+            stats.samples_rejected
+        );
+    }
+    if reconnects > 0 {
+        let _ = writeln!(out, "session resumed {reconnects} time(s) after transport loss");
+    }
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
     if let Some(path) = &opts.events_out {
         write_file(path, &report::events_to_csv(&profile))?;
@@ -400,7 +480,13 @@ fn push(opts: &PushOpts) -> Result<String, CliError> {
 /// Tails a running service's finalized-event stream.
 fn watch(opts: &WatchOpts) -> Result<String, CliError> {
     let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
-    let mut client = WatchClient::connect(opts.addr.as_str()).map_err(err)?;
+    let client_config = ClientConfig {
+        read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
+        max_reconnects: opts.retries,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        WatchClient::connect_with(opts.addr.as_str(), client_config).map_err(err)?;
     let mut out = String::new();
     let mut polled = 0u64;
     loop {
@@ -729,6 +815,48 @@ mod tests {
             ))),
             Err(CliError::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn simulate_with_fault_plan_reports_injections() {
+        let out = run(&argv(
+            "simulate microbench:64:4 --seed 5 --fault-plan chaos --fault-seed 7",
+        ))
+        .unwrap();
+        assert!(out.contains("faults injected:"), "{out}");
+        // The run still completes with a profile despite the chaos.
+        assert!(out.contains("misses:"), "{out}");
+        // A malformed plan is a usage error, not a runtime crash.
+        assert!(matches!(
+            run(&argv("simulate microbench:64:4 --fault-plan dropout=banana")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn push_with_resilience_flags_and_faults() {
+        let dir = std::env::temp_dir().join("emprof-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sig = dir.join("fault-sig.csv");
+        run(&argv(&format!(
+            "simulate microbench:64:4 --seed 5 --signal-out {}",
+            sig.display()
+        )))
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let out = run(&argv(&format!(
+            "push {} --rate 40e6 --clock 1.008e9 --addr {addr} --frame 1000 \
+             --timeout 5 --retries 2 --fault-plan corrupt=2e-3 --fault-seed 3",
+            sig.display()
+        )))
+        .unwrap();
+        assert!(out.contains("faults injected:"), "{out}");
+        // corrupt=2e-3 over tens of thousands of samples injects NaN/inf
+        // the server must reject rather than let them poison the wedge.
+        assert!(out.contains("server rejected"), "{out}");
+        assert!(out.contains("misses:"), "{out}");
+        server.shutdown();
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub struct SimulateOpts {
     pub signal_out: Option<String>,
     /// Write the detected events to this CSV path.
     pub events_out: Option<String>,
+    /// Fault-plan spec injected into the capture before analysis
+    /// (`none`, `chaos`, or a `dropout=…,corrupt=…` spec string).
+    pub fault_plan: Option<String>,
+    /// Seed for the fault injector.
+    pub fault_seed: u64,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -94,6 +99,8 @@ impl Default for SimulateOpts {
             threads: None,
             signal_out: None,
             events_out: None,
+            fault_plan: None,
+            fault_seed: 1,
             obs: ObsOpts::default(),
         }
     }
@@ -135,6 +142,13 @@ pub struct ServeOpts {
     pub max_sessions: usize,
     /// Run for this many seconds, then drain and report (`None` = forever).
     pub duration_secs: Option<u64>,
+    /// Send HEARTBEAT frames on quiet connections at this many seconds
+    /// (`None` = no heartbeats).
+    pub heartbeat_secs: Option<u64>,
+    /// Chaos testing: fault-plan spec applied to every ingested batch.
+    pub fault_plan: Option<String>,
+    /// Base seed for the per-session chaos injectors.
+    pub fault_seed: u64,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -149,6 +163,9 @@ impl Default for ServeOpts {
             idle_timeout_secs: 60,
             max_sessions: 256,
             duration_secs: None,
+            heartbeat_secs: None,
+            fault_plan: None,
+            fault_seed: 1,
             obs: ObsOpts::default(),
         }
     }
@@ -171,6 +188,16 @@ pub struct PushOpts {
     pub device: String,
     /// Write the served events to this CSV path.
     pub events_out: Option<String>,
+    /// Socket read timeout in seconds.
+    pub timeout_secs: u64,
+    /// Reconnect-and-resume attempts per failed operation (0 disables).
+    pub retries: u32,
+    /// Fault-plan spec injected into the stream before it is sent
+    /// (client-side chaos; the served events still match a local batch
+    /// run on the same faulted signal).
+    pub fault_plan: Option<String>,
+    /// Seed for the fault injector.
+    pub fault_seed: u64,
 }
 
 /// Options of `emprof watch`.
@@ -182,6 +209,10 @@ pub struct WatchOpts {
     pub interval_ms: u64,
     /// Stop after this many polls (`None` = until interrupted).
     pub polls: Option<u64>,
+    /// Socket read timeout in seconds.
+    pub timeout_secs: u64,
+    /// Reconnect attempts per failed poll (0 disables).
+    pub retries: u32,
 }
 
 /// Errors produced while parsing or executing a command.
@@ -292,6 +323,8 @@ fn parse_simulate<'a, I: Iterator<Item = &'a String>>(
             "--threads" => opts.threads = Some(take_threads(&mut it)?),
             "--signal-out" => opts.signal_out = Some(take_value(&mut it, "--signal-out")?),
             "--events-out" => opts.events_out = Some(take_value(&mut it, "--events-out")?),
+            "--fault-plan" => opts.fault_plan = Some(take_value(&mut it, "--fault-plan")?),
+            "--fault-seed" => opts.fault_seed = take_parsed(&mut it, "--fault-seed")?,
             flag if flag.starts_with("--") => {
                 if !opts.obs.take_flag(flag, &mut it)? {
                     return Err(CliError::Usage(format!("unknown flag {flag}")));
@@ -335,6 +368,15 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, C
                 }
             }
             "--duration" => opts.duration_secs = Some(take_parsed(&mut it, "--duration")?),
+            "--heartbeat" => {
+                let secs: u64 = take_parsed(&mut it, "--heartbeat")?;
+                if secs == 0 {
+                    return Err(CliError::Usage("--heartbeat must be at least 1".into()));
+                }
+                opts.heartbeat_secs = Some(secs);
+            }
+            "--fault-plan" => opts.fault_plan = Some(take_value(&mut it, "--fault-plan")?),
+            "--fault-seed" => opts.fault_seed = take_parsed(&mut it, "--fault-seed")?,
             flag => {
                 if !(flag.starts_with("--") && opts.obs.take_flag(flag, &mut it)?) {
                     return Err(CliError::Usage(format!("serve: unknown argument {flag}")));
@@ -354,6 +396,10 @@ fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, Cli
     let mut frame = 8_192usize;
     let mut device = "push".to_string();
     let mut events_out = None;
+    let mut timeout_secs = 60u64;
+    let mut retries = 5u32;
+    let mut fault_plan = None;
+    let mut fault_seed = 1u64;
     let mut it = it.peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -368,6 +414,15 @@ fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, Cli
             }
             "--device" => device = take_value(&mut it, "--device")?,
             "--events-out" => events_out = Some(take_value(&mut it, "--events-out")?),
+            "--timeout" => {
+                timeout_secs = take_parsed(&mut it, "--timeout")?;
+                if timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout must be at least 1".into()));
+                }
+            }
+            "--retries" => retries = take_parsed(&mut it, "--retries")?,
+            "--fault-plan" => fault_plan = Some(take_value(&mut it, "--fault-plan")?),
+            "--fault-seed" => fault_seed = take_parsed(&mut it, "--fault-seed")?,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("push: unknown flag {flag}")));
             }
@@ -391,6 +446,10 @@ fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, Cli
         frame,
         device,
         events_out,
+        timeout_secs,
+        retries,
+        fault_plan,
+        fault_seed,
     })
 }
 
@@ -400,6 +459,8 @@ fn parse_watch<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<WatchOpts, C
         addr: "127.0.0.1:7700".to_string(),
         interval_ms: 500,
         polls: None,
+        timeout_secs: 60,
+        retries: 5,
     };
     let mut it = it.peekable();
     while let Some(arg) = it.next() {
@@ -407,6 +468,13 @@ fn parse_watch<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<WatchOpts, C
             "--addr" => opts.addr = take_value(&mut it, "--addr")?,
             "--interval-ms" => opts.interval_ms = take_parsed(&mut it, "--interval-ms")?,
             "--polls" => opts.polls = Some(take_parsed(&mut it, "--polls")?),
+            "--timeout" => {
+                opts.timeout_secs = take_parsed(&mut it, "--timeout")?;
+                if opts.timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout must be at least 1".into()));
+                }
+            }
+            "--retries" => opts.retries = take_parsed(&mut it, "--retries")?,
             other => {
                 return Err(CliError::Usage(format!("watch: unknown argument {other}")));
             }
@@ -461,8 +529,8 @@ USAGE:
 
   emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
                   [--seed N] [--threads N] [--signal-out FILE]
-                  [--events-out FILE] [--metrics FILE] [--trace FILE]
-                  [--verbose-stats]
+                  [--events-out FILE] [--fault-plan SPEC] [--fault-seed N]
+                  [--metrics FILE] [--trace FILE] [--verbose-stats]
       Simulate a workload on a device model, synthesize its EM capture,
       and profile it with EMPROF. Workloads: microbench:TM:CM, ammp,
       bzip2, crafty, equake, gzip, mcf, parser, twolf, vortex, vpr,
@@ -483,6 +551,7 @@ USAGE:
 
   emprof serve [--addr HOST:PORT] [--threads N] [--queue-frames N] [--shed]
                [--idle-timeout SECS] [--max-sessions N] [--duration SECS]
+               [--heartbeat SECS] [--fault-plan SPEC] [--fault-seed N]
                [--metrics FILE] [--trace FILE] [--verbose-stats]
       Run the network profiling service: one streaming EMPROF detector per
       connected producer, a bounded ingest queue per session, and a worker
@@ -491,17 +560,37 @@ USAGE:
       and counts them. Defaults: 127.0.0.1:7700, 64 queued frames,
       60 s idle timeout, 256 sessions. --duration N drains after N seconds
       and prints the aggregate stats (omit it to serve until interrupted).
+      --heartbeat N sends liveness frames on quiet connections every N
+      seconds so clients with short timeouts survive idle periods. The
+      idle timeout doubles as the resume window: a client that loses its
+      connection can reconnect and resume its session within it.
 
   emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
               [--frame N] [--device NAME] [--events-out FILE]
+              [--timeout SECS] [--retries N] [--fault-plan SPEC]
+              [--fault-seed N]
       Stream a magnitude CSV to a running service in N-sample batches
       (default 8192) and print the served profile summary. The events are
       bit-for-bit what `emprof profile` reports for the same file.
+      Non-finite samples in the CSV are dropped (and counted) before
+      streaming. On transport loss the push reconnects with exponential
+      backoff and resumes, up to --retries times (default 5).
 
   emprof watch [--addr HOST:PORT] [--interval-ms MS] [--polls N]
+               [--timeout SECS] [--retries N]
       Tail the service's finalized-event stream and aggregate stats,
       polling every MS milliseconds (default 500) until interrupted or,
-      with --polls N, for a bounded number of polls.
+      with --polls N, for a bounded number of polls. Transport losses
+      are cured by reconnecting with the same cursor.
+
+FAULT INJECTION (simulate / serve / push):
+  --fault-plan SPEC   deterministic signal-plane chaos: `none`, `chaos`,
+                      or a spec like
+                      `dropout=5e-4:8..64,corrupt=2e-3,gain=1e-4:0.5..1.5,
+                      shift=5e-5:0.35:128..512` (rates per sample).
+                      simulate/push corrupt the signal before analysis or
+                      streaming; serve corrupts every ingested batch.
+  --fault-seed N      injector seed (faults reproduce exactly per seed).
 
 PARALLELISM (simulate / profile / stats / serve):
   --threads N      worker threads for the analysis pipeline (and the serve
@@ -764,6 +853,77 @@ mod tests {
         assert!(USAGE.contains("emprof push"));
         assert!(USAGE.contains("emprof watch"));
         assert!(USAGE.contains("EMPROF_THREADS"));
+        assert!(USAGE.contains("--fault-plan"));
+        assert!(USAGE.contains("--heartbeat"));
+        assert!(USAGE.contains("--retries"));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        match parse(&argv("simulate mcf --fault-plan chaos --fault-seed 7")).unwrap() {
+            Command::Simulate(o) => {
+                assert_eq!(o.fault_plan.as_deref(), Some("chaos"));
+                assert_eq!(o.fault_seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "serve --heartbeat 2 --fault-plan dropout=1e-3:4..16 --fault-seed 3",
+        ))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.heartbeat_secs, Some(2));
+                assert_eq!(o.fault_plan.as_deref(), Some("dropout=1e-3:4..16"));
+                assert_eq!(o.fault_seed, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve --heartbeat 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        match parse(&argv(
+            "push cap.csv --rate 40e6 --clock 1e9 --timeout 5 --retries 2 \
+             --fault-plan chaos --fault-seed 9",
+        ))
+        .unwrap()
+        {
+            Command::Push(o) => {
+                assert_eq!(o.timeout_secs, 5);
+                assert_eq!(o.retries, 2);
+                assert_eq!(o.fault_plan.as_deref(), Some("chaos"));
+                assert_eq!(o.fault_seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("push cap.csv --rate 1 --clock 1")).unwrap() {
+            Command::Push(o) => {
+                assert_eq!(o.timeout_secs, 60);
+                assert_eq!(o.retries, 5);
+                assert!(o.fault_plan.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("watch --timeout 3 --retries 0")).unwrap() {
+            Command::Watch(o) => {
+                assert_eq!(o.timeout_secs, 3);
+                assert_eq!(o.retries, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("watch --timeout 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("push cap.csv --rate 1 --clock 1 --timeout 0")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The EMPROF detector: normalization and dip extraction.
 
+use std::borrow::Cow;
+
 use emprof_obs as obs;
 use emprof_signal::stats;
 use emprof_sim::PowerTrace;
@@ -41,6 +43,15 @@ impl Emprof {
     ///
     /// This is the heart of EMPROF: moving-min/max normalization, then a
     /// duration-filtered threshold detector over the normalized signal.
+    ///
+    /// Non-finite samples (NaN, ±inf) are dropped before normalization —
+    /// a single NaN would otherwise poison every moving min/max window
+    /// that sees it. The detector runs on the surviving subsequence, so
+    /// event indices are positions within the *accepted* samples and the
+    /// profile's `total_samples` counts accepted samples only; rejections
+    /// surface on the `detect.samples_rejected` counter. This is the same
+    /// policy [`crate::StreamingEmprof::push`] applies, keeping batch and
+    /// streaming results identical on any input.
     pub fn profile_magnitude(
         &self,
         magnitude: &[f64],
@@ -48,10 +59,14 @@ impl Emprof {
         clock_hz: f64,
     ) -> Profile {
         let _profile_span = obs::span!("detect.profile");
+        let (magnitude, rejected) = sanitize_magnitude(magnitude);
+        if rejected > 0 {
+            obs::counter_add!("detect.samples_rejected", rejected as u64);
+        }
         let cps = clock_hz / sample_rate_hz;
         let norm = {
             let _s = obs::span!("detect.normalize");
-            stats::normalize_moving_minmax(magnitude, self.config.norm_window_samples)
+            stats::normalize_moving_minmax(&magnitude, self.config.norm_window_samples)
         };
         let dips = self.detect_dips(&norm);
         let events = self.events_from_dips(dips, cps);
@@ -190,6 +205,20 @@ impl Emprof {
         }
         out
     }
+}
+
+/// Drops non-finite samples ahead of detection, borrowing when the
+/// signal is already clean (the overwhelmingly common case — the scan
+/// is a single cheap pass). Returns the surviving samples and how many
+/// were rejected. Shared by the batch and parallel entry points so the
+/// two can never disagree about which samples exist.
+pub(crate) fn sanitize_magnitude(magnitude: &[f64]) -> (Cow<'_, [f64]>, usize) {
+    if magnitude.iter().all(|v| v.is_finite()) {
+        return (Cow::Borrowed(magnitude), 0);
+    }
+    let kept: Vec<f64> = magnitude.iter().copied().filter(|v| v.is_finite()).collect();
+    let rejected = magnitude.len() - kept.len();
+    (Cow::Owned(kept), rejected)
 }
 
 /// Flushes per-event telemetry shared by the batch and streaming paths:
@@ -362,6 +391,57 @@ mod tests {
     fn empty_signal_gives_empty_profile() {
         let p = emprof().profile_magnitude(&[], FS, CLK);
         assert_eq!(p.events().len(), 0);
+    }
+
+    #[test]
+    fn non_finite_samples_cannot_alter_events() {
+        // Interleave NaN/±inf between clean samples: the surviving
+        // subsequence is exactly the clean signal, so the profile must
+        // be identical to the clean run — no poisoned windows, no
+        // shifted indices, no phantom or lost events.
+        let clean = signal_with_dips(20_000, &[(5_000, 12), (9_000, 30)]);
+        let mut dirty = Vec::with_capacity(clean.len() + 64);
+        for (i, &v) in clean.iter().enumerate() {
+            if i % 997 == 0 {
+                dirty.push(f64::NAN);
+            }
+            if i % 2503 == 0 {
+                dirty.push(f64::INFINITY);
+            }
+            if i % 4099 == 0 {
+                dirty.push(f64::NEG_INFINITY);
+            }
+            dirty.push(v);
+        }
+        let pc = emprof().profile_magnitude(&clean, FS, CLK);
+        let pd = emprof().profile_magnitude(&dirty, FS, CLK);
+        assert_eq!(pc.events(), pd.events());
+        assert_eq!(pd.total_samples(), clean.len());
+    }
+
+    #[test]
+    fn all_non_finite_signal_gives_empty_profile() {
+        let p = emprof().profile_magnitude(&[f64::NAN; 5_000], FS, CLK);
+        assert_eq!(p.events().len(), 0);
+        assert_eq!(p.total_samples(), 0);
+    }
+
+    #[test]
+    fn constant_signal_yields_no_events() {
+        // Flat windows normalize to 1.0 ("no dip"), never a
+        // threshold-crossing value.
+        let p = emprof().profile_magnitude(&[3.3; 20_000], FS, CLK);
+        assert_eq!(p.events().len(), 0);
+    }
+
+    #[test]
+    fn step_signal_yields_no_events() {
+        // A clean upward gain step has flat plateaus on both sides; the
+        // lower plateau must not read as a dip.
+        let mut mag = vec![2.0; 15_000];
+        mag.extend(vec![6.0; 15_000]);
+        let p = emprof().profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.miss_count(), 0);
     }
 
     #[test]

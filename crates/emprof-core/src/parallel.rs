@@ -32,7 +32,7 @@ use emprof_par::chunk::ChunkPlan;
 use emprof_par::{pool, Parallelism};
 use emprof_signal::stats;
 
-use crate::detect::{record_event_metrics, Emprof};
+use crate::detect::{record_event_metrics, sanitize_magnitude, Emprof};
 use crate::profile::Profile;
 
 impl Emprof {
@@ -56,6 +56,13 @@ impl Emprof {
         clock_hz: f64,
         par: Parallelism,
     ) -> Profile {
+        // Same non-finite rejection as the batch path, applied before
+        // chunking so every worker sees the identical survivor signal.
+        let (magnitude, rejected) = sanitize_magnitude(magnitude);
+        if rejected > 0 {
+            obs::counter_add!("detect.samples_rejected", rejected as u64);
+        }
+        let magnitude = &magnitude[..];
         let n = magnitude.len();
         if par.is_sequential() || n < 2 {
             return self.profile_magnitude(magnitude, sample_rate_hz, clock_hz);
@@ -192,6 +199,20 @@ mod tests {
             let batch = e.profile_magnitude(&mag, FS, CLK);
             let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(4));
             assert_eq!(batch, par, "len {}", mag.len());
+        }
+    }
+
+    #[test]
+    fn non_finite_input_matches_batch() {
+        let mut mag = signal(40_000, &[(9_000, 12), (25_000, 30)]);
+        for i in (0..mag.len()).step_by(1_371) {
+            mag[i] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][i % 3];
+        }
+        let e = emprof();
+        let batch = e.profile_magnitude(&mag, FS, CLK);
+        for threads in [2, 5] {
+            let par = e.profile_magnitude_par(&mag, FS, CLK, Parallelism::new(threads));
+            assert_eq!(batch, par, "threads {threads}");
         }
     }
 

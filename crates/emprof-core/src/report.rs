@@ -329,6 +329,24 @@ pub fn signal_from_csv(csv: &str) -> Result<Vec<f64>, CsvError> {
     Ok(signal)
 }
 
+/// [`signal_from_csv`] with the detector's non-finite sanitization
+/// applied at the ingestion boundary: `NaN` / `inf` / `-inf` *parse*
+/// as valid `f64`s (so [`signal_from_csv`] accepts them), but a single
+/// one would poison every moving min/max window it reaches. This
+/// variant drops them at read time and reports how many were rejected,
+/// matching the policy of `StreamingEmprof::push`.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on a bad header or a non-numeric sample.
+pub fn signal_from_csv_sanitized(csv: &str) -> Result<(Vec<f64>, usize), CsvError> {
+    let mut signal = signal_from_csv(csv)?;
+    let before = signal.len();
+    signal.retain(|v| v.is_finite());
+    let rejected = before - signal.len();
+    Ok((signal, rejected))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,5 +466,17 @@ mod tests {
     fn csv_skips_blank_lines() {
         let csv = "magnitude\n1.0\n\n2.0\n";
         assert_eq!(signal_from_csv(csv).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sanitized_csv_drops_non_finite_samples() {
+        // `NaN`/`inf` parse as valid f64s, so the plain reader accepts
+        // them — the sanitized boundary must reject them with a count.
+        let csv = "magnitude\n1.0\nNaN\n2.0\ninf\n-inf\n3.0\n";
+        let plain = signal_from_csv(csv).unwrap();
+        assert_eq!(plain.len(), 6);
+        let (clean, rejected) = signal_from_csv_sanitized(csv).unwrap();
+        assert_eq!(clean, vec![1.0, 2.0, 3.0]);
+        assert_eq!(rejected, 3);
     }
 }

@@ -37,6 +37,9 @@ pub struct StreamingStats {
     pub samples_pushed: usize,
     /// Stall events finalized so far (drained or not).
     pub events_emitted: usize,
+    /// Non-finite samples rejected at the ingest boundary (see
+    /// [`StreamingEmprof::push`]).
+    pub samples_rejected: usize,
     /// Current buffered-memory footprint in samples.
     pub buffered_samples: usize,
     /// Observed ingest throughput in samples per second of wall time;
@@ -102,6 +105,8 @@ pub struct StreamingEmprof {
     last_run: Option<(usize, usize, bool)>,
     /// Events already drained via [`StreamingEmprof::drain_events`].
     drained: usize,
+    /// Non-finite samples rejected at the ingest boundary.
+    rejected: usize,
     /// Whether the most recent refined run ended on a normalized sample
     /// at or above `edge_level`. A cleanly-ended run can never be merged
     /// into by a later dip (that sample blocks left refinement), so its
@@ -147,6 +152,7 @@ impl StreamingEmprof {
             events: Vec::new(),
             last_run: None,
             drained: 0,
+            rejected: 0,
             tail_sealed: true,
             started_at: None,
             unflushed: 0,
@@ -174,7 +180,21 @@ impl StreamingEmprof {
     }
 
     /// Pushes one magnitude sample.
+    ///
+    /// Non-finite samples (NaN, ±inf) are **rejected, not processed**:
+    /// a single NaN would otherwise lodge permanently in the moving
+    /// min/max wedges and poison every window that sees it. Rejected
+    /// samples are counted (`detect.samples_rejected` telemetry,
+    /// [`samples_rejected`](StreamingEmprof::samples_rejected)) and the
+    /// detector proceeds on the surviving subsequence — all event
+    /// indices are positions within the *accepted* samples, identical
+    /// to running the batch detector on the pre-filtered signal.
     pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            obs::counter_add!("detect.samples_rejected", 1);
+            return;
+        }
         if self.started_at.is_none() {
             self.started_at = Some(Instant::now());
         }
@@ -235,10 +255,12 @@ impl StreamingEmprof {
         let lo = self.min_wedge.front().expect("window non-empty").1;
         let hi = self.max_wedge.front().expect("window non-empty").1;
         let value = self.raw[i - self.raw_base];
+        // Flat windows (hi == lo) carry no dip information and read as
+        // fully busy — mirroring `stats::normalize_moving_minmax`.
         let normalized = if hi > lo {
             ((value - lo) / (hi - lo)).clamp(0.0, 1.0)
         } else {
-            0.5
+            1.0
         };
         self.norm.push_back(normalized);
         self.normalized += 1;
@@ -444,6 +466,11 @@ impl StreamingEmprof {
         self.pushed
     }
 
+    /// Number of non-finite samples rejected at the ingest boundary.
+    pub fn samples_rejected(&self) -> usize {
+        self.rejected
+    }
+
     /// Current buffered-memory footprint in samples (bounded by the
     /// normalization window plus any unfinished dip).
     pub fn buffered_samples(&self) -> usize {
@@ -456,6 +483,7 @@ impl StreamingEmprof {
         StreamingStats {
             samples_pushed: self.pushed,
             events_emitted: self.events.len(),
+            samples_rejected: self.rejected,
             buffered_samples: self.buffered_samples(),
             samples_per_sec: self.started_at.and_then(|t0| {
                 let secs = t0.elapsed().as_secs_f64();
@@ -714,5 +742,25 @@ mod tests {
         let mut s = StreamingEmprof::new(config(), FS, CLK);
         s.extend(std::iter::repeat_n(3.3, 50_000));
         assert_eq!(s.finish().events().len(), 0);
+    }
+
+    #[test]
+    fn non_finite_pushes_are_rejected_and_counted() {
+        let clean = dipped_signal(&[(5_000, 12), (9_000, 30)], 30_000);
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let mut injected = 0usize;
+        for (i, &v) in clean.iter().enumerate() {
+            if i % 761 == 0 {
+                s.push([f64::NAN, f64::INFINITY, f64::NEG_INFINITY][i % 3]);
+                injected += 1;
+            }
+            s.push(v);
+        }
+        assert_eq!(s.samples_rejected(), injected);
+        assert_eq!(s.stats().samples_rejected, injected);
+        assert_eq!(s.samples_pushed(), clean.len());
+        let profile = s.finish();
+        assert_eq!(profile.events(), batch(&clean).events());
+        assert_eq!(profile.total_samples(), clean.len());
     }
 }

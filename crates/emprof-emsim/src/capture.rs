@@ -50,6 +50,22 @@ impl CapturedSignal {
         })
     }
 
+    /// [`magnitude_par`](CapturedSignal::magnitude_par) with a fault
+    /// injector applied on the way out: the returned signal is what a
+    /// degraded probe/SDR front-end would have delivered, and the report
+    /// records exactly which samples were disturbed. The injector keeps
+    /// its position across calls, so feeding consecutive captures through
+    /// one injector faults them as a single continuous stream.
+    pub fn magnitude_faulted(
+        &self,
+        injector: &mut emprof_fault::FaultInjector,
+        par: Parallelism,
+    ) -> (Vec<f64>, emprof_fault::FaultReport) {
+        let mut magnitude = self.magnitude_par(par);
+        let report = injector.inject(&mut magnitude);
+        (magnitude, report)
+    }
+
     /// Complex sample rate in Hz (equals the measurement bandwidth).
     pub fn sample_rate_hz(&self) -> f64 {
         self.sample_rate_hz

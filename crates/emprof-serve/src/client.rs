@@ -3,16 +3,70 @@
 //! [`WatchClient`] tails the server-wide event stream. Used by the
 //! `emprof push` / `emprof watch` CLI commands, the examples, and the
 //! equivalence tests.
+//!
+//! ## Resilience
+//!
+//! Both clients survive transport loss. A [`ProfileClient`] keeps every
+//! SAMPLES frame the server has not yet acknowledged; when the
+//! connection dies it reconnects with exponential backoff (plus
+//! deterministic jitter), presents the session's resume token, and
+//! replays exactly the frames past the server's acked sequence — the
+//! server drops replayed duplicates by sequence number, so the detector
+//! ingests each sample once no matter how many times the link flaps.
+//! The resulting event stream is bit-for-bit the uninterrupted one
+//! (enforced by `tests/serve_resilience.rs`). A [`WatchClient`]
+//! reconnects with the same cursor, so a tail survives server restarts
+//! of the link without losing its place. Server HEARTBEAT frames are
+//! absorbed (and their acked sequence recorded) wherever a reply is
+//! awaited, so an idle-but-alive connection never trips the read
+//! timeout. All knobs live in [`ClientConfig`].
 
+use std::collections::VecDeque;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use emprof_core::{EmprofConfig, StallEvent};
+use emprof_obs as obs;
 
 use crate::proto::{
     self, ErrorCode, Frame, Hello, ProtoError, SessionStatsWire, Tail, VERSION,
 };
+
+/// Transport-resilience knobs for [`ProfileClient`] and [`WatchClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout. With server heartbeats enabled this can be
+    /// a little over the heartbeat interval; without them it bounds how
+    /// long a reply is awaited before the connection is declared dead.
+    pub read_timeout: Duration,
+    /// First reconnect backoff delay; doubles per consecutive attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Reconnect attempts per failed operation before giving up.
+    /// `0` disables resilience entirely: the first transport error is
+    /// returned to the caller (the pre-resume behavior).
+    pub max_reconnects: u32,
+    /// Unacknowledged SAMPLES frames retained for replay before the
+    /// client forces a FLUSH to advance the server's ack watermark.
+    /// This bounds client memory; the events such an implicit flush
+    /// returns are stashed and prepended to the next explicit
+    /// [`ProfileClient::flush`] / [`ProfileClient::finish`] result.
+    pub max_unacked_frames: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            max_reconnects: 5,
+            max_unacked_frames: 64,
+        }
+    }
+}
 
 /// What can go wrong on the client side.
 #[derive(Debug)]
@@ -62,21 +116,46 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-/// Reads one frame, promoting server ERROR frames to [`ClientError`].
-fn read_reply(stream: &mut TcpStream) -> Result<Frame, ClientError> {
-    match proto::read_frame(stream)? {
-        Frame::Error { code, message } => Err(ClientError::Server { code, message }),
-        frame => Ok(frame),
+impl ClientError {
+    /// Whether reconnecting could plausibly cure this failure. Server
+    /// rejections (bad config, session limit, no such session) are
+    /// deliberate answers, not transport trouble.
+    fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Proto(_))
+    }
+}
+
+/// Resolves and connects with the configured read timeout.
+fn connect_stream(addrs: &[SocketAddr], read_timeout: Duration) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addrs)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(read_timeout))?;
+    Ok(stream)
+}
+
+/// Reads one frame, promoting server ERROR frames to [`ClientError`]
+/// and absorbing heartbeats (reporting their acked sequence to `acked`).
+fn read_reply<F: FnMut(u64)>(
+    stream: &mut TcpStream,
+    mut acked: F,
+) -> Result<Frame, ClientError> {
+    loop {
+        match proto::read_frame(stream)? {
+            Frame::Heartbeat { acked_seq } => acked(acked_seq),
+            Frame::Error { code, message } => return Err(ClientError::Server { code, message }),
+            frame => return Ok(frame),
+        }
     }
 }
 
 /// Reads an `EVENTS* STATS` reply sequence.
-fn read_events_and_stats(
+fn read_events_and_stats<F: FnMut(u64)>(
     stream: &mut TcpStream,
+    mut acked: F,
 ) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
     let mut events = Vec::new();
     loop {
-        match read_reply(stream)? {
+        match read_reply(stream, &mut acked)? {
             Frame::Events(batch) => events.extend(batch),
             Frame::Stats(stats) => return Ok((events, stats)),
             _ => return Err(ClientError::Unexpected("wanted EVENTS or STATS")),
@@ -84,24 +163,51 @@ fn read_events_and_stats(
     }
 }
 
-fn handshake(
-    stream: &mut TcpStream,
-    hello: Hello,
-) -> Result<(u64, u32), ClientError> {
+/// The full HELLO_ACK contents.
+struct Ack {
+    session_id: u64,
+    max_samples_per_frame: u32,
+    resume_token: u64,
+    acked_seq: u64,
+}
+
+fn handshake(stream: &mut TcpStream, hello: Hello) -> Result<Ack, ClientError> {
     proto::write_frame(stream, &Frame::Hello(hello))?;
-    match read_reply(stream)? {
+    match read_reply(stream, |_| {})? {
         Frame::HelloAck {
             version,
             session_id,
             max_samples_per_frame,
+            resume_token,
+            acked_seq,
         } => {
             if version != VERSION {
                 return Err(ClientError::Unexpected("server negotiated unknown version"));
             }
-            Ok((session_id, max_samples_per_frame.max(1)))
+            Ok(Ack {
+                session_id,
+                max_samples_per_frame: max_samples_per_frame.max(1),
+                resume_token,
+                acked_seq,
+            })
         }
         _ => Err(ClientError::Unexpected("wanted HELLO_ACK")),
     }
+}
+
+/// Deterministic xorshift64 backoff jitter in `[0.5, 1.0)` of the
+/// capped delay — spreads reconnect storms without `rand`.
+fn jittered(rng: &mut u64, delay: Duration) -> Duration {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let unit = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64(delay.as_secs_f64() * (0.5 + 0.5 * unit))
+}
+
+fn backoff_delay(cfg: &ClientConfig, attempt: u32) -> Duration {
+    let base = cfg.backoff_base.as_secs_f64() * 2f64.powi(attempt.min(20) as i32);
+    Duration::from_secs_f64(base.min(cfg.backoff_max.as_secs_f64()))
 }
 
 /// A blocking profiling session against an `emprof-serve` instance.
@@ -127,12 +233,28 @@ fn handshake(
 #[derive(Debug)]
 pub struct ProfileClient {
     stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    hello: Hello,
+    cfg: ClientConfig,
     session_id: u64,
+    resume_token: u64,
     max_samples_per_frame: usize,
+    /// Sequence for the next SAMPLES frame (sequences start at 1).
+    next_seq: u64,
+    /// Highest sequence the server has acknowledged.
+    acked_seq: u64,
+    /// Frames past `acked_seq`, retained for replay after a resume.
+    unacked: VecDeque<(u64, Vec<f64>)>,
+    /// Events returned by implicit (watermark-advancing) flushes,
+    /// delivered with the next explicit flush/finish.
+    pending_events: Vec<StallEvent>,
+    /// Jitter state for backoff.
+    rng: u64,
+    reconnects: u64,
 }
 
 impl ProfileClient {
-    /// Connects and opens a session.
+    /// Connects and opens a session with default resilience knobs.
     ///
     /// # Errors
     ///
@@ -145,23 +267,55 @@ impl ProfileClient {
         sample_rate_hz: f64,
         clock_hz: f64,
     ) -> Result<ProfileClient, ClientError> {
-        let mut stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        let (session_id, max_frame) = handshake(
-            &mut stream,
-            Hello {
-                sample_rate_hz,
-                clock_hz,
-                config,
-                device: device.into(),
-                watch: false,
-            },
-        )?;
+        Self::connect_with(
+            addr,
+            device,
+            config,
+            sample_rate_hz,
+            clock_hz,
+            ClientConfig::default(),
+        )
+    }
+
+    /// [`ProfileClient::connect`] with explicit [`ClientConfig`] knobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProfileClient::connect`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        device: &str,
+        config: EmprofConfig,
+        sample_rate_hz: f64,
+        clock_hz: f64,
+        cfg: ClientConfig,
+    ) -> Result<ProfileClient, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let hello = Hello {
+            sample_rate_hz,
+            clock_hz,
+            config,
+            device: device.into(),
+            watch: false,
+            resume_session_id: 0,
+            resume_token: 0,
+        };
+        let mut stream = connect_stream(&addrs, cfg.read_timeout)?;
+        let ack = handshake(&mut stream, hello.clone())?;
         Ok(ProfileClient {
             stream,
-            session_id,
-            max_samples_per_frame: max_frame as usize,
+            addrs,
+            hello,
+            session_id: ack.session_id,
+            resume_token: ack.resume_token,
+            max_samples_per_frame: ack.max_samples_per_frame as usize,
+            next_seq: 1,
+            acked_seq: 0,
+            unacked: VecDeque::new(),
+            pending_events: Vec::new(),
+            rng: ack.session_id ^ ack.resume_token | 1,
+            reconnects: 0,
+            cfg,
         })
     }
 
@@ -170,44 +324,177 @@ impl ProfileClient {
         self.session_id
     }
 
+    /// How many times this client has successfully resumed its session
+    /// after a transport loss.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Severs the TCP connection without telling the server — a test
+    /// hook simulating a transport loss. The next operation reconnects
+    /// and resumes (when [`ClientConfig::max_reconnects`] permits).
+    pub fn drop_connection(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn note_acked(&mut self, acked: u64) {
+        if acked > self.acked_seq {
+            self.acked_seq = acked;
+        }
+        while self
+            .unacked
+            .front()
+            .is_some_and(|(seq, _)| *seq <= self.acked_seq)
+        {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// Reconnects with backoff and resumes the session, replaying every
+    /// unacked frame. Fatal server rejections propagate immediately.
+    fn reconnect_and_resume(&mut self) -> Result<(), ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.cfg.max_reconnects {
+            std::thread::sleep(jittered(&mut self.rng, backoff_delay(&self.cfg, attempt)));
+            match self.try_resume() {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    obs::counter_add!("client.reconnects", 1);
+                    return Ok(());
+                }
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Unexpected("reconnect attempts exhausted")))
+    }
+
+    fn try_resume(&mut self) -> Result<(), ClientError> {
+        let mut stream = connect_stream(&self.addrs, self.cfg.read_timeout)?;
+        let mut hello = self.hello.clone();
+        hello.resume_session_id = self.session_id;
+        hello.resume_token = self.resume_token;
+        let ack = handshake(&mut stream, hello)?;
+        self.stream = stream;
+        self.session_id = ack.session_id;
+        self.resume_token = ack.resume_token;
+        self.max_samples_per_frame = (ack.max_samples_per_frame as usize).max(1);
+        self.note_acked(ack.acked_seq);
+        // Replay everything the server has not acknowledged, in order,
+        // with the original sequence numbers. The server drops any
+        // frame it already ingested.
+        for (seq, samples) in self.unacked.iter() {
+            proto::write_frame(
+                &mut self.stream,
+                &Frame::Samples {
+                    seq: *seq,
+                    samples: samples.clone(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Runs `op` on the live stream, curing transport failures by
+    /// reconnect-and-resume and retrying, up to the configured budget.
+    fn with_resilience<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transport() && attempts < self.cfg.max_reconnects => {
+                    attempts += 1;
+                    self.reconnect_and_resume()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Streams magnitude samples, splitting into frames the server
     /// accepts. Returns once the batch is written (the server may still
     /// be processing it; backpressure shows up as this call blocking).
+    /// On transport loss the client reconnects, resumes, and replays
+    /// unacknowledged frames transparently.
     ///
     /// # Errors
     ///
-    /// Propagates transport failures.
+    /// Propagates transport failures once the reconnect budget is spent.
     pub fn send(&mut self, samples: &[f64]) -> Result<(), ClientError> {
-        if samples.is_empty() {
-            return Ok(());
-        }
-        for chunk in samples.chunks(self.max_samples_per_frame) {
-            proto::write_frame(&mut self.stream, &Frame::Samples(chunk.to_vec()))?;
+        for chunk in samples.chunks(self.max_samples_per_frame.max(1)) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.unacked.push_back((seq, chunk.to_vec()));
+            // On transport loss, the resume replays the whole unacked
+            // queue (which includes this frame); the retried write is
+            // then a duplicate the server drops by sequence number.
+            self.with_resilience(|c| {
+                proto::write_frame(
+                    &mut c.stream,
+                    &Frame::Samples {
+                        seq,
+                        samples: chunk.to_vec(),
+                    },
+                )
+                .map_err(ClientError::from)
+            })?;
+            if self.unacked.len() > self.cfg.max_unacked_frames {
+                let (events, _) = self.exchange_control(false)?;
+                self.pending_events.extend(events);
+            }
         }
         Ok(())
     }
 
     /// Asks for every event finalized since the last delivery, plus a
     /// stats snapshot. Blocks until the server has ingested everything
-    /// sent before this call.
+    /// sent before this call. Events gathered by implicit
+    /// watermark-advancing flushes are prepended.
     ///
     /// # Errors
     ///
-    /// Propagates transport and protocol failures.
+    /// Propagates transport and protocol failures once the reconnect
+    /// budget is spent.
     pub fn flush(&mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
-        proto::write_frame(&mut self.stream, &Frame::Flush)?;
-        read_events_and_stats(&mut self.stream)
+        let (events, stats) = self.exchange_control(false)?;
+        let mut all = std::mem::take(&mut self.pending_events);
+        all.extend(events);
+        Ok((all, stats))
     }
 
     /// Ends the capture: the server finalizes the detector and returns
-    /// every not-yet-delivered event and the final stats.
+    /// every not-yet-delivered event and the final stats. Events
+    /// gathered by implicit flushes are prepended.
     ///
     /// # Errors
     ///
-    /// Propagates transport and protocol failures.
+    /// Propagates transport and protocol failures once the reconnect
+    /// budget is spent.
     pub fn finish(mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
-        proto::write_frame(&mut self.stream, &Frame::Fin)?;
-        read_events_and_stats(&mut self.stream)
+        let (events, stats) = self.exchange_control(true)?;
+        let mut all = std::mem::take(&mut self.pending_events);
+        all.extend(events);
+        Ok((all, stats))
+    }
+
+    /// One FLUSH or FIN round trip with resilience.
+    fn exchange_control(
+        &mut self,
+        fin: bool,
+    ) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
+        let control = if fin { Frame::Fin } else { Frame::Flush };
+        let (events, stats) = self.with_resilience(|c| {
+            proto::write_frame(&mut c.stream, &control)?;
+            let mut hb_acked = 0u64;
+            let r = read_events_and_stats(&mut c.stream, |a| hb_acked = hb_acked.max(a));
+            c.note_acked(hb_acked);
+            r
+        })?;
+        self.note_acked(stats.acked_seq);
+        Ok((events, stats))
     }
 }
 
@@ -217,50 +504,126 @@ impl ProfileClient {
 pub struct WatchClient {
     stream: TcpStream,
     cursor: u64,
+    addrs: Vec<SocketAddr>,
+    cfg: ClientConfig,
+    rng: u64,
+    reconnects: u64,
 }
 
 impl WatchClient {
-    /// Connects in watch mode (no session, no detector).
+    /// Connects in watch mode (no session, no detector) with default
+    /// resilience knobs.
     ///
     /// # Errors
     ///
     /// Fails on connection errors or protocol violations.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<WatchClient, ClientError> {
-        let mut stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        handshake(
-            &mut stream,
-            Hello {
-                sample_rate_hz: 1.0,
-                clock_hz: 1.0,
-                config: EmprofConfig::for_rates(1.0, 1.0),
-                device: "watch".into(),
-                watch: true,
-            },
-        )?;
-        Ok(WatchClient { stream, cursor: 0 })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// One poll: events finalized since the last poll plus server-wide
-    /// stats. The cursor advances automatically.
+    /// [`WatchClient::connect`] with explicit [`ClientConfig`] knobs.
     ///
     /// # Errors
     ///
-    /// Propagates transport and protocol failures.
+    /// As [`WatchClient::connect`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ClientConfig,
+    ) -> Result<WatchClient, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut stream = connect_stream(&addrs, cfg.read_timeout)?;
+        handshake(&mut stream, Self::watch_hello())?;
+        Ok(WatchClient {
+            stream,
+            cursor: 0,
+            addrs,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            reconnects: 0,
+            cfg,
+        })
+    }
+
+    fn watch_hello() -> Hello {
+        Hello {
+            sample_rate_hz: 1.0,
+            clock_hz: 1.0,
+            config: EmprofConfig::for_rates(1.0, 1.0),
+            device: "watch".into(),
+            watch: true,
+            resume_session_id: 0,
+            resume_token: 0,
+        }
+    }
+
+    /// How many times this watch reconnected after a transport loss.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Severs the TCP connection without telling the server — a test
+    /// hook simulating a transport loss. The next poll reconnects with
+    /// the same cursor.
+    pub fn drop_connection(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// One poll: events finalized since the last poll plus server-wide
+    /// stats. The cursor advances automatically; a transport loss is
+    /// cured by reconnecting and re-polling from the same cursor, so no
+    /// tail position is lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures once the reconnect
+    /// budget is spent.
     pub fn poll(&mut self) -> Result<Tail, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.poll_once() {
+                Ok(tail) => {
+                    self.cursor = tail.cursor;
+                    return Ok(tail);
+                }
+                Err(e) if e.is_transport() && attempts < self.cfg.max_reconnects => {
+                    attempts += 1;
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn poll_once(&mut self) -> Result<Tail, ClientError> {
         proto::write_frame(
             &mut self.stream,
             &Frame::Watch {
                 cursor: self.cursor,
             },
         )?;
-        match read_reply(&mut self.stream)? {
-            Frame::Tail(tail) => {
-                self.cursor = tail.cursor;
-                Ok(tail)
-            }
+        match read_reply(&mut self.stream, |_| {})? {
+            Frame::Tail(tail) => Ok(tail),
             _ => Err(ClientError::Unexpected("wanted TAIL")),
         }
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.cfg.max_reconnects {
+            std::thread::sleep(jittered(&mut self.rng, backoff_delay(&self.cfg, attempt)));
+            match connect_stream(&self.addrs, self.cfg.read_timeout)
+                .map_err(ClientError::from)
+                .and_then(|mut s| handshake(&mut s, Self::watch_hello()).map(|_| s))
+            {
+                Ok(stream) => {
+                    self.stream = stream;
+                    self.reconnects += 1;
+                    obs::counter_add!("client.reconnects", 1);
+                    return Ok(());
+                }
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Unexpected("reconnect attempts exhausted")))
     }
 }

@@ -64,7 +64,7 @@ pub mod queue;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientError, ProfileClient, WatchClient};
+pub use client::{ClientConfig, ClientError, ProfileClient, WatchClient};
 pub use proto::{ErrorCode, Frame, ProtoError, ServerStatsWire, SessionStatsWire};
 pub use server::{ServeConfig, Server, ServerStatsSnapshot};
 pub use session::{Session, SessionRegistry};

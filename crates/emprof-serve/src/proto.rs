@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic            0x454D ("EM")
-//! 2       2     protocol version (currently 1)
+//! 2       2     protocol version (currently 2)
 //! 4       1     frame type       (FrameType)
 //! 5       1     flags            (per-type bits)
 //! 6       2     header checksum  FNV-1a-16 of the other 14 header bytes
@@ -29,8 +29,10 @@ use emprof_core::{EmprofConfig, StallEvent, StallKind};
 /// First two header bytes: `b"EM"` read as a little-endian u16.
 pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 
-/// The protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// The protocol version this build speaks. Version 2 added
+/// reconnect-and-resume (HELLO resume tokens, SAMPLES sequence numbers,
+/// acked-sequence reporting) and server HEARTBEAT frames.
+pub const VERSION: u16 = 2;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -80,6 +82,9 @@ pub enum FrameType {
     Watch = 9,
     /// Server → watch client: tail events plus server-wide stats.
     Tail = 10,
+    /// Server → client: liveness signal while the connection is
+    /// otherwise quiet, carrying the session's acked sequence.
+    Heartbeat = 11,
 }
 
 impl FrameType {
@@ -95,6 +100,7 @@ impl FrameType {
             8 => FrameType::Error,
             9 => FrameType::Watch,
             10 => FrameType::Tail,
+            11 => FrameType::Heartbeat,
             _ => return None,
         })
     }
@@ -155,6 +161,12 @@ pub struct Hello {
     pub device: String,
     /// Whether this is a watch subscription ([`FLAG_WATCH`]).
     pub watch: bool,
+    /// Non-zero to resume a detached session after a transport loss:
+    /// the id the server assigned at the original HELLO.
+    pub resume_session_id: u64,
+    /// The resume token the server issued for that session; both must
+    /// match or the resume is rejected with `NoSession`.
+    pub resume_token: u64,
 }
 
 /// The STATS payload: a session's progress counters.
@@ -170,6 +182,11 @@ pub struct SessionStatsWire {
     pub queue_depth: u64,
     /// SAMPLES batches dropped by shed mode.
     pub sheds: u64,
+    /// Highest SAMPLES sequence number accepted so far (frames the
+    /// client no longer needs to retain for replay).
+    pub acked_seq: u64,
+    /// Non-finite samples rejected at the detector's ingest boundary.
+    pub samples_rejected: u64,
     /// Whether this is the final report of a finished session.
     pub final_report: bool,
 }
@@ -227,9 +244,22 @@ pub enum Frame {
         session_id: u64,
         /// The largest SAMPLES batch the server will accept.
         max_samples_per_frame: u32,
+        /// Token the client presents to resume this session after a
+        /// transport loss (0 for watch connections).
+        resume_token: u64,
+        /// Highest SAMPLES sequence accepted so far — 0 on a fresh
+        /// session; on a resume, tells the client where to replay from.
+        acked_seq: u64,
     },
-    /// A batch of magnitude samples.
-    Samples(Vec<f64>),
+    /// A batch of magnitude samples, tagged with a per-session sequence
+    /// number (1 for the first batch) so a resumed client can replay
+    /// unacked frames without the server double-ingesting.
+    Samples {
+        /// Monotonic per-session batch sequence, starting at 1.
+        seq: u64,
+        /// The magnitude samples.
+        samples: Vec<f64>,
+    },
     /// Deliver finalized events now.
     Flush,
     /// End of capture.
@@ -252,6 +282,12 @@ pub enum Frame {
     },
     /// Tail events plus server-wide stats.
     Tail(Tail),
+    /// Server liveness while quiet; carries the session's acked
+    /// sequence (0 on watch connections).
+    Heartbeat {
+        /// Highest SAMPLES sequence accepted so far.
+        acked_seq: u64,
+    },
 }
 
 /// What went wrong while reading or decoding a frame.
@@ -475,19 +511,26 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             p.extend_from_slice(&c.edge_level.to_le_bytes());
             p.extend_from_slice(&c.refresh_min_cycles.to_le_bytes());
             put_string(&mut p, &h.device);
+            p.extend_from_slice(&h.resume_session_id.to_le_bytes());
+            p.extend_from_slice(&h.resume_token.to_le_bytes());
             (FrameType::Hello, if h.watch { FLAG_WATCH } else { 0 }, p)
         }
         Frame::HelloAck {
             version,
             session_id,
             max_samples_per_frame,
+            resume_token,
+            acked_seq,
         } => {
             p.extend_from_slice(&version.to_le_bytes());
             p.extend_from_slice(&session_id.to_le_bytes());
             p.extend_from_slice(&max_samples_per_frame.to_le_bytes());
+            p.extend_from_slice(&resume_token.to_le_bytes());
+            p.extend_from_slice(&acked_seq.to_le_bytes());
             (FrameType::HelloAck, 0, p)
         }
-        Frame::Samples(samples) => {
+        Frame::Samples { seq, samples } => {
+            p.extend_from_slice(&seq.to_le_bytes());
             p.extend_from_slice(&(samples.len() as u32).to_le_bytes());
             for s in samples {
                 p.extend_from_slice(&s.to_le_bytes());
@@ -506,6 +549,8 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             p.extend_from_slice(&s.buffered_samples.to_le_bytes());
             p.extend_from_slice(&s.queue_depth.to_le_bytes());
             p.extend_from_slice(&s.sheds.to_le_bytes());
+            p.extend_from_slice(&s.acked_seq.to_le_bytes());
+            p.extend_from_slice(&s.samples_rejected.to_le_bytes());
             (
                 FrameType::Stats,
                 if s.final_report { FLAG_FINAL } else { 0 },
@@ -538,6 +583,10 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             }
             (FrameType::Tail, 0, p)
         }
+        Frame::Heartbeat { acked_seq } => {
+            p.extend_from_slice(&acked_seq.to_le_bytes());
+            (FrameType::Heartbeat, 0, p)
+        }
     }
 }
 
@@ -557,20 +606,27 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
                 refresh_min_cycles: c.f64()?,
             };
             let device = c.string()?;
+            let resume_session_id = c.u64()?;
+            let resume_token = c.u64()?;
             Frame::Hello(Hello {
                 sample_rate_hz,
                 clock_hz,
                 config,
                 device,
                 watch: flags & FLAG_WATCH != 0,
+                resume_session_id,
+                resume_token,
             })
         }
         FrameType::HelloAck => Frame::HelloAck {
             version: c.u16()?,
             session_id: c.u64()?,
             max_samples_per_frame: c.u32()?,
+            resume_token: c.u64()?,
+            acked_seq: c.u64()?,
         },
         FrameType::Samples => {
+            let seq = c.u64()?;
             let count = c.u32()?;
             if count > MAX_SAMPLES_PER_FRAME {
                 return Err(ProtoError::Malformed("sample count exceeds bound"));
@@ -579,7 +635,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             for _ in 0..count {
                 samples.push(c.f64()?);
             }
-            Frame::Samples(samples)
+            Frame::Samples { seq, samples }
         }
         FrameType::Flush => Frame::Flush,
         FrameType::Fin => Frame::Fin,
@@ -597,6 +653,8 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             buffered_samples: c.u64()?,
             queue_depth: c.u64()?,
             sheds: c.u64()?,
+            acked_seq: c.u64()?,
+            samples_rejected: c.u64()?,
             final_report: flags & FLAG_FINAL != 0,
         }),
         FrameType::Error => Frame::Error {
@@ -631,6 +689,9 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
                 events,
             })
         }
+        FrameType::Heartbeat => Frame::Heartbeat {
+            acked_seq: c.u64()?,
+        },
     };
     c.done()?;
     Ok(frame)
@@ -766,6 +827,8 @@ mod tests {
             config: sample_config(),
             device: "olimex".into(),
             watch: false,
+            resume_session_id: 0,
+            resume_token: 0,
         }));
         roundtrip(Frame::Hello(Hello {
             sample_rate_hz: 1.0,
@@ -773,14 +836,24 @@ mod tests {
             config: sample_config(),
             device: String::new(),
             watch: true,
+            resume_session_id: 17,
+            resume_token: 0xDEAD_BEEF_CAFE,
         }));
         roundtrip(Frame::HelloAck {
             version: VERSION,
             session_id: 42,
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+            resume_token: 99,
+            acked_seq: 1234,
         });
-        roundtrip(Frame::Samples(vec![]));
-        roundtrip(Frame::Samples((0..1000).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(Frame::Samples {
+            seq: 1,
+            samples: vec![],
+        });
+        roundtrip(Frame::Samples {
+            seq: u64::MAX,
+            samples: (0..1000).map(|i| i as f64 * 0.5).collect(),
+        });
         roundtrip(Frame::Flush);
         roundtrip(Frame::Fin);
         roundtrip(Frame::Events(vec![
@@ -803,8 +876,12 @@ mod tests {
             buffered_samples: 3,
             queue_depth: 4,
             sheds: 5,
+            acked_seq: 6,
+            samples_rejected: 7,
             final_report: true,
         }));
+        roundtrip(Frame::Heartbeat { acked_seq: 0 });
+        roundtrip(Frame::Heartbeat { acked_seq: 31_337 });
         roundtrip(Frame::Error {
             code: ErrorCode::SessionLimit,
             message: "full".into(),
@@ -862,7 +939,10 @@ mod tests {
 
     #[test]
     fn payload_corruption_is_detected() {
-        let mut bytes = encode_frame(&Frame::Samples(vec![1.0, 2.0, 3.0]));
+        let mut bytes = encode_frame(&Frame::Samples {
+            seq: 1,
+            samples: vec![1.0, 2.0, 3.0],
+        });
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         assert!(matches!(
@@ -894,7 +974,10 @@ mod tests {
 
     #[test]
     fn truncated_inputs_want_more_bytes() {
-        let bytes = encode_frame(&Frame::Samples(vec![1.0; 16]));
+        let bytes = encode_frame(&Frame::Samples {
+            seq: 1,
+            samples: vec![1.0; 16],
+        });
         for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
             assert!(
                 matches!(decode_frame(&bytes[..cut]), Err(ProtoError::Io(_))),
@@ -927,6 +1010,7 @@ mod tests {
         // payload carries: rebuild with a consistent checksum so only
         // the *decoder* can catch it.
         let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // seq
         payload.extend_from_slice(&10u32.to_le_bytes()); // promises 10
         payload.extend_from_slice(&1.0f64.to_le_bytes()); // delivers 1
         let mut buf = [0u8; HEADER_LEN];

@@ -28,13 +28,14 @@
 //! never lost; they land in the tail and the event counters), and only
 //! then returns the final stats.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use emprof_fault::{FaultInjector, FaultPlan};
 use emprof_obs as obs;
 use emprof_par::Parallelism;
 
@@ -44,7 +45,7 @@ use crate::proto::{
     self, ErrorCode, Frame, Hello, ProtoError, ServerStatsWire, Tail, TailEvent,
     MAX_SAMPLES_PER_FRAME, VERSION,
 };
-use crate::session::{Session, SessionRegistry, Work};
+use crate::session::{SeqAdmit, Session, SessionRegistry, Work};
 
 /// Read timeout on server-side sockets: the latency bound on observing
 /// shutdown from a blocked read.
@@ -79,6 +80,18 @@ pub struct ServeConfig {
     /// Artificial per-batch processing delay in the workers. A test and
     /// bench aid for exercising backpressure; `None` in production.
     pub ingest_delay: Option<Duration>,
+    /// When set, connections that go quiet get a HEARTBEAT frame at this
+    /// interval, carrying the session's acked sequence — so a client
+    /// with a short read timeout can tell a live-but-idle server from a
+    /// dead one. `None` (the default) sends no heartbeats.
+    pub heartbeat_interval: Option<Duration>,
+    /// When set, a per-session [`FaultInjector`] corrupts every incoming
+    /// batch before it reaches the detector — the chaos-testing knob
+    /// behind `emprof serve --fault-plan`. Faults are deterministic per
+    /// session: each injector is seeded `fault_seed ^ session_id`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Base seed for [`ServeConfig::fault_plan`] injectors.
+    pub fault_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +104,9 @@ impl Default for ServeConfig {
             max_sessions: 256,
             tail_capacity: 4096,
             ingest_delay: None,
+            heartbeat_interval: None,
+            fault_plan: None,
+            fault_seed: 0,
         }
     }
 }
@@ -107,6 +123,7 @@ struct ServerCounters {
     sheds: AtomicU64,
     backpressure_ns: AtomicU64,
     peak_queue_depth: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// A point-in-time copy of the server-wide counters.
@@ -132,6 +149,8 @@ pub struct ServerStatsSnapshot {
     pub backpressure_ns: u64,
     /// Highest per-session queue depth ever observed, in frames.
     pub peak_queue_depth: u64,
+    /// Successful session resumes after a transport loss.
+    pub reconnects: u64,
 }
 
 /// Ring of recently finalized events for `WATCH` polls.
@@ -186,6 +205,11 @@ struct Shared {
     ready_rx: Mutex<mpsc::Receiver<Arc<Session>>>,
     shutdown: AtomicBool,
     reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Per-session chaos injectors when [`ServeConfig::fault_plan`] is
+    /// set; entries live exactly as long as the session is registered so
+    /// fault state (open dropout bursts, accumulated gain) survives a
+    /// reconnect.
+    faults: Mutex<HashMap<u64, FaultInjector>>,
 }
 
 impl Shared {
@@ -219,6 +243,7 @@ impl Shared {
             sheds: c.sheds.load(Ordering::Relaxed),
             backpressure_ns: c.backpressure_ns.load(Ordering::Relaxed),
             peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -241,8 +266,26 @@ impl Shared {
     /// Finalizes and unregisters a session, salvaging queued samples.
     fn close_session(&self, session: &Arc<Session>) {
         self.registry.remove(session.id);
+        self.faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session.id);
         session.finalize(|evs| self.record_events(session.id, evs));
         self.note_sessions_active();
+    }
+
+    /// Applies the configured chaos plan to a batch (no-op without one).
+    fn maybe_inject_faults(&self, session_id: u64, samples: &mut [f64]) {
+        let Some(plan) = self.config.fault_plan.as_ref() else {
+            return;
+        };
+        let mut faults = self.faults.lock().unwrap_or_else(|e| e.into_inner());
+        faults
+            .entry(session_id)
+            .or_insert_with(|| {
+                FaultInjector::new(plan.clone(), self.config.fault_seed ^ session_id)
+            })
+            .inject(samples);
     }
 }
 
@@ -278,6 +321,7 @@ impl Server {
             ready_rx: Mutex::new(ready_rx),
             shutdown: AtomicBool::new(false),
             reader_handles: Mutex::new(Vec::new()),
+            faults: Mutex::new(HashMap::new()),
         });
         *shared.tail.lock().unwrap_or_else(|e| e.into_inner()) =
             TailRing::new(shared.config.tail_capacity);
@@ -453,6 +497,19 @@ impl Conn {
     /// Reads one frame. `Ok(None)` means the peer closed cleanly between
     /// frames, or shutdown was requested while waiting.
     fn read_frame(&mut self, shutdown: &AtomicBool) -> Result<Option<Frame>, ProtoError> {
+        self.read_frame_hb(shutdown, None::<(Duration, fn() -> Frame)>)
+    }
+
+    /// [`Conn::read_frame`] with an optional heartbeat: while the peer
+    /// is quiet past `interval`, `make` builds a frame to write (the
+    /// liveness signal) and the idle clock restarts. A heartbeat write
+    /// failure is a transport loss, surfaced as an I/O error.
+    fn read_frame_hb<F: Fn() -> Frame>(
+        &mut self,
+        shutdown: &AtomicBool,
+        heartbeat: Option<(Duration, F)>,
+    ) -> Result<Option<Frame>, ProtoError> {
+        let mut last_io = Instant::now();
         loop {
             if self.buf.len() >= proto::HEADER_LEN {
                 match proto::decode_frame(&self.buf) {
@@ -476,14 +533,26 @@ impl Conn {
                         Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()))
                     }
                 }
-                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&tmp[..n]);
+                    last_io = Instant::now();
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock
                             | io::ErrorKind::TimedOut
                             | io::ErrorKind::Interrupted
-                    ) => {}
+                    ) =>
+                {
+                    if let Some((interval, make)) = heartbeat.as_ref() {
+                        if last_io.elapsed() >= *interval {
+                            self.write(&make())?;
+                            obs::counter_add!("serve.heartbeats", 1);
+                            last_io = Instant::now();
+                        }
+                    }
+                }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -532,13 +601,19 @@ fn watch_connection(conn: &mut Conn, shared: &Arc<Shared>) {
             version: VERSION,
             session_id: 0,
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+            resume_token: 0,
+            acked_seq: 0,
         })
         .is_err()
     {
         return;
     }
     loop {
-        match conn.read_frame(&shared.shutdown) {
+        let hb = shared
+            .config
+            .heartbeat_interval
+            .map(|iv| (iv, || Frame::Heartbeat { acked_seq: 0 }));
+        match conn.read_frame_hb(&shared.shutdown, hb) {
             Ok(Some(Frame::Watch { cursor })) => {
                 let (next, missed, events) = shared
                     .tail
@@ -589,37 +664,84 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
         conn.bail(ErrorCode::Malformed, &why);
         return;
     }
-    let Some(session) = shared.registry.create(
-        hello.device,
-        hello.config,
-        hello.sample_rate_hz,
-        hello.clock_hz,
-        shared.config.queue_frames,
-        shared.config.max_sessions,
-    ) else {
-        conn.bail(ErrorCode::SessionLimit, "session limit reached");
-        return;
+    // Resume (non-zero resume id) reclaims a detached session; a fresh
+    // HELLO creates one. Either way the session is *attached* to this
+    // connection, superseding any stale reader still holding it.
+    let session = if hello.resume_session_id != 0 {
+        let found = shared.registry.get(hello.resume_session_id);
+        match found {
+            Some(s) if s.resume_token == hello.resume_token => {
+                shared.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add!("serve.reconnects", 1);
+                s.touch(shared.registry.epoch());
+                s
+            }
+            _ => {
+                conn.bail(
+                    ErrorCode::NoSession,
+                    "cannot resume: unknown session or bad token",
+                );
+                return;
+            }
+        }
+    } else {
+        let Some(session) = shared.registry.create(
+            hello.device,
+            hello.config,
+            hello.sample_rate_hz,
+            hello.clock_hz,
+            shared.config.queue_frames,
+            shared.config.max_sessions,
+        ) else {
+            conn.bail(ErrorCode::SessionLimit, "session limit reached");
+            return;
+        };
+        shared.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        session
     };
-    shared.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
     shared.note_sessions_active();
+    let generation = session.attach();
     if conn
         .write(&Frame::HelloAck {
             version: VERSION,
             session_id: session.id,
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
+            resume_token: session.resume_token,
+            acked_seq: session.acked_seq(),
         })
         .is_err()
     {
-        shared.close_session(&session);
+        // Transport already gone: detach and leave the session for a
+        // future resume (the reaper bounds how long it waits).
         return;
     }
 
     loop {
-        match conn.read_frame(&shared.shutdown) {
-            Ok(Some(Frame::Samples(samples))) => {
-                ingest_batch(shared, &session, samples);
+        let hb = shared.config.heartbeat_interval.map(|iv| {
+            (iv, || Frame::Heartbeat {
+                acked_seq: session.acked_seq(),
+            })
+        });
+        match conn.read_frame_hb(&shared.shutdown, hb) {
+            Ok(Some(Frame::Samples { seq, samples })) => {
+                if !session.is_current(generation) {
+                    // A resumed connection took over; bow out silently.
+                    return;
+                }
+                match session.admit_seq(seq) {
+                    SeqAdmit::Accept => ingest_batch(shared, &session, samples),
+                    // A replayed frame the detector already saw.
+                    SeqAdmit::Duplicate => session.touch(shared.registry.epoch()),
+                    SeqAdmit::Gap => {
+                        conn.bail(ErrorCode::Protocol, "SAMPLES sequence gap");
+                        return;
+                    }
+                }
             }
             Ok(Some(frame @ (Frame::Flush | Frame::Fin))) => {
+                if !session.is_current(generation) {
+                    return;
+                }
                 let fin = matches!(frame, Frame::Fin);
                 session.touch(shared.registry.epoch());
                 let (tx, rx) = mpsc::sync_channel(1);
@@ -641,10 +763,15 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                         if !ok || fin {
                             if fin && session.finished() {
                                 shared.registry.remove(session.id);
+                                shared
+                                    .faults
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .remove(&session.id);
                                 shared.note_sessions_active();
-                            } else if !ok {
-                                shared.close_session(&session);
                             }
+                            // A failed reply write is a transport loss:
+                            // detach, keep the session resumable.
                             return;
                         }
                     }
@@ -661,24 +788,28 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                 return;
             }
             Ok(None) => {
-                // Peer closed without FIN, or shutdown: salvage the tail.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     conn.bail(ErrorCode::Shutdown, "server shutting down; session finalized");
                 }
-                shared.close_session(&session);
+                // Peer closed without FIN (or shutdown): *detach*. The
+                // session stays registered so the client can resume;
+                // shutdown and the idle reaper still finalize it, so no
+                // trailing event is ever lost.
                 return;
             }
+            Err(_) if !session.is_current(generation) => return,
             Err(e) => {
                 conn.bail(e.error_code(), &e.to_string());
-                shared.close_session(&session);
+                // Transport corruption or loss: detach, keep resumable.
                 return;
             }
         }
     }
 }
 
-fn ingest_batch(shared: &Arc<Shared>, session: &Arc<Session>, samples: Vec<f64>) {
+fn ingest_batch(shared: &Arc<Shared>, session: &Arc<Session>, mut samples: Vec<f64>) {
     session.touch(shared.registry.epoch());
+    shared.maybe_inject_faults(session.id, &mut samples);
     let n = samples.len();
     let bytes = (n * 8 + 4) as u64;
     let receipt = if shared.config.shed {

@@ -67,6 +67,8 @@ struct SessionState {
     /// `samples_in` counter is not a substitute: in shed mode it also
     /// counts batches that were dropped before reaching the detector.
     final_samples_pushed: u64,
+    /// The detector's non-finite rejection count at finalization.
+    final_samples_rejected: u64,
 }
 
 /// Counters a session exposes without taking its state lock.
@@ -83,6 +85,18 @@ pub struct SessionCounters {
     pub backpressure_ns: AtomicU64,
 }
 
+/// Verdict on an incoming SAMPLES sequence number; see
+/// [`Session::admit_seq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqAdmit {
+    /// The next expected sequence: ingest it.
+    Accept,
+    /// Already ingested (a resume replay overlap): drop silently.
+    Duplicate,
+    /// A gap — the client skipped sequences; a protocol error.
+    Gap,
+}
+
 /// One profiling session.
 #[derive(Debug)]
 pub struct Session {
@@ -90,19 +104,33 @@ pub struct Session {
     pub id: u64,
     /// Device label from HELLO (logs and the watch tail).
     pub device: String,
+    /// Token the client must present to resume this session after a
+    /// transport loss.
+    pub resume_token: u64,
     /// Ingest queue between the connection reader and the worker pool.
     pub queue: BoundedQueue<Work>,
     /// Lock-free counters.
     pub counters: SessionCounters,
     state: Mutex<SessionState>,
+    /// Highest SAMPLES sequence accepted so far (sequences are
+    /// contiguous from 1, so this is also the count of accepted frames).
+    /// Written only by the session's attached connection reader.
+    acked_seq: AtomicU64,
+    /// Attachment generation: bumped every time a connection (re)claims
+    /// this session, so a stale reader — e.g. one whose socket the
+    /// client abandoned before resuming elsewhere — can detect it was
+    /// superseded and bow out without finalizing anything.
+    conn_generation: AtomicU64,
     /// Nanoseconds since the registry epoch of the last client activity.
     last_active_ns: AtomicU64,
 }
 
 impl Session {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         id: u64,
         device: String,
+        resume_token: u64,
         config: EmprofConfig,
         sample_rate_hz: f64,
         clock_hz: f64,
@@ -112,6 +140,7 @@ impl Session {
         Session {
             id,
             device,
+            resume_token,
             queue: BoundedQueue::new(queue_capacity),
             counters: SessionCounters::default(),
             state: Mutex::new(SessionState {
@@ -119,9 +148,46 @@ impl Session {
                 events: Vec::new(),
                 delivered: 0,
                 final_samples_pushed: 0,
+                final_samples_rejected: 0,
             }),
+            acked_seq: AtomicU64::new(0),
+            conn_generation: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
         }
+    }
+
+    /// Highest SAMPLES sequence accepted so far.
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq.load(Ordering::Acquire)
+    }
+
+    /// Classifies an incoming SAMPLES sequence number and, on
+    /// [`SeqAdmit::Accept`], advances the ack watermark. Sequences start
+    /// at 1 and must be contiguous; anything at or below the watermark
+    /// is a resume-replay duplicate.
+    pub fn admit_seq(&self, seq: u64) -> SeqAdmit {
+        let acked = self.acked_seq.load(Ordering::Acquire);
+        if seq <= acked {
+            SeqAdmit::Duplicate
+        } else if seq == acked + 1 {
+            self.acked_seq.store(seq, Ordering::Release);
+            SeqAdmit::Accept
+        } else {
+            SeqAdmit::Gap
+        }
+    }
+
+    /// Claims this session for a (re)connecting reader, superseding any
+    /// previous attachment. Returns the new generation; the reader must
+    /// check [`Session::is_current`] before acting on frames so a stale
+    /// connection cannot race a resumed one.
+    pub fn attach(&self) -> u64 {
+        self.conn_generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Whether `generation` is still the live attachment.
+    pub fn is_current(&self, generation: u64) -> bool {
+        self.conn_generation.load(Ordering::Acquire) == generation
     }
 
     /// Marks the session as just-touched by its client.
@@ -137,9 +203,13 @@ impl Session {
     }
 
     fn stats_locked(&self, st: &SessionState) -> SessionStatsWire {
-        let (pushed, buffered) = match &st.detector {
-            Some(d) => (d.samples_pushed() as u64, d.buffered_samples() as u64),
-            None => (st.final_samples_pushed, 0),
+        let (pushed, buffered, rejected) = match &st.detector {
+            Some(d) => (
+                d.samples_pushed() as u64,
+                d.buffered_samples() as u64,
+                d.samples_rejected() as u64,
+            ),
+            None => (st.final_samples_pushed, 0, st.final_samples_rejected),
         };
         SessionStatsWire {
             samples_pushed: pushed,
@@ -147,6 +217,8 @@ impl Session {
             buffered_samples: buffered,
             queue_depth: self.queue.depth() as u64,
             sheds: self.counters.sheds.load(Ordering::Relaxed),
+            acked_seq: self.acked_seq(),
+            samples_rejected: rejected,
             final_report: st.detector.is_none(),
         }
     }
@@ -203,6 +275,7 @@ impl Session {
                 }
                 Work::Fin(reply) => {
                     if let Some(detector) = st.detector.take() {
+                        st.final_samples_rejected = detector.samples_rejected() as u64;
                         let profile = detector.finish();
                         st.final_samples_pushed = profile.total_samples() as u64;
                         let tail = &profile.events()[st.events.len()..];
@@ -228,6 +301,7 @@ impl Session {
         self.drain(&mut on_events);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(detector) = st.detector.take() {
+            st.final_samples_rejected = detector.samples_rejected() as u64;
             let profile = detector.finish();
             st.final_samples_pushed = profile.total_samples() as u64;
             let tail = &profile.events()[st.events.len()..];
@@ -255,16 +329,39 @@ pub struct SessionRegistry {
     next_id: AtomicU64,
     /// Timebase for idle accounting (monotonic, shared by all sessions).
     epoch: Instant,
+    /// Per-registry entropy mixed into resume tokens so tokens from one
+    /// server run are not valid against another.
+    token_seed: u64,
 }
 
 impl SessionRegistry {
     /// An empty registry.
     pub fn new() -> Self {
+        let token_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
         SessionRegistry {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             epoch: Instant::now(),
+            token_seed,
         }
+    }
+
+    /// Derives a session's resume token from the registry seed and its
+    /// id (splitmix64 finalizer — not cryptographic, but unguessable
+    /// enough to stop one misconfigured client from stealing another's
+    /// session, and never zero because zero means "no resume" on the
+    /// wire).
+    fn resume_token_for(&self, id: u64) -> u64 {
+        let mut z = self
+            .token_seed
+            .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z.max(1)
     }
 
     /// The idle timebase.
@@ -291,6 +388,7 @@ impl SessionRegistry {
         let session = Arc::new(Session::new(
             id,
             device,
+            self.resume_token_for(id),
             config,
             sample_rate_hz,
             clock_hz,

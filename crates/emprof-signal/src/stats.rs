@@ -137,9 +137,10 @@ pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
 /// first processing step (Section IV of the paper).
 ///
 /// Wherever the moving maximum equals the moving minimum (a perfectly flat
-/// stretch) the output is defined as `0.5`, since the signal is neither at
-/// its local floor nor its local ceiling. Values are clamped to `[0, 1]` to
-/// guard against floating-point wobble at the window edges.
+/// stretch) the output is defined as `1.0`: a window with no dynamic range
+/// contains no dip, so flat stretches read as "busy" and can never cross
+/// the detector's dip threshold. Values are clamped to `[0, 1]` to guard
+/// against floating-point wobble at the window edges.
 ///
 /// # Panics
 ///
@@ -191,7 +192,7 @@ pub fn normalize_moving_minmax_range(
             if hi > lo {
                 ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
             } else {
-                0.5
+                1.0
             }
         })
         .collect()
@@ -345,9 +346,29 @@ mod tests {
     }
 
     #[test]
-    fn normalize_flat_signal_is_half() {
+    fn normalize_flat_signal_is_no_dip() {
+        // A zero-range window carries no dip information; it must read
+        // as fully busy (1.0), never as a threshold-crossing value.
         let norm = normalize_moving_minmax(&[4.2; 30], 8);
-        assert!(norm.iter().all(|&v| v == 0.5));
+        assert!(norm.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn normalize_step_signal_flat_plateaus_are_busy() {
+        // Step signal: windows that straddle the step normalize against
+        // real range; windows entirely inside a plateau are flat and
+        // must yield 1.0.
+        let mut x = vec![2.0; 40];
+        x.extend(vec![6.0; 40]);
+        let norm = normalize_moving_minmax(&x, 8);
+        // Deep inside each plateau the window is flat.
+        assert_eq!(norm[10], 1.0);
+        assert_eq!(norm[70], 1.0);
+        // Just below the step the sample sits at the local floor.
+        assert!(norm[39] < 0.5);
+        // Just above the step the sample sits at the local ceiling.
+        assert!(norm[40] > 0.5);
+        assert!(norm.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

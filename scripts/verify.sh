@@ -21,4 +21,18 @@ cargo test -q --release --test serve_equivalence
 # on any lost event, queue-bound violation, or counter drift.
 cargo run -q --release -p emprof-bench --bin serve_soak -- --smoke --seconds 8
 
+# Fault-layer properties: NaN/±inf never alter events on surviving
+# samples; the injector is deterministic and batch-boundary invariant.
+cargo test -q --release --test prop_fault
+
+# Transport resilience: kill-and-resume at arbitrary frame boundaries is
+# invisible in the served events; heartbeats keep quiet connections alive.
+cargo test -q --release --test serve_resilience
+
+# Chaos soak smoke: concurrent sessions streaming faulted signals while
+# their connections are repeatedly severed; fails if any session fails
+# to resume or any served profile diverges from batch on the faulted
+# signal.
+cargo run -q --release -p emprof-bench --bin chaos_soak -- --smoke --seconds 8
+
 echo "verify: OK"

@@ -59,6 +59,7 @@ pub use emprof_baseline as baseline;
 pub use emprof_core as core;
 pub use emprof_dram as dram;
 pub use emprof_emsim as emsim;
+pub use emprof_fault as fault;
 pub use emprof_obs as obs;
 pub use emprof_par as par;
 pub use emprof_serve as serve;

@@ -1,0 +1,133 @@
+//! Property-based guarantees of the fault layer and the sanitizer.
+//!
+//! The load-bearing claim of the degradation design: non-finite samples
+//! can only *remove* themselves from the analysis, never alter the
+//! events detected on the surviving samples. Whatever NaN/±inf pattern a
+//! broken front-end produces, the profile equals the batch profile of
+//! the finite subsequence — and the injector itself is deterministic and
+//! batch-boundary invariant, so chaos runs are reproducible.
+
+use emprof::core::{Emprof, EmprofConfig, StreamingEmprof};
+use emprof::fault::{FaultInjector, FaultPlan};
+use proptest::prelude::*;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+
+fn config() -> EmprofConfig {
+    EmprofConfig::for_rates(FS, CLK)
+}
+
+/// Arbitrary busy/dip signal (same shape as the detector properties).
+fn build_signal(segments: &[(u16, u16, u8)]) -> Vec<f64> {
+    let mut s = Vec::new();
+    for (i, &(gap, dip, depth)) in segments.iter().enumerate() {
+        let gap = 3 + gap as usize % 600;
+        let dip = dip as usize % 160;
+        let dip_level = 0.3 + (depth as f64 / 255.0) * 1.2;
+        for k in 0..gap {
+            s.push(5.0 + (((i * 131 + k) * 2654435761) % 997) as f64 / 3000.0);
+        }
+        for k in 0..dip {
+            s.push(dip_level + (((i * 137 + k) * 2654435761) % 997) as f64 / 5000.0);
+        }
+    }
+    s.extend(std::iter::repeat_n(5.0, 500));
+    s
+}
+
+/// One of the poisons a broken capture chain can emit.
+fn poison(kind: u8) -> f64 {
+    match kind % 4 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        // Subnormal: finite, so it must NOT be rejected — merely tiny.
+        _ => f64::MIN_POSITIVE / 4.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Poisoned samples never alter the events on the survivors: the
+    /// batch profile of the poisoned signal equals the batch profile of
+    /// its finite subsequence, and streaming agrees sample for sample.
+    #[test]
+    fn non_finite_never_alters_survivor_events(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..24),
+        poisons in prop::collection::vec((any::<u16>(), any::<u8>()), 0..64),
+    ) {
+        let mut signal = build_signal(&segments);
+        for &(pos, kind) in &poisons {
+            let i = pos as usize % signal.len();
+            signal[i] = poison(kind);
+        }
+        let survivors: Vec<f64> =
+            signal.iter().copied().filter(|v| v.is_finite()).collect();
+
+        let emprof = Emprof::new(config());
+        let on_poisoned = emprof.profile_magnitude(&signal, FS, CLK);
+        let on_survivors = emprof.profile_magnitude(&survivors, FS, CLK);
+        prop_assert_eq!(on_poisoned.events(), on_survivors.events());
+
+        let mut streaming = StreamingEmprof::new(config(), FS, CLK);
+        streaming.extend(signal.iter().copied());
+        let rejected = streaming.samples_rejected();
+        let streamed = streaming.finish();
+        prop_assert_eq!(streamed.events(), on_poisoned.events());
+        prop_assert_eq!(rejected, signal.len() - survivors.len());
+    }
+
+    /// The injector is a pure function of (plan, seed, position): two
+    /// injectors with the same seed produce bit-identical signals and
+    /// reports, however the input is chopped into batches.
+    #[test]
+    fn injector_is_deterministic_and_batch_invariant(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..16),
+        seed in any::<u64>(),
+        cuts in prop::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let clean = build_signal(&segments);
+        let plan = FaultPlan::chaos();
+
+        let mut whole = clean.clone();
+        let report_whole = FaultInjector::new(plan.clone(), seed).inject(&mut whole);
+
+        // Same signal, fed through a second injector in arbitrary chunks.
+        let mut chunked = clean.clone();
+        let mut injector = FaultInjector::new(plan, seed);
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| c as usize % clean.len()).collect();
+        bounds.push(0);
+        bounds.push(clean.len());
+        bounds.sort_unstable();
+        let mut report_chunked = emprof::fault::FaultReport::default();
+        for w in bounds.windows(2) {
+            report_chunked.merge(&injector.inject(&mut chunked[w[0]..w[1]]));
+        }
+
+        prop_assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(report_whole, report_chunked);
+    }
+
+    /// Faulted signals profile without panicking, and the poisoned
+    /// fraction the injector reports matches what the detector rejects.
+    #[test]
+    fn faulted_profile_matches_survivor_profile(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..16),
+        seed in any::<u64>(),
+    ) {
+        let mut signal = build_signal(&segments);
+        FaultInjector::new(FaultPlan::chaos(), seed).inject(&mut signal);
+        let survivors: Vec<f64> =
+            signal.iter().copied().filter(|v| v.is_finite()).collect();
+        let emprof = Emprof::new(config());
+        let on_faulted = emprof.profile_magnitude(&signal, FS, CLK);
+        let on_survivors = emprof.profile_magnitude(&survivors, FS, CLK);
+        prop_assert_eq!(on_faulted.events(), on_survivors.events());
+    }
+}

@@ -1,0 +1,236 @@
+//! Resilience properties of the profiling service.
+//!
+//! A transport loss at *any* frame boundary must be invisible in the
+//! result: the client reconnects, resumes its session with the HELLO
+//! resume token, replays unacknowledged frames, and the served event
+//! stream ends up bit-for-bit identical to an uninterrupted run. Plus
+//! directed tests for server heartbeats (quiet connections stay
+//! provably alive) and the resume window (a reaped session refuses to
+//! resume instead of silently restarting).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use emprof::core::{Emprof, EmprofConfig};
+use emprof::serve::{
+    ClientConfig, ClientError, ErrorCode, ProfileClient, ServeConfig, Server, WatchClient,
+};
+use proptest::prelude::*;
+
+const FS: f64 = 40e6;
+const CLK: f64 = 1.0e9;
+
+fn config() -> EmprofConfig {
+    EmprofConfig::for_rates(FS, CLK)
+}
+
+/// Aggressive reconnect knobs so proptest cases stay fast.
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_secs(10),
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+        max_reconnects: 8,
+        ..ClientConfig::default()
+    }
+}
+
+/// Arbitrary busy/dip signal (same family as the detector properties).
+fn build_signal(segments: &[(u16, u16, u8)]) -> Vec<f64> {
+    let mut s = Vec::new();
+    for (i, &(gap, dip, depth)) in segments.iter().enumerate() {
+        let gap = 3 + gap as usize % 600;
+        let dip = dip as usize % 160;
+        let dip_level = 0.3 + (depth as f64 / 255.0) * 1.2;
+        for k in 0..gap {
+            s.push(5.0 + (((i * 131 + k) * 2654435761) % 997) as f64 / 3000.0);
+        }
+        for k in 0..dip {
+            s.push(dip_level + (((i * 137 + k) * 2654435761) % 997) as f64 / 5000.0);
+        }
+    }
+    s.extend(std::iter::repeat_n(5.0, 500));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Killing the connection at arbitrary SAMPLES-frame boundaries —
+    /// including right before a FLUSH — never changes the served events:
+    /// they equal the local batch profile, which is what an
+    /// uninterrupted session provably returns (serve_equivalence).
+    #[test]
+    fn resume_at_any_frame_boundary_is_invisible(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..10),
+        frame in 32usize..2048,
+        drops in prop::collection::vec(any::<u16>(), 1..6),
+        trailing_drop in any::<bool>(),
+        flush_every in 2usize..5,
+    ) {
+        let signal = build_signal(&segments);
+        let expected = Emprof::new(config())
+            .profile_magnitude(&signal, FS, CLK)
+            .events()
+            .to_vec();
+
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut client = ProfileClient::connect_with(
+            server.local_addr(),
+            "resilience-prop",
+            config(),
+            FS,
+            CLK,
+            client_config(),
+        )
+        .expect("open session");
+
+        let chunks: Vec<&[f64]> = signal.chunks(frame).collect();
+        let drop_at: BTreeSet<usize> =
+            drops.iter().map(|&d| d as usize % chunks.len()).collect();
+        let mut served = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if drop_at.contains(&i) {
+                client.drop_connection();
+            }
+            client.send(chunk).expect("send survives transport loss");
+            if (i + 1) % flush_every == 0 {
+                let (events, _) = client.flush().expect("flush survives");
+                served.extend(events);
+            }
+        }
+        if trailing_drop {
+            // A loss after the last frame, healed by finish itself.
+            client.drop_connection();
+        }
+        let resumes = client.reconnects();
+        let (tail, stats) = client.finish().expect("finish survives");
+        served.extend(tail);
+
+        prop_assert!(stats.final_report);
+        prop_assert_eq!(stats.samples_pushed, signal.len() as u64);
+        prop_assert!(resumes >= 1, "a forced drop never triggered a resume");
+        prop_assert_eq!(served, expected);
+        server.shutdown();
+    }
+}
+
+/// A quiet server connection emits heartbeats, and the client absorbs
+/// them without losing frame sync: after an idle spell that queued
+/// several heartbeats in the socket, the very next FIN round trip still
+/// parses cleanly and returns the full profile.
+#[test]
+fn heartbeats_keep_quiet_connections_alive() {
+    emprof::obs::reset();
+    emprof::obs::enable();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ProfileClient::connect_with(
+        server.local_addr(),
+        "heartbeat-test",
+        config(),
+        FS,
+        CLK,
+        ClientConfig {
+            read_timeout: Duration::from_millis(400),
+            max_reconnects: 0, // a desync here would be fatal, not healed
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    client.send(&[5.0; 4096]).unwrap();
+    // Idle long enough for several heartbeats to queue up client-side.
+    std::thread::sleep(Duration::from_millis(700));
+    let (_, stats) = client.finish().expect("finish after idle spell");
+    assert!(stats.final_report);
+    assert_eq!(stats.samples_pushed, 4096);
+    server.shutdown();
+    let heartbeats = emprof::obs::snapshot()
+        .counters
+        .iter()
+        .find(|(name, _)| name == "serve.heartbeats")
+        .map_or(0, |(_, v)| *v);
+    emprof::obs::disable();
+    assert!(heartbeats > 0, "the idle spell emitted no heartbeats");
+}
+
+/// Watch connections heartbeat too: a poll after an idle spell longer
+/// than the read timeout still answers.
+#[test]
+fn watch_survives_idle_spell_with_heartbeats() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut watch = WatchClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            read_timeout: Duration::from_millis(400),
+            max_reconnects: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(700));
+    let tail = watch.poll().expect("poll after idle spell");
+    assert_eq!(tail.events.len(), 0);
+    server.shutdown();
+}
+
+/// A watch client with reconnects enabled heals a severed connection on
+/// the next poll, keeping its cursor.
+#[test]
+fn watch_reconnects_after_transport_loss() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut watch = WatchClient::connect_with(server.local_addr(), client_config()).unwrap();
+    watch.poll().unwrap();
+    watch.drop_connection();
+    watch.poll().expect("poll heals the dropped connection");
+    assert!(watch.reconnects() >= 1);
+    server.shutdown();
+}
+
+/// Once the reaper finalizes an idle session, a resume attempt fails
+/// loudly with NO_SESSION instead of silently opening a fresh detector.
+#[test]
+fn resume_after_reap_refuses_loudly() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ProfileClient::connect_with(
+        server.local_addr(),
+        "reaped",
+        config(),
+        FS,
+        CLK,
+        client_config(),
+    )
+    .unwrap();
+    client.send(&[5.0; 256]).unwrap();
+    client.drop_connection();
+    // Wait well past idle_timeout plus the reaper's polling cadence.
+    std::thread::sleep(Duration::from_millis(800));
+    let err = client
+        .send(&[5.0; 256])
+        .expect_err("resuming a reaped session must fail");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::NoSession),
+        other => panic!("expected NO_SESSION, got {other:?}"),
+    }
+    server.shutdown();
+}
