@@ -9,7 +9,11 @@
 //!    bit, so NaN/inf injection can only *remove* samples, never alter
 //!    events on the survivors;
 //! 3. **honest accounting** — the server's rejected-sample count equals
-//!    the number of non-finite samples the faults actually produced.
+//!    the number of non-finite samples the faults actually produced;
+//! 4. **exactly-once delivery** — replies are deliberately lost *after*
+//!    the server finalized and offered the events but *before* the
+//!    client consumed them (the §10 kill window); the ack cursor must
+//!    make redelivery invisible: no event lost, none duplicated.
 //!
 //! `--smoke` runs 4 concurrent sessions for a few bounded rounds (CI
 //! sized); full mode runs 8 sessions and ~3× the work. `--seconds N`
@@ -73,6 +77,7 @@ struct SessionTally {
     miscounts: usize,
     resumes: u64,
     forced_drops: u64,
+    lost_replies: u64,
     degraded_events: u64,
     rejected: u64,
 }
@@ -111,6 +116,13 @@ fn run_round(
             tally.forced_drops += 1;
         }
         client.send(chunk).expect("stream frame");
+        // The §10 kill window: complete a flush server-side, then sever
+        // before consuming or acking the reply. The offered events must
+        // be redelivered on resume — exactly once.
+        if (i + session + round) % 11 == 5 {
+            client.flush_lost_reply().expect("lost-reply flush");
+            tally.lost_replies += 1;
+        }
         if (i + 1) % 4 == 0 {
             let (events, _) = client.flush().expect("flush");
             served.extend(events);
@@ -196,6 +208,7 @@ fn main() {
                     miscounts: 0,
                     resumes: 0,
                     forced_drops: 0,
+                    lost_replies: 0,
                     degraded_events: 0,
                     rejected: 0,
                 };
@@ -213,6 +226,7 @@ fn main() {
     let mut miscounts = 0usize;
     let mut resumes = 0u64;
     let mut forced_drops = 0u64;
+    let mut lost_replies = 0u64;
     let mut rejected = 0u64;
     for h in handles {
         let t = h.join().expect("session thread panicked");
@@ -221,14 +235,16 @@ fn main() {
         miscounts += t.miscounts;
         resumes += t.resumes;
         forced_drops += t.forced_drops;
+        lost_replies += t.lost_replies;
         rejected += t.rejected;
     }
     let server = Arc::into_inner(server).expect("all clients done");
     let stats = server.shutdown();
 
     println!(
-        "{rounds} rounds: {forced_drops} forced transport losses, {resumes} resumes \
-         (server counted {}), {rejected} samples rejected server-side, {} degraded events flagged",
+        "{rounds} rounds: {forced_drops} forced transport losses, {lost_replies} lost replies, \
+         {resumes} resumes (server counted {}), {rejected} samples rejected server-side, \
+         {} degraded events flagged",
         stats.reconnects,
         degraded_total.load(Ordering::Relaxed),
     );
@@ -257,6 +273,9 @@ fn main() {
     }
     if forced_drops == 0 {
         failures.push("no transport loss was ever forced: the soak tested nothing".into());
+    }
+    if lost_replies == 0 {
+        failures.push("no reply was ever lost in the kill window: exactly-once went untested".into());
     }
     if rounds == 0 {
         failures.push("no session completed a full round within the budget".into());

@@ -15,10 +15,11 @@ use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
 use emprof_serve::{ClientConfig, ProfileClient, ServeConfig, Server, WatchClient};
+use emprof_store::{inspect_dir, JournalConfig, SessionJournal, SessionMeta};
 
 use crate::opts::{
-    parse, CliError, Command, ObsOpts, ProfileOpts, PushOpts, ServeOpts, SimulateOpts,
-    WatchOpts, USAGE,
+    parse, CliError, Command, InspectOpts, ObsOpts, ProfileOpts, PushOpts, RecordOpts,
+    ReplayOpts, ServeOpts, SimulateOpts, WatchOpts, USAGE,
 };
 
 /// How many span occurrences `--trace` retains before counting drops.
@@ -42,6 +43,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Serve(opts) => with_telemetry(&opts.obs, || serve(&opts)),
         Command::Push(opts) => push(&opts),
         Command::Watch(opts) => watch(&opts),
+        Command::Record(opts) => record(&opts),
+        Command::Replay(opts) => replay(&opts),
+        Command::JournalInspect(opts) => journal_inspect(&opts),
     }
 }
 
@@ -362,6 +366,7 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         heartbeat_interval: opts.heartbeat_secs.map(std::time::Duration::from_secs),
         fault_plan,
         fault_seed: opts.fault_seed,
+        journal_dir: opts.journal_dir.as_ref().map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let threads = config.threads.get();
@@ -369,12 +374,16 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         .map_err(|e| CliError::Runtime(format!("bind {}: {e}", opts.addr)))?;
     // The banner goes out immediately: callers script against it.
     println!(
-        "emprof-serve listening on {} ({} workers, queue {} frames, {}{})",
+        "emprof-serve listening on {} ({} workers, queue {} frames, {}{}{})",
         server.local_addr(),
         threads,
         opts.queue_frames,
         if opts.shed { "shed" } else { "backpressure" },
         if chaos { ", CHAOS" } else { "" },
+        match &opts.journal_dir {
+            Some(dir) => format!(", journal {dir}"),
+            None => String::new(),
+        },
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -521,6 +530,199 @@ fn watch(opts: &WatchOpts) -> Result<String, CliError> {
         }
         std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
     }
+    Ok(out)
+}
+
+/// Persists a magnitude CSV into a fresh durable journal.
+fn record(opts: &RecordOpts) -> Result<String, CliError> {
+    let csv = std::fs::read_to_string(&opts.signal_path)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.signal_path)))?;
+    let (signal, rejected) = report::signal_from_csv_sanitized(&csv)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let dir = std::path::Path::new(&opts.journal_dir);
+    let meta = SessionMeta {
+        session_id: 0,
+        resume_token: 0,
+        sample_rate_hz: opts.sample_rate_hz,
+        clock_hz: opts.clock_hz,
+        config: EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz),
+        device: opts.device.clone(),
+    };
+    let jerr = |e: std::io::Error| CliError::Runtime(format!("{}: {e}", opts.journal_dir));
+    let mut journal = SessionJournal::create(dir, meta, JournalConfig::default()).map_err(jerr)?;
+    for (i, chunk) in signal.chunks(opts.frame).enumerate() {
+        journal.append_samples(i as u64 + 1, chunk).map_err(jerr)?;
+    }
+    journal.sync().map_err(jerr)?;
+    let stats = journal.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recorded {} samples in {} batches to {} ({} segments, {} bytes)",
+        signal.len(),
+        signal.chunks(opts.frame.max(1)).len(),
+        opts.journal_dir,
+        stats.segments,
+        stats.bytes
+    );
+    if rejected > 0 {
+        let _ = writeln!(out, "{rejected} non-finite CSV samples dropped before recording");
+    }
+    Ok(out)
+}
+
+/// Re-drives the detectors from a journaled capture.
+fn replay(opts: &ReplayOpts) -> Result<String, CliError> {
+    let dir = std::path::Path::new(&opts.journal_dir);
+    // Journal recovery conjures missing directories into empty journals
+    // (open never fails); a replay of a path that does not exist should
+    // be an error, not a silent empty profile.
+    if !dir.is_dir() {
+        return Err(CliError::Runtime(format!(
+            "{}: no such journal directory",
+            opts.journal_dir
+        )));
+    }
+    let jerr = |e: std::io::Error| CliError::Runtime(format!("{}: {e}", opts.journal_dir));
+    let Some((_journal, rec)) =
+        SessionJournal::open(dir, JournalConfig::default()).map_err(jerr)?
+    else {
+        return Err(CliError::Runtime(format!(
+            "{}: not a session journal (no identity checkpoint survived)",
+            opts.journal_dir
+        )));
+    };
+    let mut out = String::new();
+    if rec.report.truncations > 0 || rec.report.dropped_segments > 0 {
+        let _ = writeln!(
+            out,
+            "recovery repaired the journal: {} torn tail(s) truncated ({} bytes), \
+             {} segment(s) dropped",
+            rec.report.truncations, rec.report.truncated_bytes, rec.report.dropped_segments
+        );
+    }
+    let signal: Vec<f64> = rec
+        .samples
+        .iter()
+        .flat_map(|(_, batch)| batch.iter().copied())
+        .collect();
+    let journaled: Vec<_> = rec.events.iter().map(|(_, e)| *e).collect();
+    let (rate, clock) = (rec.meta.sample_rate_hz, rec.meta.clock_hz);
+    if signal.is_empty() {
+        // Samples compacted away (a finished, acked serve journal):
+        // the journaled events are the capture's whole story.
+        let profile = Profile::new(journaled, 0, rate, clock);
+        let _ = writeln!(
+            out,
+            "{}: no samples retained; {} journaled events for device {:?}",
+            opts.journal_dir,
+            profile.events().len(),
+            rec.meta.device
+        );
+        if let Some(path) = &opts.events_out {
+            write_file(path, &report::events_to_csv(&profile))?;
+            let _ = writeln!(out, "events written to {path}");
+        }
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} samples in {} batches, device {:?}, {:.0} MS/s capture",
+        opts.journal_dir,
+        signal.len(),
+        rec.samples.len(),
+        rec.meta.device,
+        rate / 1e6
+    );
+    let batch = Emprof::new(rec.meta.config).profile_magnitude(&signal, rate, clock);
+    let mut streaming = StreamingEmprof::new(rec.meta.config, rate, clock);
+    streaming.extend(signal.iter().copied());
+    let streamed = streaming.finish();
+    if streamed.events() != batch.events() {
+        return Err(CliError::Runtime(
+            "replay MISMATCH: streaming and batch detectors disagree".into(),
+        ));
+    }
+    let _ = writeln!(out, "{}", ProfileSummary::of(&batch));
+    let _ = writeln!(
+        out,
+        "streaming replay: {} events (matches batch)",
+        streamed.events().len()
+    );
+    if !journaled.is_empty() {
+        // A serve journal that finalized before the crash: its events
+        // must be a suffix-complete record of what the batch computes
+        // past the compacted prefix.
+        let total = batch.events().len();
+        let tail = &batch.events()[total - journaled.len().min(total)..];
+        if tail == journaled.as_slice() {
+            let _ = writeln!(
+                out,
+                "journal holds {} finalized event(s); they match the recomputed profile",
+                journaled.len()
+            );
+        } else {
+            return Err(CliError::Runtime(
+                "replay MISMATCH: journaled events disagree with recomputed profile".into(),
+            ));
+        }
+    }
+    if let Some(path) = &opts.events_out {
+        write_file(path, &report::events_to_csv(&batch))?;
+        let _ = writeln!(out, "events written to {path}");
+    }
+    Ok(out)
+}
+
+/// Dumps per-segment health of a journal directory (read-only).
+fn journal_inspect(opts: &InspectOpts) -> Result<String, CliError> {
+    let dir = std::path::Path::new(&opts.journal_dir);
+    let inspect = inspect_dir(dir)
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.journal_dir)))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "journal {}", inspect.dir.display());
+    if inspect.segments.is_empty() {
+        let _ = writeln!(out, "(no segments)");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>10}  {:<7} records (meta/samp/ev/cur/fin)  max-ev",
+        "segment", "base", "bytes", "valid", "state"
+    );
+    for seg in &inspect.segments {
+        let state = if !seg.header_ok {
+            "BAD-HDR"
+        } else if seg.torn {
+            "TORN"
+        } else {
+            "ok"
+        };
+        let k = &seg.records_by_kind;
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10} {:>10}  {:<7} {} ({}/{}/{}/{}/{})  {}",
+            seg.file_name,
+            seg.base_index,
+            seg.bytes_on_disk,
+            seg.valid_bytes,
+            state,
+            seg.records,
+            k[0],
+            k[1],
+            k[2],
+            k[3],
+            k[4],
+            seg.max_event_seq
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} segment(s), {} record(s), healthy: {}",
+        inspect.segments.len(),
+        inspect.records(),
+        if inspect.healthy() { "yes" } else { "NO" }
+    );
     Ok(out)
 }
 
@@ -857,6 +1059,93 @@ mod tests {
         assert!(out.contains("server rejected"), "{out}");
         assert!(out.contains("misses:"), "{out}");
         server.shutdown();
+    }
+
+    #[test]
+    fn record_replay_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("emprof-cli-journal-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sig = dir.join("rec-sig.csv");
+        let journal = dir.join("journal");
+        run(&argv(&format!(
+            "simulate microbench:64:4 --seed 5 --signal-out {}",
+            sig.display()
+        )))
+        .unwrap();
+
+        let recorded = run(&argv(&format!(
+            "record {} --journal {} --rate 40e6 --clock 1.008e9 --device cli --frame 4096",
+            sig.display(),
+            journal.display()
+        )))
+        .unwrap();
+        assert!(recorded.contains("recorded"), "{recorded}");
+
+        // Replay reproduces the direct profile of the same CSV.
+        let replayed = run(&argv(&format!("replay --journal {}", journal.display()))).unwrap();
+        let local = run(&argv(&format!(
+            "profile {} --rate 40e6 --clock 1.008e9",
+            sig.display()
+        )))
+        .unwrap();
+        let miss_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("misses:"))
+                .map(str::to_string)
+                .expect("misses line")
+        };
+        assert_eq!(miss_line(&replayed), miss_line(&local));
+        assert!(replayed.contains("matches batch"), "{replayed}");
+
+        let inspected = run(&argv(&format!("journal-inspect {}", journal.display()))).unwrap();
+        assert!(inspected.contains("healthy: yes"), "{inspected}");
+        assert!(inspected.contains("seg-"), "{inspected}");
+
+        // A torn tail is repaired, not fatal: chop bytes off the last
+        // segment and replay again.
+        let mut segs: Vec<_> = std::fs::read_dir(&journal)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        let last = segs.last().unwrap();
+        let bytes = std::fs::read(last).unwrap();
+        std::fs::write(last, &bytes[..bytes.len() - 3]).unwrap();
+        let repaired = run(&argv(&format!("replay --journal {}", journal.display()))).unwrap();
+        assert!(repaired.contains("recovery repaired"), "{repaired}");
+        assert!(repaired.contains("matches batch"), "{repaired}");
+    }
+
+    #[test]
+    fn replay_missing_journal_errors() {
+        let missing = std::env::temp_dir().join("emprof-cli-missing-journal");
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(matches!(
+            run(&argv(&format!("replay --journal {}", missing.display()))),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(
+            !missing.exists(),
+            "a failed replay must not conjure the directory"
+        );
+        assert!(matches!(
+            run(&argv(&format!("journal-inspect {}", missing.display()))),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn serve_with_journal_reports_banner_dir() {
+        let dir = std::env::temp_dir().join("emprof-cli-serve-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&argv(&format!(
+            "serve --addr 127.0.0.1:0 --duration 1 --threads 2 --journal {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("served 0 connections"), "{out}");
+        assert!(dir.exists(), "--journal must create the directory");
     }
 
     #[test]

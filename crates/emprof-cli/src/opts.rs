@@ -21,6 +21,12 @@ pub enum Command {
     Push(PushOpts),
     /// Tail the finalized-event stream of a running service.
     Watch(WatchOpts),
+    /// Persist a magnitude capture into a durable journal.
+    Record(RecordOpts),
+    /// Re-drive the detectors from a journaled capture.
+    Replay(ReplayOpts),
+    /// Dump the segment-level health of a journal directory.
+    JournalInspect(InspectOpts),
     /// Print usage.
     Help,
 }
@@ -149,6 +155,9 @@ pub struct ServeOpts {
     pub fault_plan: Option<String>,
     /// Base seed for the per-session chaos injectors.
     pub fault_seed: u64,
+    /// Durability: journal every session under this directory so event
+    /// delivery is exactly-once across server restarts.
+    pub journal_dir: Option<String>,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -166,9 +175,43 @@ impl Default for ServeOpts {
             heartbeat_secs: None,
             fault_plan: None,
             fault_seed: 1,
+            journal_dir: None,
             obs: ObsOpts::default(),
         }
     }
+}
+
+/// Options of `emprof record`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordOpts {
+    /// Path of the magnitude CSV to persist.
+    pub signal_path: String,
+    /// Journal directory to create (stale contents are replaced).
+    pub journal_dir: String,
+    /// Capture sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Profiled core clock in Hz.
+    pub clock_hz: f64,
+    /// Device label stored in the journal's identity checkpoint.
+    pub device: String,
+    /// Samples per journaled batch record.
+    pub frame: usize,
+}
+
+/// Options of `emprof replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOpts {
+    /// Journal directory to replay.
+    pub journal_dir: String,
+    /// Write the replayed events to this CSV path.
+    pub events_out: Option<String>,
+}
+
+/// Options of `emprof journal-inspect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectOpts {
+    /// Journal directory to inspect (read-only).
+    pub journal_dir: String,
 }
 
 /// Options of `emprof push`.
@@ -253,6 +296,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "serve" => parse_serve(it).map(Command::Serve),
         "push" => parse_push(it).map(Command::Push),
         "watch" => parse_watch(it).map(Command::Watch),
+        "record" => parse_record(it).map(Command::Record),
+        "replay" => parse_replay(it).map(Command::Replay),
+        "journal-inspect" => parse_inspect(it).map(Command::JournalInspect),
         "simulate" => parse_simulate(it, "simulate").map(Command::Simulate),
         "stats" => parse_simulate(it, "stats").map(|mut opts| {
             // The whole point of `stats` is the telemetry table.
@@ -377,6 +423,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, C
             }
             "--fault-plan" => opts.fault_plan = Some(take_value(&mut it, "--fault-plan")?),
             "--fault-seed" => opts.fault_seed = take_parsed(&mut it, "--fault-seed")?,
+            "--journal" => opts.journal_dir = Some(take_value(&mut it, "--journal")?),
             flag => {
                 if !(flag.starts_with("--") && opts.obs.take_flag(flag, &mut it)?) {
                     return Err(CliError::Usage(format!("serve: unknown argument {flag}")));
@@ -385,6 +432,95 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, C
         }
     }
     Ok(opts)
+}
+
+/// Parses the `emprof record` argument form.
+fn parse_record<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<RecordOpts, CliError> {
+    let mut positional = Vec::new();
+    let mut journal = None;
+    let mut rate = None;
+    let mut clock = None;
+    let mut device = "record".to_string();
+    let mut frame = 8_192usize;
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => journal = Some(take_value(&mut it, "--journal")?),
+            "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
+            "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
+            "--device" => device = take_value(&mut it, "--device")?,
+            "--frame" => {
+                frame = take_parsed(&mut it, "--frame")?;
+                if frame == 0 {
+                    return Err(CliError::Usage("--frame must be at least 1".into()));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("record: unknown flag {flag}")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let signal_path = match positional.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            return Err(CliError::Usage(
+                "record requires exactly one signal CSV path".into(),
+            ))
+        }
+    };
+    Ok(RecordOpts {
+        signal_path,
+        journal_dir: journal
+            .ok_or_else(|| CliError::Usage("record requires --journal".into()))?,
+        sample_rate_hz: rate
+            .ok_or_else(|| CliError::Usage("record requires --rate".into()))?,
+        clock_hz: clock.ok_or_else(|| CliError::Usage("record requires --clock".into()))?,
+        device,
+        frame,
+    })
+}
+
+/// Parses the `emprof replay` argument form.
+fn parse_replay<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ReplayOpts, CliError> {
+    let mut journal = None;
+    let mut events_out = None;
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => journal = Some(take_value(&mut it, "--journal")?),
+            "--events-out" => events_out = Some(take_value(&mut it, "--events-out")?),
+            other => {
+                return Err(CliError::Usage(format!("replay: unknown argument {other}")));
+            }
+        }
+    }
+    Ok(ReplayOpts {
+        journal_dir: journal
+            .ok_or_else(|| CliError::Usage("replay requires --journal".into()))?,
+        events_out,
+    })
+}
+
+/// Parses the `emprof journal-inspect` argument form.
+fn parse_inspect<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<InspectOpts, CliError> {
+    let mut positional = Vec::new();
+    for arg in it {
+        if arg.starts_with("--") {
+            return Err(CliError::Usage(format!(
+                "journal-inspect: unknown flag {arg}"
+            )));
+        }
+        positional.push(arg.clone());
+    }
+    match positional.as_slice() {
+        [dir] => Ok(InspectOpts {
+            journal_dir: dir.clone(),
+        }),
+        _ => Err(CliError::Usage(
+            "journal-inspect requires exactly one journal directory".into(),
+        )),
+    }
 }
 
 /// Parses the `emprof push` argument form.
@@ -552,7 +688,8 @@ USAGE:
   emprof serve [--addr HOST:PORT] [--threads N] [--queue-frames N] [--shed]
                [--idle-timeout SECS] [--max-sessions N] [--duration SECS]
                [--heartbeat SECS] [--fault-plan SPEC] [--fault-seed N]
-               [--metrics FILE] [--trace FILE] [--verbose-stats]
+               [--journal DIR] [--metrics FILE] [--trace FILE]
+               [--verbose-stats]
       Run the network profiling service: one streaming EMPROF detector per
       connected producer, a bounded ingest queue per session, and a worker
       pool draining them. A full queue blocks that producer's socket
@@ -564,6 +701,31 @@ USAGE:
       seconds so clients with short timeouts survive idle periods. The
       idle timeout doubles as the resume window: a client that loses its
       connection can reconnect and resume its session within it.
+      --journal DIR journals every session (samples, finalized events,
+      delivery cursor) in append-only CRC-checked segments under DIR:
+      event delivery becomes exactly-once across reply loss AND server
+      restarts — bind recovers the journaled sessions and clients resume
+      against the restarted process.
+
+  emprof record <signal.csv> --journal DIR --rate HZ --clock HZ
+                [--device NAME] [--frame N]
+      Persist a magnitude capture into a fresh durable journal at DIR
+      (identity checkpoint + CRC-checked sample batches of N samples,
+      default 8192). The journal replays byte-exactly with `emprof
+      replay` on any machine.
+
+  emprof replay --journal DIR [--events-out FILE]
+      Re-drive the batch and streaming detectors from a journaled
+      capture (tolerating torn tails: recovery truncates to the last
+      valid record) and print the profile; the two detectors are
+      cross-checked bit-for-bit. A journal holding already-finalized
+      events (from a crashed `serve --journal`) is verified against
+      the recomputed profile instead.
+
+  emprof journal-inspect <dir>
+      Dump per-segment health of a journal directory without modifying
+      it: record counts by kind, valid vs on-disk bytes, torn tails,
+      and the highest journaled event sequence.
 
   emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
               [--frame N] [--device NAME] [--events-out FILE]
@@ -856,6 +1018,68 @@ mod tests {
         assert!(USAGE.contains("--fault-plan"));
         assert!(USAGE.contains("--heartbeat"));
         assert!(USAGE.contains("--retries"));
+        assert!(USAGE.contains("emprof record"));
+        assert!(USAGE.contains("emprof replay"));
+        assert!(USAGE.contains("emprof journal-inspect"));
+        assert!(USAGE.contains("--journal DIR"));
+        assert!(USAGE.contains("exactly-once"));
+    }
+
+    #[test]
+    fn parses_journal_flags() {
+        match parse(&argv("serve --journal /tmp/j")).unwrap() {
+            Command::Serve(o) => assert_eq!(o.journal_dir.as_deref(), Some("/tmp/j")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "record cap.csv --journal /tmp/j --rate 40e6 --clock 1e9 \
+             --device olimex --frame 4096",
+        ))
+        .unwrap()
+        {
+            Command::Record(o) => {
+                assert_eq!(o.signal_path, "cap.csv");
+                assert_eq!(o.journal_dir, "/tmp/j");
+                assert_eq!(o.sample_rate_hz, 40e6);
+                assert_eq!(o.clock_hz, 1e9);
+                assert_eq!(o.device, "olimex");
+                assert_eq!(o.frame, 4096);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("replay --journal /tmp/j --events-out ev.csv")).unwrap() {
+            Command::Replay(o) => {
+                assert_eq!(o.journal_dir, "/tmp/j");
+                assert_eq!(o.events_out.as_deref(), Some("ev.csv"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("journal-inspect /tmp/j")).unwrap() {
+            Command::JournalInspect(o) => assert_eq!(o.journal_dir, "/tmp/j"),
+            other => panic!("{other:?}"),
+        }
+        // Required flags and positionals are enforced.
+        assert!(matches!(
+            parse(&argv("record cap.csv --rate 1 --clock 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("record --journal /tmp/j --rate 1 --clock 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("record cap.csv --journal /tmp/j --rate 1 --clock 1 --frame 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv("replay")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("journal-inspect")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("journal-inspect a b")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -14,12 +14,25 @@
 //! server drops replayed duplicates by sequence number, so the detector
 //! ingests each sample once no matter how many times the link flaps.
 //! The resulting event stream is bit-for-bit the uninterrupted one
-//! (enforced by `tests/serve_resilience.rs`). A [`WatchClient`]
-//! reconnects with the same cursor, so a tail survives server restarts
-//! of the link without losing its place. Server HEARTBEAT frames are
-//! absorbed (and their acked sequence recorded) wherever a reply is
-//! awaited, so an idle-but-alive connection never trips the read
-//! timeout. All knobs live in [`ClientConfig`].
+//! (enforced by `tests/serve_resilience.rs`).
+//!
+//! Event delivery is **exactly-once**: every EVENTS frame carries the
+//! sequence number of its first event, the client keeps an
+//! `events_seen` watermark and drops redelivered prefixes, and it
+//! acknowledges consumption with an EVENTS_ACK frame. The server only
+//! advances its delivery cursor on that ack, so a reply lost in flight
+//! (or a server restart with a `--journal`) re-offers the unacked
+//! suffix and the client deduplicates it — no event is ever lost *or*
+//! duplicated.
+//!
+//! A [`WatchClient`] reconnects with the same cursor, so a tail
+//! survives flaps of the link without losing its place; if a restarted
+//! server answers with an older cursor the client adopts it and counts
+//! a [`WatchClient::tail_resets`] instead of silently rewinding to
+//! zero. Server HEARTBEAT frames are absorbed (and their acked
+//! sequence recorded) wherever a reply is awaited, so an
+//! idle-but-alive connection never trips the read timeout. All knobs
+//! live in [`ClientConfig`].
 
 use std::collections::VecDeque;
 use std::io;
@@ -84,6 +97,16 @@ pub enum ClientError {
     },
     /// The server sent a well-formed frame that makes no sense here.
     Unexpected(&'static str),
+    /// The reconnect budget was spent without restoring the session.
+    /// Carries the number of attempts and the *last* underlying failure
+    /// (seeded with the error that triggered reconnection, so a budget
+    /// of zero attempts still reports a precise cause).
+    ReconnectFailed {
+        /// Reconnect attempts made before giving up.
+        attempts: u32,
+        /// The most recent failure.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -95,6 +118,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Unexpected(what) => write!(f, "unexpected server reply: {what}"),
+            ClientError::ReconnectFailed { attempts, last } => {
+                write!(f, "reconnect failed after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -148,16 +174,31 @@ fn read_reply<F: FnMut(u64)>(
     }
 }
 
-/// Reads an `EVENTS* STATS` reply sequence.
+/// Reads an `EVENTS* STATS` reply sequence, deduplicating against the
+/// `seen` watermark: an event whose sequence number is not past the
+/// watermark was already delivered (the server re-offers its unacked
+/// suffix on every reply) and is dropped. Returns the fresh events, the
+/// stats, and the highest event sequence the reply offered (what the
+/// caller should acknowledge).
 fn read_events_and_stats<F: FnMut(u64)>(
     stream: &mut TcpStream,
+    seen: u64,
     mut acked: F,
-) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
-    let mut events = Vec::new();
+) -> Result<(Vec<StallEvent>, SessionStatsWire, u64), ClientError> {
+    let mut fresh = Vec::new();
+    let mut offered = seen;
     loop {
         match read_reply(stream, &mut acked)? {
-            Frame::Events(batch) => events.extend(batch),
-            Frame::Stats(stats) => return Ok((events, stats)),
+            Frame::Events { first_seq, events } => {
+                for (i, event) in events.into_iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    if seq > offered {
+                        fresh.push(event);
+                        offered = seq;
+                    }
+                }
+            }
+            Frame::Stats(stats) => return Ok((fresh, stats, offered)),
             _ => return Err(ClientError::Unexpected("wanted EVENTS or STATS")),
         }
     }
@@ -245,8 +286,15 @@ pub struct ProfileClient {
     acked_seq: u64,
     /// Frames past `acked_seq`, retained for replay after a resume.
     unacked: VecDeque<(u64, Vec<f64>)>,
-    /// Events returned by implicit (watermark-advancing) flushes,
-    /// delivered with the next explicit flush/finish.
+    /// Highest event sequence number consumed (events are numbered from
+    /// 1 by the server). Replies re-offer the server's unacked suffix;
+    /// everything at or below this watermark is a duplicate and is
+    /// dropped, which is the client half of exactly-once delivery.
+    events_seen: u64,
+    /// Fresh events consumed but not yet handed to the caller (from
+    /// implicit watermark-advancing flushes, or from a reply whose
+    /// follow-up acknowledgement write failed mid-exchange). Delivered
+    /// with the next explicit flush/finish.
     pending_events: Vec<StallEvent>,
     /// Jitter state for backoff.
     rng: u64,
@@ -312,6 +360,7 @@ impl ProfileClient {
             next_seq: 1,
             acked_seq: 0,
             unacked: VecDeque::new(),
+            events_seen: 0,
             pending_events: Vec::new(),
             rng: ack.session_id ^ ack.resume_token | 1,
             reconnects: 0,
@@ -351,9 +400,14 @@ impl ProfileClient {
     }
 
     /// Reconnects with backoff and resumes the session, replaying every
-    /// unacked frame. Fatal server rejections propagate immediately.
-    fn reconnect_and_resume(&mut self) -> Result<(), ClientError> {
-        let mut last: Option<ClientError> = None;
+    /// unacked frame. Fatal server rejections (e.g. `NO_SESSION` after
+    /// the reaper finalized the session) propagate immediately; spending
+    /// the whole budget yields [`ClientError::ReconnectFailed`] carrying
+    /// the last underlying cause — seeded with `cause`, the error that
+    /// forced the reconnect, so even a zero-attempt budget reports
+    /// something precise.
+    fn reconnect_and_resume(&mut self, cause: ClientError) -> Result<(), ClientError> {
+        let mut last = cause;
         for attempt in 0..self.cfg.max_reconnects {
             std::thread::sleep(jittered(&mut self.rng, backoff_delay(&self.cfg, attempt)));
             match self.try_resume() {
@@ -362,11 +416,14 @@ impl ProfileClient {
                     obs::counter_add!("client.reconnects", 1);
                     return Ok(());
                 }
-                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) if e.is_transport() => last = e,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.unwrap_or(ClientError::Unexpected("reconnect attempts exhausted")))
+        Err(ClientError::ReconnectFailed {
+            attempts: self.cfg.max_reconnects,
+            last: Box::new(last),
+        })
     }
 
     fn try_resume(&mut self) -> Result<(), ClientError> {
@@ -407,7 +464,7 @@ impl ProfileClient {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transport() && attempts < self.cfg.max_reconnects => {
                     attempts += 1;
-                    self.reconnect_and_resume()?;
+                    self.reconnect_and_resume(e)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -442,8 +499,9 @@ impl ProfileClient {
                 .map_err(ClientError::from)
             })?;
             if self.unacked.len() > self.cfg.max_unacked_frames {
-                let (events, _) = self.exchange_control(false)?;
-                self.pending_events.extend(events);
+                // The implicit flush stashes its fresh events in
+                // `pending_events` for the next explicit flush/finish.
+                self.exchange_control(false)?;
             }
         }
         Ok(())
@@ -459,10 +517,8 @@ impl ProfileClient {
     /// Propagates transport and protocol failures once the reconnect
     /// budget is spent.
     pub fn flush(&mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
-        let (events, stats) = self.exchange_control(false)?;
-        let mut all = std::mem::take(&mut self.pending_events);
-        all.extend(events);
-        Ok((all, stats))
+        let stats = self.exchange_control(false)?;
+        Ok((std::mem::take(&mut self.pending_events), stats))
     }
 
     /// Ends the capture: the server finalizes the detector and returns
@@ -474,27 +530,76 @@ impl ProfileClient {
     /// Propagates transport and protocol failures once the reconnect
     /// budget is spent.
     pub fn finish(mut self) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
-        let (events, stats) = self.exchange_control(true)?;
-        let mut all = std::mem::take(&mut self.pending_events);
-        all.extend(events);
-        Ok((all, stats))
+        let stats = self.exchange_control(true)?;
+        Ok((std::mem::take(&mut self.pending_events), stats))
     }
 
-    /// One FLUSH or FIN round trip with resilience.
-    fn exchange_control(
-        &mut self,
-        fin: bool,
-    ) -> Result<(Vec<StallEvent>, SessionStatsWire), ClientError> {
+    /// One FLUSH or FIN round trip with resilience. Fresh events land in
+    /// `pending_events`; only the stats are returned.
+    ///
+    /// Exactly-once mechanics: the reply's events are deduplicated
+    /// against `events_seen` and stashed *before* the acknowledgement is
+    /// written, so a transport loss anywhere in the exchange is safe —
+    /// the retry re-offers the unacked suffix, the watermark drops what
+    /// was already stashed, and the stash survives the retry.
+    fn exchange_control(&mut self, fin: bool) -> Result<SessionStatsWire, ClientError> {
         let control = if fin { Frame::Fin } else { Frame::Flush };
-        let (events, stats) = self.with_resilience(|c| {
+        let stats = self.with_resilience(|c| {
             proto::write_frame(&mut c.stream, &control)?;
             let mut hb_acked = 0u64;
-            let r = read_events_and_stats(&mut c.stream, |a| hb_acked = hb_acked.max(a));
+            let r = read_events_and_stats(&mut c.stream, c.events_seen, |a| {
+                hb_acked = hb_acked.max(a)
+            });
             c.note_acked(hb_acked);
-            r
+            let (fresh, stats, offered) = r?;
+            c.pending_events.extend(fresh);
+            c.events_seen = c.events_seen.max(offered);
+            // Tell the server delivery landed so it can advance its
+            // cursor (and, when journaled, compact). If this write is
+            // lost the server merely re-offers on the next exchange.
+            proto::write_frame(&mut c.stream, &Frame::EventsAck { seq: offered })?;
+            Ok(stats)
         })?;
         self.note_acked(stats.acked_seq);
-        Ok((events, stats))
+        Ok(stats)
+    }
+
+    /// Performs a FLUSH whose reply is **lost**: the server runs the
+    /// flush and writes the full reply, but this client discards it
+    /// without consuming events or acknowledging, then severs the
+    /// connection — a test hook landing the failure in the exact window
+    /// between server-side delivery and client-side receipt. The next
+    /// operation resumes and the unacked events are redelivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from the doomed exchange itself
+    /// (no resilience: this *is* the fault injector).
+    pub fn flush_lost_reply(&mut self) -> Result<(), ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::Flush)?;
+        // Read the whole reply so the server has demonstrably completed
+        // the delivery attempt, then throw it away un-acked.
+        let mut hb_acked = 0u64;
+        let _ = read_events_and_stats(&mut self.stream, self.events_seen, |a| {
+            hb_acked = hb_acked.max(a)
+        })?;
+        self.note_acked(hb_acked);
+        self.drop_connection();
+        Ok(())
+    }
+
+    /// Re-points the client at a (possibly restarted) server address and
+    /// severs the current connection; the next operation reconnects
+    /// there and resumes the session. Used when a `--journal` server is
+    /// restarted on a fresh port.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on address resolution.
+    pub fn redirect<A: ToSocketAddrs>(&mut self, addr: A) -> Result<(), ClientError> {
+        self.addrs = addr.to_socket_addrs()?.collect();
+        self.drop_connection();
+        Ok(())
     }
 }
 
@@ -508,6 +613,7 @@ pub struct WatchClient {
     cfg: ClientConfig,
     rng: u64,
     reconnects: u64,
+    tail_resets: u64,
 }
 
 impl WatchClient {
@@ -539,6 +645,7 @@ impl WatchClient {
             addrs,
             rng: 0x9E37_79B9_7F4A_7C15,
             reconnects: 0,
+            tail_resets: 0,
             cfg,
         })
     }
@@ -558,6 +665,16 @@ impl WatchClient {
     /// How many times this watch reconnected after a transport loss.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// How many times the server answered with a cursor *behind* this
+    /// client's — the signature of a restarted server whose tail buffer
+    /// started over. The client adopts the server's cursor (it has no
+    /// other choice) but counts the regression here instead of silently
+    /// rewinding, so a tailer can tell "quiet stream" from "history
+    /// lost".
+    pub fn tail_resets(&self) -> u64 {
+        self.tail_resets
     }
 
     /// Severs the TCP connection without telling the server — a test
@@ -581,12 +698,19 @@ impl WatchClient {
         loop {
             match self.poll_once() {
                 Ok(tail) => {
+                    if tail.cursor < self.cursor {
+                        // A restarted server's tail starts over; adopt
+                        // its cursor but never *silently* — the caller
+                        // can see the discontinuity via tail_resets().
+                        self.tail_resets += 1;
+                        obs::counter_add!("client.tail_resets", 1);
+                    }
                     self.cursor = tail.cursor;
                     return Ok(tail);
                 }
                 Err(e) if e.is_transport() && attempts < self.cfg.max_reconnects => {
                     attempts += 1;
-                    self.reconnect()?;
+                    self.reconnect(e)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -606,8 +730,11 @@ impl WatchClient {
         }
     }
 
-    fn reconnect(&mut self) -> Result<(), ClientError> {
-        let mut last: Option<ClientError> = None;
+    /// Reconnects with backoff, keeping the tail cursor. Spending the
+    /// budget yields [`ClientError::ReconnectFailed`] seeded with
+    /// `cause` (the error that forced the reconnect).
+    fn reconnect(&mut self, cause: ClientError) -> Result<(), ClientError> {
+        let mut last = cause;
         for attempt in 0..self.cfg.max_reconnects {
             std::thread::sleep(jittered(&mut self.rng, backoff_delay(&self.cfg, attempt)));
             match connect_stream(&self.addrs, self.cfg.read_timeout)
@@ -620,10 +747,13 @@ impl WatchClient {
                     obs::counter_add!("client.reconnects", 1);
                     return Ok(());
                 }
-                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) if e.is_transport() => last = e,
                 Err(e) => return Err(e),
             }
         }
-        Err(last.unwrap_or(ClientError::Unexpected("reconnect attempts exhausted")))
+        Err(ClientError::ReconnectFailed {
+            attempts: self.cfg.max_reconnects,
+            last: Box::new(last),
+        })
     }
 }

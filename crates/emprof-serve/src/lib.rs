@@ -21,7 +21,7 @@
 //! * [`client`] — the blocking [`ProfileClient`] / [`WatchClient`] used
 //!   by `emprof push` / `emprof watch`, the examples, and the tests.
 //!
-//! ## The headline guarantee
+//! ## The headline guarantees
 //!
 //! Events produced by a served session are **bit-for-bit identical** to
 //! [`Emprof::profile_magnitude`](emprof_core::Emprof::profile_magnitude)
@@ -29,6 +29,21 @@
 //! number of concurrent sessions (enforced by `tests/serve_equivalence.rs`
 //! at the workspace root and the `serve_soak` bench). The service adds
 //! transport and concurrency, never different answers.
+//!
+//! Event delivery is **exactly-once**. Every EVENTS frame is stamped
+//! with its first event's sequence number; the server's per-session
+//! delivery cursor advances only when the client acknowledges with
+//! EVENTS_ACK, so a reply lost anywhere between the worker finalizing
+//! events and the client reading them is simply re-offered on the next
+//! exchange (or on resume), and the client drops redelivered prefixes
+//! by sequence. With [`ServeConfig::journal_dir`] set the cursor and
+//! the finalized events themselves are journaled in an append-only,
+//! CRC-checked [`emprof_store`] journal, so the guarantee extends
+//! across *server restarts*: `Server::bind` recovers every journaled
+//! session (replaying its samples through a fresh detector when it was
+//! cut down mid-stream) and clients resume against the restarted
+//! process as if nothing happened. Enforced by
+//! `tests/serve_resilience.rs` and the `store_soak` bench.
 //!
 //! ## Example
 //!

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic            0x454D ("EM")
-//! 2       2     protocol version (currently 2)
+//! 2       2     protocol version (currently 3)
 //! 4       1     frame type       (FrameType)
 //! 5       1     flags            (per-type bits)
 //! 6       2     header checksum  FNV-1a-16 of the other 14 header bytes
@@ -31,8 +31,11 @@ pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 
 /// The protocol version this build speaks. Version 2 added
 /// reconnect-and-resume (HELLO resume tokens, SAMPLES sequence numbers,
-/// acked-sequence reporting) and server HEARTBEAT frames.
-pub const VERSION: u16 = 2;
+/// acked-sequence reporting) and server HEARTBEAT frames. Version 3
+/// added exactly-once event delivery: EVENTS frames carry the sequence
+/// number of their first event and clients acknowledge delivered
+/// sequences with EVENTS_ACK.
+pub const VERSION: u16 = 3;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -85,6 +88,9 @@ pub enum FrameType {
     /// Server → client: liveness signal while the connection is
     /// otherwise quiet, carrying the session's acked sequence.
     Heartbeat = 11,
+    /// Client → server: events up to this sequence were durably
+    /// received; the server may advance its delivery cursor.
+    EventsAck = 12,
 }
 
 impl FrameType {
@@ -101,6 +107,7 @@ impl FrameType {
             9 => FrameType::Watch,
             10 => FrameType::Tail,
             11 => FrameType::Heartbeat,
+            12 => FrameType::EventsAck,
             _ => return None,
         })
     }
@@ -264,8 +271,16 @@ pub enum Frame {
     Flush,
     /// End of capture.
     Fin,
-    /// Finalized stall events.
-    Events(Vec<StallEvent>),
+    /// Finalized stall events, tagged with the per-session sequence of
+    /// the first event so a client can deduplicate redeliveries after a
+    /// lost reply or a server restart.
+    Events {
+        /// Sequence number of `events[0]` (sequences are contiguous
+        /// from 1 per session; meaningless when `events` is empty).
+        first_seq: u64,
+        /// The events, in finalization order.
+        events: Vec<StallEvent>,
+    },
     /// Session progress counters.
     Stats(SessionStatsWire),
     /// A fatal error; the sender closes after this frame.
@@ -287,6 +302,12 @@ pub enum Frame {
     Heartbeat {
         /// Highest SAMPLES sequence accepted so far.
         acked_seq: u64,
+    },
+    /// Client acknowledgment of delivered events: every event with a
+    /// sequence at or below `seq` has been received.
+    EventsAck {
+        /// Highest event sequence the client has seen.
+        seq: u64,
     },
 }
 
@@ -539,7 +560,8 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
         }
         Frame::Flush => (FrameType::Flush, 0, p),
         Frame::Fin => (FrameType::Fin, 0, p),
-        Frame::Events(events) => {
+        Frame::Events { first_seq, events } => {
+            p.extend_from_slice(&first_seq.to_le_bytes());
             encode_event_list(&mut p, events);
             (FrameType::Events, 0, p)
         }
@@ -586,6 +608,10 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
         Frame::Heartbeat { acked_seq } => {
             p.extend_from_slice(&acked_seq.to_le_bytes());
             (FrameType::Heartbeat, 0, p)
+        }
+        Frame::EventsAck { seq } => {
+            p.extend_from_slice(&seq.to_le_bytes());
+            (FrameType::EventsAck, 0, p)
         }
     }
 }
@@ -640,12 +666,13 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
         FrameType::Flush => Frame::Flush,
         FrameType::Fin => Frame::Fin,
         FrameType::Events => {
+            let first_seq = c.u64()?;
             let count = decode_event_count(&mut c)?;
             let mut events = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 events.push(decode_event(&mut c)?);
             }
-            Frame::Events(events)
+            Frame::Events { first_seq, events }
         }
         FrameType::Stats => Frame::Stats(SessionStatsWire {
             samples_pushed: c.u64()?,
@@ -692,6 +719,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
         FrameType::Heartbeat => Frame::Heartbeat {
             acked_seq: c.u64()?,
         },
+        FrameType::EventsAck => Frame::EventsAck { seq: c.u64()? },
     };
     c.done()?;
     Ok(frame)
@@ -856,20 +884,29 @@ mod tests {
         });
         roundtrip(Frame::Flush);
         roundtrip(Frame::Fin);
-        roundtrip(Frame::Events(vec![
-            StallEvent {
-                start_sample: 10,
-                end_sample: 20,
-                duration_cycles: 250.0,
-                kind: StallKind::Normal,
-            },
-            StallEvent {
-                start_sample: 100,
-                end_sample: 220,
-                duration_cycles: 3000.0,
-                kind: StallKind::RefreshCollision,
-            },
-        ]));
+        roundtrip(Frame::Events {
+            first_seq: 7,
+            events: vec![
+                StallEvent {
+                    start_sample: 10,
+                    end_sample: 20,
+                    duration_cycles: 250.0,
+                    kind: StallKind::Normal,
+                },
+                StallEvent {
+                    start_sample: 100,
+                    end_sample: 220,
+                    duration_cycles: 3000.0,
+                    kind: StallKind::RefreshCollision,
+                },
+            ],
+        });
+        roundtrip(Frame::Events {
+            first_seq: 1,
+            events: vec![],
+        });
+        roundtrip(Frame::EventsAck { seq: 0 });
+        roundtrip(Frame::EventsAck { seq: u64::MAX });
         roundtrip(Frame::Stats(SessionStatsWire {
             samples_pushed: 1,
             events_emitted: 2,

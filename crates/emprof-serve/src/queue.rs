@@ -85,8 +85,11 @@ impl<T> BoundedQueue<T> {
         }
         q.push_back(item);
         let depth = q.len();
-        drop(q);
+        // Record the high-water mark while still holding the lock: a
+        // concurrent pop between unlock and the mark would make
+        // peak_depth under-report the depth this push actually reached.
         self.note_depth(depth);
+        drop(q);
         PushReceipt {
             blocked_ns,
             shed: 0,
@@ -101,6 +104,7 @@ impl<T> BoundedQueue<T> {
     pub fn push_shedding<F: Fn(&T) -> bool>(&self, item: T, can_shed: F) -> PushReceipt {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut shed = 0;
+        let mut blocked_ns = 0;
         while q.len() >= self.capacity {
             match q.iter().position(&can_shed) {
                 Some(pos) => {
@@ -108,19 +112,26 @@ impl<T> BoundedQueue<T> {
                     shed += 1;
                 }
                 None => {
-                    drop(q);
-                    let mut r = self.push_blocking(item);
-                    r.shed = shed;
-                    return r;
+                    // Nothing sheddable: wait for space without releasing
+                    // the lock first. Re-entering push_blocking after an
+                    // unlock would let another pusher take the freed slot
+                    // and leave this push racing for capacity it already
+                    // observed.
+                    let t0 = Instant::now();
+                    while q.len() >= self.capacity {
+                        q = self.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    blocked_ns = t0.elapsed().as_nanos() as u64;
+                    break;
                 }
             }
         }
         q.push_back(item);
         let depth = q.len();
-        drop(q);
         self.note_depth(depth);
+        drop(q);
         PushReceipt {
-            blocked_ns: 0,
+            blocked_ns,
             shed,
             depth,
         }

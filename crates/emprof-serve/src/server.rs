@@ -29,8 +29,10 @@
 //! then returns the final stats.
 
 use std::collections::{HashMap, VecDeque};
+use std::fs;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -38,6 +40,7 @@ use std::time::{Duration, Instant};
 use emprof_fault::{FaultInjector, FaultPlan};
 use emprof_obs as obs;
 use emprof_par::Parallelism;
+use emprof_store::{JournalConfig, SessionJournal, SessionMeta};
 
 use emprof_core::StallEvent;
 
@@ -92,6 +95,14 @@ pub struct ServeConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Base seed for [`ServeConfig::fault_plan`] injectors.
     pub fault_seed: u64,
+    /// When set, every session is journaled under
+    /// `<journal_dir>/session-<id>/` and event delivery becomes
+    /// exactly-once across reply loss *and* server restarts: accepted
+    /// sample batches and finalized events are journaled before they
+    /// are acknowledged or offered, and [`Server::bind`] recovers every
+    /// journaled session it finds in the directory. `None` (the
+    /// default) keeps the in-memory at-least-once-until-acked behavior.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +118,7 @@ impl Default for ServeConfig {
             heartbeat_interval: None,
             fault_plan: None,
             fault_seed: 0,
+            journal_dir: None,
         }
     }
 }
@@ -326,6 +338,11 @@ impl Server {
         *shared.tail.lock().unwrap_or_else(|e| e.into_inner()) =
             TailRing::new(shared.config.tail_capacity);
 
+        if let Some(dir) = shared.config.journal_dir.clone() {
+            fs::create_dir_all(&dir)?;
+            recover_sessions(&shared, &dir);
+        }
+
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
             .name("emprof-serve-accept".into())
@@ -372,12 +389,24 @@ impl Server {
 
     /// Graceful shutdown: stop accepting, drain every session queue,
     /// finalize every session, join every thread, return final stats.
+    /// Journal directories of sessions whose events were not fully
+    /// acknowledged are retained, so a later server on the same
+    /// directory can still deliver them.
     pub fn shutdown(mut self) -> ServerStatsSnapshot {
-        self.shutdown_inner();
+        self.shutdown_inner(true);
         self.shared.stats()
     }
 
-    fn shutdown_inner(&mut self) {
+    /// Abrupt stop for crash testing: stops the threads *without*
+    /// finalizing sessions, so the journal directory is left exactly as
+    /// a process crash would leave it. Undelivered state is recovered by
+    /// the next [`Server::bind`] on the same `journal_dir`.
+    pub fn kill(mut self) -> ServerStatsSnapshot {
+        self.shutdown_inner(false);
+        self.shared.stats()
+    }
+
+    fn shutdown_inner(&mut self, finalize: bool) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -410,16 +439,76 @@ impl Server {
             let _ = h.join();
         }
         // Anything still registered gets finish() — no trailing event is
-        // ever dropped by a shutdown.
-        for session in self.shared.registry.all() {
-            self.shared.close_session(&session);
+        // ever dropped by a shutdown. (Skipped by kill(): a crash does
+        // not get to finalize anything.)
+        if finalize {
+            for session in self.shared.registry.all() {
+                self.shared.close_session(&session);
+            }
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown_inner();
+        self.shutdown_inner(true);
+    }
+}
+
+/// Scans `<dir>/session-*/` and rebuilds every recoverable session into
+/// the registry. Unusable journals (no identity record survived) and
+/// sessions that were already finished *and* fully acknowledged are
+/// deleted instead.
+fn recover_sessions(shared: &Arc<Shared>, dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_session = entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.starts_with("session-"));
+        if !is_session || !path.is_dir() {
+            continue;
+        }
+        match SessionJournal::open(&path, JournalConfig::default()) {
+            Ok(Some((journal, rec))) => {
+                obs::counter_add!(
+                    "store.recovered_truncations",
+                    rec.report.truncations as u64
+                );
+                let session = Arc::new(Session::from_recovery(
+                    rec,
+                    journal,
+                    shared.config.queue_frames,
+                    shared.registry.epoch(),
+                ));
+                // ack_events(0) is a no-op probe: true means finished
+                // and fully acknowledged — nothing left to deliver.
+                if session.ack_events(0) {
+                    drop(session);
+                    let _ = fs::remove_dir_all(&path);
+                } else {
+                    shared.registry.adopt(session);
+                    obs::counter_add!("serve.sessions_recovered", 1);
+                }
+            }
+            Ok(None) | Err(_) => {
+                // Torn before the first checkpoint, or unreadable: no
+                // session identity to recover.
+                let _ = fs::remove_dir_all(&path);
+            }
+        }
+    }
+    shared.note_sessions_active();
+}
+
+/// Deletes a session's journal directory (after full acknowledgment, or
+/// when the reaper gives up on its client ever resuming).
+fn delete_journal(session: &Session) {
+    if let Some(dir) = session.journal_dir() {
+        let _ = fs::remove_dir_all(dir);
     }
 }
 
@@ -469,6 +558,9 @@ fn reaper_loop(shared: &Arc<Shared>) {
         std::thread::sleep(POLL_INTERVAL);
         for session in shared.registry.reap_idle(shared.config.idle_timeout) {
             session.finalize(|evs| shared.record_events(session.id, evs));
+            // A reaped session is gone for good — resume attempts get
+            // NO_SESSION — so a later server must not resurrect it.
+            delete_journal(&session);
         }
         shared.note_sessions_active();
     }
@@ -685,6 +777,10 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
             }
         }
     } else {
+        let journal_root = shared.config.journal_dir.clone();
+        let device = hello.device.clone();
+        let (sample_rate_hz, clock_hz, config) =
+            (hello.sample_rate_hz, hello.clock_hz, hello.config);
         let Some(session) = shared.registry.create(
             hello.device,
             hello.config,
@@ -692,6 +788,30 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
             hello.clock_hz,
             shared.config.queue_frames,
             shared.config.max_sessions,
+            move |id, resume_token| {
+                let root = journal_root?;
+                let meta = SessionMeta {
+                    session_id: id,
+                    resume_token,
+                    sample_rate_hz,
+                    clock_hz,
+                    config,
+                    device,
+                };
+                match SessionJournal::create(
+                    &root.join(format!("session-{id}")),
+                    meta,
+                    JournalConfig::default(),
+                ) {
+                    Ok(j) => Some(j),
+                    Err(_) => {
+                        // A sick disk degrades the session to unjournaled
+                        // rather than refusing it.
+                        obs::counter_add!("store.append_errors", 1);
+                        None
+                    }
+                }
+            },
         ) else {
             conn.bail(ErrorCode::SessionLimit, "session limit reached");
             return;
@@ -729,7 +849,14 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                     return;
                 }
                 match session.admit_seq(seq) {
-                    SeqAdmit::Accept => ingest_batch(shared, &session, samples),
+                    SeqAdmit::Accept => {
+                        // Journal BEFORE ingest: the acked watermark is
+                        // only reported to the client on later frames
+                        // from this same thread, so durability always
+                        // precedes the client pruning its replay buffer.
+                        session.journal_samples(seq, &samples);
+                        ingest_batch(shared, &session, samples);
+                    }
                     // A replayed frame the detector already saw.
                     SeqAdmit::Duplicate => session.touch(shared.registry.epoch()),
                     SeqAdmit::Gap => {
@@ -752,34 +879,70 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                 shared.notify_ready(&session);
                 match rx.recv_timeout(REPLY_TIMEOUT) {
                     Ok(reply) => {
+                        // Delivery is *offered*, never marked: the reply
+                        // carries every event past the session's ack
+                        // cursor, stamped with sequence numbers so the
+                        // client can dedup redeliveries. Only an
+                        // EVENTS_ACK frame advances the cursor, so a
+                        // reply lost in flight is simply re-offered by
+                        // the next FLUSH/FIN (or by resume).
                         let mut ok = true;
+                        let mut offset = 0u64;
                         for chunk in reply.events.chunks(EVENTS_PER_FRAME) {
-                            ok = ok && conn.write(&Frame::Events(chunk.to_vec())).is_ok();
+                            ok = ok
+                                && conn
+                                    .write(&Frame::Events {
+                                        first_seq: reply.first_seq + offset,
+                                        events: chunk.to_vec(),
+                                    })
+                                    .is_ok();
+                            offset += chunk.len() as u64;
                         }
                         if reply.events.is_empty() {
-                            ok = ok && conn.write(&Frame::Events(Vec::new())).is_ok();
+                            ok = ok
+                                && conn
+                                    .write(&Frame::Events {
+                                        first_seq: reply.first_seq,
+                                        events: Vec::new(),
+                                    })
+                                    .is_ok();
                         }
                         ok = ok && conn.write(&Frame::Stats(reply.stats)).is_ok();
-                        if !ok || fin {
-                            if fin && session.finished() {
-                                shared.registry.remove(session.id);
-                                shared
-                                    .faults
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .remove(&session.id);
-                                shared.note_sessions_active();
-                            }
+                        if !ok {
                             // A failed reply write is a transport loss:
-                            // detach, keep the session resumable.
+                            // detach, keep the session resumable. The
+                            // unacked suffix is redelivered on resume.
                             return;
                         }
+                        // A FIN reply does NOT retire the session: the
+                        // client still owes an ack for the final events.
+                        // The EVENTS_ACK arm below (or the reaper)
+                        // removes it once everything is acknowledged.
                     }
                     Err(_) => {
                         conn.bail(ErrorCode::Internal, "worker pool did not answer");
                         shared.close_session(&session);
                         return;
                     }
+                }
+            }
+            Ok(Some(Frame::EventsAck { seq })) => {
+                if !session.is_current(generation) {
+                    return;
+                }
+                session.touch(shared.registry.epoch());
+                if session.ack_events(seq) {
+                    // Finished and fully acknowledged: the exactly-once
+                    // contract is discharged, so the session (and its
+                    // journal) can finally go away.
+                    shared.registry.remove(session.id);
+                    shared
+                        .faults
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&session.id);
+                    shared.note_sessions_active();
+                    delete_journal(&session);
                 }
             }
             Ok(Some(_)) => {

@@ -15,16 +15,25 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use emprof_core::{EmprofConfig, StallEvent, StreamingEmprof};
+use emprof_obs as obs;
+use emprof_store::{RecoveredSession, SessionJournal};
 
 use crate::proto::SessionStatsWire;
 use crate::queue::BoundedQueue;
 
-/// Reply to a FLUSH marker: the events finalized since the last
-/// delivery, plus a stats snapshot taken after they were drained.
+/// Reply to a FLUSH marker: every event not yet acknowledged by the
+/// client, plus a stats snapshot taken after the drain.
+///
+/// Delivery is cursor-driven, not send-driven: answering a FLUSH does
+/// *not* mark anything delivered. The cursor only advances when the
+/// client acknowledges sequences (EVENTS_ACK), so a reply lost on the
+/// wire is simply re-sent on the next FLUSH and deduplicated by the
+/// client against `first_seq`.
 #[derive(Debug)]
 pub struct FlushReply {
-    /// Newly finalized events (empty if nothing completed since the
-    /// last FLUSH).
+    /// Sequence number of `events[0]` (= acked cursor + 1).
+    pub first_seq: u64,
+    /// Every finalized event past the acknowledged cursor.
     pub events: Vec<StallEvent>,
     /// Post-drain progress counters.
     pub stats: SessionStatsWire,
@@ -57,12 +66,21 @@ impl Work {
 struct SessionState {
     /// `None` once finalized.
     detector: Option<StreamingEmprof>,
-    /// All events finalized so far (drained incrementally from the
-    /// detector so the watch tail sees them live).
+    /// Finalized events held in memory (drained incrementally from the
+    /// detector so the watch tail sees them live). `events[i]` carries
+    /// event sequence `events_base + 1 + i`.
     events: Vec<StallEvent>,
-    /// How many of `events` were already delivered to the session's own
-    /// client via FLUSH replies.
-    delivered: usize,
+    /// Event sequence of `events[0]` minus one. Zero except for a
+    /// session recovered from a journal whose acked prefix was already
+    /// compacted away.
+    events_base: u64,
+    /// The delivery cursor: every event sequence at or below this was
+    /// acknowledged by the client. Never exceeds
+    /// `events_base + events.len()`.
+    acked: u64,
+    /// Highest event sequence already written to the journal; guards
+    /// against re-journaling events a recovery replay regenerates.
+    journaled_events: u64,
     /// The detector's sample count at finalization. The wire-level
     /// `samples_in` counter is not a substitute: in shed mode it also
     /// counts batches that were dropped before reaching the detector.
@@ -112,6 +130,11 @@ pub struct Session {
     /// Lock-free counters.
     pub counters: SessionCounters,
     state: Mutex<SessionState>,
+    /// The session's durable journal, when the server runs with
+    /// `--journal`. Locked after `state` (never the other way around);
+    /// the sample path takes it alone. Append failures are best-effort:
+    /// counted (`store.append_errors`), never fatal to the session.
+    journal: Option<Mutex<SessionJournal>>,
     /// Highest SAMPLES sequence accepted so far (sequences are
     /// contiguous from 1, so this is also the count of accepted frames).
     /// Written only by the session's attached connection reader.
@@ -136,6 +159,7 @@ impl Session {
         clock_hz: f64,
         queue_capacity: usize,
         epoch: Instant,
+        journal: Option<SessionJournal>,
     ) -> Self {
         Session {
             id,
@@ -146,11 +170,89 @@ impl Session {
             state: Mutex::new(SessionState {
                 detector: Some(StreamingEmprof::new(config, sample_rate_hz, clock_hz)),
                 events: Vec::new(),
-                delivered: 0,
+                events_base: 0,
+                acked: 0,
+                journaled_events: 0,
                 final_samples_pushed: 0,
                 final_samples_rejected: 0,
             }),
+            journal: journal.map(Mutex::new),
             acked_seq: AtomicU64::new(0),
+            conn_generation: AtomicU64::new(0),
+            last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
+        }
+    }
+
+    /// Rebuilds a session from its recovered journal. Unfinished
+    /// sessions replay every journaled sample batch through a fresh
+    /// detector — the detector is deterministic, so this reproduces the
+    /// exact pre-crash state (including events already journaled, which
+    /// are recognized and not re-journaled). Finished sessions restore
+    /// their events straight from the journal with no detector.
+    pub(crate) fn from_recovery(
+        rec: RecoveredSession,
+        journal: SessionJournal,
+        queue_capacity: usize,
+        epoch: Instant,
+    ) -> Session {
+        let meta = rec.meta;
+        let mut journal = journal;
+        let state = if let Some((pushed, rejected)) = rec.finished {
+            // Finalized before the crash: the journaled events ARE the
+            // session's output; anything before the first retained one
+            // was acked and compacted away.
+            let events_base = match rec.events.first() {
+                Some(&(first, _)) => first - 1,
+                None => rec.acked_events,
+            };
+            SessionState {
+                detector: None,
+                events: rec.events.into_iter().map(|(_, e)| e).collect(),
+                events_base,
+                acked: rec.acked_events,
+                journaled_events: rec.journaled_events,
+                final_samples_pushed: pushed,
+                final_samples_rejected: rejected,
+            }
+        } else {
+            let mut detector =
+                StreamingEmprof::new(meta.config, meta.sample_rate_hz, meta.clock_hz);
+            let mut events = Vec::new();
+            for (_, samples) in &rec.samples {
+                detector.extend(samples.iter().copied());
+                events.extend(detector.drain_events());
+            }
+            // Events finalized after the last journaled one (a crash
+            // between sample ingest and event journaling) get journaled
+            // now, before any client can be offered them.
+            let replayed = events.len() as u64;
+            if replayed > rec.journaled_events {
+                let first = rec.journaled_events + 1;
+                if let Err(e) =
+                    journal.append_events(first, &events[(first - 1) as usize..])
+                {
+                    note_journal_error("recovery", &e);
+                }
+            }
+            SessionState {
+                detector: Some(detector),
+                events,
+                events_base: 0,
+                acked: rec.acked_events,
+                journaled_events: rec.journaled_events.max(replayed),
+                final_samples_pushed: 0,
+                final_samples_rejected: 0,
+            }
+        };
+        Session {
+            id: meta.session_id,
+            device: meta.device,
+            resume_token: meta.resume_token,
+            queue: BoundedQueue::new(queue_capacity),
+            counters: SessionCounters::default(),
+            state: Mutex::new(state),
+            journal: Some(Mutex::new(journal)),
+            acked_seq: AtomicU64::new(rec.acked_samples_seq),
             conn_generation: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
         }
@@ -159,6 +261,59 @@ impl Session {
     /// Highest SAMPLES sequence accepted so far.
     pub fn acked_seq(&self) -> u64 {
         self.acked_seq.load(Ordering::Acquire)
+    }
+
+    /// The event delivery cursor: highest event sequence the client has
+    /// acknowledged.
+    pub fn events_acked(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).acked
+    }
+
+    /// The journal directory, when this session is journaled.
+    pub fn journal_dir(&self) -> Option<std::path::PathBuf> {
+        self.journal.as_ref().map(|j| {
+            j.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .dir()
+                .to_path_buf()
+        })
+    }
+
+    /// Journals an accepted SAMPLES batch. The connection reader calls
+    /// this *after* [`Session::admit_seq`] accepts the sequence and
+    /// *before* enqueueing the batch: the acked watermark is only
+    /// reported to the client on later (stats/heartbeat) frames handled
+    /// by the same reader thread, so durability always precedes the
+    /// client pruning its replay buffer. Best-effort on a journaled
+    /// session; a no-op otherwise.
+    pub fn journal_samples(&self, seq: u64, samples: &[f64]) {
+        if let Some(j) = &self.journal {
+            let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = j.append_samples(seq, samples) {
+                note_journal_error("samples", &e);
+            }
+        }
+    }
+
+    /// Advances the event delivery cursor to `seq` (clamped to the
+    /// events finalized so far; regressions are no-ops), journaling the
+    /// new cursor and compacting acked segments. Returns `true` when the
+    /// session is finished *and* fully acknowledged — the signal that it
+    /// can be removed and its journal deleted.
+    pub fn ack_events(&self, seq: u64) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let total = st.events_base + st.events.len() as u64;
+        let clamped = seq.min(total);
+        if clamped > st.acked {
+            st.acked = clamped;
+            if let Some(j) = &self.journal {
+                let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = j.ack(clamped) {
+                    note_journal_error("ack", &e);
+                }
+            }
+        }
+        st.detector.is_none() && st.acked == total
     }
 
     /// Classifies an incoming SAMPLES sequence number and, on
@@ -213,7 +368,7 @@ impl Session {
         };
         SessionStatsWire {
             samples_pushed: pushed,
-            events_emitted: st.events.len() as u64,
+            events_emitted: st.events_base + st.events.len() as u64,
             buffered_samples: buffered,
             queue_depth: self.queue.depth() as u64,
             sheds: self.counters.sheds.load(Ordering::Relaxed),
@@ -261,37 +416,95 @@ impl Session {
                         let fresh = detector.drain_events();
                         if !fresh.is_empty() {
                             on_events(&fresh);
-                            st.events.extend(fresh);
+                            self.admit_events(&mut st, fresh);
                         }
                     }
                     // A finalized session silently discards late batches;
                     // the client learns its fate on the next control frame.
                 }
                 Work::Flush(reply) => {
-                    let events = st.events[st.delivered..].to_vec();
-                    st.delivered = st.events.len();
+                    let (first_seq, events) = self.undelivered_locked(&st);
                     let stats = self.stats_locked(&st);
-                    let _ = reply.send(FlushReply { events, stats });
+                    let _ = reply.send(FlushReply {
+                        first_seq,
+                        events,
+                        stats,
+                    });
                 }
                 Work::Fin(reply) => {
-                    if let Some(detector) = st.detector.take() {
-                        st.final_samples_rejected = detector.samples_rejected() as u64;
-                        let profile = detector.finish();
-                        st.final_samples_pushed = profile.total_samples() as u64;
-                        let tail = &profile.events()[st.events.len()..];
-                        if !tail.is_empty() {
-                            on_events(tail);
-                            st.events.extend_from_slice(tail);
-                        }
-                    }
-                    let events = st.events[st.delivered..].to_vec();
-                    st.delivered = st.events.len();
+                    self.finish_detector_locked(&mut st, &mut on_events);
+                    let (first_seq, events) = self.undelivered_locked(&st);
                     let stats = self.stats_locked(&st);
-                    let _ = reply.send(FlushReply { events, stats });
+                    let _ = reply.send(FlushReply {
+                        first_seq,
+                        events,
+                        stats,
+                    });
                 }
             }
         }
         batches
+    }
+
+    /// Appends freshly finalized events to the in-memory list,
+    /// journaling any not already on disk *before* they become visible
+    /// to FLUSH replies. A recovery replay regenerates events the
+    /// journal already holds; the `journaled_events` watermark keeps
+    /// those from being written twice.
+    fn admit_events(&self, st: &mut SessionState, fresh: Vec<StallEvent>) {
+        if fresh.is_empty() {
+            return;
+        }
+        let first_seq = st.events_base + st.events.len() as u64 + 1;
+        let last_seq = first_seq + fresh.len() as u64 - 1;
+        if let Some(j) = &self.journal {
+            let skip = st.journaled_events.saturating_sub(first_seq - 1) as usize;
+            if skip < fresh.len() {
+                let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = j.append_events(first_seq + skip as u64, &fresh[skip..]) {
+                    note_journal_error("events", &e);
+                }
+            }
+        }
+        st.journaled_events = st.journaled_events.max(last_seq);
+        st.events.extend(fresh);
+    }
+
+    /// The reply to any FLUSH/FIN: everything past the acked cursor.
+    fn undelivered_locked(&self, st: &SessionState) -> (u64, Vec<StallEvent>) {
+        let start = (st.acked - st.events_base) as usize;
+        (st.acked + 1, st.events[start..].to_vec())
+    }
+
+    /// Takes and finishes the detector, admitting its trailing events
+    /// and journaling the finalization (which releases sample records
+    /// for compaction). Idempotent.
+    fn finish_detector_locked<F: FnMut(&[StallEvent])>(
+        &self,
+        st: &mut SessionState,
+        on_events: &mut F,
+    ) {
+        let Some(detector) = st.detector.take() else {
+            return;
+        };
+        st.final_samples_rejected = detector.samples_rejected() as u64;
+        let profile = detector.finish();
+        st.final_samples_pushed = profile.total_samples() as u64;
+        let tail = profile.events()[st.events.len()..].to_vec();
+        if !tail.is_empty() {
+            on_events(&tail);
+            self.admit_events(st, tail);
+        }
+        if let Some(j) = &self.journal {
+            let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = j.finish(
+                st.final_samples_pushed,
+                st.final_samples_rejected,
+                self.acked_seq(),
+            ) {
+                note_journal_error("finish", &e);
+            }
+        }
     }
 
     /// Finalizes the detector outside the FIN path (server shutdown or
@@ -300,16 +513,7 @@ impl Session {
     pub fn finalize<F: FnMut(&[StallEvent])>(&self, mut on_events: F) {
         self.drain(&mut on_events);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(detector) = st.detector.take() {
-            st.final_samples_rejected = detector.samples_rejected() as u64;
-            let profile = detector.finish();
-            st.final_samples_pushed = profile.total_samples() as u64;
-            let tail = &profile.events()[st.events.len()..];
-            if !tail.is_empty() {
-                on_events(tail);
-                st.events.extend_from_slice(tail);
-            }
-        }
+        self.finish_detector_locked(&mut st, &mut on_events);
     }
 
     /// Whether the detector has been finalized.
@@ -320,6 +524,13 @@ impl Session {
             .detector
             .is_none()
     }
+}
+
+/// Best-effort journal failure accounting: a sick disk must not take
+/// down live profiling, but it must not be silent either.
+fn note_journal_error(what: &str, e: &std::io::Error) {
+    obs::counter_add!("store.append_errors", 1);
+    let _ = (what, e);
 }
 
 /// The registry of live sessions.
@@ -370,7 +581,11 @@ impl SessionRegistry {
     }
 
     /// Creates and registers a session; fails when `max_sessions` live
-    /// sessions already exist.
+    /// sessions already exist. `make_journal` is called with the new
+    /// session's id and resume token once they are known, so a journaled
+    /// server can create `session-<id>/` with the right identity record
+    /// (pass `|_, _| None` for an unjournaled session).
+    #[allow(clippy::too_many_arguments)]
     pub fn create(
         &self,
         device: String,
@@ -379,24 +594,37 @@ impl SessionRegistry {
         clock_hz: f64,
         queue_capacity: usize,
         max_sessions: usize,
+        make_journal: impl FnOnce(u64, u64) -> Option<SessionJournal>,
     ) -> Option<Arc<Session>> {
         let mut map = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
         if map.len() >= max_sessions {
             return None;
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let resume_token = self.resume_token_for(id);
+        let journal = make_journal(id, resume_token);
         let session = Arc::new(Session::new(
             id,
             device,
-            self.resume_token_for(id),
+            resume_token,
             config,
             sample_rate_hz,
             clock_hz,
             queue_capacity,
             self.epoch,
+            journal,
         ));
         map.insert(id, Arc::clone(&session));
         Some(session)
+    }
+
+    /// Registers a session recovered from a journal, bumping the id
+    /// allocator past it so fresh sessions never collide with recovered
+    /// ones.
+    pub fn adopt(&self, session: Arc<Session>) {
+        let mut map = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        self.next_id.fetch_max(session.id + 1, Ordering::Relaxed);
+        map.insert(session.id, session);
     }
 
     /// Looks a session up by id.
@@ -471,8 +699,14 @@ mod tests {
     }
 
     fn registry_session(reg: &SessionRegistry) -> Arc<Session> {
-        reg.create("dev".into(), config(), FS, CLK, 8, 16)
+        reg.create("dev".into(), config(), FS, CLK, 8, 16, |_, _| None)
             .expect("session created")
+    }
+
+    fn ack_reply(s: &Session, reply: &FlushReply) {
+        if !reply.events.is_empty() {
+            s.ack_events(reply.first_seq + reply.events.len() as u64 - 1);
+        }
     }
 
     #[test]
@@ -505,14 +739,67 @@ mod tests {
             let (tx, rx) = mpsc::sync_channel(1);
             s.queue.push_blocking(Work::Flush(tx));
             s.drain(|_| {});
-            delivered.extend(rx.recv().unwrap().events);
+            let reply = rx.recv().unwrap();
+            ack_reply(&s, &reply);
+            delivered.extend(reply.events);
         }
         let (tx, rx) = mpsc::sync_channel(1);
         s.queue.push_blocking(Work::Fin(tx));
         s.drain(|_| {});
-        delivered.extend(rx.recv().unwrap().events);
+        let reply = rx.recv().unwrap();
+        ack_reply(&s, &reply);
+        delivered.extend(reply.events);
         let batch = Emprof::new(config()).profile_magnitude(&signal, FS, CLK);
         assert_eq!(delivered, batch.events());
+    }
+
+    #[test]
+    fn unacked_events_are_redelivered_until_acked() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        s.queue
+            .push_blocking(Work::Samples(dipped_signal(30_000)));
+        let flush = |s: &Session| {
+            let (tx, rx) = mpsc::sync_channel(1);
+            s.queue.push_blocking(Work::Flush(tx));
+            s.drain(|_| {});
+            rx.recv().unwrap()
+        };
+        let first = flush(&s);
+        assert!(!first.events.is_empty());
+        assert_eq!(first.first_seq, 1);
+        // No ack: the same events come back, same sequence.
+        let again = flush(&s);
+        assert_eq!(again.first_seq, 1);
+        assert_eq!(again.events, first.events);
+        // Ack a prefix: only the suffix comes back.
+        s.ack_events(1);
+        let suffix = flush(&s);
+        assert_eq!(suffix.first_seq, 2);
+        assert_eq!(suffix.events, first.events[1..]);
+        // Ack everything: the next flush is empty.
+        ack_reply(&s, &first);
+        let empty = flush(&s);
+        assert!(empty.events.is_empty());
+        assert_eq!(empty.first_seq, first.events.len() as u64 + 1);
+    }
+
+    #[test]
+    fn ack_events_signals_completion_only_when_finished_and_fully_acked() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        s.queue
+            .push_blocking(Work::Samples(dipped_signal(30_000)));
+        let (tx, rx) = mpsc::sync_channel(1);
+        s.queue.push_blocking(Work::Fin(tx));
+        s.drain(|_| {});
+        let reply = rx.recv().unwrap();
+        let total = reply.events.len() as u64;
+        assert!(total > 0);
+        assert!(!s.ack_events(total - 1), "partial ack is not completion");
+        // Over-acking clamps to what exists.
+        assert!(s.ack_events(total + 50));
+        assert_eq!(s.events_acked(), total);
     }
 
     #[test]
@@ -537,9 +824,13 @@ mod tests {
     fn registry_enforces_session_limit() {
         let reg = SessionRegistry::new();
         for _ in 0..3 {
-            assert!(reg.create("d".into(), config(), FS, CLK, 4, 3).is_some());
+            assert!(reg
+                .create("d".into(), config(), FS, CLK, 4, 3, |_, _| None)
+                .is_some());
         }
-        assert!(reg.create("d".into(), config(), FS, CLK, 4, 3).is_none());
+        assert!(reg
+            .create("d".into(), config(), FS, CLK, 4, 3, |_, _| None)
+            .is_none());
         assert_eq!(reg.active(), 3);
     }
 

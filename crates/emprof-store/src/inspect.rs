@@ -1,0 +1,237 @@
+//! Read-only journal inspection for `emprof journal-inspect`.
+//!
+//! Unlike [`crate::journal::Journal::open`], inspection never mutates
+//! the directory: torn tails are reported, not truncated, and broken
+//! segments are reported, not deleted. Safe to run against a journal a
+//! live server has open.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::record::{Record, RecordKind};
+use crate::segment::{parse_segment_file_name, scan_segment};
+
+/// Per-segment health as found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentHealth {
+    /// Segment file name (`seg-<base>.emj`).
+    pub file_name: String,
+    /// Base journal index from the file name.
+    pub base_index: u64,
+    /// File size on disk.
+    pub bytes_on_disk: u64,
+    /// Length of the CRC-valid record prefix (header included).
+    pub valid_bytes: u64,
+    /// Whether the segment header itself validated.
+    pub header_ok: bool,
+    /// Whether bytes past `valid_bytes` exist (torn or corrupt tail).
+    pub torn: bool,
+    /// Number of valid records.
+    pub records: u64,
+    /// Valid records by kind: `[Meta, Samples, Events, Cursor, Finished]`.
+    pub records_by_kind: [u64; 5],
+    /// Total samples across valid `Samples` records.
+    pub samples_total: u64,
+    /// Total events across valid `Events` records.
+    pub events_total: u64,
+    /// Highest event sequence covered by valid `Events` records.
+    pub max_event_seq: u64,
+}
+
+/// A whole-journal inspection report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalInspect {
+    /// The inspected directory.
+    pub dir: PathBuf,
+    /// Segments in base-index order (header-less files sort by name).
+    pub segments: Vec<SegmentHealth>,
+}
+
+impl JournalInspect {
+    /// Whether every segment is fully intact.
+    pub fn healthy(&self) -> bool {
+        self.segments.iter().all(|s| s.header_ok && !s.torn)
+    }
+
+    /// Total valid records across all segments.
+    pub fn records(&self) -> u64 {
+        self.segments.iter().map(|s| s.records).sum()
+    }
+}
+
+fn kind_slot(rec: &Record) -> usize {
+    match rec.kind() {
+        RecordKind::Meta => 0,
+        RecordKind::Samples => 1,
+        RecordKind::Events => 2,
+        RecordKind::Cursor => 3,
+        RecordKind::Finished => 4,
+    }
+}
+
+/// Walks every `seg-*.emj` file in `dir` without modifying anything.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the directory or its files.
+pub fn inspect_dir(dir: &Path) -> io::Result<JournalInspect> {
+    let mut named: Vec<(u64, String, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(base) = parse_segment_file_name(&name) {
+            named.push((base, name, entry.path()));
+        }
+    }
+    named.sort();
+    let mut segments = Vec::with_capacity(named.len());
+    for (base, file_name, path) in named {
+        let bytes_on_disk = fs::metadata(&path)?.len();
+        let health = match scan_segment(&path)? {
+            None => SegmentHealth {
+                file_name,
+                base_index: base,
+                bytes_on_disk,
+                valid_bytes: 0,
+                header_ok: false,
+                torn: true,
+                records: 0,
+                records_by_kind: [0; 5],
+                samples_total: 0,
+                events_total: 0,
+                max_event_seq: 0,
+            },
+            Some(scan) => {
+                let mut by_kind = [0u64; 5];
+                let mut samples_total = 0u64;
+                let mut events_total = 0u64;
+                let mut max_event_seq = 0u64;
+                for (_, rec) in &scan.records {
+                    by_kind[kind_slot(rec)] += 1;
+                    match rec {
+                        Record::Samples { samples, .. } => {
+                            samples_total += samples.len() as u64;
+                        }
+                        Record::Events { first_seq, events } => {
+                            events_total += events.len() as u64;
+                            if !events.is_empty() {
+                                max_event_seq =
+                                    max_event_seq.max(first_seq + events.len() as u64 - 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                SegmentHealth {
+                    file_name,
+                    base_index: scan.base_index,
+                    bytes_on_disk,
+                    valid_bytes: scan.valid_len,
+                    header_ok: true,
+                    torn: scan.torn,
+                    records: scan.records.len() as u64,
+                    records_by_kind: by_kind,
+                    samples_total,
+                    events_total,
+                    max_event_seq,
+                }
+            }
+        };
+        segments.push(health);
+    }
+    Ok(JournalInspect {
+        dir: dir.to_path_buf(),
+        segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emprof-store-inspect-{}-{}-{tag}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn inspect_reports_without_mutating() {
+        let dir = tmp_dir("ro");
+        let mut j = Journal::open_with(
+            &dir,
+            JournalConfig {
+                segment_bytes: 200,
+                sync_on_append: false,
+            },
+        )
+        .unwrap()
+        .journal;
+        for i in 1..=12u64 {
+            if j.would_roll() {
+                j.roll().unwrap();
+            }
+            j.append(&Record::Cursor { acked_events: i }).unwrap();
+        }
+        drop(j);
+        // Tear the last segment's tail.
+        let report = inspect_dir(&dir).unwrap();
+        let last = report.segments.last().unwrap().file_name.clone();
+        let path = dir.join(&last);
+        let full = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+
+        let before: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.file_name(), e.metadata().unwrap().len())
+            })
+            .collect();
+        let report = inspect_dir(&dir).unwrap();
+        assert!(!report.healthy());
+        assert!(report.segments.len() >= 2);
+        assert!(report.segments.iter().filter(|s| s.torn).count() == 1);
+        assert_eq!(report.records(), 11, "one record lost to the tear");
+        let after: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.file_name(), e.metadata().unwrap().len())
+            })
+            .collect();
+        assert_eq!(before, after, "inspection must not mutate the journal");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_accounting_is_per_segment() {
+        let dir = tmp_dir("kinds");
+        let mut j = Journal::open(&dir).unwrap().journal;
+        j.append(&Record::Samples {
+            seq: 1,
+            samples: vec![1.0; 10],
+        })
+        .unwrap();
+        j.append(&Record::Cursor { acked_events: 0 }).unwrap();
+        drop(j);
+        let report = inspect_dir(&dir).unwrap();
+        assert!(report.healthy());
+        assert_eq!(report.segments.len(), 1);
+        let seg = &report.segments[0];
+        assert_eq!(seg.records_by_kind, [0, 1, 0, 1, 0]);
+        assert_eq!(seg.samples_total, 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

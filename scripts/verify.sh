@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Pipeline throughput smoke: sequential vs parallel at 1/2/4 threads plus
 # the direct-vs-FFT FIR crossover; asserts thread-count invariance and
@@ -25,14 +25,27 @@ cargo run -q --release -p emprof-bench --bin serve_soak -- --smoke --seconds 8
 # samples; the injector is deterministic and batch-boundary invariant.
 cargo test -q --release --test prop_fault
 
-# Transport resilience: kill-and-resume at arbitrary frame boundaries is
-# invisible in the served events; heartbeats keep quiet connections alive.
+# Transport resilience and exactly-once delivery: kill-and-resume at
+# arbitrary frame boundaries is invisible in the served events; replies
+# lost inside the §10 kill window (finalized and offered, never acked)
+# are redelivered without loss or duplication; a journaled server killed
+# mid-stream recovers its sessions bit-identically.
 cargo test -q --release --test serve_resilience
+
+# Journal recovery properties: truncation at any byte offset and any
+# single-byte flip recover the longest valid prefix — never a panic,
+# never silently corrupted samples.
+cargo test -q --release --test prop_store
 
 # Chaos soak smoke: concurrent sessions streaming faulted signals while
 # their connections are repeatedly severed; fails if any session fails
 # to resume or any served profile diverges from batch on the faulted
 # signal.
 cargo run -q --release -p emprof-bench --bin chaos_soak -- --smoke --seconds 8
+
+# Store soak smoke: a journaled server repeatedly killed inside the
+# lost-reply window and rebound over the same journal directory; fails
+# on any event loss/duplication or leftover journal residue.
+cargo run -q --release -p emprof-bench --bin store_soak -- --smoke --seconds 8
 
 echo "verify: OK"

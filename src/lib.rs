@@ -17,6 +17,7 @@
 //! | [`baseline`] | `emprof-baseline` | perf-style counter-sampling baseline |
 //! | [`par`] | `emprof-par` | worker pool + chunk planning for the parallel pipeline |
 //! | [`serve`] | `emprof-serve` | concurrent network profiling service + client |
+//! | [`store`] | `emprof-store` | durable delivered-event journal under the service |
 //!
 //! # Quickstart
 //!
@@ -65,4 +66,5 @@ pub use emprof_par as par;
 pub use emprof_serve as serve;
 pub use emprof_signal as signal;
 pub use emprof_sim as sim;
+pub use emprof_store as store;
 pub use emprof_workloads as workloads;
