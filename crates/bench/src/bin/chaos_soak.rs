@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use emprof_core::{Emprof, EmprofConfig, StallEvent};
 use emprof_fault::{flag_degraded, survivor_dropout_points, FaultInjector, FaultPlan};
-use emprof_serve::{ClientConfig, ProfileClient, ServeConfig, Server};
+use emprof_serve::{ClientConfig, MetricsClient, ProfileClient, ServeConfig, Server};
 
 const FS: f64 = 40e6;
 const CLK: f64 = 1.0e9;
@@ -154,6 +154,138 @@ fn run_round(
     tally.rounds += 1;
 }
 
+/// Metrics-sanity phase: on a fresh server, stream three sessions that
+/// are flushed but *not* finished (so their rows stay registered), each
+/// surviving a forced transport loss, then poll METRICS and check the
+/// wire-reported observability against ground truth:
+///
+/// * every per-session rate is finite and non-negative;
+/// * the session rows sum to the server-wide totals (samples, events,
+///   sheds) — per-session accounting does not leak or double-count;
+/// * HEALTH agrees with the session registry.
+///
+/// Returns human-readable violations (empty = pass).
+fn metrics_sanity_phase(segments: usize) -> Vec<String> {
+    const SESSIONS: usize = 3;
+    let mut failures = Vec::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            queue_frames: QUEUE_FRAMES,
+            idle_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind metrics-phase server");
+    let addr = server.local_addr();
+
+    let mut clients = Vec::new();
+    for k in 0..SESSIONS {
+        let signal = build_signal(k, 7_000, segments);
+        let mut client = ProfileClient::connect_with(
+            addr,
+            &format!("metrics-{k}"),
+            config(),
+            FS,
+            CLK,
+            client_config(),
+        )
+        .expect("open metrics session");
+        let mid = signal.len() / 2;
+        client.send(&signal[..mid]).expect("stream first half");
+        // A forced transport loss mid-stream: the row must describe the
+        // *resumed* session, with nothing lost or double-counted.
+        client.drop_connection();
+        client.send(&signal[mid..]).expect("stream second half");
+        let _ = client.flush().expect("flush without finishing");
+        clients.push((client, signal.len() as u64));
+    }
+
+    let mut mc = MetricsClient::connect_with(addr, client_config())
+        .expect("connect metrics client");
+    let health = mc.fetch_health().expect("HEALTH poll");
+    if !health.healthy {
+        failures.push("metrics phase: server reported unhealthy".into());
+    }
+    if health.sessions_active != SESSIONS as u64 {
+        failures.push(format!(
+            "metrics phase: HEALTH says {} active sessions, expected {SESSIONS}",
+            health.sessions_active
+        ));
+    }
+    let reply = mc.fetch_metrics().expect("METRICS poll");
+    if reply.sessions.len() != SESSIONS {
+        failures.push(format!(
+            "metrics phase: {} session rows, expected {SESSIONS}",
+            reply.sessions.len()
+        ));
+    }
+    let mut row_samples = 0u64;
+    let mut row_events = 0u64;
+    let mut row_sheds = 0u64;
+    for row in &reply.sessions {
+        if !row.samples_per_sec.is_finite() || row.samples_per_sec < 0.0 {
+            failures.push(format!(
+                "metrics phase: session {} rate {} is not a sane rate",
+                row.session_id, row.samples_per_sec
+            ));
+        }
+        if !row.connected {
+            failures.push(format!(
+                "metrics phase: session {} shown detached while its client lives",
+                row.session_id
+            ));
+        }
+        if row.events_acked > row.events_emitted {
+            failures.push(format!(
+                "metrics phase: session {} acked {} of only {} emitted events",
+                row.session_id, row.events_acked, row.events_emitted
+            ));
+        }
+        row_samples += row.samples_pushed;
+        row_events += row.events_emitted;
+        row_sheds += row.sheds;
+    }
+    let expected_samples: u64 = clients.iter().map(|(_, n)| n).sum();
+    if row_samples != expected_samples {
+        failures.push(format!(
+            "metrics phase: rows sum to {row_samples} samples, clients sent {expected_samples}"
+        ));
+    }
+    if row_samples != reply.server.samples_in {
+        failures.push(format!(
+            "metrics phase: rows sum to {row_samples} samples, server total {}",
+            reply.server.samples_in
+        ));
+    }
+    if row_events != reply.server.events_total {
+        failures.push(format!(
+            "metrics phase: rows sum to {row_events} events, server total {}",
+            reply.server.events_total
+        ));
+    }
+    if row_sheds != reply.server.sheds {
+        failures.push(format!(
+            "metrics phase: rows sum to {row_sheds} sheds, server total {}",
+            reply.server.sheds
+        ));
+    }
+    for (name, m) in &reply.snapshot.meters {
+        if !m.rate_per_sec.is_finite() || m.rate_per_sec < 0.0 {
+            failures.push(format!(
+                "metrics phase: meter {name} rate {} is not a sane rate",
+                m.rate_per_sec
+            ));
+        }
+    }
+
+    for (client, _) in clients {
+        let _ = client.finish().expect("finish metrics session");
+    }
+    server.shutdown();
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -280,6 +412,9 @@ fn main() {
     if rounds == 0 {
         failures.push("no session completed a full round within the budget".into());
     }
+
+    println!("metrics sanity phase: 3 flushed sessions, forced drops, METRICS vs truth");
+    failures.extend(metrics_sanity_phase(segments));
 
     if failures.is_empty() {
         println!("chaos soak PASS: every session resumed, faults never altered events");

@@ -14,12 +14,14 @@ use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
-use emprof_serve::{ClientConfig, ProfileClient, ServeConfig, Server, WatchClient};
+use emprof_serve::{
+    ClientConfig, MetricsClient, MetricsReply, ProfileClient, ServeConfig, Server, WatchClient,
+};
 use emprof_store::{inspect_dir, JournalConfig, SessionJournal, SessionMeta};
 
 use crate::opts::{
-    parse, CliError, Command, InspectOpts, ObsOpts, ProfileOpts, PushOpts, RecordOpts,
-    ReplayOpts, ServeOpts, SimulateOpts, WatchOpts, USAGE,
+    parse, CliError, Command, DumpFlightOpts, InspectOpts, ObsOpts, ProfileOpts, PushOpts,
+    RecordOpts, ReplayOpts, ServeOpts, SimulateOpts, TopOpts, WatchOpts, USAGE,
 };
 
 /// How many span occurrences `--trace` retains before counting drops.
@@ -43,6 +45,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Serve(opts) => with_telemetry(&opts.obs, || serve(&opts)),
         Command::Push(opts) => push(&opts),
         Command::Watch(opts) => watch(&opts),
+        Command::Top(opts) => top(&opts),
+        Command::DumpFlight(opts) => dump_flight(&opts),
         Command::Record(opts) => record(&opts),
         Command::Replay(opts) => replay(&opts),
         Command::JournalInspect(opts) => journal_inspect(&opts),
@@ -130,6 +134,23 @@ fn streaming_cross_check(
         streamed.events().len(),
         stats.samples_per_sec.unwrap_or(0.0) / 1e6
     );
+}
+
+/// With telemetry on, appends the stall-latency quantile estimates from
+/// the `detect.stall_latency_cycles` histogram (recorded per finalized
+/// event by both detectors).
+fn stall_latency_quantiles(out: &mut String) {
+    if !obs::is_enabled() {
+        return;
+    }
+    let snapshot = obs::snapshot();
+    let q = |p: f64| snapshot.histogram_quantile("detect.stall_latency_cycles", p);
+    if let (Some(p50), Some(p90), Some(p99)) = (q(0.5), q(0.9), q(0.99)) {
+        let _ = writeln!(
+            out,
+            "stall latency: ~{p50:.0} cycles p50, ~{p90:.0} p90, ~{p99:.0} p99"
+        );
+    }
 }
 
 fn devices() -> String {
@@ -313,6 +334,7 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
         result.ground_truth.llc_stall_cycles()
     );
     streaming_cross_check(&mut out, &magnitude, rate, device.clock_hz, &profile);
+    stall_latency_quantiles(&mut out);
     if let Some(path) = &opts.signal_out {
         write_file(path, &report::signal_to_csv(&magnitude))?;
         let _ = writeln!(out, "signal written to {path}");
@@ -346,6 +368,7 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
     streaming_cross_check(&mut out, &signal, opts.sample_rate_hz, opts.clock_hz, &profile);
+    stall_latency_quantiles(&mut out);
     if let Some(path) = &opts.events_out {
         write_file(path, &report::events_to_csv(&profile))?;
         let _ = writeln!(out, "events written to {path}");
@@ -357,6 +380,22 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
 fn serve(opts: &ServeOpts) -> Result<String, CliError> {
     let fault_plan = parse_fault_plan(opts.fault_plan.as_deref())?;
     let chaos = fault_plan.is_some();
+    // A scrape endpoint over a disabled registry would serve an empty
+    // snapshot; --metrics-addr implies telemetry for the server's
+    // lifetime (unless `with_telemetry` already turned it on).
+    struct ObsOff(bool);
+    impl Drop for ObsOff {
+        fn drop(&mut self) {
+            if self.0 {
+                obs::disable();
+            }
+        }
+    }
+    let scrape_obs = ObsOff(opts.metrics_addr.is_some() && !obs::is_enabled());
+    if scrape_obs.0 {
+        obs::reset();
+        obs::enable();
+    }
     let config = ServeConfig {
         threads: Parallelism::resolve(opts.threads),
         queue_frames: opts.queue_frames,
@@ -367,6 +406,7 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         fault_plan,
         fault_seed: opts.fault_seed,
         journal_dir: opts.journal_dir.as_ref().map(std::path::PathBuf::from),
+        metrics_addr: opts.metrics_addr.clone(),
         ..ServeConfig::default()
     };
     let threads = config.threads.get();
@@ -374,7 +414,7 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         .map_err(|e| CliError::Runtime(format!("bind {}: {e}", opts.addr)))?;
     // The banner goes out immediately: callers script against it.
     println!(
-        "emprof-serve listening on {} ({} workers, queue {} frames, {}{}{})",
+        "emprof-serve listening on {} ({} workers, queue {} frames, {}{}{}{})",
         server.local_addr(),
         threads,
         opts.queue_frames,
@@ -382,6 +422,10 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         if chaos { ", CHAOS" } else { "" },
         match &opts.journal_dir {
             Some(dir) => format!(", journal {dir}"),
+            None => String::new(),
+        },
+        match server.metrics_local_addr() {
+            Some(addr) => format!(", metrics http://{addr}/metrics"),
             None => String::new(),
         },
     );
@@ -412,6 +456,7 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         stats.sheds,
         stats.peak_queue_depth
     );
+    stall_latency_quantiles(&mut out);
     Ok(out)
 }
 
@@ -529,6 +574,172 @@ fn watch(opts: &WatchOpts) -> Result<String, CliError> {
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+    Ok(out)
+}
+
+/// Formats a rate as a compact human-readable figure (`1.2M`, `850k`).
+fn human_rate(v: f64) -> String {
+    if !v.is_finite() || v < 0.0 {
+        "?".to_string()
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders one `emprof top` dashboard frame.
+///
+/// `prev` carries the previous poll (seconds elapsed since it, and its
+/// reply): per-session sample/event rates are then client-side deltas
+/// computed from the wire counters, not server-reported figures. The
+/// first frame falls back to the server's own windowed rate.
+fn render_top_frame(
+    out: &mut String,
+    addr: &str,
+    reply: &MetricsReply,
+    health: &emprof_serve::HealthWire,
+    prev: Option<(f64, &MetricsReply)>,
+) {
+    let _ = writeln!(
+        out,
+        "emprof top — {addr} | up {:.1}s | {} | sessions {}/{} | journal {}",
+        health.uptime_ms as f64 / 1e3,
+        if health.healthy { "healthy" } else { "UNHEALTHY" },
+        health.sessions_active,
+        health.max_sessions,
+        if health.journal_enabled { "on" } else { "off" },
+    );
+    if reply.sessions.is_empty() {
+        let _ = writeln!(out, "(no registered sessions)");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>8}",
+            "SESSION", "TRACE", "DEVICE", "CONN", "QUEUE", "SAMPLES", "SAMP/S", "EVENTS",
+            "ACKED", "LAG", "SHED", "IDLE"
+        );
+        for row in &reply.sessions {
+            let prev_row = prev.and_then(|(dt, p)| {
+                p.sessions
+                    .iter()
+                    .find(|r| r.session_id == row.session_id)
+                    .map(|r| (dt, r))
+            });
+            let (samp_rate, ev_suffix) = match prev_row {
+                Some((dt, p)) if dt > 0.0 => {
+                    let ds = row.samples_pushed.saturating_sub(p.samples_pushed);
+                    let de = row.events_emitted.saturating_sub(p.events_emitted);
+                    (ds as f64 / dt, format!(" (+{de})"))
+                }
+                _ => (row.samples_per_sec, String::new()),
+            };
+            let mut device = row.device.clone();
+            device.truncate(10);
+            let _ = writeln!(
+                out,
+                "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7}ms",
+                row.session_id,
+                format!("0x{:016x}", row.trace_id),
+                device,
+                if row.connected { "yes" } else { "no" },
+                format!("{}/{}", row.queue_depth, row.queue_capacity),
+                row.samples_pushed,
+                human_rate(samp_rate),
+                format!("{}{ev_suffix}", row.events_emitted),
+                row.events_acked,
+                row.delivery_lag(),
+                row.sheds,
+                row.idle_ms,
+            );
+        }
+    }
+    let s = &reply.server;
+    let _ = writeln!(
+        out,
+        "totals: samples {} | frames {} | bytes {} | events {} | sheds {}",
+        s.samples_in, s.frames_in, s.bytes_in, s.events_total, s.sheds
+    );
+}
+
+/// Live fleet dashboard over the service's METRICS poll.
+fn top(opts: &TopOpts) -> Result<String, CliError> {
+    let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
+    let client_config = ClientConfig {
+        read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
+        max_reconnects: opts.retries,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        MetricsClient::connect_with(opts.addr.as_str(), client_config).map_err(err)?;
+    let mut out = String::new();
+    let mut polled = 0u64;
+    let mut prev: Option<(std::time::Instant, MetricsReply)> = None;
+    loop {
+        let reply = client.fetch_metrics().map_err(err)?;
+        let now = std::time::Instant::now();
+        let health = client.fetch_health().map_err(err)?;
+        let prev_view = prev
+            .as_ref()
+            .map(|(at, r)| (now.duration_since(*at).as_secs_f64(), r));
+        render_top_frame(&mut out, &opts.addr, &reply, &health, prev_view);
+        prev = Some((now, reply));
+        polled += 1;
+        let done = opts.once || opts.polls.is_some_and(|max| polled >= max);
+        if done {
+            break;
+        }
+        let _ = writeln!(out);
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+    Ok(out)
+}
+
+/// Fetches flight-recorder dumps from a running service.
+fn dump_flight(opts: &DumpFlightOpts) -> Result<String, CliError> {
+    let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
+    let client_config = ClientConfig {
+        read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
+        max_reconnects: opts.retries,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        MetricsClient::connect_with(opts.addr.as_str(), client_config).map_err(err)?;
+    let dumps = client.fetch_flight(opts.session).map_err(err)?;
+    let mut out = String::new();
+    if dumps.is_empty() {
+        let _ = writeln!(
+            out,
+            "no flight recorders matched (session {} at {})",
+            opts.session, opts.addr
+        );
+        return Ok(out);
+    }
+    match &opts.out_dir {
+        Some(dir) => {
+            let io_err = |e: std::io::Error| CliError::Runtime(format!("{dir}: {e}"));
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+            for d in &dumps {
+                let path =
+                    std::path::Path::new(dir).join(format!("flight-session-{}.json", d.session_id));
+                std::fs::write(&path, format!("{}\n", d.json)).map_err(io_err)?;
+                let _ = writeln!(
+                    out,
+                    "session {} (trace 0x{:016x}) written to {}",
+                    d.session_id,
+                    d.trace_id,
+                    path.display()
+                );
+            }
+        }
+        None => {
+            for d in &dumps {
+                let _ = writeln!(out, "{}", d.json);
+            }
+        }
     }
     Ok(out)
 }
@@ -927,6 +1138,9 @@ mod tests {
         assert!(out.contains("spans (wall time per stage)"), "{out}");
         assert!(out.contains("detect.normalize"), "{out}");
         assert!(out.contains("sim.cache.llc.miss"), "{out}");
+        // The stall-latency histogram quantiles ride along.
+        assert!(out.contains("stall latency:"), "{out}");
+        assert!(out.contains("p99"), "{out}");
     }
 
     #[test]
@@ -987,6 +1201,82 @@ mod tests {
         assert!(watched.contains("sessions"), "{watched}");
         assert!(watched.contains("session "), "tail events missing: {watched}");
         server.shutdown();
+    }
+
+    #[test]
+    fn top_and_dump_flight_against_in_process_server() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        // A live mid-stream session so the dashboard has a row to render.
+        let config = EmprofConfig::for_rates(40e6, 1e9);
+        let mut client =
+            ProfileClient::connect(addr, "top-test", config, 40e6, 1e9).unwrap();
+        client.send(&vec![5.0; 20_000]).unwrap();
+
+        let topped = run(&argv(&format!("top --addr {addr} --once"))).unwrap();
+        assert!(topped.contains("emprof top"), "{topped}");
+        assert!(topped.contains("SESSION"), "{topped}");
+        assert!(topped.contains("top-test"), "{topped}");
+        assert!(topped.contains("0x"), "trace id missing: {topped}");
+        assert!(topped.contains("totals:"), "{topped}");
+
+        // Two polls: the second frame's rates are client-side deltas.
+        let twice = run(&argv(&format!(
+            "top --addr {addr} --polls 2 --interval-ms 10"
+        )))
+        .unwrap();
+        assert_eq!(twice.matches("totals:").count(), 2, "{twice}");
+
+        let dir = std::env::temp_dir().join("emprof-cli-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dumped = run(&argv(&format!(
+            "dump-flight --addr {addr} --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(dumped.contains("written to"), "{dumped}");
+        let dump_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight-session-") && n.ends_with(".json"))
+            })
+            .collect();
+        assert_eq!(dump_files.len(), 1, "{dump_files:?}");
+        let body = std::fs::read_to_string(&dump_files[0]).unwrap();
+        assert!(body.contains("\"type\":\"flight\""), "{body}");
+        assert!(body.contains("\"trace_id\":\"0x"), "{body}");
+
+        // Without --out the dump JSON itself goes to stdout.
+        let stdout_dump = run(&argv(&format!("dump-flight --addr {addr}"))).unwrap();
+        assert!(stdout_dump.contains("\"type\":\"flight\""), "{stdout_dump}");
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dump_flight_unknown_session_is_empty_not_fatal() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let out = run(&argv(&format!("dump-flight --addr {addr} --session 99"))).unwrap();
+        assert!(out.contains("no flight recorders matched"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_with_metrics_addr_runs() {
+        // --metrics-addr implies telemetry (toggles the global obs
+        // state), so serialize with the other obs-touching tests.
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out = run(&argv(
+            "serve --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --duration 1 --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("served 0 connections"), "{out}");
+        assert!(!obs::is_enabled(), "serve must restore the obs toggle");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum Command {
     Push(PushOpts),
     /// Tail the finalized-event stream of a running service.
     Watch(WatchOpts),
+    /// Live per-session dashboard over the METRICS poll.
+    Top(TopOpts),
+    /// Fetch flight-recorder dumps from a running service.
+    DumpFlight(DumpFlightOpts),
     /// Persist a magnitude capture into a durable journal.
     Record(RecordOpts),
     /// Re-drive the detectors from a journaled capture.
@@ -158,6 +162,9 @@ pub struct ServeOpts {
     /// Durability: journal every session under this directory so event
     /// delivery is exactly-once across server restarts.
     pub journal_dir: Option<String>,
+    /// Serve Prometheus-format telemetry over HTTP at this address
+    /// (`host:port`; port 0 picks an ephemeral port).
+    pub metrics_addr: Option<String>,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -176,6 +183,7 @@ impl Default for ServeOpts {
             fault_plan: None,
             fault_seed: 1,
             journal_dir: None,
+            metrics_addr: None,
             obs: ObsOpts::default(),
         }
     }
@@ -258,6 +266,63 @@ pub struct WatchOpts {
     pub retries: u32,
 }
 
+/// Options of `emprof top`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopOpts {
+    /// Service address.
+    pub addr: String,
+    /// Milliseconds between METRICS polls.
+    pub interval_ms: u64,
+    /// Print one dashboard frame and exit.
+    pub once: bool,
+    /// Stop after this many polls (`None` = until interrupted).
+    pub polls: Option<u64>,
+    /// Socket read timeout in seconds.
+    pub timeout_secs: u64,
+    /// Reconnect attempts per failed poll (0 disables).
+    pub retries: u32,
+}
+
+impl Default for TopOpts {
+    fn default() -> Self {
+        TopOpts {
+            addr: "127.0.0.1:7700".to_string(),
+            interval_ms: 1_000,
+            once: false,
+            polls: None,
+            timeout_secs: 60,
+            retries: 5,
+        }
+    }
+}
+
+/// Options of `emprof dump-flight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpFlightOpts {
+    /// Service address.
+    pub addr: String,
+    /// Session to dump (`0` = every registered session).
+    pub session: u64,
+    /// Write each dump to this directory instead of stdout.
+    pub out_dir: Option<String>,
+    /// Socket read timeout in seconds.
+    pub timeout_secs: u64,
+    /// Reconnect attempts per failed fetch (0 disables).
+    pub retries: u32,
+}
+
+impl Default for DumpFlightOpts {
+    fn default() -> Self {
+        DumpFlightOpts {
+            addr: "127.0.0.1:7700".to_string(),
+            session: 0,
+            out_dir: None,
+            timeout_secs: 60,
+            retries: 5,
+        }
+    }
+}
+
 /// Errors produced while parsing or executing a command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
@@ -296,6 +361,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "serve" => parse_serve(it).map(Command::Serve),
         "push" => parse_push(it).map(Command::Push),
         "watch" => parse_watch(it).map(Command::Watch),
+        "top" => parse_top(it).map(Command::Top),
+        "dump-flight" => parse_dump_flight(it).map(Command::DumpFlight),
         "record" => parse_record(it).map(Command::Record),
         "replay" => parse_replay(it).map(Command::Replay),
         "journal-inspect" => parse_inspect(it).map(Command::JournalInspect),
@@ -424,6 +491,9 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, C
             "--fault-plan" => opts.fault_plan = Some(take_value(&mut it, "--fault-plan")?),
             "--fault-seed" => opts.fault_seed = take_parsed(&mut it, "--fault-seed")?,
             "--journal" => opts.journal_dir = Some(take_value(&mut it, "--journal")?),
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(take_value(&mut it, "--metrics-addr")?);
+            }
             flag => {
                 if !(flag.starts_with("--") && opts.obs.take_flag(flag, &mut it)?) {
                     return Err(CliError::Usage(format!("serve: unknown argument {flag}")));
@@ -619,6 +689,59 @@ fn parse_watch<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<WatchOpts, C
     Ok(opts)
 }
 
+/// Parses the `emprof top` argument form.
+fn parse_top<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<TopOpts, CliError> {
+    let mut opts = TopOpts::default();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--interval-ms" => opts.interval_ms = take_parsed(&mut it, "--interval-ms")?,
+            "--once" => opts.once = true,
+            "--polls" => opts.polls = Some(take_parsed(&mut it, "--polls")?),
+            "--timeout" => {
+                opts.timeout_secs = take_parsed(&mut it, "--timeout")?;
+                if opts.timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout must be at least 1".into()));
+                }
+            }
+            "--retries" => opts.retries = take_parsed(&mut it, "--retries")?,
+            other => {
+                return Err(CliError::Usage(format!("top: unknown argument {other}")));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the `emprof dump-flight` argument form.
+fn parse_dump_flight<'a, I: Iterator<Item = &'a String>>(
+    it: I,
+) -> Result<DumpFlightOpts, CliError> {
+    let mut opts = DumpFlightOpts::default();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--session" => opts.session = take_parsed(&mut it, "--session")?,
+            "--out" => opts.out_dir = Some(take_value(&mut it, "--out")?),
+            "--timeout" => {
+                opts.timeout_secs = take_parsed(&mut it, "--timeout")?;
+                if opts.timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout must be at least 1".into()));
+                }
+            }
+            "--retries" => opts.retries = take_parsed(&mut it, "--retries")?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "dump-flight: unknown argument {other}"
+                )));
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn expect_end<'a, I: Iterator<Item = &'a String>>(mut it: I) -> Result<(), CliError> {
     match it.next() {
         None => Ok(()),
@@ -688,8 +811,8 @@ USAGE:
   emprof serve [--addr HOST:PORT] [--threads N] [--queue-frames N] [--shed]
                [--idle-timeout SECS] [--max-sessions N] [--duration SECS]
                [--heartbeat SECS] [--fault-plan SPEC] [--fault-seed N]
-               [--journal DIR] [--metrics FILE] [--trace FILE]
-               [--verbose-stats]
+               [--journal DIR] [--metrics-addr HOST:PORT] [--metrics FILE]
+               [--trace FILE] [--verbose-stats]
       Run the network profiling service: one streaming EMPROF detector per
       connected producer, a bounded ingest queue per session, and a worker
       pool draining them. A full queue blocks that producer's socket
@@ -706,6 +829,9 @@ USAGE:
       event delivery becomes exactly-once across reply loss AND server
       restarts — bind recovers the journaled sessions and clients resume
       against the restarted process.
+      --metrics-addr HOST:PORT additionally serves the same telemetry in
+      Prometheus text exposition format over plain HTTP at
+      GET /metrics (scrapable by any Prometheus-compatible collector).
 
   emprof record <signal.csv> --journal DIR --rate HZ --clock HZ
                 [--device NAME] [--frame N]
@@ -744,6 +870,25 @@ USAGE:
       polling every MS milliseconds (default 500) until interrupted or,
       with --polls N, for a bounded number of polls. Transport losses
       are cured by reconnecting with the same cursor.
+
+  emprof top [--addr HOST:PORT] [--interval-ms MS] [--once] [--polls N]
+             [--timeout SECS] [--retries N]
+      Live fleet dashboard over the service's METRICS poll: one row per
+      registered session (queue depth, samples/s, events delivered vs
+      acknowledged, delivery lag, sheds, idle time) plus server totals
+      and health, refreshed every MS milliseconds (default 1000).
+      Between polls the client computes sample/event deltas itself, so
+      the rates shown are wire-derived, not server-trusted. --once
+      prints a single frame and exits (scripting/smoke tests).
+
+  emprof dump-flight [--addr HOST:PORT] [--session ID] [--out DIR]
+                     [--timeout SECS] [--retries N]
+      Fetch per-session flight-recorder rings from a running service as
+      self-contained JSON documents (--session 0 or omitted = every
+      registered session). With --out DIR each dump is written to
+      DIR/flight-session-<id>.json; otherwise dumps go to stdout. The
+      same dumps are written automatically next to the journals when a
+      journaled session dies of a transport loss or session fault.
 
 FAULT INJECTION (simulate / serve / push):
   --fault-plan SPEC   deterministic signal-plane chaos: `none`, `chaos`,
@@ -1010,10 +1155,87 @@ mod tests {
     }
 
     #[test]
+    fn parses_top() {
+        assert_eq!(parse(&argv("top")).unwrap(), Command::Top(TopOpts::default()));
+        match parse(&argv(
+            "top --addr 10.0.0.2:7700 --interval-ms 250 --once --polls 3 \
+             --timeout 5 --retries 1",
+        ))
+        .unwrap()
+        {
+            Command::Top(o) => {
+                assert_eq!(o.addr, "10.0.0.2:7700");
+                assert_eq!(o.interval_ms, 250);
+                assert!(o.once);
+                assert_eq!(o.polls, Some(3));
+                assert_eq!(o.timeout_secs, 5);
+                assert_eq!(o.retries, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse(&argv("top --wat")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("top --timeout 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_dump_flight() {
+        assert_eq!(
+            parse(&argv("dump-flight")).unwrap(),
+            Command::DumpFlight(DumpFlightOpts::default())
+        );
+        match parse(&argv(
+            "dump-flight --addr 10.0.0.2:7700 --session 3 --out /tmp/dumps --timeout 5",
+        ))
+        .unwrap()
+        {
+            Command::DumpFlight(o) => {
+                assert_eq!(o.addr, "10.0.0.2:7700");
+                assert_eq!(o.session, 3);
+                assert_eq!(o.out_dir.as_deref(), Some("/tmp/dumps"));
+                assert_eq!(o.timeout_secs, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("dump-flight --session banana")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("dump-flight extra")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_metrics_addr() {
+        match parse(&argv("serve --metrics-addr 127.0.0.1:9100")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve(ServeOpts::default())
+        );
+        assert!(matches!(
+            parse(&argv("serve --metrics-addr")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn usage_documents_serving_and_threads_env() {
         assert!(USAGE.contains("emprof serve"));
         assert!(USAGE.contains("emprof push"));
         assert!(USAGE.contains("emprof watch"));
+        assert!(USAGE.contains("emprof top"));
+        assert!(USAGE.contains("emprof dump-flight"));
+        assert!(USAGE.contains("--metrics-addr"));
+        assert!(USAGE.contains("GET /metrics"));
         assert!(USAGE.contains("EMPROF_THREADS"));
         assert!(USAGE.contains("--fault-plan"));
         assert!(USAGE.contains("--heartbeat"));

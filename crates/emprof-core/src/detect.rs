@@ -239,6 +239,7 @@ pub(crate) fn record_event_metrics(events: &[StallEvent]) {
             "detect.event_width_samples",
             (e.end_sample - e.start_sample) as u64
         );
+        obs::histogram_record!("detect.stall_latency_cycles", e.duration_cycles as u64);
     }
 }
 

@@ -529,6 +529,7 @@ impl StreamingEmprof {
                     "detect.event_width_samples",
                     (e.end_sample - e.start_sample) as u64
                 );
+                obs::histogram_record!("detect.stall_latency_cycles", e.duration_cycles as u64);
             }
         }
         Profile::new(

@@ -12,10 +12,17 @@
 //!   per name (count/total/min/max) and optionally recorded individually
 //!   into a trace buffer ([`span::start_tracing`]).
 //! * **Metrics** — lock-free [`metrics::Counter`]s, [`metrics::Gauge`]s,
-//!   and base-2 log-scale [`metrics::LogHistogram`]s, registered by name.
+//!   windowed-rate [`metrics::Meter`]s, and base-2 log-scale
+//!   [`metrics::LogHistogram`]s (with `p50`/`p90`/`p99` quantile
+//!   estimates), registered by name.
 //! * **Sinks** — a snapshot of everything can be written through a
 //!   [`sink::TelemetrySink`]: JSON-lines for machines, aligned tables for
-//!   humans, or nothing.
+//!   humans, or nothing. [`prom::encode_snapshot`] renders the same
+//!   snapshot in Prometheus text exposition format for scraping.
+//!
+//! Alongside the process-global registry, [`flight::FlightRecorder`] is a
+//! per-session black box: a bounded ring of recent lifecycle events and
+//! spans, dumped as JSON on faults for post-mortem analysis.
 //!
 //! ## Cost model
 //!
@@ -48,7 +55,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod sink;
 pub mod span;
@@ -56,7 +65,8 @@ pub mod span;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
-pub use registry::{Registry, Snapshot};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use registry::{HistogramSnapshot, MeterSnapshot, Registry, Snapshot, SpanSnapshot};
 pub use sink::{JsonLinesSink, NullSink, PrettyTableSink, TelemetrySink};
 pub use span::SpanGuard;
 
@@ -177,6 +187,19 @@ macro_rules! histogram_record {
     }};
 }
 
+/// Marks a named meter (count + windowed rate):
+/// `obs::meter_mark!("meter.samples_in", batch.len());`
+#[macro_export]
+macro_rules! meter_mark {
+    ($name:expr, $n:expr) => {{
+        if $crate::is_enabled() {
+            static __M: $crate::__OnceLock<&'static $crate::metrics::Meter> =
+                $crate::__OnceLock::new();
+            __M.get_or_init(|| $crate::registry().meter($name)).mark($n as u64);
+        }
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,11 +233,13 @@ mod tests {
             counter_add!("test.counter", 3);
             gauge_set!("test.gauge", 1.5);
             histogram_record!("test.hist", 100);
+            meter_mark!("test.meter", 4);
         }
         let snap = snapshot();
         disable();
         assert_eq!(snap.counter("test.counter"), Some(5));
         assert_eq!(snap.gauge("test.gauge"), Some(1.5));
+        assert_eq!(snap.meter("test.meter").unwrap().count, 4);
         let span = snap.span("test.span").expect("span recorded");
         assert_eq!(span.count, 1);
         reset();

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::metrics::{Counter, Gauge, LogHistogram};
+use crate::metrics::{bucket_quantile, Counter, Gauge, LogHistogram, Meter};
 use crate::span::SpanStat;
 
 /// A thread-safe collection of named metrics.
@@ -16,6 +16,7 @@ use crate::span::SpanStat;
 pub struct Registry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
     gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    meters: Mutex<BTreeMap<String, &'static Meter>>,
     histograms: Mutex<BTreeMap<String, &'static LogHistogram>>,
     spans: Mutex<BTreeMap<String, &'static SpanStat>>,
 }
@@ -34,6 +35,11 @@ impl Registry {
     /// The gauge named `name`, registering it on first use.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
         Self::intern(&self.gauges, name, Gauge::new)
+    }
+
+    /// The meter named `name`, registering it on first use.
+    pub fn meter(&self, name: &str) -> &'static Meter {
+        Self::intern(&self.meters, name, Meter::new)
     }
 
     /// The histogram named `name`, registering it on first use.
@@ -69,6 +75,9 @@ impl Registry {
         for g in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).values() {
             g.reset();
         }
+        for m in self.meters.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            m.reset();
+        }
         for h in self
             .histograms
             .lock()
@@ -99,6 +108,21 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let meters = self
+            .meters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    MeterSnapshot {
+                        count: v.count(),
+                        rate_per_sec: v.rate_per_sec(),
+                    },
+                )
+            })
+            .collect();
         let histograms = self
             .histograms
             .lock()
@@ -128,6 +152,7 @@ impl Registry {
         Snapshot {
             counters,
             gauges,
+            meters,
             histograms,
             spans,
         }
@@ -141,6 +166,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` for every gauge.
     pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every meter.
+    pub meters: Vec<(String, MeterSnapshot)>,
     /// `(name, summary)` for every histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// `(name, summary)` for every span with at least one completion.
@@ -169,10 +196,32 @@ impl Snapshot {
         self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
+    /// The summary of meter `name`, if present.
+    pub fn meter(&self, name: &str) -> Option<&MeterSnapshot> {
+        self.meters.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// The summary of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The `q`-quantile estimate of histogram `name` (`0.0..=1.0`),
+    /// interpolated inside its log buckets and clamped to the observed
+    /// extrema. `None` when the histogram is absent, empty, or `q` is
+    /// out of range.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.histogram(name).and_then(|h| h.quantile(q))
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
+            && self.meters.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
     }
@@ -191,6 +240,38 @@ pub struct HistogramSnapshot {
     pub max: Option<u64>,
     /// Non-empty buckets as `(low, high, count)`.
     pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile estimate (`0.0..=1.0`) of the snapshotted
+    /// distribution; see [`crate::metrics::LogHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(self.count, self.min, self.max, &self.buckets, q)
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The 90th-percentile estimate.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.9)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+/// Summary of one meter at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeterSnapshot {
+    /// Total marks.
+    pub count: u64,
+    /// EWMA mark rate in marks/second at snapshot time.
+    pub rate_per_sec: f64,
 }
 
 /// Summary of one span's timing at snapshot time.
@@ -244,6 +325,25 @@ mod tests {
         );
         assert_eq!(s.gauge("g"), Some(3.5));
         assert_eq!(s.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn meters_and_quantiles_are_snapshotted() {
+        let r = Registry::new();
+        r.meter("m.rate").mark(7);
+        for v in [8u64, 8, 8, 8, 2000] {
+            r.histogram("h").record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.meter("m.rate").unwrap().count, 7);
+        assert!(s.meter("m.rate").unwrap().rate_per_sec >= 0.0);
+        assert_eq!(s.meter("missing"), None);
+        let p50 = s.histogram_quantile("h", 0.5).unwrap();
+        assert!((8.0..=16.0).contains(&p50), "p50 {p50}");
+        let p99 = s.histogram_quantile("h", 0.99).unwrap();
+        assert!(p99 <= 2000.0 && p99 >= p50, "p99 {p99}");
+        assert_eq!(s.histogram_quantile("missing", 0.5), None);
+        assert!(!s.is_empty());
     }
 
     #[test]

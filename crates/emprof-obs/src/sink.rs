@@ -22,11 +22,16 @@ pub trait TelemetrySink {
 /// ```text
 /// {"type":"counter","name":"sim.cache.llc.miss","value":512}
 /// {"type":"gauge","name":"stream.samples_per_sec","value":1.25e7}
+/// {"type":"meter","name":"meter.samples_in","count":4096,"rate_per_sec":1.0e6}
 /// {"type":"span","name":"detect.normalize","count":1,"total_ns":81532,
 ///  "mean_ns":81532.0,"min_ns":81532,"max_ns":81532}
 /// {"type":"histogram","name":"detect.event_width_samples","count":3,"sum":36,
 ///  "min":8,"max":16,"buckets":[{"lo":8,"hi":16,"n":2},{"lo":16,"hi":32,"n":1}]}
 /// ```
+///
+/// Metric names pass through full JSON string escaping — a hostile or
+/// malformed name (embedded quotes, newlines, control characters) can
+/// never break the line structure.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write> {
     writer: W,
@@ -60,6 +65,15 @@ impl<W: Write> TelemetrySink for JsonLinesSink<W> {
                 "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
                 json_string(name),
                 json_f64(*value)
+            )?;
+        }
+        for (name, m) in &snapshot.meters {
+            writeln!(
+                w,
+                "{{\"type\":\"meter\",\"name\":{},\"count\":{},\"rate_per_sec\":{}}}",
+                json_string(name),
+                m.count,
+                json_f64(m.rate_per_sec)
             )?;
         }
         for (name, s) in &snapshot.spans {
@@ -145,16 +159,19 @@ impl<W: Write> TelemetrySink for PrettyTableSink<W> {
     fn write_snapshot(&mut self, snapshot: &Snapshot) -> io::Result<()> {
         let w = &mut self.writer;
         if !snapshot.spans.is_empty() {
+            // Name columns widen to the longest name in their section so
+            // values stay aligned however long the names get.
+            let width = name_width(snapshot.spans.iter().map(|(n, _)| n.as_str()), 32);
             writeln!(w, "spans (wall time per stage)")?;
             writeln!(
                 w,
-                "  {:<32} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "  {:<width$} {:>8} {:>12} {:>12} {:>12} {:>12}",
                 "name", "count", "total", "mean", "min", "max"
             )?;
             for (name, s) in &snapshot.spans {
                 writeln!(
                     w,
-                    "  {:<32} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                    "  {:<width$} {:>8} {:>12} {:>12} {:>12} {:>12}",
                     name,
                     s.count,
                     fmt_ns(s.total_ns as f64),
@@ -165,23 +182,37 @@ impl<W: Write> TelemetrySink for PrettyTableSink<W> {
             }
         }
         if !snapshot.counters.is_empty() {
+            let width = name_width(snapshot.counters.iter().map(|(n, _)| n.as_str()), 44);
             writeln!(w, "counters")?;
             for (name, value) in &snapshot.counters {
-                writeln!(w, "  {name:<44} {value:>16}")?;
+                writeln!(w, "  {name:<width$} {value:>16}")?;
             }
         }
         if !snapshot.gauges.is_empty() {
+            let width = name_width(snapshot.gauges.iter().map(|(n, _)| n.as_str()), 44);
             writeln!(w, "gauges")?;
             for (name, value) in &snapshot.gauges {
-                writeln!(w, "  {name:<44} {value:>16.3}")?;
+                writeln!(w, "  {name:<width$} {value:>16.3}")?;
+            }
+        }
+        if !snapshot.meters.is_empty() {
+            let width = name_width(snapshot.meters.iter().map(|(n, _)| n.as_str()), 44);
+            writeln!(w, "meters")?;
+            for (name, m) in &snapshot.meters {
+                writeln!(
+                    w,
+                    "  {name:<width$} {:>16} {:>14.1}/s",
+                    m.count, m.rate_per_sec
+                )?;
             }
         }
         if !snapshot.histograms.is_empty() {
+            let width = name_width(snapshot.histograms.iter().map(|(n, _)| n.as_str()), 32);
             writeln!(w, "histograms")?;
             for (name, h) in &snapshot.histograms {
                 writeln!(
                     w,
-                    "  {:<32} n={} min={} max={} mean={:.1}",
+                    "  {:<width$} n={} min={} max={} mean={:.1} p50={:.1} p90={:.1} p99={:.1}",
                     name,
                     h.count,
                     h.min.unwrap_or(0),
@@ -190,7 +221,10 @@ impl<W: Write> TelemetrySink for PrettyTableSink<W> {
                         h.sum as f64 / h.count as f64
                     } else {
                         0.0
-                    }
+                    },
+                    h.p50().unwrap_or(0.0),
+                    h.p90().unwrap_or(0.0),
+                    h.p99().unwrap_or(0.0)
                 )?;
                 for &(lo, hi, n) in &h.buckets {
                     writeln!(w, "    [{lo:>12}, {hi:>12})  {n}")?;
@@ -199,6 +233,12 @@ impl<W: Write> TelemetrySink for PrettyTableSink<W> {
         }
         w.flush()
     }
+}
+
+/// The name-column width of one table section: at least `min`, widened
+/// to the longest name so long names never push values out of column.
+fn name_width<'a>(names: impl Iterator<Item = &'a str>, min: usize) -> usize {
+    names.map(str::len).max().unwrap_or(0).max(min)
 }
 
 /// Discards everything (keeps call sites unconditional).
@@ -224,7 +264,7 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 /// Serializes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -309,6 +349,87 @@ mod tests {
     #[test]
     fn null_sink_accepts_anything() {
         NullSink.write_snapshot(&sample_snapshot()).unwrap();
+    }
+
+    #[test]
+    fn jsonl_escapes_hostile_metric_names() {
+        let r = Registry::new();
+        r.counter("evil\"name\nwith\\stuff").add(1);
+        r.meter("meter\twith\tcontrol\u{1}").mark(2);
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.write_snapshot(&r.snapshot()).unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // The raw control characters must never survive into output.
+            assert!(!line.contains('\u{1}'), "{line}");
+            let unescaped = line.replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "{line}");
+        }
+        assert!(out.contains("evil\\\"name\\nwith\\\\stuff"));
+        assert!(out.contains("\"type\":\"meter\""));
+        assert!(out.contains("\"rate_per_sec\":"));
+    }
+
+    #[test]
+    fn pretty_table_aligns_names_longer_than_headers() {
+        let long = "an.extremely.long.metric.name.that.exceeds.every.fixed.header.width";
+        let r = Registry::new();
+        r.counter(long).add(1);
+        r.counter("short").add(22);
+        r.gauge(long).set(1.0);
+        r.span_stat(long).record_ns(10);
+        r.span_stat("tiny").record_ns(10);
+        let mut sink = PrettyTableSink::new(Vec::new());
+        sink.write_snapshot(&r.snapshot()).unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        // Within each section, every value column starts at the same
+        // offset: the end position of the first value field must agree
+        // between the long-name row and the short-name row.
+        let counter_rows: Vec<&str> = out
+            .lines()
+            .skip_while(|l| *l != "counters")
+            .skip(1)
+            .take(2)
+            .collect();
+        assert_eq!(counter_rows.len(), 2);
+        let ends: Vec<usize> = counter_rows
+            .iter()
+            .map(|row| row.trim_end().len())
+            .collect();
+        assert_eq!(
+            ends[0], ends[1],
+            "counter value columns misaligned:\n{out}"
+        );
+        let span_rows: Vec<&str> = out
+            .lines()
+            .skip(1) // header line of the spans section
+            .take_while(|l| l.starts_with("  "))
+            .collect();
+        let count_col: Vec<usize> = span_rows
+            .iter()
+            .map(|row| row.trim_end().len())
+            .collect();
+        assert!(
+            count_col.windows(2).all(|w| w[0] == w[1]),
+            "span columns misaligned:\n{out}"
+        );
+    }
+
+    #[test]
+    fn pretty_table_reports_meters_and_quantiles() {
+        let r = Registry::new();
+        r.meter("meter.samples_in").mark(1000);
+        for _ in 0..50 {
+            r.histogram("lat").record(100);
+        }
+        let mut sink = PrettyTableSink::new(Vec::new());
+        sink.write_snapshot(&r.snapshot()).unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(out.contains("meters"), "{out}");
+        assert!(out.contains("meter.samples_in"), "{out}");
+        assert!(out.contains("p50=100.0"), "{out}");
+        assert!(out.contains("p99=100.0"), "{out}");
     }
 
     #[test]

@@ -43,7 +43,8 @@ use emprof_core::{EmprofConfig, StallEvent};
 use emprof_obs as obs;
 
 use crate::proto::{
-    self, ErrorCode, Frame, Hello, ProtoError, SessionStatsWire, Tail, VERSION,
+    self, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply, ProtoError,
+    SessionStatsWire, Tail, VERSION,
 };
 
 /// Transport-resilience knobs for [`ProfileClient`] and [`WatchClient`].
@@ -210,6 +211,7 @@ struct Ack {
     max_samples_per_frame: u32,
     resume_token: u64,
     acked_seq: u64,
+    trace_id: u64,
 }
 
 fn handshake(stream: &mut TcpStream, hello: Hello) -> Result<Ack, ClientError> {
@@ -221,6 +223,7 @@ fn handshake(stream: &mut TcpStream, hello: Hello) -> Result<Ack, ClientError> {
             max_samples_per_frame,
             resume_token,
             acked_seq,
+            trace_id,
         } => {
             if version != VERSION {
                 return Err(ClientError::Unexpected("server negotiated unknown version"));
@@ -230,6 +233,7 @@ fn handshake(stream: &mut TcpStream, hello: Hello) -> Result<Ack, ClientError> {
                 max_samples_per_frame: max_samples_per_frame.max(1),
                 resume_token,
                 acked_seq,
+                trace_id,
             })
         }
         _ => Err(ClientError::Unexpected("wanted HELLO_ACK")),
@@ -279,6 +283,7 @@ pub struct ProfileClient {
     cfg: ClientConfig,
     session_id: u64,
     resume_token: u64,
+    trace_id: u64,
     max_samples_per_frame: usize,
     /// Sequence for the next SAMPLES frame (sequences start at 1).
     next_seq: u64,
@@ -356,6 +361,7 @@ impl ProfileClient {
             hello,
             session_id: ack.session_id,
             resume_token: ack.resume_token,
+            trace_id: ack.trace_id,
             max_samples_per_frame: ack.max_samples_per_frame as usize,
             next_seq: 1,
             acked_seq: 0,
@@ -371,6 +377,13 @@ impl ProfileClient {
     /// The server-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// The server-assigned trace id: stamps this session's flight dumps
+    /// and METRICS rows, and is stable across resumes and server
+    /// restarts (it is derived from the resume token).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// How many times this client has successfully resumed its session
@@ -435,6 +448,7 @@ impl ProfileClient {
         self.stream = stream;
         self.session_id = ack.session_id;
         self.resume_token = ack.resume_token;
+        self.trace_id = ack.trace_id;
         self.max_samples_per_frame = (ack.max_samples_per_frame as usize).max(1);
         self.note_acked(ack.acked_seq);
         // Replay everything the server has not acknowledged, in order,
@@ -749,6 +763,148 @@ impl WatchClient {
                 }
                 Err(e) if e.is_transport() => last = e,
                 Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::ReconnectFailed {
+            attempts: self.cfg.max_reconnects,
+            last: Box::new(last),
+        })
+    }
+}
+
+/// A blocking observability poller: fetches METRICS, HEALTH, and
+/// FLIGHT snapshots from an `emprof-serve` instance. Backs `emprof
+/// top` and `emprof dump-flight`.
+///
+/// Metrics connections skip the HELLO handshake — the first request
+/// frame identifies the connection as a poller — and the server
+/// records no telemetry while serving them, so polling never perturbs
+/// the numbers it reports.
+#[derive(Debug)]
+pub struct MetricsClient {
+    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    cfg: ClientConfig,
+    rng: u64,
+    reconnects: u64,
+}
+
+impl MetricsClient {
+    /// Connects with default resilience knobs. The TCP connection is
+    /// established eagerly (so bad addresses fail here), but nothing is
+    /// sent until the first fetch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on address resolution or connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<MetricsClient, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`MetricsClient::connect`] with explicit [`ClientConfig`] knobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::connect`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ClientConfig,
+    ) -> Result<MetricsClient, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = connect_stream(&addrs, cfg.read_timeout)?;
+        Ok(MetricsClient {
+            stream,
+            addrs,
+            rng: 0xD1B5_4A32_D192_ED03,
+            reconnects: 0,
+            cfg,
+        })
+    }
+
+    /// How many times this poller reconnected after a transport loss.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Severs the TCP connection without telling the server — a test
+    /// hook simulating a transport loss. The next fetch reconnects.
+    pub fn drop_connection(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// One METRICS poll: the server's full telemetry snapshot, its
+    /// wire-stats, and one row per registered session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures once the reconnect
+    /// budget is spent.
+    pub fn fetch_metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.request(&Frame::MetricsRequest)? {
+            Frame::Metrics(reply) => Ok(reply),
+            _ => Err(ClientError::Unexpected("wanted METRICS")),
+        }
+    }
+
+    /// One HEALTH poll.
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`].
+    pub fn fetch_health(&mut self) -> Result<HealthWire, ClientError> {
+        match self.request(&Frame::HealthRequest)? {
+            Frame::Health(health) => Ok(health),
+            _ => Err(ClientError::Unexpected("wanted HEALTH")),
+        }
+    }
+
+    /// Fetches flight-recorder dumps: `session_id` 0 means every
+    /// registered session, anything else just that one (an unknown id
+    /// yields an empty list, not an error).
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`].
+    pub fn fetch_flight(&mut self, session_id: u64) -> Result<Vec<FlightDumpWire>, ClientError> {
+        match self.request(&Frame::FlightRequest { session_id })? {
+            Frame::FlightReply { dumps } => Ok(dumps),
+            _ => Err(ClientError::Unexpected("wanted FLIGHT_REPLY")),
+        }
+    }
+
+    /// One request/reply round trip, curing transport failures by
+    /// reconnecting (polling is stateless, so a retry is always safe).
+    fn request(&mut self, req: &Frame) -> Result<Frame, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.request_once(req) {
+                Ok(frame) => return Ok(frame),
+                Err(e) if e.is_transport() && attempts < self.cfg.max_reconnects => {
+                    attempts += 1;
+                    self.reconnect(e)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn request_once(&mut self, req: &Frame) -> Result<Frame, ClientError> {
+        proto::write_frame(&mut self.stream, req)?;
+        read_reply(&mut self.stream, |_| {})
+    }
+
+    fn reconnect(&mut self, cause: ClientError) -> Result<(), ClientError> {
+        let mut last = cause;
+        for attempt in 0..self.cfg.max_reconnects {
+            std::thread::sleep(jittered(&mut self.rng, backoff_delay(&self.cfg, attempt)));
+            match connect_stream(&self.addrs, self.cfg.read_timeout) {
+                Ok(stream) => {
+                    self.stream = stream;
+                    self.reconnects += 1;
+                    obs::counter_add!("client.reconnects", 1);
+                    return Ok(());
+                }
+                Err(e) => last = ClientError::Io(e),
             }
         }
         Err(ClientError::ReconnectFailed {

@@ -8,7 +8,8 @@
 //!
 //! * [`proto`] — a versioned, length-prefixed, checksummed binary wire
 //!   protocol (HELLO negotiation, SAMPLES batches, FLUSH/FIN, EVENTS/
-//!   STATS replies, a WATCH tail; fuzz-resistant bounded decoding).
+//!   STATS replies, a WATCH tail, METRICS/HEALTH/FLIGHT observability
+//!   polls; fuzz-resistant bounded decoding).
 //! * [`session`] — one [`StreamingEmprof`](emprof_core::StreamingEmprof)
 //!   per connected producer, in a registry with idle-timeout reaping.
 //! * [`queue`] — the bounded per-session ingest queue whose fullness
@@ -18,8 +19,16 @@
 //! * [`server`] — the TCP daemon: accept loop, worker pool sized by
 //!   [`Parallelism`](emprof_par::Parallelism), watch tail, graceful
 //!   drain-then-finish shutdown.
-//! * [`client`] — the blocking [`ProfileClient`] / [`WatchClient`] used
-//!   by `emprof push` / `emprof watch`, the examples, and the tests.
+//! * [`client`] — the blocking [`ProfileClient`] / [`WatchClient`] /
+//!   [`MetricsClient`] used by `emprof push` / `emprof watch` /
+//!   `emprof top`, the examples, and the tests.
+//!
+//! With [`ServeConfig::metrics_addr`] set, the server additionally
+//! binds a pure-std HTTP/1.1 responder serving the same telemetry in
+//! Prometheus text exposition format on `GET /metrics`. Each session
+//! carries a [`FlightRecorder`](emprof_obs::FlightRecorder) black box
+//! whose ring is dumped next to the journals on faults and pollable
+//! over FLIGHT frames.
 //!
 //! ## The headline guarantees
 //!
@@ -79,8 +88,11 @@ pub mod queue;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientConfig, ClientError, ProfileClient, WatchClient};
-pub use proto::{ErrorCode, Frame, ProtoError, ServerStatsWire, SessionStatsWire};
+pub use client::{ClientConfig, ClientError, MetricsClient, ProfileClient, WatchClient};
+pub use proto::{
+    ErrorCode, FlightDumpWire, Frame, HealthWire, MetricsReply, ProtoError, ServerStatsWire,
+    SessionRow, SessionStatsWire,
+};
 pub use server::{ServeConfig, Server, ServerStatsSnapshot};
 pub use session::{Session, SessionRegistry};
 

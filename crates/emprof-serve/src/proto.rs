@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic            0x454D ("EM")
-//! 2       2     protocol version (currently 3)
+//! 2       2     protocol version (currently 4)
 //! 4       1     frame type       (FrameType)
 //! 5       1     flags            (per-type bits)
 //! 6       2     header checksum  FNV-1a-16 of the other 14 header bytes
@@ -25,6 +25,7 @@
 use std::io::{self, Read, Write};
 
 use emprof_core::{EmprofConfig, StallEvent, StallKind};
+use emprof_obs::{HistogramSnapshot, MeterSnapshot, Snapshot, SpanSnapshot};
 
 /// First two header bytes: `b"EM"` read as a little-endian u16.
 pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
@@ -34,8 +35,11 @@ pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 /// acked-sequence reporting) and server HEARTBEAT frames. Version 3
 /// added exactly-once event delivery: EVENTS frames carry the sequence
 /// number of their first event and clients acknowledge delivered
-/// sequences with EVENTS_ACK.
-pub const VERSION: u16 = 3;
+/// sequences with EVENTS_ACK. Version 4 added fleet observability:
+/// METRICS and HEALTH polls carrying the server's full telemetry
+/// snapshot plus per-session rows, FLIGHT polls returning per-session
+/// flight-recorder dumps, and a server-assigned trace id in HELLO_ACK.
+pub const VERSION: u16 = 4;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -53,6 +57,22 @@ const MAX_STRING: usize = 256;
 
 /// Upper bound on events per EVENTS/TAIL frame.
 const MAX_EVENTS_PER_FRAME: u32 = 100_000;
+
+/// Upper bound on entries per metric kind in a METRICS snapshot.
+pub const MAX_METRICS_ENTRIES: u32 = 4096;
+
+/// Upper bound on buckets per histogram in a METRICS snapshot (a
+/// base-2 log histogram over `u64` has at most 65 distinct buckets).
+pub const MAX_HISTOGRAM_BUCKETS: u32 = 128;
+
+/// Upper bound on per-session rows in a METRICS reply.
+pub const MAX_SESSION_ROWS: u32 = 4096;
+
+/// Upper bound on flight dumps per FLIGHT reply.
+pub const MAX_FLIGHT_DUMPS: u32 = 256;
+
+/// Upper bound on one flight-recorder JSON dump (1 MiB).
+pub const MAX_FLIGHT_JSON: usize = 1 << 20;
 
 /// HELLO flag: this connection only watches the server-wide event tail;
 /// no session (and no detector) is created for it.
@@ -91,6 +111,18 @@ pub enum FrameType {
     /// Client → server: events up to this sequence were durably
     /// received; the server may advance its delivery cursor.
     EventsAck = 12,
+    /// Client → server: poll the server's full telemetry snapshot.
+    MetricsRequest = 13,
+    /// Server → client: the telemetry snapshot plus per-session rows.
+    Metrics = 14,
+    /// Client → server: poll a compact liveness summary.
+    HealthRequest = 15,
+    /// Server → client: the liveness summary.
+    Health = 16,
+    /// Client → server: request flight-recorder dumps.
+    FlightRequest = 17,
+    /// Server → client: flight-recorder dumps, one JSON document each.
+    FlightReply = 18,
 }
 
 impl FrameType {
@@ -108,6 +140,12 @@ impl FrameType {
             10 => FrameType::Tail,
             11 => FrameType::Heartbeat,
             12 => FrameType::EventsAck,
+            13 => FrameType::MetricsRequest,
+            14 => FrameType::Metrics,
+            15 => FrameType::HealthRequest,
+            16 => FrameType::Health,
+            17 => FrameType::FlightRequest,
+            18 => FrameType::FlightReply,
             _ => return None,
         })
     }
@@ -215,6 +253,88 @@ pub struct ServerStatsWire {
     pub sheds: u64,
 }
 
+/// One per-session row in a METRICS reply: the live operational state
+/// of a registered session, whether or not a connection is attached.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionRow {
+    /// Registry id of the session.
+    pub session_id: u64,
+    /// The trace id the server assigned at HELLO (stamps flight dumps).
+    pub trace_id: u64,
+    /// Device label from the session's HELLO.
+    pub device: String,
+    /// Whether a connection is currently attached.
+    pub connected: bool,
+    /// Frames currently queued for the session's worker.
+    pub queue_depth: u64,
+    /// The session queue's bound, in frames.
+    pub queue_capacity: u64,
+    /// Samples ingested into the detector so far.
+    pub samples_pushed: u64,
+    /// Windowed ingest rate in samples/second.
+    pub samples_per_sec: f64,
+    /// Stall events finalized so far.
+    pub events_emitted: u64,
+    /// Highest event sequence the client has acknowledged.
+    pub events_acked: u64,
+    /// Events durably journaled so far (0 when journaling is off).
+    pub journaled_events: u64,
+    /// SAMPLES batches dropped by shed mode.
+    pub sheds: u64,
+    /// Non-finite samples rejected at the ingest boundary.
+    pub samples_rejected: u64,
+    /// Milliseconds since the session last saw client activity.
+    pub idle_ms: u64,
+}
+
+impl SessionRow {
+    /// Events finalized but not yet acknowledged by the client — the
+    /// session's delivery lag.
+    pub fn delivery_lag(&self) -> u64 {
+        self.events_emitted.saturating_sub(self.events_acked)
+    }
+}
+
+/// The METRICS payload: the server's full telemetry snapshot plus
+/// server-wide aggregates and one row per registered session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReply {
+    /// The server's process-global `emprof_obs` snapshot, verbatim —
+    /// a client that decodes this frame sees exactly what a local
+    /// `emprof_obs::snapshot()` call on the server would return.
+    pub snapshot: Snapshot,
+    /// Server-wide aggregates (same shape TAIL carries).
+    pub server: ServerStatsWire,
+    /// One row per registered session, ordered by id.
+    pub sessions: Vec<SessionRow>,
+}
+
+/// The HEALTH payload: a compact liveness summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthWire {
+    /// Whether the server considers itself able to accept new sessions.
+    pub healthy: bool,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Sessions currently registered.
+    pub sessions_active: u64,
+    /// The configured session limit.
+    pub max_sessions: u64,
+    /// Whether event journaling is enabled.
+    pub journal_enabled: bool,
+}
+
+/// One flight-recorder dump in a FLIGHT reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDumpWire {
+    /// The session whose recorder was dumped.
+    pub session_id: u64,
+    /// The session's trace id (also stamped inside the JSON).
+    pub trace_id: u64,
+    /// The dump itself: one self-contained JSON document.
+    pub json: String,
+}
+
 /// One finalized event in the watch tail, tagged with its session.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TailEvent {
@@ -257,6 +377,10 @@ pub enum Frame {
         /// Highest SAMPLES sequence accepted so far — 0 on a fresh
         /// session; on a resume, tells the client where to replay from.
         acked_seq: u64,
+        /// Server-assigned trace id: stable across resumes, stamped on
+        /// the session's flight-recorder dumps and METRICS rows (0 for
+        /// watch connections).
+        trace_id: u64,
     },
     /// A batch of magnitude samples, tagged with a per-session sequence
     /// number (1 for the first batch) so a resumed client can replay
@@ -308,6 +432,24 @@ pub enum Frame {
     EventsAck {
         /// Highest event sequence the client has seen.
         seq: u64,
+    },
+    /// Poll the server's telemetry snapshot and session rows.
+    MetricsRequest,
+    /// See [`MetricsReply`].
+    Metrics(MetricsReply),
+    /// Poll the server's liveness summary.
+    HealthRequest,
+    /// See [`HealthWire`].
+    Health(HealthWire),
+    /// Request flight-recorder dumps.
+    FlightRequest {
+        /// Dump this session only, or every registered session when 0.
+        session_id: u64,
+    },
+    /// Flight-recorder dumps, one JSON document per session.
+    FlightReply {
+        /// The dumps, ordered by session id.
+        dumps: Vec<FlightDumpWire>,
     },
 }
 
@@ -517,6 +659,182 @@ fn decode_event_count(c: &mut Cursor<'_>) -> Result<u32, ProtoError> {
     Ok(count)
 }
 
+/// Writes a string with a u32 length prefix (flight dumps exceed the
+/// 256-byte [`MAX_STRING`] bound of ordinary protocol strings).
+fn put_long_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(MAX_FLIGHT_JSON);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn take_long_string(c: &mut Cursor<'_>) -> Result<String, ProtoError> {
+    let len = c.u32()? as usize;
+    if len > MAX_FLIGHT_JSON {
+        return Err(ProtoError::Malformed("flight dump too long"));
+    }
+    let bytes = c.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed("string not UTF-8"))
+}
+
+fn decode_bounded_count(c: &mut Cursor<'_>, bound: u32, what: &'static str) -> Result<u32, ProtoError> {
+    let count = c.u32()?;
+    if count > bound {
+        return Err(ProtoError::Malformed(what));
+    }
+    Ok(count)
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn take_opt_u64(c: &mut Cursor<'_>) -> Result<Option<u64>, ProtoError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(c.u64()?)),
+        _ => Err(ProtoError::Malformed("bad option tag")),
+    }
+}
+
+fn encode_snapshot_wire(out: &mut Vec<u8>, s: &Snapshot) {
+    out.extend_from_slice(&(s.counters.len() as u32).to_le_bytes());
+    for (name, v) in &s.counters {
+        put_string(out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(s.gauges.len() as u32).to_le_bytes());
+    for (name, v) in &s.gauges {
+        put_string(out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(s.meters.len() as u32).to_le_bytes());
+    for (name, m) in &s.meters {
+        put_string(out, name);
+        out.extend_from_slice(&m.count.to_le_bytes());
+        out.extend_from_slice(&m.rate_per_sec.to_le_bytes());
+    }
+    out.extend_from_slice(&(s.histograms.len() as u32).to_le_bytes());
+    for (name, h) in &s.histograms {
+        put_string(out, name);
+        out.extend_from_slice(&h.count.to_le_bytes());
+        out.extend_from_slice(&h.sum.to_le_bytes());
+        put_opt_u64(out, h.min);
+        put_opt_u64(out, h.max);
+        out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+        for &(lo, hi, n) in &h.buckets {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(s.spans.len() as u32).to_le_bytes());
+    for (name, sp) in &s.spans {
+        put_string(out, name);
+        out.extend_from_slice(&sp.count.to_le_bytes());
+        out.extend_from_slice(&sp.total_ns.to_le_bytes());
+        out.extend_from_slice(&sp.min_ns.to_le_bytes());
+        out.extend_from_slice(&sp.max_ns.to_le_bytes());
+    }
+}
+
+fn decode_snapshot_wire(c: &mut Cursor<'_>) -> Result<Snapshot, ProtoError> {
+    const TOO_MANY: &str = "metric entry count exceeds bound";
+    let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
+    let mut counters = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        counters.push((c.string()?, c.u64()?));
+    }
+    let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
+    let mut gauges = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        gauges.push((c.string()?, c.f64()?));
+    }
+    let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
+    let mut meters = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = c.string()?;
+        meters.push((
+            name,
+            MeterSnapshot {
+                count: c.u64()?,
+                rate_per_sec: c.f64()?,
+            },
+        ));
+    }
+    let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
+    let mut histograms = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = c.string()?;
+        let count = c.u64()?;
+        let sum = c.u64()?;
+        let min = take_opt_u64(c)?;
+        let max = take_opt_u64(c)?;
+        let nb = decode_bounded_count(c, MAX_HISTOGRAM_BUCKETS, "bucket count exceeds bound")?;
+        let mut buckets = Vec::with_capacity(nb as usize);
+        for _ in 0..nb {
+            buckets.push((c.u64()?, c.u64()?, c.u64()?));
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            },
+        ));
+    }
+    let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
+    let mut spans = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = c.string()?;
+        spans.push((
+            name,
+            SpanSnapshot {
+                count: c.u64()?,
+                total_ns: c.u64()?,
+                min_ns: c.u64()?,
+                max_ns: c.u64()?,
+            },
+        ));
+    }
+    Ok(Snapshot {
+        counters,
+        gauges,
+        meters,
+        histograms,
+        spans,
+    })
+}
+
+fn encode_server_stats(out: &mut Vec<u8>, s: &ServerStatsWire) {
+    out.extend_from_slice(&s.sessions_active.to_le_bytes());
+    out.extend_from_slice(&s.frames_in.to_le_bytes());
+    out.extend_from_slice(&s.bytes_in.to_le_bytes());
+    out.extend_from_slice(&s.samples_in.to_le_bytes());
+    out.extend_from_slice(&s.events_total.to_le_bytes());
+    out.extend_from_slice(&s.sheds.to_le_bytes());
+}
+
+fn decode_server_stats(c: &mut Cursor<'_>) -> Result<ServerStatsWire, ProtoError> {
+    Ok(ServerStatsWire {
+        sessions_active: c.u64()?,
+        frames_in: c.u64()?,
+        bytes_in: c.u64()?,
+        samples_in: c.u64()?,
+        events_total: c.u64()?,
+        sheds: c.u64()?,
+    })
+}
+
 fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
     let mut p = Vec::new();
     match frame {
@@ -542,12 +860,14 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             max_samples_per_frame,
             resume_token,
             acked_seq,
+            trace_id,
         } => {
             p.extend_from_slice(&version.to_le_bytes());
             p.extend_from_slice(&session_id.to_le_bytes());
             p.extend_from_slice(&max_samples_per_frame.to_le_bytes());
             p.extend_from_slice(&resume_token.to_le_bytes());
             p.extend_from_slice(&acked_seq.to_le_bytes());
+            p.extend_from_slice(&trace_id.to_le_bytes());
             (FrameType::HelloAck, 0, p)
         }
         Frame::Samples { seq, samples } => {
@@ -591,13 +911,7 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
         Frame::Tail(t) => {
             p.extend_from_slice(&t.cursor.to_le_bytes());
             p.extend_from_slice(&t.missed.to_le_bytes());
-            let s = &t.server;
-            p.extend_from_slice(&s.sessions_active.to_le_bytes());
-            p.extend_from_slice(&s.frames_in.to_le_bytes());
-            p.extend_from_slice(&s.bytes_in.to_le_bytes());
-            p.extend_from_slice(&s.samples_in.to_le_bytes());
-            p.extend_from_slice(&s.events_total.to_le_bytes());
-            p.extend_from_slice(&s.sheds.to_le_bytes());
+            encode_server_stats(&mut p, &t.server);
             p.extend_from_slice(&(t.events.len() as u32).to_le_bytes());
             for te in &t.events {
                 p.extend_from_slice(&te.session_id.to_le_bytes());
@@ -612,6 +926,51 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
         Frame::EventsAck { seq } => {
             p.extend_from_slice(&seq.to_le_bytes());
             (FrameType::EventsAck, 0, p)
+        }
+        Frame::MetricsRequest => (FrameType::MetricsRequest, 0, p),
+        Frame::Metrics(m) => {
+            encode_snapshot_wire(&mut p, &m.snapshot);
+            encode_server_stats(&mut p, &m.server);
+            p.extend_from_slice(&(m.sessions.len() as u32).to_le_bytes());
+            for row in &m.sessions {
+                p.extend_from_slice(&row.session_id.to_le_bytes());
+                p.extend_from_slice(&row.trace_id.to_le_bytes());
+                put_string(&mut p, &row.device);
+                p.push(row.connected as u8);
+                p.extend_from_slice(&row.queue_depth.to_le_bytes());
+                p.extend_from_slice(&row.queue_capacity.to_le_bytes());
+                p.extend_from_slice(&row.samples_pushed.to_le_bytes());
+                p.extend_from_slice(&row.samples_per_sec.to_le_bytes());
+                p.extend_from_slice(&row.events_emitted.to_le_bytes());
+                p.extend_from_slice(&row.events_acked.to_le_bytes());
+                p.extend_from_slice(&row.journaled_events.to_le_bytes());
+                p.extend_from_slice(&row.sheds.to_le_bytes());
+                p.extend_from_slice(&row.samples_rejected.to_le_bytes());
+                p.extend_from_slice(&row.idle_ms.to_le_bytes());
+            }
+            (FrameType::Metrics, 0, p)
+        }
+        Frame::HealthRequest => (FrameType::HealthRequest, 0, p),
+        Frame::Health(h) => {
+            p.push(h.healthy as u8);
+            p.extend_from_slice(&h.uptime_ms.to_le_bytes());
+            p.extend_from_slice(&h.sessions_active.to_le_bytes());
+            p.extend_from_slice(&h.max_sessions.to_le_bytes());
+            p.push(h.journal_enabled as u8);
+            (FrameType::Health, 0, p)
+        }
+        Frame::FlightRequest { session_id } => {
+            p.extend_from_slice(&session_id.to_le_bytes());
+            (FrameType::FlightRequest, 0, p)
+        }
+        Frame::FlightReply { dumps } => {
+            p.extend_from_slice(&(dumps.len() as u32).to_le_bytes());
+            for d in dumps {
+                p.extend_from_slice(&d.session_id.to_le_bytes());
+                p.extend_from_slice(&d.trace_id.to_le_bytes());
+                put_long_string(&mut p, &d.json);
+            }
+            (FrameType::FlightReply, 0, p)
         }
     }
 }
@@ -650,6 +1009,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             max_samples_per_frame: c.u32()?,
             resume_token: c.u64()?,
             acked_seq: c.u64()?,
+            trace_id: c.u64()?,
         },
         FrameType::Samples => {
             let seq = c.u64()?;
@@ -692,14 +1052,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
         FrameType::Tail => {
             let cursor = c.u64()?;
             let missed = c.u64()?;
-            let server = ServerStatsWire {
-                sessions_active: c.u64()?,
-                frames_in: c.u64()?,
-                bytes_in: c.u64()?,
-                samples_in: c.u64()?,
-                events_total: c.u64()?,
-                sheds: c.u64()?,
-            };
+            let server = decode_server_stats(&mut c)?;
             let count = decode_event_count(&mut c)?;
             let mut events = Vec::with_capacity(count as usize);
             for _ in 0..count {
@@ -720,6 +1073,61 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             acked_seq: c.u64()?,
         },
         FrameType::EventsAck => Frame::EventsAck { seq: c.u64()? },
+        FrameType::MetricsRequest => Frame::MetricsRequest,
+        FrameType::Metrics => {
+            let snapshot = decode_snapshot_wire(&mut c)?;
+            let server = decode_server_stats(&mut c)?;
+            let count =
+                decode_bounded_count(&mut c, MAX_SESSION_ROWS, "session row count exceeds bound")?;
+            let mut sessions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                sessions.push(SessionRow {
+                    session_id: c.u64()?,
+                    trace_id: c.u64()?,
+                    device: c.string()?,
+                    connected: c.u8()? != 0,
+                    queue_depth: c.u64()?,
+                    queue_capacity: c.u64()?,
+                    samples_pushed: c.u64()?,
+                    samples_per_sec: c.f64()?,
+                    events_emitted: c.u64()?,
+                    events_acked: c.u64()?,
+                    journaled_events: c.u64()?,
+                    sheds: c.u64()?,
+                    samples_rejected: c.u64()?,
+                    idle_ms: c.u64()?,
+                });
+            }
+            Frame::Metrics(MetricsReply {
+                snapshot,
+                server,
+                sessions,
+            })
+        }
+        FrameType::HealthRequest => Frame::HealthRequest,
+        FrameType::Health => Frame::Health(HealthWire {
+            healthy: c.u8()? != 0,
+            uptime_ms: c.u64()?,
+            sessions_active: c.u64()?,
+            max_sessions: c.u64()?,
+            journal_enabled: c.u8()? != 0,
+        }),
+        FrameType::FlightRequest => Frame::FlightRequest {
+            session_id: c.u64()?,
+        },
+        FrameType::FlightReply => {
+            let count =
+                decode_bounded_count(&mut c, MAX_FLIGHT_DUMPS, "flight dump count exceeds bound")?;
+            let mut dumps = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                dumps.push(FlightDumpWire {
+                    session_id: c.u64()?,
+                    trace_id: c.u64()?,
+                    json: take_long_string(&mut c)?,
+                });
+            }
+            Frame::FlightReply { dumps }
+        }
     };
     c.done()?;
     Ok(frame)
@@ -873,6 +1281,7 @@ mod tests {
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
             resume_token: 99,
             acked_seq: 1234,
+            trace_id: 0x9e37_79b9_7f4a_7c15,
         });
         roundtrip(Frame::Samples {
             seq: 1,
@@ -945,6 +1354,155 @@ mod tests {
                 },
             }],
         }));
+    }
+
+    fn sample_metrics_reply() -> MetricsReply {
+        MetricsReply {
+            snapshot: Snapshot {
+                counters: vec![("serve.events".into(), 7), ("serve.frames_in".into(), 9)],
+                gauges: vec![("serve.sessions_active".into(), 2.0)],
+                meters: vec![(
+                    "meter.samples_in".into(),
+                    MeterSnapshot {
+                        count: 4096,
+                        rate_per_sec: 1.5e6,
+                    },
+                )],
+                histograms: vec![(
+                    "detect.event_width_samples".into(),
+                    HistogramSnapshot {
+                        count: 3,
+                        sum: 60,
+                        min: Some(10),
+                        max: Some(30),
+                        buckets: vec![(8, 16, 2), (16, 32, 1)],
+                    },
+                )],
+                spans: vec![(
+                    "serve.ingest".into(),
+                    SpanSnapshot {
+                        count: 5,
+                        total_ns: 1000,
+                        min_ns: 100,
+                        max_ns: 400,
+                    },
+                )],
+            },
+            server: ServerStatsWire {
+                sessions_active: 1,
+                frames_in: 9,
+                bytes_in: 100,
+                samples_in: 4096,
+                events_total: 7,
+                sheds: 0,
+            },
+            sessions: vec![SessionRow {
+                session_id: 3,
+                trace_id: 0xDEAD_BEEF,
+                device: "olimex".into(),
+                connected: true,
+                queue_depth: 2,
+                queue_capacity: 64,
+                samples_pushed: 4096,
+                samples_per_sec: 1.5e6,
+                events_emitted: 7,
+                events_acked: 5,
+                journaled_events: 7,
+                sheds: 0,
+                samples_rejected: 1,
+                idle_ms: 12,
+            }],
+        }
+    }
+
+    #[test]
+    fn observability_frames_roundtrip() {
+        roundtrip(Frame::MetricsRequest);
+        roundtrip(Frame::Metrics(sample_metrics_reply()));
+        roundtrip(Frame::Metrics(MetricsReply::default()));
+        roundtrip(Frame::HealthRequest);
+        roundtrip(Frame::Health(HealthWire {
+            healthy: true,
+            uptime_ms: 120_000,
+            sessions_active: 3,
+            max_sessions: 256,
+            journal_enabled: true,
+        }));
+        roundtrip(Frame::FlightRequest { session_id: 0 });
+        roundtrip(Frame::FlightRequest { session_id: 42 });
+        roundtrip(Frame::FlightReply { dumps: vec![] });
+        roundtrip(Frame::FlightReply {
+            dumps: vec![FlightDumpWire {
+                session_id: 3,
+                trace_id: 99,
+                json: "{\"type\":\"flight\",\"events\":[]}".into(),
+            }],
+        });
+    }
+
+    #[test]
+    fn session_row_delivery_lag_saturates() {
+        let mut row = SessionRow {
+            events_emitted: 10,
+            events_acked: 4,
+            ..SessionRow::default()
+        };
+        assert_eq!(row.delivery_lag(), 6);
+        row.events_acked = 12; // stale ack past emitted must not wrap
+        assert_eq!(row.delivery_lag(), 0);
+    }
+
+    #[test]
+    fn truncated_metrics_frames_are_rejected_cleanly() {
+        let bytes = encode_frame(&Frame::Metrics(sample_metrics_reply()));
+        for cut in (HEADER_LEN..bytes.len()).step_by(7) {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_metrics_frames_never_panic() {
+        // Every single-bit flip either fails a checksum or (if it lands
+        // in the checksum fields themselves, making them consistent by
+        // fluke) still decodes without panicking.
+        let bytes = encode_frame(&Frame::Metrics(sample_metrics_reply()));
+        for i in (0..bytes.len()).step_by(3) {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                let _ = decode_frame(&corrupt);
+            }
+        }
+        let health = encode_frame(&Frame::Health(HealthWire::default()));
+        for i in 0..health.len() {
+            let mut corrupt = health.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_frame(&corrupt);
+        }
+    }
+
+    #[test]
+    fn oversized_metric_counts_are_rejected() {
+        // Hand-build a Metrics payload announcing too many counters.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(MAX_METRICS_ENTRIES + 1).to_le_bytes());
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&VERSION.to_le_bytes());
+        buf[4] = FrameType::Metrics as u8;
+        buf[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf[12..16].copy_from_slice(&fnv1a32(&payload).to_le_bytes());
+        let hsum = header_checksum(&buf);
+        buf[6..8].copy_from_slice(&hsum.to_le_bytes());
+        let mut bytes = buf.to_vec();
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

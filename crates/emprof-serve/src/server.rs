@@ -45,8 +45,9 @@ use emprof_store::{JournalConfig, SessionJournal, SessionMeta};
 use emprof_core::StallEvent;
 
 use crate::proto::{
-    self, ErrorCode, Frame, Hello, ProtoError, ServerStatsWire, Tail, TailEvent,
-    MAX_SAMPLES_PER_FRAME, VERSION,
+    self, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply, ProtoError,
+    ServerStatsWire, SessionRow, Tail, TailEvent, MAX_FLIGHT_DUMPS, MAX_SAMPLES_PER_FRAME,
+    MAX_SESSION_ROWS, VERSION,
 };
 use crate::session::{SeqAdmit, Session, SessionRegistry, Work};
 
@@ -103,6 +104,11 @@ pub struct ServeConfig {
     /// journaled session it finds in the directory. `None` (the
     /// default) keeps the in-memory at-least-once-until-acked behavior.
     pub journal_dir: Option<PathBuf>,
+    /// When set, a second listener is bound here serving the process
+    /// telemetry snapshot in Prometheus text exposition format over
+    /// plain HTTP/1.1 (`GET /metrics`), including one labeled series
+    /// set per live session. `None` (the default) serves no HTTP.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +125,7 @@ impl Default for ServeConfig {
             fault_plan: None,
             fault_seed: 0,
             journal_dir: None,
+            metrics_addr: None,
         }
     }
 }
@@ -231,6 +238,7 @@ impl Shared {
             .events_total
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         obs::counter_add!("serve.events", events.len() as u64);
+        obs::meter_mark!("meter.events_out", events.len() as u64);
         let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
         tail.push(session_id, events);
     }
@@ -271,6 +279,66 @@ impl Shared {
         }
     }
 
+    /// Builds a METRICS reply: the full process telemetry snapshot plus
+    /// one row per registered session, sorted by id. Deliberately bumps
+    /// no telemetry — serving metrics must not perturb the metrics
+    /// being served, or the remote-equals-local guarantee breaks.
+    fn metrics_reply(&self) -> MetricsReply {
+        let epoch = self.registry.epoch();
+        let mut sessions: Vec<SessionRow> = self
+            .registry
+            .all()
+            .iter()
+            .map(|s| s.row(epoch))
+            .collect();
+        sessions.sort_by_key(|r| r.session_id);
+        sessions.truncate(MAX_SESSION_ROWS as usize);
+        MetricsReply {
+            snapshot: obs::snapshot(),
+            server: self.stats_wire(),
+            sessions,
+        }
+    }
+
+    /// Builds a HEALTH reply. Healthy means accepting work: not
+    /// shutting down and below the session limit.
+    fn health(&self) -> HealthWire {
+        let active = self.registry.active();
+        HealthWire {
+            healthy: !self.shutdown.load(Ordering::SeqCst) && active < self.config.max_sessions,
+            uptime_ms: self
+                .registry
+                .epoch()
+                .elapsed()
+                .as_millis()
+                .min(u64::MAX as u128) as u64,
+            sessions_active: active as u64,
+            max_sessions: self.config.max_sessions as u64,
+            journal_enabled: self.config.journal_dir.is_some(),
+        }
+    }
+
+    /// Serializes flight-recorder rings on demand (`session_id` 0 means
+    /// every registered session), sorted by id.
+    fn flight_dumps(&self, session_id: u64) -> Vec<FlightDumpWire> {
+        let sessions = if session_id == 0 {
+            self.registry.all()
+        } else {
+            self.registry.get(session_id).into_iter().collect()
+        };
+        let mut dumps: Vec<FlightDumpWire> = sessions
+            .iter()
+            .map(|s| FlightDumpWire {
+                session_id: s.id,
+                trace_id: s.trace_id,
+                json: s.flight.dump_json(s.id, s.trace_id, "request"),
+            })
+            .collect();
+        dumps.sort_by_key(|d| d.session_id);
+        dumps.truncate(MAX_FLIGHT_DUMPS as usize);
+        dumps
+    }
+
     fn note_sessions_active(&self) {
         obs::gauge_set!("serve.sessions_active", self.registry.active() as f64);
     }
@@ -306,7 +374,9 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    metrics_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     reaper_handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -348,6 +418,19 @@ impl Server {
             .name("emprof-serve-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))?;
 
+        let mut metrics_addr = None;
+        let mut metrics_handle = None;
+        if let Some(addr) = shared.config.metrics_addr.clone() {
+            let metrics_listener = TcpListener::bind(&*addr)?;
+            metrics_addr = Some(metrics_listener.local_addr()?);
+            let metrics_shared = Arc::clone(&shared);
+            metrics_handle = Some(
+                std::thread::Builder::new()
+                    .name("emprof-serve-metrics".into())
+                    .spawn(move || metrics_http_loop(&metrics_listener, &metrics_shared))?,
+            );
+        }
+
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let worker_shared = Arc::clone(&shared);
@@ -366,7 +449,9 @@ impl Server {
         Ok(Server {
             shared,
             local_addr,
+            metrics_addr,
             accept_handle: Some(accept_handle),
+            metrics_handle,
             worker_handles,
             reaper_handle: Some(reaper_handle),
         })
@@ -375,6 +460,12 @@ impl Server {
     /// The address the listener is bound to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The address the `/metrics` HTTP listener is bound to, when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A snapshot of the server-wide counters.
@@ -410,9 +501,15 @@ impl Server {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor with a throwaway loopback connection.
+        // Wake the acceptors with throwaway loopback connections.
         let _ = TcpStream::connect_timeout(&self.local_addr, POLL_INTERVAL);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect_timeout(&addr, POLL_INTERVAL);
+        }
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_handle.take() {
             let _ = h.join();
         }
         // Readers observe the flag within one poll interval.
@@ -487,6 +584,9 @@ fn recover_sessions(shared: &Arc<Shared>, dir: &Path) {
                 // ack_events(0) is a no-op probe: true means finished
                 // and fully acknowledged — nothing left to deliver.
                 if session.ack_events(0) {
+                    if let Some(root) = path.parent() {
+                        emprof_store::remove_flight_dump(root, session.id);
+                    }
                     drop(session);
                     let _ = fs::remove_dir_all(&path);
                 } else {
@@ -505,11 +605,27 @@ fn recover_sessions(shared: &Arc<Shared>, dir: &Path) {
 }
 
 /// Deletes a session's journal directory (after full acknowledgment, or
-/// when the reaper gives up on its client ever resuming).
+/// when the reaper gives up on its client ever resuming). Any flight
+/// dump next to it is left alone: the reaper path retires sessions
+/// whose fate was *not* clean, and their black box is the post-mortem.
 fn delete_journal(session: &Session) {
     if let Some(dir) = session.journal_dir() {
         let _ = fs::remove_dir_all(dir);
     }
+}
+
+/// Clean retirement: the exactly-once contract is discharged, so the
+/// journal goes away — and so does any flight dump a recovered-from
+/// transport loss left behind. The dump records a fault the session
+/// has since survived; keeping it would read as an unresolved failure
+/// and leave unbounded residue on a fleet that always finishes cleanly.
+fn delete_journal_and_flight(session: &Session) {
+    if let Some(dir) = session.journal_dir() {
+        if let Some(root) = dir.parent() {
+            emprof_store::remove_flight_dump(root, session.id);
+        }
+    }
+    delete_journal(session);
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -564,6 +680,138 @@ fn reaper_loop(shared: &Arc<Shared>) {
         }
         shared.note_sessions_active();
     }
+}
+
+// ---------------------------------------------------------------------
+// The /metrics scrape endpoint: a minimal HTTP/1.1 responder over the
+// same telemetry snapshot the METRICS frame carries. Pure std — just
+// enough HTTP for Prometheus-style scrapers and `curl`.
+
+/// How long a scrape client gets to send its request line.
+const SCRAPE_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on a scrape request (request line + headers).
+const SCRAPE_REQUEST_MAX: usize = 8 * 1024;
+
+fn metrics_http_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        // Scrapes are served inline: a snapshot render is microseconds,
+        // and the read timeout bounds how long a stalled client can
+        // hold the acceptor.
+        serve_scrape(stream, shared);
+    }
+}
+
+/// Answers one HTTP request on `stream`. `GET /metrics` gets the
+/// exposition body; anything else gets 404. This path deliberately
+/// records no telemetry: a scrape must report the process exactly as
+/// it was, not as the scrape made it.
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(SCRAPE_READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SCRAPE_READ_TIMEOUT));
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < SCRAPE_REQUEST_MAX {
+        match stream.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let is_metrics = path == "/metrics" || path.starts_with("/metrics?");
+    let (status, body) = if method == "GET" && is_metrics {
+        ("200 OK", scrape_body(shared))
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    use std::io::Write;
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+/// The exposition body: the global snapshot first, then one labeled
+/// series set per live session (same numbers as a METRICS frame row).
+fn scrape_body(shared: &Arc<Shared>) -> String {
+    use emprof_obs::prom;
+    let reply = shared.metrics_reply();
+    let mut out = prom::encode_snapshot(&reply.snapshot);
+    out.push_str("# TYPE emprof_session_connected gauge\n");
+    out.push_str("# TYPE emprof_session_queue_depth gauge\n");
+    out.push_str("# TYPE emprof_session_samples_pushed counter\n");
+    out.push_str("# TYPE emprof_session_samples_per_sec gauge\n");
+    out.push_str("# TYPE emprof_session_events_emitted counter\n");
+    out.push_str("# TYPE emprof_session_events_acked counter\n");
+    out.push_str("# TYPE emprof_session_delivery_lag gauge\n");
+    out.push_str("# TYPE emprof_session_journaled_events counter\n");
+    out.push_str("# TYPE emprof_session_sheds counter\n");
+    out.push_str("# TYPE emprof_session_idle_ms gauge\n");
+    for row in &reply.sessions {
+        let labels = format!(
+            "{{session=\"{}\",trace=\"{:#018x}\",device=\"{}\"}}",
+            row.session_id,
+            row.trace_id,
+            prom::escape_label_value(&row.device)
+        );
+        out.push_str(&format!(
+            "emprof_session_connected{labels} {}\n",
+            u64::from(row.connected)
+        ));
+        out.push_str(&format!(
+            "emprof_session_queue_depth{labels} {}\n",
+            row.queue_depth
+        ));
+        out.push_str(&format!(
+            "emprof_session_samples_pushed{labels} {}\n",
+            row.samples_pushed
+        ));
+        out.push_str(&format!(
+            "emprof_session_samples_per_sec{labels} {}\n",
+            prom::format_value(row.samples_per_sec)
+        ));
+        out.push_str(&format!(
+            "emprof_session_events_emitted{labels} {}\n",
+            row.events_emitted
+        ));
+        out.push_str(&format!(
+            "emprof_session_events_acked{labels} {}\n",
+            row.events_acked
+        ));
+        out.push_str(&format!(
+            "emprof_session_delivery_lag{labels} {}\n",
+            row.delivery_lag()
+        ));
+        out.push_str(&format!(
+            "emprof_session_journaled_events{labels} {}\n",
+            row.journaled_events
+        ));
+        out.push_str(&format!("emprof_session_sheds{labels} {}\n", row.sheds));
+        out.push_str(&format!("emprof_session_idle_ms{labels} {}\n", row.idle_ms));
+    }
+    let health = shared.health();
+    out.push_str(&format!(
+        "# TYPE emprof_server_healthy gauge\nemprof_server_healthy {}\n",
+        u64::from(health.healthy)
+    ));
+    out.push_str(&format!(
+        "# TYPE emprof_server_uptime_ms counter\nemprof_server_uptime_ms {}\n",
+        health.uptime_ms
+    ));
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -664,12 +912,21 @@ impl Conn {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _sp = obs::span!("serve.session");
     let Ok(mut conn) = Conn::new(stream) else {
         return;
     };
     let hello = match conn.read_frame(&shared.shutdown) {
         Ok(Some(Frame::Hello(h))) => h,
+        // Observability pollers skip the HELLO handshake entirely: a
+        // metrics request is its own introduction. This path records no
+        // telemetry (not even the serve.session span), so polling never
+        // perturbs what it reports.
+        Ok(Some(
+            first @ (Frame::MetricsRequest | Frame::HealthRequest | Frame::FlightRequest { .. }),
+        )) => {
+            metrics_connection(&mut conn, shared, first);
+            return;
+        }
         Ok(Some(_)) => {
             conn.bail(ErrorCode::Protocol, "expected HELLO first");
             return;
@@ -680,10 +937,46 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     };
+    let _sp = obs::span!("serve.session");
     if hello.watch {
         watch_connection(&mut conn, shared);
     } else {
         session_connection(&mut conn, shared, hello);
+    }
+}
+
+/// Serves an observability poller: answers METRICS/HEALTH/FLIGHT
+/// requests until the peer closes or sends FIN. `first` is the frame
+/// that identified the connection as a poller.
+fn metrics_connection(conn: &mut Conn, shared: &Arc<Shared>, first: Frame) {
+    let mut next = Some(first);
+    loop {
+        let frame = match next.take() {
+            Some(f) => f,
+            None => match conn.read_frame(&shared.shutdown) {
+                Ok(Some(f)) => f,
+                Ok(None) => return,
+                Err(e) => {
+                    conn.bail(e.error_code(), &e.to_string());
+                    return;
+                }
+            },
+        };
+        let reply = match frame {
+            Frame::MetricsRequest => Frame::Metrics(shared.metrics_reply()),
+            Frame::HealthRequest => Frame::Health(shared.health()),
+            Frame::FlightRequest { session_id } => Frame::FlightReply {
+                dumps: shared.flight_dumps(session_id),
+            },
+            Frame::Fin => return,
+            _ => {
+                conn.bail(ErrorCode::Protocol, "metrics connections may only poll");
+                return;
+            }
+        };
+        if conn.write(&reply).is_err() {
+            return;
+        }
     }
 }
 
@@ -695,6 +988,7 @@ fn watch_connection(conn: &mut Conn, shared: &Arc<Shared>) {
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
             resume_token: 0,
             acked_seq: 0,
+            trace_id: 0,
         })
         .is_err()
     {
@@ -828,14 +1122,71 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
             max_samples_per_frame: MAX_SAMPLES_PER_FRAME,
             resume_token: session.resume_token,
             acked_seq: session.acked_seq(),
+            trace_id: session.trace_id,
         })
         .is_err()
     {
         // Transport already gone: detach and leave the session for a
         // future resume (the reaper bounds how long it waits).
+        session.detach(generation);
         return;
     }
 
+    let exit = session_loop(conn, shared, &session, generation);
+    session.detach(generation);
+    match exit {
+        SessionExit::Clean | SessionExit::Superseded => {}
+        SessionExit::Lost(reason) => {
+            // Transport loss with the session still live: keep it
+            // resumable, but dump the black box for post-mortem.
+            session.flight.error("transport", &reason);
+            dump_flight(shared, &session, &reason);
+        }
+        SessionExit::Fault(reason) => {
+            // A session-level error: dump first (close_session drains
+            // and finalizes, which still appends to the ring, but the
+            // dump must capture the state at the moment of the fault).
+            session.flight.error("session", &reason);
+            dump_flight(shared, &session, &reason);
+            shared.close_session(&session);
+        }
+    }
+}
+
+/// How a session connection ended; decides detachment bookkeeping and
+/// whether the flight recorder dumps.
+enum SessionExit {
+    /// Orderly end: peer done (or shutdown) with nothing owed.
+    Clean,
+    /// A resumed connection took this session over.
+    Superseded,
+    /// Transport lost/corrupt while the session was still live; the
+    /// session stays registered for resume.
+    Lost(String),
+    /// A session-level error; the caller closes the session.
+    Fault(String),
+}
+
+/// Persists a session's flight ring next to the journals (no-op on an
+/// unjournaled server: there is no durable directory to land it in;
+/// the ring stays pollable over FLIGHT frames either way).
+fn dump_flight(shared: &Arc<Shared>, session: &Session, reason: &str) {
+    let Some(root) = shared.config.journal_dir.as_ref() else {
+        return;
+    };
+    let json = session.flight.dump_json(session.id, session.trace_id, reason);
+    match emprof_store::write_flight_dump(root, session.id, &json) {
+        Ok(_) => obs::counter_add!("flight.dumps", 1),
+        Err(_) => obs::counter_add!("flight.dump_errors", 1),
+    }
+}
+
+fn session_loop(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    session: &Arc<Session>,
+    generation: u64,
+) -> SessionExit {
     loop {
         let hb = shared.config.heartbeat_interval.map(|iv| {
             (iv, || Frame::Heartbeat {
@@ -846,7 +1197,7 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
             Ok(Some(Frame::Samples { seq, samples })) => {
                 if !session.is_current(generation) {
                     // A resumed connection took over; bow out silently.
-                    return;
+                    return SessionExit::Superseded;
                 }
                 match session.admit_seq(seq) {
                     SeqAdmit::Accept => {
@@ -855,19 +1206,19 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                         // from this same thread, so durability always
                         // precedes the client pruning its replay buffer.
                         session.journal_samples(seq, &samples);
-                        ingest_batch(shared, &session, samples);
+                        ingest_batch(shared, session, samples);
                     }
                     // A replayed frame the detector already saw.
                     SeqAdmit::Duplicate => session.touch(shared.registry.epoch()),
                     SeqAdmit::Gap => {
                         conn.bail(ErrorCode::Protocol, "SAMPLES sequence gap");
-                        return;
+                        return SessionExit::Lost("SAMPLES sequence gap".into());
                     }
                 }
             }
             Ok(Some(frame @ (Frame::Flush | Frame::Fin))) => {
                 if !session.is_current(generation) {
-                    return;
+                    return SessionExit::Superseded;
                 }
                 let fin = matches!(frame, Frame::Fin);
                 session.touch(shared.registry.epoch());
@@ -876,7 +1227,7 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                 // Control markers never shed; they block until there is
                 // room (the workers are guaranteed to make some).
                 session.queue.push_blocking(marker);
-                shared.notify_ready(&session);
+                shared.notify_ready(session);
                 match rx.recv_timeout(REPLY_TIMEOUT) {
                     Ok(reply) => {
                         // Delivery is *offered*, never marked: the reply
@@ -912,7 +1263,7 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                             // A failed reply write is a transport loss:
                             // detach, keep the session resumable. The
                             // unacked suffix is redelivered on resume.
-                            return;
+                            return SessionExit::Lost("reply write failed".into());
                         }
                         // A FIN reply does NOT retire the session: the
                         // client still owes an ack for the final events.
@@ -921,14 +1272,13 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                     }
                     Err(_) => {
                         conn.bail(ErrorCode::Internal, "worker pool did not answer");
-                        shared.close_session(&session);
-                        return;
+                        return SessionExit::Fault("worker pool did not answer".into());
                     }
                 }
             }
             Ok(Some(Frame::EventsAck { seq })) => {
                 if !session.is_current(generation) {
-                    return;
+                    return SessionExit::Superseded;
                 }
                 session.touch(shared.registry.epoch());
                 if session.ack_events(seq) {
@@ -942,29 +1292,35 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
                         .unwrap_or_else(|e| e.into_inner())
                         .remove(&session.id);
                     shared.note_sessions_active();
-                    delete_journal(&session);
+                    delete_journal_and_flight(session);
                 }
             }
             Ok(Some(_)) => {
                 conn.bail(ErrorCode::Protocol, "unexpected frame in session");
-                shared.close_session(&session);
-                return;
+                return SessionExit::Fault("unexpected frame in session".into());
             }
             Ok(None) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     conn.bail(ErrorCode::Shutdown, "server shutting down; session finalized");
+                    return SessionExit::Clean;
                 }
                 // Peer closed without FIN (or shutdown): *detach*. The
                 // session stays registered so the client can resume;
                 // shutdown and the idle reaper still finalize it, so no
-                // trailing event is ever lost.
-                return;
+                // trailing event is ever lost. A session already retired
+                // (acked out above) closing its socket is a clean end; a
+                // live one is a transport loss worth a black-box dump.
+                return if shared.registry.get(session.id).is_some() {
+                    SessionExit::Lost("transport loss".into())
+                } else {
+                    SessionExit::Clean
+                };
             }
-            Err(_) if !session.is_current(generation) => return,
+            Err(_) if !session.is_current(generation) => return SessionExit::Superseded,
             Err(e) => {
                 conn.bail(e.error_code(), &e.to_string());
                 // Transport corruption or loss: detach, keep resumable.
-                return;
+                return SessionExit::Lost(format!("transport error: {e}"));
             }
         }
     }
@@ -983,6 +1339,7 @@ fn ingest_batch(shared: &Arc<Shared>, session: &Arc<Session>, mut samples: Vec<f
     let c = &session.counters;
     c.frames_in.fetch_add(1, Ordering::Relaxed);
     c.samples_in.fetch_add(n as u64, Ordering::Relaxed);
+    session.samples_meter.mark(n as u64);
     c.sheds.fetch_add(receipt.shed as u64, Ordering::Relaxed);
     c.backpressure_ns
         .fetch_add(receipt.blocked_ns, Ordering::Relaxed);
@@ -998,6 +1355,7 @@ fn ingest_batch(shared: &Arc<Shared>, session: &Arc<Session>, mut samples: Vec<f
     obs::counter_add!("serve.frames_in", 1);
     obs::counter_add!("serve.bytes_in", bytes);
     obs::counter_add!("serve.samples_in", n as u64);
+    obs::meter_mark!("meter.samples_in", n as u64);
     if receipt.shed > 0 {
         obs::counter_add!("serve.sheds", receipt.shed as u64);
     }

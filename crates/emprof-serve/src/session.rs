@@ -16,10 +16,26 @@ use std::time::{Duration, Instant};
 
 use emprof_core::{EmprofConfig, StallEvent, StreamingEmprof};
 use emprof_obs as obs;
+use emprof_obs::metrics::Meter;
+use emprof_obs::FlightRecorder;
 use emprof_store::{RecoveredSession, SessionJournal};
 
-use crate::proto::SessionStatsWire;
+use crate::proto::{SessionRow, SessionStatsWire};
 use crate::queue::BoundedQueue;
+
+/// Flight-recorder ring bound per session: enough tail to reconstruct
+/// what led up to a fault without unbounded memory.
+const FLIGHT_CAPACITY: usize = 256;
+
+/// Splitmix64 finalizer: the session trace id is derived from the
+/// resume token, so it is stable across resumes *and* across server
+/// restarts (the token is journaled in the session's identity record).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Reply to a FLUSH marker: every event not yet acknowledged by the
 /// client, plus a stats snapshot taken after the drain.
@@ -125,6 +141,15 @@ pub struct Session {
     /// Token the client must present to resume this session after a
     /// transport loss.
     pub resume_token: u64,
+    /// Trace id stamping this session's flight dumps and METRICS rows:
+    /// derived from the resume token, so stable across resumes and
+    /// server restarts. Never zero (zero marks watch connections).
+    pub trace_id: u64,
+    /// The session's black box: a bounded ring of recent lifecycle
+    /// notes, spans, and errors, dumped as JSON on faults.
+    pub flight: FlightRecorder,
+    /// Windowed ingest rate (samples/second, EWMA).
+    pub samples_meter: Meter,
     /// Ingest queue between the connection reader and the worker pool.
     pub queue: BoundedQueue<Work>,
     /// Lock-free counters.
@@ -144,6 +169,9 @@ pub struct Session {
     /// client abandoned before resuming elsewhere — can detect it was
     /// superseded and bow out without finalizing anything.
     conn_generation: AtomicU64,
+    /// Highest generation that has detached. The session is connected
+    /// exactly when the live generation is newer than this.
+    detached_gen: AtomicU64,
     /// Nanoseconds since the registry epoch of the last client activity.
     last_active_ns: AtomicU64,
 }
@@ -161,10 +189,15 @@ impl Session {
         epoch: Instant,
         journal: Option<SessionJournal>,
     ) -> Self {
+        let flight = FlightRecorder::new(FLIGHT_CAPACITY);
+        flight.note("create", &format!("device {device:?}"));
         Session {
             id,
             device,
             resume_token,
+            trace_id: splitmix64(resume_token).max(1),
+            flight,
+            samples_meter: Meter::new(),
             queue: BoundedQueue::new(queue_capacity),
             counters: SessionCounters::default(),
             state: Mutex::new(SessionState {
@@ -179,6 +212,7 @@ impl Session {
             journal: journal.map(Mutex::new),
             acked_seq: AtomicU64::new(0),
             conn_generation: AtomicU64::new(0),
+            detached_gen: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
         }
     }
@@ -244,16 +278,22 @@ impl Session {
                 final_samples_rejected: 0,
             }
         };
+        let flight = FlightRecorder::new(FLIGHT_CAPACITY);
+        flight.note("recover", &format!("device {:?}", meta.device));
         Session {
             id: meta.session_id,
             device: meta.device,
             resume_token: meta.resume_token,
+            trace_id: splitmix64(meta.resume_token).max(1),
+            flight,
+            samples_meter: Meter::new(),
             queue: BoundedQueue::new(queue_capacity),
             counters: SessionCounters::default(),
             state: Mutex::new(state),
             journal: Some(Mutex::new(journal)),
             acked_seq: AtomicU64::new(rec.acked_samples_seq),
             conn_generation: AtomicU64::new(0),
+            detached_gen: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
         }
     }
@@ -290,7 +330,7 @@ impl Session {
         if let Some(j) = &self.journal {
             let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
             if let Err(e) = j.append_samples(seq, samples) {
-                note_journal_error("samples", &e);
+                self.journal_error("samples", &e);
             }
         }
     }
@@ -309,7 +349,7 @@ impl Session {
             if let Some(j) = &self.journal {
                 let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
                 if let Err(e) = j.ack(clamped) {
-                    note_journal_error("ack", &e);
+                    self.journal_error("ack", &e);
                 }
             }
         }
@@ -337,7 +377,21 @@ impl Session {
     /// check [`Session::is_current`] before acting on frames so a stale
     /// connection cannot race a resumed one.
     pub fn attach(&self) -> u64 {
-        self.conn_generation.fetch_add(1, Ordering::AcqRel) + 1
+        let generation = self.conn_generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.flight.note("attach", &format!("generation {generation}"));
+        generation
+    }
+
+    /// Marks `generation`'s connection as gone. A stale generation
+    /// (already superseded by a resume) detaching is a no-op.
+    pub fn detach(&self, generation: u64) {
+        self.detached_gen.fetch_max(generation, Ordering::AcqRel);
+        self.flight.note("detach", &format!("generation {generation}"));
+    }
+
+    /// Whether a connection is currently attached.
+    pub fn connected(&self) -> bool {
+        self.conn_generation.load(Ordering::Acquire) > self.detached_gen.load(Ordering::Acquire)
     }
 
     /// Whether `generation` is still the live attachment.
@@ -384,6 +438,46 @@ impl Session {
         self.stats_locked(&st)
     }
 
+    /// Highest event sequence written to the journal so far (0 when the
+    /// session is unjournaled).
+    pub fn journaled_events(&self) -> u64 {
+        if self.journal.is_none() {
+            return 0;
+        }
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .journaled_events
+    }
+
+    /// The session's METRICS row: its live operational state, built for
+    /// a METRICS poll. Deliberately bumps no telemetry — serving
+    /// metrics must not perturb the metrics being served.
+    pub fn row(&self, epoch: Instant) -> SessionRow {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = self.stats_locked(&st);
+        SessionRow {
+            session_id: self.id,
+            trace_id: self.trace_id,
+            device: self.device.clone(),
+            connected: self.connected(),
+            queue_depth: self.queue.depth() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            samples_pushed: stats.samples_pushed,
+            samples_per_sec: self.samples_meter.rate_per_sec(),
+            events_emitted: stats.events_emitted,
+            events_acked: st.acked,
+            journaled_events: if self.journal.is_some() {
+                st.journaled_events
+            } else {
+                0
+            },
+            sheds: stats.sheds,
+            samples_rejected: stats.samples_rejected,
+            idle_ms: self.idle_for(epoch).as_millis().min(u64::MAX as u128) as u64,
+        }
+    }
+
     /// Drains the session's queue, feeding the detector and answering
     /// control markers. Called by pool workers under no other lock; the
     /// internal state lock serializes racing workers so samples are
@@ -403,6 +497,7 @@ impl Session {
         mut on_events: F,
     ) -> usize {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let started = Instant::now();
         let mut batches = 0;
         while let Some(work) = self.queue.try_pop() {
             match work {
@@ -425,6 +520,8 @@ impl Session {
                 Work::Flush(reply) => {
                     let (first_seq, events) = self.undelivered_locked(&st);
                     let stats = self.stats_locked(&st);
+                    self.flight
+                        .note("flush", &format!("{} events offered", events.len()));
                     let _ = reply.send(FlushReply {
                         first_seq,
                         events,
@@ -435,6 +532,8 @@ impl Session {
                     self.finish_detector_locked(&mut st, &mut on_events);
                     let (first_seq, events) = self.undelivered_locked(&st);
                     let stats = self.stats_locked(&st);
+                    self.flight
+                        .note("fin", &format!("{} events offered", events.len()));
                     let _ = reply.send(FlushReply {
                         first_seq,
                         events,
@@ -442,6 +541,10 @@ impl Session {
                     });
                 }
             }
+        }
+        if batches > 0 {
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.flight.record_span("drain", ns);
         }
         batches
     }
@@ -462,7 +565,7 @@ impl Session {
             if skip < fresh.len() {
                 let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
                 if let Err(e) = j.append_events(first_seq + skip as u64, &fresh[skip..]) {
-                    note_journal_error("events", &e);
+                    self.journal_error("events", &e);
                 }
             }
         }
@@ -502,7 +605,7 @@ impl Session {
                 st.final_samples_rejected,
                 self.acked_seq(),
             ) {
-                note_journal_error("finish", &e);
+                self.journal_error("finish", &e);
             }
         }
     }
@@ -514,6 +617,12 @@ impl Session {
         self.drain(&mut on_events);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         self.finish_detector_locked(&mut st, &mut on_events);
+    }
+
+    /// Counts a journal failure and records it in the flight ring.
+    fn journal_error(&self, what: &str, e: &std::io::Error) {
+        note_journal_error(what, e);
+        self.flight.error("journal", &format!("{what}: {e}"));
     }
 
     /// Whether the detector has been finalized.
@@ -832,6 +941,45 @@ mod tests {
             .create("d".into(), config(), FS, CLK, 4, 3, |_, _| None)
             .is_none());
         assert_eq!(reg.active(), 3);
+    }
+
+    #[test]
+    fn row_reflects_state_and_flight_records_lifecycle() {
+        let reg = SessionRegistry::new();
+        let s = registry_session(&reg);
+        assert_eq!(s.trace_id, splitmix64(s.resume_token).max(1));
+        assert_ne!(s.trace_id, 0);
+        assert!(!s.connected(), "fresh session has no attachment");
+        let generation = s.attach();
+        assert!(s.connected());
+
+        s.queue.push_blocking(Work::Samples(dipped_signal(30_000)));
+        s.samples_meter.mark(30_000);
+        s.drain(|_| {});
+
+        let row = s.row(reg.epoch());
+        assert_eq!(row.session_id, s.id);
+        assert_eq!(row.trace_id, s.trace_id);
+        assert!(row.connected);
+        assert_eq!(row.samples_pushed, 30_000);
+        assert!(row.events_emitted > 0);
+        assert_eq!(row.events_acked, 0);
+        assert_eq!(row.delivery_lag(), row.events_emitted);
+        assert_eq!(row.queue_capacity, 8);
+        assert_eq!(row.journaled_events, 0, "unjournaled session reports 0");
+        assert!(row.samples_per_sec >= 0.0);
+
+        // A stale generation detaching after a resume is a no-op.
+        let resumed = s.attach();
+        s.detach(generation);
+        assert!(s.connected(), "stale detach must not mark the resume gone");
+        s.detach(resumed);
+        assert!(!s.connected());
+
+        let labels: Vec<String> = s.flight.events().into_iter().map(|e| e.label).collect();
+        for expected in ["create", "attach", "detach", "drain"] {
+            assert!(labels.iter().any(|l| l == expected), "missing {expected:?}");
+        }
     }
 
     #[test]

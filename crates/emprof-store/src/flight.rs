@@ -1,0 +1,80 @@
+//! Flight-recorder dump persistence.
+//!
+//! `emprof-serve` dumps a session's flight-recorder ring (a JSON
+//! document produced by `emprof_obs::FlightRecorder::dump_json`) when
+//! the session faults or its transport is lost. The dump lands next to
+//! the session journals so a post-mortem finds everything about a
+//! session in one place: `<journal_root>/flight-session-<id>.json`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes one flight-recorder dump under `dir`, creating the directory
+/// if needed. The write is atomic (temp file + rename), so a crash
+/// mid-dump never leaves a torn JSON document; a newer dump for the
+/// same session replaces the older one.
+///
+/// # Errors
+///
+/// Propagates filesystem failures (the caller treats them as
+/// best-effort: a sick disk must not take down live profiling).
+pub fn write_flight_dump(dir: &Path, session_id: u64, json: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("flight-session-{session_id}.json"));
+    let tmp = dir.join(format!(".flight-session-{session_id}.json.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Removes a session's persisted flight dump (and any torn temp file),
+/// if present. Called when a session retires cleanly: a dump records a
+/// fault the session has since recovered from, and a fleet whose
+/// sessions all finish cleanly must leave no disk residue behind.
+pub fn remove_flight_dump(dir: &Path, session_id: u64) {
+    let _ = fs::remove_file(dir.join(format!("flight-session-{session_id}.json")));
+    let _ = fs::remove_file(dir.join(format!(".flight-session-{session_id}.json.tmp")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_is_written_and_replaced_atomically() {
+        let dir = std::env::temp_dir().join(format!(
+            "emprof-flight-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let path = write_flight_dump(&dir, 7, "{\"type\":\"flight\",\"v\":1}").unwrap();
+        assert_eq!(path.file_name().unwrap(), "flight-session-7.json");
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "{\"type\":\"flight\",\"v\":1}\n"
+        );
+
+        // A second dump for the same session replaces the first.
+        write_flight_dump(&dir, 7, "{\"type\":\"flight\",\"v\":2}").unwrap();
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "{\"type\":\"flight\",\"v\":2}\n"
+        );
+        // No temp litter survives.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["flight-session-7.json"]);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

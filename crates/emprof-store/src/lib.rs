@@ -20,6 +20,8 @@
 //!   checkpoints, the delivery cursor, and ack-driven compaction.
 //! - [`inspect`] — a strictly read-only health walk for
 //!   `emprof journal-inspect`.
+//! - [`flight`] — atomic persistence of per-session flight-recorder
+//!   dumps next to the journals.
 //!
 //! ## Durability model
 //!
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod crc;
+pub mod flight;
 pub mod inspect;
 pub mod journal;
 pub mod record;
@@ -46,6 +49,7 @@ pub mod segment;
 pub mod session;
 
 pub use crc::{crc32, Crc32};
+pub use flight::{remove_flight_dump, write_flight_dump};
 pub use inspect::{inspect_dir, JournalInspect, SegmentHealth};
 pub use journal::{Journal, JournalConfig, JournalStats, Recovered, RecoveryReport};
 pub use record::{Record, RecordKind, SessionMeta};

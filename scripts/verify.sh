@@ -48,4 +48,41 @@ cargo run -q --release -p emprof-bench --bin chaos_soak -- --smoke --seconds 8
 # on any event loss/duplication or leftover journal residue.
 cargo run -q --release -p emprof-bench --bin store_soak -- --smoke --seconds 8
 
+# Remote-equals-local observability: a METRICS frame decoded by the
+# client and a /metrics HTTP scrape must both reproduce the server's
+# in-process telemetry snapshot exactly; a forced transport loss must
+# dump the session's flight recorder with its trace id and spans.
+cargo test -q --release --test obs_wire
+cargo test -q --release --test prop_prom
+
+# Fleet-dashboard loopback smoke: a short-lived served process with the
+# scrape listener on, one `emprof top --once` poll against it, and a
+# raw /metrics scrape that must answer 200 with emprof_ families.
+cargo build -q --release -p emprof-cli --bin emprof
+TOP_OUT="$(mktemp)"
+./target/release/emprof serve --addr 127.0.0.1:7731 --metrics-addr 127.0.0.1:7732 --duration 30 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+top_ok=0
+for _ in $(seq 1 50); do
+  if ./target/release/emprof top --addr 127.0.0.1:7731 --once >"$TOP_OUT" 2>/dev/null; then
+    top_ok=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$top_ok" = 1 ] || { echo "verify: emprof top --once never connected" >&2; exit 1; }
+grep -q "totals:" "$TOP_OUT" || { echo "verify: emprof top output missing totals" >&2; exit 1; }
+exec 3<>/dev/tcp/127.0.0.1/7732
+printf 'GET /metrics HTTP/1.1\r\nHost: emprof\r\nConnection: close\r\n\r\n' >&3
+SCRAPE="$(cat <&3)"
+exec 3>&- 3<&-
+echo "$SCRAPE" | grep -q "HTTP/1.1 200" || { echo "verify: /metrics scrape not 200" >&2; exit 1; }
+echo "$SCRAPE" | grep -q "# TYPE emprof_" || { echo "verify: scrape missing emprof_ families" >&2; exit 1; }
+echo "$SCRAPE" | grep -q "emprof_server_healthy 1" || { echo "verify: scrape missing health gauge" >&2; exit 1; }
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$TOP_OUT"
+
 echo "verify: OK"

@@ -1,0 +1,281 @@
+//! Property-based guarantees of the Prometheus text encoder.
+//!
+//! Whatever telemetry names and values the pipeline records, the
+//! `/metrics` exposition must stay machine-parsable: sanitized names
+//! never leave the Prometheus alphabet, label escaping round-trips,
+//! finite values survive a parse back bit-for-bit, and a whole encoded
+//! snapshot decomposes into well-formed families whose histogram
+//! buckets are cumulative. The "parser" here is a deliberately tiny
+//! in-test reimplementation of the exposition grammar — the encoder is
+//! checked against the format, not against itself.
+
+use emprof::obs::prom::{
+    encode_snapshot, escape_label_value, family_name, format_value, sanitize_metric_name,
+};
+use emprof::obs::Registry;
+use proptest::prelude::*;
+
+/// Characters the generators draw metric names and label values from:
+/// deliberately heavy on the characters that need sanitizing/escaping.
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '_', ':', '.', '-', ' ', '/', '"', '\\', '\n', 'λ',
+];
+
+fn build_text(picks: &[u8]) -> String {
+    picks
+        .iter()
+        .map(|&b| NAME_CHARS[b as usize % NAME_CHARS.len()])
+        .collect()
+}
+
+/// Is `name` a valid Prometheus metric name body (`[a-zA-Z0-9_:]+`)?
+fn in_alphabet(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Un-escapes an exposition-format label value (the inverse of
+/// `escape_label_value`). Returns `None` on a dangling or unknown
+/// escape — which the escaper must never produce.
+fn unescape_label_value(escaped: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// One parsed sample line: family name, optional `le` label, value text.
+struct Sample<'a> {
+    family: &'a str,
+    le: Option<&'a str>,
+    value: &'a str,
+}
+
+/// Parses one non-comment exposition line. Panics (via `None`) on any
+/// grammar violation; the caller turns that into a test failure.
+fn parse_sample(line: &str) -> Option<Sample<'_>> {
+    let (series, value) = line.rsplit_once(' ')?;
+    if value.is_empty() || value.contains(' ') {
+        return None;
+    }
+    let (family, le) = match series.split_once('{') {
+        None => (series, None),
+        Some((family, rest)) => {
+            let labels = rest.strip_suffix('}')?;
+            let le = labels.strip_prefix("le=\"")?.strip_suffix('"')?;
+            (family, Some(le))
+        }
+    };
+    if !in_alphabet(family) || !family.starts_with("emprof_") {
+        return None;
+    }
+    Some(Sample { family, le, value })
+}
+
+/// Parses a value field: a finite decimal float or one of the
+/// exposition-format non-finite literals.
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "NaN" => Some(f64::NAN),
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        other => other.parse().ok().filter(|v: &f64| v.is_finite()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sanitization lands in the Prometheus alphabet, never empties a
+    /// name, and is idempotent.
+    #[test]
+    fn sanitized_names_stay_in_alphabet(picks in prop::collection::vec(any::<u8>(), 0..32)) {
+        let raw = build_text(&picks);
+        let clean = sanitize_metric_name(&raw);
+        prop_assert!(in_alphabet(&clean), "sanitize({raw:?}) = {clean:?}");
+        prop_assert_eq!(sanitize_metric_name(&clean), clean.clone());
+        let family = family_name(&raw);
+        prop_assert!(family.starts_with("emprof_"));
+        prop_assert!(in_alphabet(&family));
+    }
+
+    /// Label escaping round-trips through the exposition grammar and
+    /// never leaks a raw newline or an unescaped quote.
+    #[test]
+    fn label_values_round_trip(picks in prop::collection::vec(any::<u8>(), 0..32)) {
+        let raw = build_text(&picks);
+        let escaped = escape_label_value(&raw);
+        prop_assert!(!escaped.contains('\n'), "raw newline in {escaped:?}");
+        // Every quote must be escaped (preceded by an odd backslash run).
+        let bytes = escaped.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                let backslashes = bytes[..i].iter().rev().take_while(|&&c| c == b'\\').count();
+                prop_assert!(backslashes % 2 == 1, "unescaped quote in {escaped:?}");
+            }
+        }
+        prop_assert_eq!(unescape_label_value(&escaped), Some(raw));
+    }
+
+    /// Finite values survive a parse back bit-for-bit; non-finite map
+    /// to the exposition literals.
+    #[test]
+    fn values_round_trip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let text = format_value(v);
+        if v.is_nan() {
+            prop_assert_eq!(text, "NaN");
+        } else if v.is_infinite() {
+            prop_assert_eq!(text, if v > 0.0 { "+Inf" } else { "-Inf" });
+        } else {
+            let back: f64 = text.parse().expect("finite value must parse");
+            prop_assert_eq!(back.to_bits(), v.to_bits(), "{text} lost precision");
+        }
+    }
+
+    /// A whole encoded snapshot is line-by-line well-formed: every line
+    /// is a comment or a parsable sample, every family is typed before
+    /// its samples, histogram buckets are cumulative and consistent
+    /// with `_count`, and the recorded counter/gauge values parse back
+    /// exactly.
+    #[test]
+    fn encoded_snapshot_parses(
+        counters in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..12), 0u64..1 << 32), 0..6),
+        gauges in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..12), any::<u64>()), 0..6),
+        hist_values in prop::collection::vec(any::<u64>(), 1..40),
+        meter_marks in 1u64..1_000_000,
+        span_ns in 1u64..10_000_000_000,
+    ) {
+        let r = Registry::new();
+        // Duplicate generated names accumulate (counters) or overwrite
+        // (gauges); track the expected end state per raw name.
+        let mut counter_truth: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for (picks, v) in &counters {
+            let name = build_text(picks);
+            r.counter(&name).add(*v);
+            *counter_truth.entry(name).or_insert(0) += v;
+        }
+        let mut gauge_truth: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for (picks, bits) in &gauges {
+            let name = build_text(picks);
+            let v = f64::from_bits(*bits);
+            r.gauge(&name).set(v);
+            gauge_truth.insert(name, v);
+        }
+        for &v in &hist_values {
+            r.histogram("prop.hist").record(v);
+        }
+        r.meter("prop.meter").mark(meter_marks);
+        r.span_stat("prop.span").record_ns(span_ns);
+        let snapshot = r.snapshot();
+        let text = encode_snapshot(&snapshot);
+
+        let mut typed: Vec<(String, String)> = Vec::new();
+        let mut bucket_prev: Option<u64> = None;
+        let mut hist_count: Option<u64> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (family, kind) = rest.rsplit_once(' ')
+                    .expect("TYPE line has family and kind");
+                prop_assert!(in_alphabet(family), "{line}");
+                prop_assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind}"
+                );
+                typed.push((family.to_string(), kind.to_string()));
+                continue;
+            }
+            let sample = parse_sample(line)
+                .unwrap_or_else(|| panic!("malformed sample line {line:?}"));
+            let value = parse_value(sample.value);
+            prop_assert!(
+                value.is_some() || sample.value == "NaN",
+                "unparsable value in {line:?}"
+            );
+            // Every sample belongs to a declared family (histogram
+            // series carry the _bucket/_sum/_count suffixes).
+            let declared = typed.iter().any(|(f, kind)| {
+                sample.family == f
+                    || (kind == "histogram"
+                        && [
+                            format!("{f}_bucket"),
+                            format!("{f}_sum"),
+                            format!("{f}_count"),
+                        ]
+                        .contains(&sample.family.to_string()))
+            });
+            prop_assert!(declared, "sample {line:?} has no TYPE declaration");
+            if sample.family == "emprof_prop_hist_bucket" {
+                let le = sample.le.expect("bucket without le label");
+                prop_assert!(
+                    le == "+Inf" || le.parse::<u64>().is_ok(),
+                    "bad le {le:?}"
+                );
+                let n: u64 = sample.value.parse().expect("bucket count");
+                if let Some(prev) = bucket_prev {
+                    prop_assert!(n >= prev, "non-cumulative bucket in {line}");
+                }
+                bucket_prev = Some(n);
+            } else {
+                prop_assert!(sample.le.is_none(), "unexpected label in {line}");
+            }
+            if sample.family == "emprof_prop_hist_count" {
+                hist_count = Some(sample.value.parse().expect("hist count"));
+            }
+        }
+        // The +Inf bucket, the _count, and the recorded value count agree.
+        prop_assert_eq!(bucket_prev, Some(hist_values.len() as u64));
+        prop_assert_eq!(hist_count, Some(hist_values.len() as u64));
+        // Recorded counters reappear verbatim under their sanitized
+        // name (distinct raw names may sanitize to the same family —
+        // the encoder emits one series per raw name, so each expected
+        // line exists somewhere in the text).
+        for (name, v) in &counter_truth {
+            let f = family_name(name);
+            prop_assert!(
+                text.contains(&format!("{f} {v}\n")),
+                "counter {f} {v} missing"
+            );
+        }
+        // Finite gauge values parse back to the exact recorded float.
+        for (name, v) in &gauge_truth {
+            if v.is_finite() {
+                let f = family_name(name);
+                let found = text
+                    .lines()
+                    .filter(|l| {
+                        l.strip_prefix(f.as_str()).is_some_and(|r| r.starts_with(' '))
+                    })
+                    .any(|l| {
+                        l.rsplit(' ')
+                            .next()
+                            .unwrap()
+                            .parse::<f64>()
+                            .is_ok_and(|back| back.to_bits() == v.to_bits())
+                    });
+                prop_assert!(found, "gauge {f} = {v:?} not found verbatim");
+            }
+        }
+        prop_assert!(text.contains("emprof_prop_meter_total "));
+        prop_assert!(text.contains("emprof_prop_meter_rate "));
+        let span_line = format!("emprof_prop_span_total_ns {span_ns}\n");
+        prop_assert!(text.contains(&span_line));
+    }
+}
