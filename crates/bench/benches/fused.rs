@@ -1,0 +1,69 @@
+//! Fused one-pass kernel vs the multi-pass reference.
+//!
+//! Measures the detector hot path in isolation: the fused
+//! normalize-and-detect kernel against the separate moving-min /
+//! moving-max / normalize / threshold-scan pipeline it replaced, plus
+//! the full `profile_magnitude` entry point.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use emprof_core::{Emprof, EmprofConfig};
+use emprof_signal::{fused, stats};
+
+const WINDOW: usize = 2000;
+const LEN: usize = 1 << 20;
+
+fn synthetic(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let drift = 1.0 + 0.1 * (i as f64 * 1e-5).sin();
+            let noise = ((i * 2_654_435_761_usize) % 1000) as f64 / 2500.0;
+            let dip = if i % 9973 < 12 { 0.15 } else { 1.0 };
+            5.0 * drift * dip + noise
+        })
+        .collect()
+}
+
+type Runs = Vec<(usize, usize)>;
+
+fn multi_pass_reference(signal: &[f64]) -> (Runs, Runs) {
+    let norm = stats::normalize_moving_minmax(signal, WINDOW);
+    let runs_at = |level: f64| {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &v) in norm.iter().enumerate() {
+            if v < level {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(s) = start.take() {
+                runs.push((s, i));
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, norm.len()));
+        }
+        runs
+    };
+    (runs_at(0.35), runs_at(0.5))
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let signal = synthetic(LEN);
+    let emprof = Emprof::new(EmprofConfig::for_rates(40e6, 1.0e9));
+
+    let mut g = c.benchmark_group("fused_kernel");
+    g.throughput(Throughput::Elements(LEN as u64));
+    g.bench_function("multi_pass_reference", |b| {
+        b.iter(|| multi_pass_reference(black_box(&signal)))
+    });
+    g.bench_function("fused_detect_runs", |b| {
+        b.iter(|| fused::detect_runs(black_box(&signal), WINDOW, 0.35, 0.5).unwrap())
+    });
+    g.bench_function("profile_magnitude", |b| {
+        b.iter(|| emprof.profile_magnitude(black_box(&signal), 40e6, 1.0e9))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused);
+criterion_main!(benches);

@@ -15,9 +15,14 @@
 //!
 //! Results are printed as tables and written to `BENCH_pipeline.json`
 //! (override with `--out PATH`). `--smoke` shrinks every leg for CI;
-//! absolute numbers are only meaningful in full mode on an idle host, and
-//! parallel *speedups* are only meaningful on a multi-core host (the
-//! `host_parallelism` field records what the bench ran on).
+//! absolute numbers are only meaningful in full mode on an idle host.
+//! Runs with more threads than the host has cores are marked
+//! `oversubscribed` and publish no speedup — time-shared "speedups" say
+//! nothing about the implementation (the `host_parallelism` field
+//! records what the bench ran on). `--check-against BASELINE.json`
+//! turns the run into a regression gate: the process exits nonzero when
+//! the 1-thread detector throughput falls more than 20% below the
+//! baseline's.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +47,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let check_against = args
+        .iter()
+        .position(|a| a == "--check-against")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let host = Parallelism::available().get();
     println!(
@@ -53,13 +63,70 @@ fn main() {
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
 
-    bench_detector(smoke, &mut json);
-    bench_pipeline(smoke, &mut json);
+    bench_detector(smoke, host, &mut json);
+    bench_pipeline(smoke, host, &mut json);
     bench_fir(smoke, &mut json);
 
     json.push_str("  \"unit\": \"samples_per_sec\"\n}\n");
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("results written to {out_path}");
+
+    if let Some(baseline_path) = check_against {
+        check_regression(&baseline_path, &json);
+    }
+}
+
+/// Fraction of the baseline's single-thread detector throughput the
+/// fresh run must reach; below this the gate fails the process.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// The `--check-against BASELINE.json` regression gate: compares this
+/// run's 1-thread detector throughput against the committed baseline
+/// and exits nonzero on a >20% regression. Single-thread only — it is
+/// the one number that is meaningful on any host, including the
+/// single-core CI boxes where parallel speedups are noise.
+fn check_regression(baseline_path: &str, fresh_json: &str) {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let old = scrape_detector_1t(&baseline)
+        .expect("baseline has no 1-thread detector samples_per_sec entry");
+    let new = scrape_detector_1t(fresh_json).expect("fresh run has no detector entry");
+    let floor = old * REGRESSION_FLOOR;
+    println!(
+        "regression gate: detector 1T {:.1} Msamples/s vs baseline {:.1} (floor {:.1})",
+        new / 1e6,
+        old / 1e6,
+        floor / 1e6
+    );
+    if new < floor {
+        eprintln!(
+            "FAIL: single-thread detector throughput regressed more than \
+             {:.0}% ({:.1} < {:.1} Msamples/s)",
+            (1.0 - REGRESSION_FLOOR) * 100.0,
+            new / 1e6,
+            floor / 1e6
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Scrapes the 1-thread detector `samples_per_sec` out of a
+/// `BENCH_pipeline.json` written by this binary. The format is our own
+/// line-oriented output, so a string scrape suffices — no JSON parser
+/// dependency in the bench crate.
+fn scrape_detector_1t(json: &str) -> Option<f64> {
+    let detector = json.split("\"detector\"").nth(1)?;
+    for line in detector.lines() {
+        if line.contains("\"threads\": 1,") {
+            let tail = line.split("\"samples_per_sec\": ").nth(1)?;
+            let num: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return num.parse().ok();
+        }
+    }
+    None
 }
 
 /// Wall-clock of the fastest of `reps` runs of `f`, with the last result.
@@ -87,10 +154,16 @@ fn synthetic_magnitude(len: usize) -> Vec<f64> {
 }
 
 /// Renders one thread-sweep leg as a table and JSON array entry.
+///
+/// Runs with more threads than the host has cores are annotated
+/// `oversubscribed` and publish no speedup (JSON `null`, table `--`):
+/// a "speedup" measured while threads time-share a core says nothing
+/// about the parallel implementation.
 fn report_sweep(
     title: &str,
     json_key: &str,
     samples: usize,
+    host: usize,
     runs: &[(usize, f64)],
     json: &mut String,
 ) {
@@ -101,17 +174,28 @@ fn report_sweep(
     let _ = writeln!(json, "    \"runs\": [");
     for (idx, &(threads, secs)) in runs.iter().enumerate() {
         let sps = samples as f64 / secs;
+        let oversubscribed = threads > host;
+        let speedup_cell = if oversubscribed {
+            "-- (oversubscribed)".to_string()
+        } else {
+            format!("{:.2}x", base / secs)
+        };
+        let speedup_json = if oversubscribed {
+            "null".to_string()
+        } else {
+            format!("{:.3}", base / secs)
+        };
         t.row(vec![
             threads.to_string(),
             format!("{secs:.3}"),
             format!("{:.1}", sps / 1e6),
-            format!("{:.2}x", base / secs),
+            speedup_cell,
         ]);
         let _ = writeln!(
             json,
             "      {{\"threads\": {threads}, \"secs\": {secs:.6}, \
-             \"samples_per_sec\": {sps:.0}, \"speedup_vs_1\": {:.3}}}{}",
-            base / secs,
+             \"samples_per_sec\": {sps:.0}, \"oversubscribed\": {oversubscribed}, \
+             \"speedup_vs_1\": {speedup_json}}}{}",
             if idx + 1 < runs.len() { "," } else { "" }
         );
     }
@@ -120,9 +204,13 @@ fn report_sweep(
     println!("{}", t.render());
 }
 
-fn bench_detector(smoke: bool, json: &mut String) {
+fn bench_detector(smoke: bool, host: usize, json: &mut String) {
     let len = if smoke { 400_000 } else { 12_000_000 };
-    let reps = if smoke { 1 } else { 3 };
+    // Even in smoke mode, take the best of several reps: the first call
+    // pays process-cold costs (lazy registries, first-touch faults) that
+    // would otherwise be billed to whichever thread count runs first and
+    // make the regression gate numbers meaningless.
+    let reps = if smoke { 5 } else { 3 };
     let magnitude = synthetic_magnitude(len);
     let emprof = Emprof::new(EmprofConfig::for_rates(FS, CLK));
 
@@ -138,14 +226,14 @@ fn bench_detector(smoke: bool, json: &mut String) {
         }
         runs.push((threads, secs));
     }
-    report_sweep("detector leg", "detector", len, &runs, json);
+    report_sweep("detector leg", "detector", len, host, &runs, json);
 }
 
-fn bench_pipeline(smoke: bool, json: &mut String) {
+fn bench_pipeline(smoke: bool, host: usize, json: &mut String) {
     // Power trace cycles = resample-input samples; the capture itself is
     // cycles * FS / CLK samples.
     let cycles = if smoke { 500_000 } else { 16_000_000 };
-    let reps = if smoke { 1 } else { 2 };
+    let reps = 2;
     let power: Vec<f32> = (0..cycles)
         .map(|i| {
             let stall = i % 40_001 < 300;
@@ -177,7 +265,7 @@ fn bench_pipeline(smoke: bool, json: &mut String) {
         }
         runs.push((threads, secs));
     }
-    report_sweep("end-to-end sim→EM→detect leg", "pipeline", cycles, &runs, json);
+    report_sweep("end-to-end sim→EM→detect leg", "pipeline", cycles, host, &runs, json);
 }
 
 fn bench_fir(smoke: bool, json: &mut String) {

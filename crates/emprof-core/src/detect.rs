@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 
 use emprof_obs as obs;
-use emprof_signal::stats;
+use emprof_signal::fused::{self, LevelRuns};
 use emprof_sim::PowerTrace;
 
 use crate::config::EmprofConfig;
@@ -59,20 +59,73 @@ impl Emprof {
         clock_hz: f64,
     ) -> Profile {
         let _profile_span = obs::span!("detect.profile");
-        let (magnitude, rejected) = sanitize_magnitude(magnitude);
-        if rejected > 0 {
-            obs::counter_add!("detect.samples_rejected", rejected as u64);
-        }
-        let cps = clock_hz / sample_rate_hz;
-        let norm = {
-            let _s = obs::span!("detect.normalize");
-            stats::normalize_moving_minmax(&magnitude, self.config.norm_window_samples)
+        // The fused kernel reads the signal exactly once: both moving
+        // wedges advance together, normalization happens inline, the
+        // below-threshold/below-edge runs come out directly, and the
+        // finite-sample admission check rides along — no separate
+        // pre-scan, no intermediate signal-sized vector.
+        let fused = {
+            let _s = obs::span!("detect.fused");
+            fused::detect_runs(
+                magnitude,
+                self.config.norm_window_samples,
+                self.config.threshold,
+                self.config.edge_level,
+            )
         };
-        let dips = self.detect_dips(&norm);
-        let events = self.events_from_dips(dips, cps);
-        obs::counter_add!("detect.samples", magnitude.len() as u64);
+        match fused {
+            Ok(runs) => {
+                self.profile_from_runs(runs, magnitude.len(), sample_rate_hz, clock_hz)
+            }
+            Err(_first_bad) => {
+                // Rare path: the signal carries NaN/±inf. Drop them (a
+                // single NaN would otherwise poison every window that
+                // sees it) and rerun the fused pass on the survivors —
+                // identical to running on the pre-filtered signal, which
+                // is the same policy the streaming detector applies.
+                let kept: Vec<f64> =
+                    magnitude.iter().copied().filter(|v| v.is_finite()).collect();
+                let rejected = magnitude.len() - kept.len();
+                obs::counter_add!("detect.samples_rejected", rejected as u64);
+                let runs = {
+                    let _s = obs::span!("detect.fused");
+                    fused::detect_runs(
+                        &kept,
+                        self.config.norm_window_samples,
+                        self.config.threshold,
+                        self.config.edge_level,
+                    )
+                    .expect("survivors are finite by construction")
+                };
+                self.profile_from_runs(runs, kept.len(), sample_rate_hz, clock_hz)
+            }
+        }
+    }
+
+    /// The shared back half of batch detection: merge the raw
+    /// below-threshold runs, refine edges from the below-edge run list,
+    /// filter and classify. Used by both the clean fused path and the
+    /// sanitize-and-retry fallback; `total` is the accepted-sample count
+    /// the profile reports.
+    fn profile_from_runs(
+        &self,
+        runs: LevelRuns,
+        total: usize,
+        sample_rate_hz: f64,
+        clock_hz: f64,
+    ) -> Profile {
+        let merged = {
+            let _s = obs::span!("detect.merge");
+            self.merge_runs(runs.below_threshold)
+        };
+        let dips = {
+            let _s = obs::span!("detect.refine");
+            refine_from_runs(merged, &runs.below_edge, total)
+        };
+        let events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        obs::counter_add!("detect.samples", total as u64);
         record_event_metrics(&events);
-        Profile::new(events, magnitude.len(), sample_rate_hz, clock_hz)
+        Profile::new(events, total, sample_rate_hz, clock_hz)
     }
 
     /// Profiles a captured EM signal (the physical-device path).
@@ -98,19 +151,16 @@ impl Emprof {
         self.profile_magnitude(&samples, rate, trace.clock_hz())
     }
 
-    /// Finds below-threshold runs in the normalized signal, merges runs
-    /// separated by at most `merge_gap_samples`, and widens each run
-    /// outward to the `edge_level` crossings.
+    /// Reference pipeline over a materialized normalized signal: finds
+    /// below-threshold runs, merges runs separated by at most
+    /// `merge_gap_samples`, and widens each run outward to the
+    /// `edge_level` crossings. The production path runs the fused
+    /// kernel instead; this stays as the executable specification the
+    /// unit tests pin the fused path against.
+    #[cfg(test)]
     fn detect_dips(&self, norm: &[f64]) -> Vec<(usize, usize)> {
-        let raw = {
-            let _s = obs::span!("detect.threshold");
-            self.threshold_runs(norm)
-        };
-        let merged = {
-            let _s = obs::span!("detect.merge");
-            self.merge_runs(raw)
-        };
-        let _s = obs::span!("detect.refine");
+        let raw = self.threshold_runs(norm);
+        let merged = self.merge_runs(raw);
         self.refine_edges(norm, merged)
     }
 
@@ -143,7 +193,9 @@ impl Emprof {
     }
 
     /// Below-threshold runs of the normalized signal, as `(start, end)`.
-    pub(crate) fn threshold_runs(&self, norm: &[f64]) -> Vec<(usize, usize)> {
+    /// Reference implementation; production uses the fused kernel.
+    #[cfg(test)]
+    fn threshold_runs(&self, norm: &[f64]) -> Vec<(usize, usize)> {
         let th = self.config.threshold;
         let mut raw: Vec<(usize, usize)> = Vec::new();
         let mut start: Option<usize> = None;
@@ -177,12 +229,12 @@ impl Emprof {
     }
 
     /// Widens each run outward to the `edge_level` crossings, without
-    /// letting adjacent events overlap, then re-merges any that now abut.
-    pub(crate) fn refine_edges(
-        &self,
-        norm: &[f64],
-        merged: Vec<(usize, usize)>,
-    ) -> Vec<(usize, usize)> {
+    /// letting adjacent events overlap, then re-merges any that now
+    /// abut. Reference implementation over a materialized normalized
+    /// signal; production refines from run lists via
+    /// [`refine_from_runs`].
+    #[cfg(test)]
+    fn refine_edges(&self, norm: &[f64], merged: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
         let edge = self.config.edge_level;
         let mut refined: Vec<(usize, usize)> = Vec::with_capacity(merged.len());
         for (idx, &(mut s, mut e)) in merged.iter().enumerate() {
@@ -207,11 +259,67 @@ impl Emprof {
     }
 }
 
+/// Widens each merged below-threshold run outward to the `edge_level`
+/// crossings using the below-edge **run list** instead of the normalized
+/// signal, then re-merges any runs that now abut — bit-identical to the
+/// reference `refine_edges`, with the normalized signal never
+/// materialized.
+///
+/// Why this is exact: a merged run's start `s` is a below-threshold
+/// sample, and configuration validation guarantees
+/// `threshold <= edge_level`, so `s` lies inside some below-edge run
+/// `(bs, be)`. The reference walks `s` left while the previous sample is
+/// below edge and `s` stays above the previous refined run's end — that
+/// walk stops at exactly `max(bs, left_bound)`. Symmetrically the run's
+/// last sample `e - 1` lies in a below-edge run `(bs', be')` and the
+/// right walk (clipped by the next merged run's start) stops at
+/// `min(be', right_bound)`. Interior samples of a merged run — including
+/// above-edge samples inside a gap the merge step bridged — are never
+/// consulted by the reference, so they cannot matter here either. The
+/// final abut-merge is the reference's, verbatim.
+pub(crate) fn refine_from_runs(
+    merged: Vec<(usize, usize)>,
+    below_edge: &[(usize, usize)],
+    total: usize,
+) -> Vec<(usize, usize)> {
+    let mut refined: Vec<(usize, usize)> = Vec::with_capacity(merged.len());
+    // Forward cursor into `below_edge`: merged runs are sorted, so the
+    // containing below-edge runs only ever advance.
+    let mut cursor = 0usize;
+    for (idx, &(s, e)) in merged.iter().enumerate() {
+        let left_bound = refined.last().map_or(0, |r: &(usize, usize)| r.1);
+        while below_edge[cursor].1 <= s {
+            cursor += 1;
+        }
+        debug_assert!(below_edge[cursor].0 <= s, "run start not below edge");
+        let refined_start = below_edge[cursor].0.max(left_bound);
+        let mut last = cursor;
+        while below_edge[last].1 < e {
+            last += 1;
+        }
+        debug_assert!(below_edge[last].0 < e, "run end not below edge");
+        let right_bound = merged.get(idx + 1).map_or(total, |m| m.0);
+        let refined_end = below_edge[last].1.min(right_bound);
+        refined.push((refined_start, refined_end));
+        cursor = last;
+    }
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(refined.len());
+    for run in refined {
+        match out.last_mut() {
+            Some(last) if run.0 <= last.1 => last.1 = last.1.max(run.1),
+            _ => out.push(run),
+        }
+    }
+    out
+}
+
 /// Drops non-finite samples ahead of detection, borrowing when the
 /// signal is already clean (the overwhelmingly common case — the scan
 /// is a single cheap pass). Returns the surviving samples and how many
-/// were rejected. Shared by the batch and parallel entry points so the
-/// two can never disagree about which samples exist.
+/// were rejected. Used by the parallel entry point, which must know the
+/// survivor signal before it can chunk it; the batch path folds the same
+/// check into the fused kernel instead and only filters on the rare
+/// dirty signal.
 pub(crate) fn sanitize_magnitude(magnitude: &[f64]) -> (Cow<'_, [f64]>, usize) {
     if magnitude.iter().all(|v| v.is_finite()) {
         return (Cow::Borrowed(magnitude), 0);
@@ -451,5 +559,76 @@ mod tests {
         let mut c = EmprofConfig::for_rates(FS, CLK);
         c.threshold = 2.0;
         Emprof::new(c);
+    }
+
+    #[test]
+    fn fused_path_matches_reference_pipeline() {
+        // The production profile (fused kernel + run-list refine) must be
+        // event-for-event identical to the executable specification: a
+        // materialized normalization followed by threshold/merge/refine.
+        let mut mag: Vec<f64> = (0..50_000)
+            .map(|i| 5.0 * (1.0 + 0.1 * (i as f64 * 7e-5).sin()))
+            .collect();
+        for &(start, width) in &[
+            (5_000usize, 12usize),
+            (9_000, 8),
+            (9_012, 8), // close pair: exercises the merge step
+            (20_000, 100),
+            (35_000, 2), // too short on its own
+            (35_004, 10),
+            (49_990, 10), // runs off the end
+        ] {
+            for v in mag.iter_mut().skip(start).take(width) {
+                *v *= 0.15;
+            }
+        }
+        let e = emprof();
+        let norm =
+            emprof_signal::stats::normalize_moving_minmax(&mag, e.config().norm_window_samples);
+        let dips = e.detect_dips(&norm);
+        let expected = e.events_from_dips(dips, CPS);
+        assert!(expected.len() >= 4, "signal produced too few events");
+        let p = e.profile_magnitude(&mag, FS, CLK);
+        assert_eq!(p.events(), &expected[..]);
+    }
+
+    #[test]
+    fn refine_from_runs_matches_reference_refine() {
+        // Pseudo-random normalized signals across threshold/edge combos,
+        // including threshold == edge and a barely-separated pair where
+        // merged runs bridge above-edge gaps.
+        for (threshold, edge) in [(0.35, 0.5), (0.4, 0.4), (0.3, 0.35), (0.2, 0.9)] {
+            let mut cfg = EmprofConfig::for_rates(FS, CLK);
+            cfg.threshold = threshold;
+            cfg.edge_level = edge;
+            let e = Emprof::new(cfg);
+            for seed in 0..40usize {
+                let norm: Vec<f64> = (0..400)
+                    .map(|i| {
+                        let h = (i + seed * 991).wrapping_mul(2_654_435_761) % 1024;
+                        h as f64 / 1023.0
+                    })
+                    .collect();
+                let below_edge = {
+                    let mut runs = Vec::new();
+                    let mut start = None;
+                    for (i, &v) in norm.iter().enumerate() {
+                        if v < edge {
+                            start.get_or_insert(i);
+                        } else if let Some(s) = start.take() {
+                            runs.push((s, i));
+                        }
+                    }
+                    if let Some(s) = start {
+                        runs.push((s, norm.len()));
+                    }
+                    runs
+                };
+                let merged = e.merge_runs(e.threshold_runs(&norm));
+                let reference = e.refine_edges(&norm, merged.clone());
+                let fast = refine_from_runs(merged, &below_edge, norm.len());
+                assert_eq!(fast, reference, "threshold {threshold} edge {edge} seed {seed}");
+            }
+        }
     }
 }

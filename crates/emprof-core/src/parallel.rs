@@ -1,27 +1,33 @@
 //! Multi-core dip detection with overlap-merge equivalence.
 //!
 //! [`Emprof::profile_magnitude_par`] splits the capture into per-worker
-//! chunks, runs normalization and thresholding per chunk on a scoped
-//! worker pool, and stitches the per-chunk results back into exactly the
-//! event stream the batch detector produces. The equivalence argument
-//! (DESIGN.md §8) has three legs:
+//! chunks, runs the fused normalize-and-detect kernel per chunk on a
+//! scoped worker pool, and stitches the per-chunk results back into
+//! exactly the event stream the batch detector produces. The equivalence
+//! argument (DESIGN.md §8) has three legs:
 //!
-//! 1. **Normalization** — each chunk normalizes its *core* range with
-//!    [`stats::normalize_moving_minmax_range`], which reads moving-extreme
-//!    context from the full signal. The concatenated chunk outputs are
-//!    therefore bit-identical to the batch normalization; the overlap
-//!    margin (`norm_window / 2` on each side) is implicit in the shared
-//!    full-signal slice.
-//! 2. **Threshold runs** — runs found per chunk over disjoint core ranges
-//!    concatenate to the batch run list, except that a run straddling a
-//!    seam arrives split into abutting pieces. The batch gap-merge
-//!    criterion (`gap <= merge_gap_samples`) always rejoins a gap-0 split,
-//!    and left-to-right greedy merging is invariant under splitting of
-//!    abutting runs, so the merged run list is identical. Each seam rejoin
-//!    is counted in the `par.merge_fixups` gauge.
+//! 1. **Normalization** — each chunk runs
+//!    [`fused::detect_runs_range`], whose moving wedges read
+//!    moving-extreme context from the full signal. Every chunk sample is
+//!    therefore normalized to the bit-identical value the batch kernel
+//!    produces; the overlap margin (`norm_window / 2` on each side) is
+//!    implicit in the shared full-signal slice. The normalized values
+//!    themselves are never materialized — only their below-level runs
+//!    leave the kernel.
+//! 2. **Below-level runs** — runs found per chunk over disjoint core
+//!    ranges concatenate to the batch run lists, except that a run
+//!    straddling a seam arrives split into abutting pieces. For
+//!    below-threshold runs the batch gap-merge criterion
+//!    (`gap <= merge_gap_samples`) always rejoins a gap-0 split, and
+//!    left-to-right greedy merging is invariant under splitting of
+//!    abutting runs, so the merged run list is identical; each seam
+//!    rejoin is counted in the `par.merge_fixups` gauge. Below-edge runs
+//!    within a chunk can never abut (a run only ends on an above-edge
+//!    sample or the chunk boundary), so gap-0 stitching rejoins exactly
+//!    the seam-split runs and reconstructs the batch below-edge list.
 //! 3. **Edge refinement and classification** — both run on the stitched
-//!    full-length normalized signal and the identical merged run list,
-//!    through literally the same code as the batch path.
+//!    run lists through literally the same code as the batch path
+//!    ([`crate::detect::refine_from_runs`]).
 //!
 //! Net: for any thread count and any input, the parallel profile is
 //! event-for-event (in fact bit-for-bit) identical to
@@ -30,9 +36,9 @@
 use emprof_obs as obs;
 use emprof_par::chunk::ChunkPlan;
 use emprof_par::{pool, Parallelism};
-use emprof_signal::stats;
+use emprof_signal::fused::{self, LevelRuns};
 
-use crate::detect::{record_event_metrics, sanitize_magnitude, Emprof};
+use crate::detect::{record_event_metrics, refine_from_runs, sanitize_magnitude, Emprof};
 use crate::profile::Profile;
 
 impl Emprof {
@@ -56,6 +62,12 @@ impl Emprof {
         clock_hz: f64,
         par: Parallelism,
     ) -> Profile {
+        if par.is_sequential() {
+            // The batch path folds the finite check into the fused kernel;
+            // handing off before sanitizing keeps the clean-path sequential
+            // case at exactly one read of the signal.
+            return self.profile_magnitude(magnitude, sample_rate_hz, clock_hz);
+        }
         // Same non-finite rejection as the batch path, applied before
         // chunking so every worker sees the identical survivor signal.
         let (magnitude, rejected) = sanitize_magnitude(magnitude);
@@ -64,7 +76,8 @@ impl Emprof {
         }
         let magnitude = &magnitude[..];
         let n = magnitude.len();
-        if par.is_sequential() || n < 2 {
+        if n < 2 {
+            // Already sanitized, so the batch fused pass cannot fail.
             return self.profile_magnitude(magnitude, sample_rate_hz, clock_hz);
         }
         let _span = obs::span!("par.profile");
@@ -74,33 +87,38 @@ impl Emprof {
         obs::gauge_set!("par.chunks", plan.count() as f64);
         obs::gauge_set!("par.threads", par.get().min(plan.count()) as f64);
 
-        // Per chunk: normalize the core range against full-signal context,
-        // then collect its below-threshold runs in global coordinates.
-        type ChunkPart = (Vec<f64>, Vec<(usize, usize)>);
-        let parts: Vec<ChunkPart> =
-            pool::parallel_map(par, plan.chunks(), |c| {
-                let norm = stats::normalize_moving_minmax_range(
-                    magnitude,
-                    cfg.norm_window_samples,
-                    c.start,
-                    c.end,
-                );
-                let runs: Vec<(usize, usize)> = self
-                    .threshold_runs(&norm)
-                    .into_iter()
-                    .map(|(s, e)| (s + c.start, e + c.start))
-                    .collect();
-                (norm, runs)
-            });
+        // Per chunk: one fused pass over the core range against
+        // full-signal context, emitting below-threshold and below-edge
+        // runs directly in global coordinates. The signal is sanitized,
+        // so the pass cannot hit a non-finite sample.
+        let parts: Vec<LevelRuns> = pool::parallel_map(par, plan.chunks(), |c| {
+            fused::detect_runs_range(
+                magnitude,
+                cfg.norm_window_samples,
+                cfg.threshold,
+                cfg.edge_level,
+                c.start,
+                c.end,
+                None,
+            )
+            .expect("chunk passes run on the sanitized signal")
+        });
 
         let _stitch = obs::span!("par.stitch");
-        let mut norm: Vec<f64> = Vec::with_capacity(n);
         let mut raw: Vec<(usize, usize)> = Vec::new();
-        for (part, runs) in parts {
-            norm.extend(part);
-            raw.extend(runs);
+        let mut below_edge: Vec<(usize, usize)> = Vec::new();
+        for part in parts {
+            raw.extend(part.below_threshold);
+            // Below-edge runs split at a seam abut with gap 0; runs from
+            // the same chunk never abut, so this rejoins exactly the
+            // seam splits and reconstructs the batch below-edge list.
+            for run in part.below_edge {
+                match below_edge.last_mut() {
+                    Some(last) if last.1 == run.0 => last.1 = run.1,
+                    _ => below_edge.push(run),
+                }
+            }
         }
-        debug_assert_eq!(norm.len(), n, "chunk cores must tile the capture");
 
         // The batch merge criterion, with seam-rejoin accounting. Within a
         // chunk, threshold runs are never abutting (a run only ends on an
@@ -121,7 +139,7 @@ impl Emprof {
         }
         obs::gauge_set!("par.merge_fixups", fixups as f64);
 
-        let dips = self.refine_edges(&norm, merged);
+        let dips = refine_from_runs(merged, &below_edge, n);
         let events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
         obs::counter_add!("detect.samples", n as u64);
         record_event_metrics(&events);

@@ -239,6 +239,15 @@ impl StreamingEmprof {
         }
     }
 
+    /// Pushes a batch of samples from a slice. Equivalent to
+    /// [`extend`](StreamingEmprof::extend); this is the server ingest
+    /// hot-path entry point, taking the borrowed batch directly.
+    pub fn extend_from_slice(&mut self, samples: &[f64]) {
+        for &s in samples {
+            self.push(s);
+        }
+    }
+
     /// Normalizes sample `self.normalized` using the exact centered
     /// window the batch detector uses, then advances the detector state.
     fn normalize_one(&mut self) {
@@ -451,14 +460,26 @@ impl StreamingEmprof {
     ///
     /// [`finish`]: StreamingEmprof::finish
     pub fn drain_events(&mut self) -> Vec<StallEvent> {
+        let mut out = Vec::new();
+        self.drain_events_into(&mut out);
+        out
+    }
+
+    /// [`drain_events`](StreamingEmprof::drain_events) into a
+    /// caller-owned buffer: appends the newly stable events to `out`
+    /// (which is *not* cleared) and returns how many were appended. A
+    /// long-lived caller can reuse one scratch vector across drains
+    /// instead of allocating per batch.
+    pub fn drain_events_into(&mut self, out: &mut Vec<StallEvent>) -> usize {
         let mut stable = self.events.len();
         if !self.tail_sealed && matches!(self.last_run, Some((_, _, true))) && stable > 0 {
             stable -= 1;
         }
         let stable = stable.max(self.drained);
-        let out = self.events[self.drained..stable].to_vec();
+        let fresh = stable - self.drained;
+        out.extend_from_slice(&self.events[self.drained..stable]);
         self.drained = stable;
-        out
+        fresh
     }
 
     /// Number of samples pushed so far.

@@ -607,6 +607,72 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// A SAMPLES frame decoded zero-copy: the sequence number plus the raw
+/// little-endian f64 payload bytes, borrowed straight from the receive
+/// buffer. Samples are decoded lazily as they are read, so a frame that
+/// is validated but never consumed costs no per-sample work at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplesView<'a> {
+    /// Sequence number of this batch (first sample's global index).
+    pub seq: u64,
+    /// Exactly `len() * 8` bytes of little-endian f64s.
+    raw: &'a [u8],
+}
+
+impl<'a> SamplesView<'a> {
+    /// Number of samples in the frame.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// Whether the frame carries no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterates the samples, decoding each f64 from the borrowed bytes.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.raw
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("chunks_exact yields 8 bytes")))
+    }
+
+    /// Appends every sample to `out`. Reserves once up front; when `out`
+    /// already has the capacity this performs no allocation.
+    pub fn copy_into(&self, out: &mut Vec<f64>) {
+        out.reserve(self.len());
+        out.extend(self.iter());
+    }
+}
+
+/// A decoded frame whose SAMPLES payload borrows from the input buffer;
+/// every other frame type decodes to its owned [`Frame`] representation.
+/// Produced by [`decode_frame_view`].
+#[derive(Debug)]
+pub enum FrameView<'a> {
+    /// A SAMPLES frame, zero-copy.
+    Samples(SamplesView<'a>),
+    /// Any other frame, decoded owned.
+    Owned(Frame),
+}
+
+/// Parses and bounds-checks a SAMPLES payload into a [`SamplesView`].
+/// Shares validation with the owned decode path: sequence number, sample
+/// count against [`MAX_SAMPLES_PER_FRAME`], exact payload length.
+fn samples_view(payload: &[u8]) -> Result<SamplesView<'_>, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let seq = c.u64()?;
+    let count = c.u32()?;
+    if count > MAX_SAMPLES_PER_FRAME {
+        return Err(ProtoError::Malformed("sample count exceeds bound"));
+    }
+    let raw = c.take(count as usize * 8)?;
+    c.done()?;
+    Ok(SamplesView { seq, raw })
+}
+
 fn put_string(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = bytes.len().min(MAX_STRING);
@@ -1012,16 +1078,15 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             trace_id: c.u64()?,
         },
         FrameType::Samples => {
-            let seq = c.u64()?;
-            let count = c.u32()?;
-            if count > MAX_SAMPLES_PER_FRAME {
-                return Err(ProtoError::Malformed("sample count exceeds bound"));
-            }
-            let mut samples = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                samples.push(c.f64()?);
-            }
-            Frame::Samples { seq, samples }
+            // Validated through the same view parser the zero-copy server
+            // ingest path uses, then materialized for owned callers.
+            let view = samples_view(payload)?;
+            let mut samples = Vec::with_capacity(view.len());
+            view.copy_into(&mut samples);
+            return Ok(Frame::Samples {
+                seq: view.seq,
+                samples,
+            });
         }
         FrameType::Flush => Frame::Flush,
         FrameType::Fin => Frame::Fin,
@@ -1181,15 +1246,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
     })
 }
 
-/// Header validation shared by the streaming reader and the pure-bytes
-/// decoder: `fetch` is called with the validated, bounded payload length.
-fn decode_header_then_payload<F>(
-    header: &[u8; HEADER_LEN],
-    fetch: F,
-) -> Result<Frame, ProtoError>
-where
-    F: FnOnce(usize) -> Result<Vec<u8>, ProtoError>,
-{
+/// Validates a frame header, returning the frame type, flags, payload
+/// length, and expected payload checksum. Checks run in wire order:
+/// magic, version, header checksum, length bound, frame type.
+fn validate_header(header: &[u8; HEADER_LEN]) -> Result<(FrameType, u8, usize, u32), ProtoError> {
     if u16::from_le_bytes(header[0..2].try_into().unwrap()) != MAGIC {
         return Err(ProtoError::BadMagic);
     }
@@ -1205,36 +1265,78 @@ where
         return Err(ProtoError::Oversized(len));
     }
     let ty = FrameType::from_u8(header[4]).ok_or(ProtoError::UnknownType(header[4]))?;
-    let payload = fetch(len as usize)?;
-    if fnv1a32(&payload) != u32::from_le_bytes(header[12..16].try_into().unwrap()) {
+    let sum = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    Ok((ty, header[5], len as usize, sum))
+}
+
+/// Header validation for the streaming reader: `fetch` is called with
+/// the validated, bounded payload length.
+fn decode_header_then_payload<F>(
+    header: &[u8; HEADER_LEN],
+    fetch: F,
+) -> Result<Frame, ProtoError>
+where
+    F: FnOnce(usize) -> Result<Vec<u8>, ProtoError>,
+{
+    let (ty, flags, len, sum) = validate_header(header)?;
+    let payload = fetch(len)?;
+    if fnv1a32(&payload) != sum {
         return Err(ProtoError::PayloadChecksum);
     }
-    decode_payload(ty, header[5], &payload)
+    decode_payload(ty, flags, &payload)
+}
+
+/// Validates and splits one frame out of a byte slice **without
+/// copying**: header checks, then the payload checksum verified over the
+/// borrowed payload bytes. Returns the frame type, flags, the payload
+/// slice, and the total bytes consumed.
+fn split_frame(bytes: &[u8]) -> Result<(FrameType, u8, &[u8], usize), ProtoError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+    let (ty, flags, len, sum) = validate_header(header)?;
+    let end = HEADER_LEN
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()))?;
+    let payload = &bytes[HEADER_LEN..end];
+    if fnv1a32(payload) != sum {
+        return Err(ProtoError::PayloadChecksum);
+    }
+    Ok((ty, flags, payload, end))
 }
 
 /// Decodes one frame from a byte slice, returning the frame and how many
 /// bytes it consumed. Used by tests and anyone framing over a non-`Read`
-/// transport.
+/// transport. The payload is decoded in place (no intermediate copy);
+/// the returned [`Frame`] owns whatever it decoded to.
 ///
 /// # Errors
 ///
 /// [`ProtoError::Io`] with `UnexpectedEof` when the slice holds less
 /// than one whole frame; other [`ProtoError`]s as in [`read_frame`].
 pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtoError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()));
-    }
-    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
-    let mut consumed = HEADER_LEN;
-    let frame = decode_header_then_payload(&header, |len| {
-        let end = HEADER_LEN
-            .checked_add(len)
-            .filter(|&e| e <= bytes.len())
-            .ok_or(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()))?;
-        consumed = end;
-        Ok(bytes[HEADER_LEN..end].to_vec())
-    })?;
-    Ok((frame, consumed))
+    let (ty, flags, payload, consumed) = split_frame(bytes)?;
+    Ok((decode_payload(ty, flags, payload)?, consumed))
+}
+
+/// [`decode_frame`], except SAMPLES payloads are returned as a borrowed
+/// [`SamplesView`] instead of an owned `Vec<f64>`. This is the server
+/// ingest hot path: for a well-formed SAMPLES frame the call performs
+/// **zero heap allocation** — validation, checksumming, and sample
+/// access all happen against the caller's receive buffer.
+///
+/// # Errors
+///
+/// Exactly as [`decode_frame`].
+pub fn decode_frame_view(bytes: &[u8]) -> Result<(FrameView<'_>, usize), ProtoError> {
+    let (ty, flags, payload, consumed) = split_frame(bytes)?;
+    let view = match ty {
+        FrameType::Samples => FrameView::Samples(samples_view(payload)?),
+        _ => FrameView::Owned(decode_payload(ty, flags, payload)?),
+    };
+    Ok((view, consumed))
 }
 
 #[cfg(test)]

@@ -837,23 +837,41 @@ impl Conn {
     /// Reads one frame. `Ok(None)` means the peer closed cleanly between
     /// frames, or shutdown was requested while waiting.
     fn read_frame(&mut self, shutdown: &AtomicBool) -> Result<Option<Frame>, ProtoError> {
-        self.read_frame_hb(shutdown, None::<(Duration, fn() -> Frame)>)
+        self.read_frame_hb(shutdown, None::<(Duration, fn() -> Frame)>, Vec::new)
     }
 
     /// [`Conn::read_frame`] with an optional heartbeat: while the peer
     /// is quiet past `interval`, `make` builds a frame to write (the
     /// liveness signal) and the idle clock restarts. A heartbeat write
     /// failure is a transport loss, surfaced as an I/O error.
+    ///
+    /// SAMPLES frames are decoded zero-copy from the accumulation buffer
+    /// and their samples written into a vector obtained from
+    /// `samples_buf` — the session loop hands out pooled buffers here,
+    /// making steady-state ingest allocation-free per frame.
     fn read_frame_hb<F: Fn() -> Frame>(
         &mut self,
         shutdown: &AtomicBool,
         heartbeat: Option<(Duration, F)>,
+        mut samples_buf: impl FnMut() -> Vec<f64>,
     ) -> Result<Option<Frame>, ProtoError> {
         let mut last_io = Instant::now();
         loop {
             if self.buf.len() >= proto::HEADER_LEN {
-                match proto::decode_frame(&self.buf) {
-                    Ok((frame, consumed)) => {
+                match proto::decode_frame_view(&self.buf) {
+                    Ok((view, consumed)) => {
+                        let frame = match view {
+                            proto::FrameView::Samples(v) => {
+                                let mut samples = samples_buf();
+                                samples.clear();
+                                v.copy_into(&mut samples);
+                                Frame::Samples {
+                                    seq: v.seq,
+                                    samples,
+                                }
+                            }
+                            proto::FrameView::Owned(frame) => frame,
+                        };
                         self.buf.drain(..consumed);
                         return Ok(Some(frame));
                     }
@@ -999,7 +1017,7 @@ fn watch_connection(conn: &mut Conn, shared: &Arc<Shared>) {
             .config
             .heartbeat_interval
             .map(|iv| (iv, || Frame::Heartbeat { acked_seq: 0 }));
-        match conn.read_frame_hb(&shared.shutdown, hb) {
+        match conn.read_frame_hb(&shared.shutdown, hb, Vec::new) {
             Ok(Some(Frame::Watch { cursor })) => {
                 let (next, missed, events) = shared
                     .tail
@@ -1193,7 +1211,9 @@ fn session_loop(
                 acked_seq: session.acked_seq(),
             })
         });
-        match conn.read_frame_hb(&shared.shutdown, hb) {
+        // SAMPLES frames decode into buffers recycled from this session's
+        // pool, so a steady sample stream allocates nothing per frame.
+        match conn.read_frame_hb(&shared.shutdown, hb, || session.take_buffer()) {
             Ok(Some(Frame::Samples { seq, samples })) => {
                 if !session.is_current(generation) {
                     // A resumed connection took over; bow out silently.

@@ -174,7 +174,19 @@ pub struct Session {
     detached_gen: AtomicU64,
     /// Nanoseconds since the registry epoch of the last client activity.
     last_active_ns: AtomicU64,
+    /// Recycled sample buffers: the connection reader decodes each
+    /// SAMPLES frame into one of these ([`Session::take_buffer`]), the
+    /// draining worker returns it after the detector consumed it, so
+    /// steady-state ingest circulates a small set of allocations instead
+    /// of allocating per frame. Buffers shed under overload are simply
+    /// dropped (the pool refills on the next miss).
+    spare_bufs: Mutex<Vec<Vec<f64>>>,
 }
+
+/// Cap on pooled sample buffers per session; enough to cover the frames
+/// simultaneously in flight between reader and workers without letting
+/// an ingest burst pin memory forever.
+const SPARE_BUFS_MAX: usize = 8;
 
 impl Session {
     #[allow(clippy::too_many_arguments)]
@@ -214,6 +226,7 @@ impl Session {
             conn_generation: AtomicU64::new(0),
             detached_gen: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
+            spare_bufs: Mutex::new(Vec::new()),
         }
     }
 
@@ -295,6 +308,32 @@ impl Session {
             conn_generation: AtomicU64::new(0),
             detached_gen: AtomicU64::new(0),
             last_active_ns: AtomicU64::new(epoch.elapsed().as_nanos() as u64),
+            spare_bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a recycled sample buffer (empty, capacity retained) for the
+    /// connection reader to decode the next SAMPLES frame into; falls
+    /// back to a fresh allocation when the pool is dry.
+    pub fn take_buffer(&self) -> Vec<f64> {
+        self.spare_bufs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a drained sample buffer to the pool for reuse. Buffers
+    /// beyond [`SPARE_BUFS_MAX`] (or with no capacity worth keeping) are
+    /// dropped.
+    fn recycle_buffer(&self, mut buf: Vec<f64>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.spare_bufs.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SPARE_BUFS_MAX {
+            pool.push(buf);
         }
     }
 
@@ -499,6 +538,9 @@ impl Session {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let started = Instant::now();
         let mut batches = 0;
+        // Scratch for freshly drained events, reused across every batch
+        // this call processes (cleared, capacity kept).
+        let mut fresh: Vec<StallEvent> = Vec::new();
         while let Some(work) = self.queue.try_pop() {
             match work {
                 Work::Samples(samples) => {
@@ -507,15 +549,17 @@ impl Session {
                         std::thread::sleep(delay);
                     }
                     if let Some(detector) = st.detector.as_mut() {
-                        detector.extend(samples.iter().copied());
-                        let fresh = detector.drain_events();
-                        if !fresh.is_empty() {
+                        detector.extend_from_slice(&samples);
+                        fresh.clear();
+                        if detector.drain_events_into(&mut fresh) > 0 {
                             on_events(&fresh);
-                            self.admit_events(&mut st, fresh);
+                            self.admit_events(&mut st, &fresh);
                         }
                     }
                     // A finalized session silently discards late batches;
                     // the client learns its fate on the next control frame.
+                    // Either way the buffer goes back to the ingest pool.
+                    self.recycle_buffer(samples);
                 }
                 Work::Flush(reply) => {
                     let (first_seq, events) = self.undelivered_locked(&st);
@@ -554,7 +598,7 @@ impl Session {
     /// to FLUSH replies. A recovery replay regenerates events the
     /// journal already holds; the `journaled_events` watermark keeps
     /// those from being written twice.
-    fn admit_events(&self, st: &mut SessionState, fresh: Vec<StallEvent>) {
+    fn admit_events(&self, st: &mut SessionState, fresh: &[StallEvent]) {
         if fresh.is_empty() {
             return;
         }
@@ -570,7 +614,7 @@ impl Session {
             }
         }
         st.journaled_events = st.journaled_events.max(last_seq);
-        st.events.extend(fresh);
+        st.events.extend_from_slice(fresh);
     }
 
     /// The reply to any FLUSH/FIN: everything past the acked cursor.
@@ -593,9 +637,9 @@ impl Session {
         st.final_samples_rejected = detector.samples_rejected() as u64;
         let profile = detector.finish();
         st.final_samples_pushed = profile.total_samples() as u64;
-        let tail = profile.events()[st.events.len()..].to_vec();
+        let tail = &profile.events()[st.events.len()..];
         if !tail.is_empty() {
-            on_events(&tail);
+            on_events(tail);
             self.admit_events(st, tail);
         }
         if let Some(j) = &self.journal {

@@ -1,0 +1,368 @@
+//! Fused one-pass normalization + dip-run detection.
+//!
+//! EMPROF's practicality rests on keeping up with tens of millions of EM
+//! samples per second; the multi-pass pipeline in [`crate::stats`]
+//! (moving min, moving max, normalize, then a threshold scan downstream)
+//! reads the signal four times and materializes three intermediate
+//! vectors. This module fuses all of it into a single pass: both
+//! monotonic wedges advance together, each sample is normalized inline
+//! the moment its centered window is complete, and the below-level runs
+//! the detector needs are emitted directly — no intermediate vector is
+//! written unless the caller explicitly asks for the normalized signal.
+//!
+//! The output is **bit-identical** to the multi-pass reference: the
+//! wedges admit and evict in the same order as
+//! [`stats::moving_min_range`](crate::stats::moving_min_range) /
+//! [`stats::moving_max_range`](crate::stats::moving_max_range), and the
+//! normalization expression is character-for-character the one in
+//! [`stats::normalize_moving_minmax`](crate::stats::normalize_moving_minmax).
+//! `tests/prop_fused.rs` property-checks this equivalence.
+//!
+//! The pass also carries the detector's finite-sample admission check:
+//! every sample it reads is verified finite *as it enters the wedges*
+//! (each sample enters exactly once), so callers no longer need a
+//! separate whole-signal pre-scan to know a signal is clean — the
+//! overwhelmingly common case costs zero extra reads, and a dirty signal
+//! is reported via `Err` with the offending index so the caller can fall
+//! back to its sanitize-and-retry path.
+
+use std::collections::VecDeque;
+
+/// Below-level runs found by one fused pass, each as `(start, end)` in
+/// **global** signal coordinates (half-open, `end` exclusive).
+///
+/// The two lists are independent level scans over the same normalized
+/// values: `below_threshold` holds the maximal runs where the normalized
+/// sample is `< threshold` (the detector's dip candidates), `below_edge`
+/// the maximal runs where it is `< edge_level` (the context edge
+/// refinement widens dips into). When `threshold <= edge_level` — the
+/// invariant EMPROF's configuration validation enforces — every
+/// below-threshold run lies inside some below-edge run, which is what
+/// lets edge refinement run from these run lists alone, without the
+/// normalized signal ever being materialized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelRuns {
+    /// Maximal runs of normalized samples `< threshold`.
+    pub below_threshold: Vec<(usize, usize)>,
+    /// Maximal runs of normalized samples `< edge_level`.
+    pub below_edge: Vec<(usize, usize)>,
+}
+
+/// One-pass fused normalize + run detection over the whole signal.
+///
+/// Equivalent to `normalize_moving_minmax(signal, window)` followed by
+/// threshold scans at `threshold` and `edge_level`, but reads the signal
+/// once and allocates nothing of the signal's size.
+///
+/// # Errors
+///
+/// Returns `Err(i)` when `signal[i]` is the first non-finite sample
+/// (NaN, ±inf) the pass reads; over the full signal every sample is
+/// read, so `Ok` proves the signal clean. Any partially produced state
+/// is discarded.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn detect_runs(
+    signal: &[f64],
+    window: usize,
+    threshold: f64,
+    edge_level: f64,
+) -> Result<LevelRuns, usize> {
+    detect_runs_range(signal, window, threshold, edge_level, 0, signal.len(), None)
+}
+
+/// [`detect_runs`] restricted to output positions `[start, end)`, with
+/// optional materialization of the normalized signal.
+///
+/// Each output position is normalized against the same centered window
+/// *into the full signal* as the full pass would use, so the emitted
+/// runs are exactly the full pass's runs clipped to `[start, end)` (a
+/// run crossing a range boundary is reported truncated at it) — the
+/// chunk-equivalence property the parallel detector stitches on. Runs
+/// are in global coordinates.
+///
+/// When `norm_out` is `Some`, the normalized value of every position in
+/// `[start, end)` is appended to it (the vector is not cleared), giving
+/// bit-identical output to
+/// [`stats::normalize_moving_minmax_range`](crate::stats::normalize_moving_minmax_range).
+///
+/// # Errors
+///
+/// Returns `Err(i)` on the first non-finite sample read. The pass reads
+/// exactly the samples some window in the range covers:
+/// `[start - window/2, end + window/2)` clipped to the signal. On `Err`,
+/// `norm_out` may hold partial output; callers that retry must truncate
+/// it back themselves.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `start..end` is not a valid range into the
+/// signal.
+pub fn detect_runs_range(
+    signal: &[f64],
+    window: usize,
+    threshold: f64,
+    edge_level: f64,
+    start: usize,
+    end: usize,
+    mut norm_out: Option<&mut Vec<f64>>,
+) -> Result<LevelRuns, usize> {
+    assert!(window > 0, "window must be nonzero");
+    let n = signal.len();
+    assert!(
+        start <= end && end <= n,
+        "range {start}..{end} out of bounds for length {n}"
+    );
+    let mut runs = LevelRuns::default();
+    if start == end {
+        return Ok(runs);
+    }
+    let half = window / 2;
+    let last = n - 1;
+    // Monotonic wedges over (index, value): values are stored alongside
+    // indices so wedge maintenance never re-reads the signal. Bounded by
+    // the window length, so the pass allocates O(window), not O(n).
+    let mut min_wedge: VecDeque<(usize, f64)> = VecDeque::with_capacity(window.min(n) + 1);
+    let mut max_wedge: VecDeque<(usize, f64)> = VecDeque::with_capacity(window.min(n) + 1);
+    let mut right = start.saturating_sub(half); // next index to admit
+    // Prime both wedges with the first admitted sample so the hot loop
+    // can keep each wedge's front entry cached in locals (`min_front`,
+    // `max_front`) instead of going through the ring buffer every
+    // iteration; the wedges are non-empty from here on (eviction only
+    // removes samples that left the window, and the window always holds
+    // at least the output sample itself).
+    let v0 = signal[right];
+    if !v0.is_finite() {
+        return Err(right);
+    }
+    min_wedge.push_back((right, v0));
+    max_wedge.push_back((right, v0));
+    let mut min_front = (right, v0);
+    let mut max_front = (right, v0);
+    right += 1;
+    let mut th_start: Option<usize> = None;
+    let mut ed_start: Option<usize> = None;
+    for (off, &v_i) in signal[start..end].iter().enumerate() {
+        let i = start + off;
+        // Admit every sample the window centered on `i` can see. Each
+        // sample is admitted exactly once — this is where it is read,
+        // and where it is checked finite.
+        let win_end = (i + half).min(last);
+        while right <= win_end {
+            let v = signal[right];
+            if !v.is_finite() {
+                return Err(right);
+            }
+            if v <= min_front.1 {
+                // New window minimum: the pop loop below would drain the
+                // whole wedge (every stored value is >= the front's), so
+                // collapse it in one step and refresh the cached front.
+                min_wedge.clear();
+                min_wedge.push_back((right, v));
+                min_front = (right, v);
+            } else {
+                while min_wedge.back().is_some_and(|&(_, b)| v <= b) {
+                    min_wedge.pop_back();
+                }
+                min_wedge.push_back((right, v));
+            }
+            if v >= max_front.1 {
+                max_wedge.clear();
+                max_wedge.push_back((right, v));
+                max_front = (right, v);
+            } else {
+                while max_wedge.back().is_some_and(|&(_, b)| v >= b) {
+                    max_wedge.pop_back();
+                }
+                max_wedge.push_back((right, v));
+            }
+            right += 1;
+        }
+        // Evict entries that fell out of the window, then normalize
+        // inline — the same expression as `normalize_moving_minmax`.
+        // Only the cached fronts are consulted on the no-eviction path.
+        let win_start = i.saturating_sub(half);
+        while min_front.0 < win_start {
+            min_wedge.pop_front();
+            min_front = *min_wedge.front().expect("window always non-empty");
+        }
+        while max_front.0 < win_start {
+            max_wedge.pop_front();
+            max_front = *max_wedge.front().expect("window always non-empty");
+        }
+        let lo = min_front.1;
+        let hi = max_front.1;
+        let v = v_i;
+        let normalized = if hi > lo {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if let Some(out) = norm_out.as_deref_mut() {
+            out.push(normalized);
+        }
+        // Run bookkeeping for both levels.
+        if normalized < threshold {
+            if th_start.is_none() {
+                th_start = Some(i);
+            }
+        } else if let Some(s) = th_start.take() {
+            runs.below_threshold.push((s, i));
+        }
+        if normalized < edge_level {
+            if ed_start.is_none() {
+                ed_start = Some(i);
+            }
+        } else if let Some(s) = ed_start.take() {
+            runs.below_edge.push((s, i));
+        }
+    }
+    if let Some(s) = th_start {
+        runs.below_threshold.push((s, end));
+    }
+    if let Some(s) = ed_start {
+        runs.below_edge.push((s, end));
+    }
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::normalize_moving_minmax;
+
+    /// The multi-pass reference: normalize, then scan runs at `level`.
+    fn reference_runs(norm: &[f64], level: f64) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &v) in norm.iter().enumerate() {
+            if v < level {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                runs.push((s, i));
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, norm.len()));
+        }
+        runs
+    }
+
+    fn test_signal(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let drift = 1.0 + 0.1 * (i as f64 * 1e-3).sin();
+                let noise = ((i * 2_654_435_761_usize) % 1000) as f64 / 2500.0;
+                let dip = if i % 97 < 7 { 0.15 } else { 1.0 };
+                5.0 * drift * dip + noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_multi_pass_reference() {
+        let signal = test_signal(2_000);
+        for window in [1, 2, 3, 16, 64, 401, 1999, 5000] {
+            let norm = normalize_moving_minmax(&signal, window);
+            let mut fused_norm = Vec::new();
+            let runs = detect_runs_range(
+                &signal,
+                window,
+                0.35,
+                0.5,
+                0,
+                signal.len(),
+                Some(&mut fused_norm),
+            )
+            .expect("clean signal");
+            assert_eq!(fused_norm, norm, "window {window}");
+            assert_eq!(runs.below_threshold, reference_runs(&norm, 0.35));
+            assert_eq!(runs.below_edge, reference_runs(&norm, 0.5));
+        }
+    }
+
+    #[test]
+    fn range_outputs_clip_the_full_runs() {
+        let signal = test_signal(1_500);
+        let window = 120;
+        let full_norm = normalize_moving_minmax(&signal, window);
+        for (start, end) in [(0, 1500), (0, 1), (1499, 1500), (250, 901), (700, 700)] {
+            let mut norm = Vec::new();
+            let runs = detect_runs_range(
+                &signal,
+                window,
+                0.35,
+                0.5,
+                start,
+                end,
+                Some(&mut norm),
+            )
+            .expect("clean signal");
+            assert_eq!(norm, full_norm[start..end], "range {start}..{end}");
+            // Runs over the range are the reference runs of the slice,
+            // shifted into global coordinates.
+            let expect = |level: f64| -> Vec<(usize, usize)> {
+                reference_runs(&full_norm[start..end], level)
+                    .into_iter()
+                    .map(|(s, e)| (s + start, e + start))
+                    .collect()
+            };
+            assert_eq!(runs.below_threshold, expect(0.35), "range {start}..{end}");
+            assert_eq!(runs.below_edge, expect(0.5), "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn flat_signal_has_no_runs() {
+        // Flat windows normalize to 1.0 ("busy"), never below a level.
+        let runs = detect_runs(&[4.2; 300], 16, 0.35, 0.5).expect("clean");
+        assert!(runs.below_threshold.is_empty());
+        assert!(runs.below_edge.is_empty());
+    }
+
+    #[test]
+    fn all_dip_signal_is_one_run() {
+        // A lone spike makes everything else the window floor.
+        let mut signal = vec![0.1; 200];
+        signal[100] = 50.0;
+        let runs = detect_runs(&signal, 500, 0.35, 0.5).expect("clean");
+        assert_eq!(runs.below_threshold, vec![(0, 100), (101, 200)]);
+        assert_eq!(runs.below_edge, vec![(0, 100), (101, 200)]);
+    }
+
+    #[test]
+    fn non_finite_sample_reports_its_index() {
+        let mut signal = test_signal(500);
+        signal[317] = f64::NAN;
+        assert_eq!(detect_runs(&signal, 64, 0.35, 0.5), Err(317));
+        signal[317] = f64::INFINITY;
+        assert_eq!(detect_runs(&signal, 64, 0.35, 0.5), Err(317));
+        // A range whose windows never read index 317 does not see it.
+        signal[317] = f64::NAN;
+        assert!(detect_runs_range(&signal, 64, 0.35, 0.5, 0, 200, None).is_ok());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(detect_runs(&[], 8, 0.35, 0.5), Ok(LevelRuns::default()));
+        let signal = test_signal(100);
+        assert_eq!(
+            detect_runs_range(&signal, 8, 0.35, 0.5, 40, 40, None),
+            Ok(LevelRuns::default())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = detect_runs(&[1.0], 0, 0.35, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_range_panics() {
+        let _ = detect_runs_range(&[1.0, 2.0], 3, 0.35, 0.5, 1, 5, None);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`noise`] — additive white Gaussian noise sources,
 //! * [`stats`] — O(n) moving minimum/maximum/average used by EMPROF's
 //!   normalization stage,
+//! * [`fused`] — the one-pass fused normalize-and-detect kernel the
+//!   detector hot path runs on,
 //! * [`fft`] and [`stft`] — radix-2 FFT and short-time Fourier transform for
 //!   the Spectral-Profiling-style code attribution.
 //!
@@ -39,6 +41,7 @@
 mod complex;
 pub mod fft;
 pub mod fir;
+pub mod fused;
 pub mod noise;
 pub mod resample;
 pub mod stats;

@@ -10,8 +10,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Pipeline throughput smoke: sequential vs parallel at 1/2/4 threads plus
 # the direct-vs-FFT FIR crossover; asserts thread-count invariance and
-# writes BENCH_pipeline.json.
-cargo run -q --release -p emprof-bench --bin perf_pipeline -- --smoke --out BENCH_pipeline.json
+# writes BENCH_pipeline.json. The committed baseline is saved first so
+# the run doubles as a perf regression gate: the bench exits nonzero if
+# 1-thread detector throughput drops >20% below the committed number.
+PERF_BASELINE="$(mktemp)"
+cp BENCH_pipeline.json "$PERF_BASELINE"
+cargo run -q --release -p emprof-bench --bin perf_pipeline -- --smoke --out BENCH_pipeline.json --check-against "$PERF_BASELINE"
+rm -f "$PERF_BASELINE"
 
 # Served-equals-batch equivalence: random signals, frame sizes, FLUSH
 # patterns, and concurrent sessions against a real loopback server.

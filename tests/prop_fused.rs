@@ -1,0 +1,173 @@
+//! Property-based equivalence of the fused one-pass detector kernel
+//! against the multi-pass reference it replaced.
+//!
+//! The contract under test (DESIGN.md §13): `fused::detect_runs_range`
+//! produces **bit-identical** normalized values to
+//! `stats::normalize_moving_minmax`, and its below-level run lists are
+//! exactly the runs a threshold scan over that normalized signal finds —
+//! for every window size, threshold/edge pair, output range, and for
+//! pathological inputs (flat signals, all-dip signals, signals with
+//! non-finite samples).
+
+use emprof::signal::fused::{self, LevelRuns};
+use emprof::signal::stats::{normalize_moving_minmax, normalize_moving_minmax_range};
+use proptest::prelude::*;
+
+fn bounded_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+/// The multi-pass reference: maximal runs of `norm[i] < level`, half-open.
+fn reference_runs(norm: &[f64], level: f64) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = None;
+    for (i, &v) in norm.iter().enumerate() {
+        if v < level {
+            start.get_or_insert(i);
+        } else if let Some(s) = start.take() {
+            runs.push((s, i));
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s, norm.len()));
+    }
+    runs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-signal pass: bit-identical normalization and identical run
+    /// lists at both detection levels.
+    #[test]
+    fn fused_full_pass_matches_reference(
+        signal in bounded_signal(400),
+        window in 1usize..300,
+        threshold in 0.05f64..0.9,
+        edge_gap in 0.0f64..0.4,
+    ) {
+        let edge_level = (threshold + edge_gap).min(0.99);
+        let norm = normalize_moving_minmax(&signal, window);
+        let mut fused_norm = Vec::new();
+        let runs = fused::detect_runs_range(
+            &signal, window, threshold, edge_level, 0, signal.len(), Some(&mut fused_norm),
+        ).expect("finite signal");
+        // Bit-identical, not just approximately equal: exact f64 compare.
+        prop_assert_eq!(&fused_norm, &norm);
+        prop_assert_eq!(&runs.below_threshold, &reference_runs(&norm, threshold));
+        prop_assert_eq!(&runs.below_edge, &reference_runs(&norm, edge_level));
+    }
+
+    /// Range passes see full-signal window context: the emitted runs are
+    /// the full pass's runs clipped to the range, and the normalized
+    /// values match `normalize_moving_minmax_range` bit-for-bit.
+    #[test]
+    fn fused_range_pass_clips_full_runs(
+        signal in bounded_signal(300),
+        window in 1usize..200,
+        cut in 0.0f64..1.0,
+        width in 0.0f64..1.0,
+    ) {
+        let n = signal.len();
+        let start = ((n as f64) * cut) as usize;
+        let end = (start + (((n - start) as f64) * width) as usize).min(n);
+        let full_norm = normalize_moving_minmax(&signal, window);
+        let mut norm = Vec::new();
+        let runs = fused::detect_runs_range(
+            &signal, window, 0.35, 0.5, start, end, Some(&mut norm),
+        ).expect("finite signal");
+        prop_assert_eq!(&norm[..], &full_norm[start..end]);
+        let range_ref = normalize_moving_minmax_range(&signal, window, start, end);
+        prop_assert_eq!(&norm, &range_ref);
+        let clip = |level: f64| -> Vec<(usize, usize)> {
+            reference_runs(&full_norm[start..end], level)
+                .into_iter()
+                .map(|(s, e)| (s + start, e + start))
+                .collect()
+        };
+        prop_assert_eq!(&runs.below_threshold, &clip(0.35));
+        prop_assert_eq!(&runs.below_edge, &clip(0.5));
+    }
+
+    /// A single non-finite sample anywhere is reported with its exact
+    /// index, regardless of window geometry.
+    #[test]
+    fn non_finite_sample_is_located(
+        signal in bounded_signal(200),
+        window in 1usize..128,
+        pos in 0.0f64..1.0,
+        kind in 0usize..3,
+    ) {
+        let mut signal = signal;
+        let idx = ((signal.len() - 1) as f64 * pos) as usize;
+        signal[idx] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        prop_assert_eq!(
+            fused::detect_runs(&signal, window, 0.35, 0.5),
+            Err(idx)
+        );
+    }
+}
+
+/// Flat signals normalize to 1.0 everywhere (the `hi == lo` branch) and
+/// therefore produce no runs at any level, matching the reference.
+#[test]
+fn flat_signal_matches_reference() {
+    for level in [0.0, 4.2, -3.0] {
+        let signal = vec![level; 500];
+        for window in [1, 2, 7, 100, 1000] {
+            let norm = normalize_moving_minmax(&signal, window);
+            let mut fused_norm = Vec::new();
+            let runs = fused::detect_runs_range(
+                &signal, window, 0.35, 0.5, 0, signal.len(), Some(&mut fused_norm),
+            )
+            .expect("finite");
+            assert_eq!(fused_norm, norm);
+            assert_eq!(runs, LevelRuns::default());
+        }
+    }
+}
+
+/// An all-dip signal (one spike dominating the window) is one maximal
+/// run on each side of the spike, exactly as the reference sees it.
+#[test]
+fn all_dip_signal_matches_reference() {
+    let mut signal = vec![0.05; 400];
+    signal[200] = 25.0;
+    for window in [3, 64, 801, 4000] {
+        let norm = normalize_moving_minmax(&signal, window);
+        let runs = fused::detect_runs(&signal, window, 0.35, 0.5).expect("finite");
+        assert_eq!(runs.below_threshold, reference_runs(&norm, 0.35), "window {window}");
+        assert_eq!(runs.below_edge, reference_runs(&norm, 0.5), "window {window}");
+    }
+}
+
+/// NaN-adjacent values that are still finite (subnormals, MAX, -MAX)
+/// flow through the kernel bit-identically to the reference.
+#[test]
+fn extreme_finite_values_match_reference() {
+    let signal = vec![
+        f64::MAX / 4.0,
+        -f64::MAX / 4.0,
+        f64::MIN_POSITIVE,
+        0.0,
+        -0.0,
+        1e-300,
+        -1e-300,
+        5.0,
+        0.1,
+        f64::MAX / 4.0,
+        0.2,
+        0.3,
+    ];
+    for window in [1, 2, 3, 5, 24] {
+        let norm = normalize_moving_minmax(&signal, window);
+        let mut fused_norm = Vec::new();
+        let runs = fused::detect_runs_range(
+            &signal, window, 0.35, 0.5, 0, signal.len(), Some(&mut fused_norm),
+        )
+        .expect("finite");
+        assert_eq!(fused_norm, norm, "window {window}");
+        assert_eq!(runs.below_threshold, reference_runs(&norm, 0.35));
+        assert_eq!(runs.below_edge, reference_runs(&norm, 0.5));
+    }
+}
