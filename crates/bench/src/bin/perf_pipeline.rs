@@ -21,8 +21,11 @@
 //! nothing about the implementation (the `host_parallelism` field
 //! records what the bench ran on). `--check-against BASELINE.json`
 //! turns the run into a regression gate: the process exits nonzero when
-//! the 1-thread detector throughput falls more than 20% below the
-//! baseline's.
+//! the 1-thread detector *or* 1-thread end-to-end pipeline throughput
+//! falls more than 20% below the baseline's. On a host too small for
+//! the sweep (any row ran oversubscribed) the gate is skipped outright
+//! with a logged reason — time-shared throughput is noise and a pass or
+//! fail from it would be equally meaningless.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -81,42 +84,66 @@ fn main() {
 const REGRESSION_FLOOR: f64 = 0.8;
 
 /// The `--check-against BASELINE.json` regression gate: compares this
-/// run's 1-thread detector throughput against the committed baseline
-/// and exits nonzero on a >20% regression. Single-thread only — it is
-/// the one number that is meaningful on any host, including the
-/// single-core CI boxes where parallel speedups are noise.
+/// run's 1-thread detector and 1-thread end-to-end pipeline throughput
+/// against the committed baseline and exits nonzero on a >20%
+/// regression in either leg. Single-thread rows only — they are the
+/// numbers that are meaningful on any host where the sweep itself fit;
+/// when it did not (any `"oversubscribed": true` row in the fresh run)
+/// the whole gate is skipped with a logged reason rather than passing
+/// or failing on time-shared noise.
 fn check_regression(baseline_path: &str, fresh_json: &str) {
+    if fresh_json.contains("\"oversubscribed\": true") {
+        let host = Parallelism::available().get();
+        println!(
+            "regression gate: SKIPPED — host parallelism {host} is below the \
+             {}-thread sweep, so this run was oversubscribed and its \
+             throughput numbers are time-shared noise",
+            THREAD_SWEEP.iter().max().expect("sweep is non-empty")
+        );
+        return;
+    }
     let baseline = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-    let old = scrape_detector_1t(&baseline)
-        .expect("baseline has no 1-thread detector samples_per_sec entry");
-    let new = scrape_detector_1t(fresh_json).expect("fresh run has no detector entry");
-    let floor = old * REGRESSION_FLOOR;
-    println!(
-        "regression gate: detector 1T {:.1} Msamples/s vs baseline {:.1} (floor {:.1})",
-        new / 1e6,
-        old / 1e6,
-        floor / 1e6
-    );
-    if new < floor {
-        eprintln!(
-            "FAIL: single-thread detector throughput regressed more than \
-             {:.0}% ({:.1} < {:.1} Msamples/s)",
-            (1.0 - REGRESSION_FLOOR) * 100.0,
+    let mut failed = false;
+    for leg in ["detector", "pipeline"] {
+        let Some(old) = scrape_1t(&baseline, leg) else {
+            // An older baseline without this leg is not a regression;
+            // say so instead of silently narrowing the gate.
+            println!("regression gate: {leg} 1T absent from baseline, leg skipped");
+            continue;
+        };
+        let new = scrape_1t(fresh_json, leg)
+            .unwrap_or_else(|| panic!("fresh run has no 1-thread {leg} entry"));
+        let floor = old * REGRESSION_FLOOR;
+        println!(
+            "regression gate: {leg} 1T {:.1} Msamples/s vs baseline {:.1} (floor {:.1})",
             new / 1e6,
+            old / 1e6,
             floor / 1e6
         );
+        if new < floor {
+            eprintln!(
+                "FAIL: single-thread {leg} throughput regressed more than \
+                 {:.0}% ({:.1} < {:.1} Msamples/s)",
+                (1.0 - REGRESSION_FLOOR) * 100.0,
+                new / 1e6,
+                floor / 1e6
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }
 
-/// Scrapes the 1-thread detector `samples_per_sec` out of a
+/// Scrapes a leg's 1-thread `samples_per_sec` out of a
 /// `BENCH_pipeline.json` written by this binary. The format is our own
 /// line-oriented output, so a string scrape suffices — no JSON parser
 /// dependency in the bench crate.
-fn scrape_detector_1t(json: &str) -> Option<f64> {
-    let detector = json.split("\"detector\"").nth(1)?;
-    for line in detector.lines() {
+fn scrape_1t(json: &str, leg: &str) -> Option<f64> {
+    let section = json.split(&format!("\"{leg}\"")).nth(1)?;
+    for line in section.lines() {
         if line.contains("\"threads\": 1,") {
             let tail = line.split("\"samples_per_sec\": ").nth(1)?;
             let num: String = tail

@@ -14,6 +14,7 @@ use emprof_workloads::microbench::MicrobenchConfig;
 use emprof_workloads::spec::WorkloadSpec;
 use emprof_workloads::{boot, iot};
 
+use emprof_router::{BackendSpec, Router, RouterConfig};
 use emprof_serve::{
     ClientConfig, MetricsClient, MetricsReply, ProfileClient, ServeConfig, Server, WatchClient,
 };
@@ -21,7 +22,7 @@ use emprof_store::{inspect_dir, JournalConfig, SessionJournal, SessionMeta};
 
 use crate::opts::{
     parse, CliError, Command, DumpFlightOpts, InspectOpts, ObsOpts, ProfileOpts, PushOpts,
-    RecordOpts, ReplayOpts, ServeOpts, SimulateOpts, TopOpts, WatchOpts, USAGE,
+    RecordOpts, ReplayOpts, RouterOpts, ServeOpts, SimulateOpts, TopOpts, WatchOpts, USAGE,
 };
 
 /// How many span occurrences `--trace` retains before counting drops.
@@ -43,6 +44,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Command::Profile(opts) => with_telemetry(&opts.obs, || profile_csv(&opts)),
         Command::Serve(opts) => with_telemetry(&opts.obs, || serve(&opts)),
+        Command::Router(opts) => router(&opts),
         Command::Push(opts) => push(&opts),
         Command::Watch(opts) => watch(&opts),
         Command::Top(opts) => top(&opts),
@@ -407,6 +409,7 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         fault_seed: opts.fault_seed,
         journal_dir: opts.journal_dir.as_ref().map(std::path::PathBuf::from),
         metrics_addr: opts.metrics_addr.clone(),
+        flight_dir: opts.flight_dir.as_ref().map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let threads = config.threads.get();
@@ -457,6 +460,89 @@ fn serve(opts: &ServeOpts) -> Result<String, CliError> {
         stats.peak_queue_depth
     );
     stall_latency_quantiles(&mut out);
+    Ok(out)
+}
+
+/// Runs the sharded front tier: a consistent-hash router over a
+/// backend fleet, with health probing and journal-handoff migration.
+fn router(opts: &RouterOpts) -> Result<String, CliError> {
+    // Same rule as `serve`: a scrape endpoint over a disabled registry
+    // would serve an empty snapshot, so --metrics-addr implies
+    // telemetry for the router's lifetime.
+    struct ObsOff(bool);
+    impl Drop for ObsOff {
+        fn drop(&mut self) {
+            if self.0 {
+                obs::disable();
+            }
+        }
+    }
+    let scrape_obs = ObsOff(opts.metrics_addr.is_some() && !obs::is_enabled());
+    if scrape_obs.0 {
+        obs::reset();
+        obs::enable();
+    }
+    let backends: Vec<BackendSpec> = opts
+        .backends
+        .iter()
+        .map(|b| BackendSpec {
+            name: b.name.clone(),
+            addr: b.addr.clone(),
+            journal_dir: b.journal_dir.as_ref().map(std::path::PathBuf::from),
+        })
+        .collect();
+    let names: Vec<&str> = backends.iter().map(|b| b.name.as_str()).collect();
+    let banner_backends = names.join(",");
+    let config = RouterConfig {
+        backends,
+        replicas: opts.replicas,
+        probe_interval: std::time::Duration::from_millis(opts.probe_ms),
+        down_after: opts.down_after,
+        idle_timeout: std::time::Duration::from_secs(opts.idle_timeout_secs),
+        metrics_addr: opts.metrics_addr.clone(),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(opts.addr.as_str(), config)
+        .map_err(|e| CliError::Runtime(format!("bind {}: {e}", opts.addr)))?;
+    // The banner goes out immediately: callers script against it.
+    println!(
+        "emprof-router listening on {} ({} backends: {}, {} replicas, probe {}ms{})",
+        router.local_addr(),
+        opts.backends.len(),
+        banner_backends,
+        opts.replicas,
+        opts.probe_ms,
+        match router.metrics_local_addr() {
+            Some(addr) => format!(", metrics http://{addr}/metrics"),
+            None => String::new(),
+        },
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match opts.duration_secs {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+        },
+    }
+    let stats = router.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "routed {} sessions ({} still active), {} frames, {} samples, {} events",
+        stats.sessions_opened, stats.sessions_active, stats.frames_in, stats.samples_in,
+        stats.events_out
+    );
+    let _ = writeln!(
+        out,
+        "migrations {} ({} lossy), reconnects {}, probe failures {}, mark-downs {}, backends up {}",
+        stats.migrations,
+        stats.migrations_lossy,
+        stats.reconnects,
+        stats.probe_failures,
+        stats.mark_downs,
+        stats.backends_up
+    );
     Ok(out)
 }
 
@@ -665,28 +751,140 @@ fn render_top_frame(
     );
 }
 
-/// Live fleet dashboard over the service's METRICS poll.
+/// Renders one merged fleet frame for `emprof top` across several
+/// nodes: per-node health headers, one session table with a NODE
+/// column, then per-node totals capped by a fleet-total summary line.
+fn render_fleet_frame(
+    out: &mut String,
+    nodes: &[(String, MetricsReply, emprof_serve::HealthWire)],
+    prev: Option<(f64, &[(String, MetricsReply)])>,
+) {
+    let _ = writeln!(out, "emprof top — fleet of {} nodes", nodes.len());
+    for (addr, _, health) in nodes {
+        let _ = writeln!(
+            out,
+            "node {addr} | up {:.1}s | {} | sessions {}/{} | journal {}",
+            health.uptime_ms as f64 / 1e3,
+            if health.healthy { "healthy" } else { "UNHEALTHY" },
+            health.sessions_active,
+            health.max_sessions,
+            if health.journal_enabled { "on" } else { "off" },
+        );
+    }
+    let any_sessions = nodes.iter().any(|(_, reply, _)| !reply.sessions.is_empty());
+    if any_sessions {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>8}",
+            "NODE", "SESSION", "TRACE", "DEVICE", "CONN", "QUEUE", "SAMPLES", "SAMP/S",
+            "EVENTS", "ACKED", "LAG", "SHED", "IDLE"
+        );
+        for (addr, reply, _) in nodes {
+            for row in &reply.sessions {
+                let prev_row = prev.and_then(|(dt, replies)| {
+                    replies
+                        .iter()
+                        .find(|(a, _)| a == addr)
+                        .and_then(|(_, p)| {
+                            p.sessions.iter().find(|r| r.session_id == row.session_id)
+                        })
+                        .map(|r| (dt, r))
+                });
+                let (samp_rate, ev_suffix) = match prev_row {
+                    Some((dt, p)) if dt > 0.0 => {
+                        let ds = row.samples_pushed.saturating_sub(p.samples_pushed);
+                        let de = row.events_emitted.saturating_sub(p.events_emitted);
+                        (ds as f64 / dt, format!(" (+{de})"))
+                    }
+                    _ => (row.samples_per_sec, String::new()),
+                };
+                let mut device = row.device.clone();
+                device.truncate(10);
+                let mut node = addr.clone();
+                node.truncate(18);
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7}ms",
+                    node,
+                    row.session_id,
+                    format!("0x{:016x}", row.trace_id),
+                    device,
+                    if row.connected { "yes" } else { "no" },
+                    format!("{}/{}", row.queue_depth, row.queue_capacity),
+                    row.samples_pushed,
+                    human_rate(samp_rate),
+                    format!("{}{ev_suffix}", row.events_emitted),
+                    row.events_acked,
+                    row.delivery_lag(),
+                    row.sheds,
+                    row.idle_ms,
+                );
+            }
+        }
+    } else {
+        let _ = writeln!(out, "(no registered sessions)");
+    }
+    let (mut samples, mut frames, mut bytes, mut events, mut sheds) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (_, reply, _) in nodes {
+        let s = &reply.server;
+        samples += s.samples_in;
+        frames += s.frames_in;
+        bytes += s.bytes_in;
+        events += s.events_total;
+        sheds += s.sheds;
+    }
+    let _ = writeln!(
+        out,
+        "totals: samples {samples} | frames {frames} | bytes {bytes} | events {events} | sheds {sheds} (fleet of {} nodes)",
+        nodes.len()
+    );
+}
+
+/// Live fleet dashboard over the service's METRICS poll. With one
+/// `--addr` this is the classic single-node view; with several, the
+/// per-node rows merge into one dashboard with a NODE column and a
+/// fleet-total summary line.
 fn top(opts: &TopOpts) -> Result<String, CliError> {
-    let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
     let client_config = ClientConfig {
         read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
         max_reconnects: opts.retries,
         ..ClientConfig::default()
     };
-    let mut client =
-        MetricsClient::connect_with(opts.addr.as_str(), client_config).map_err(err)?;
+    let mut clients = Vec::with_capacity(opts.addrs.len());
+    for addr in &opts.addrs {
+        let client = MetricsClient::connect_with(addr.as_str(), client_config.clone())
+            .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
+        clients.push((addr.clone(), client));
+    }
+    let fleet = clients.len() > 1;
     let mut out = String::new();
     let mut polled = 0u64;
-    let mut prev: Option<(std::time::Instant, MetricsReply)> = None;
+    let mut prev: Option<(std::time::Instant, Vec<(String, MetricsReply)>)> = None;
     loop {
-        let reply = client.fetch_metrics().map_err(err)?;
+        let mut nodes = Vec::with_capacity(clients.len());
+        for (addr, client) in &mut clients {
+            let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{addr}: {e}"));
+            let reply = client.fetch_metrics().map_err(err)?;
+            let health = client.fetch_health().map_err(err)?;
+            nodes.push((addr.clone(), reply, health));
+        }
         let now = std::time::Instant::now();
-        let health = client.fetch_health().map_err(err)?;
-        let prev_view = prev
-            .as_ref()
-            .map(|(at, r)| (now.duration_since(*at).as_secs_f64(), r));
-        render_top_frame(&mut out, &opts.addr, &reply, &health, prev_view);
-        prev = Some((now, reply));
+        if fleet {
+            let prev_view = prev
+                .as_ref()
+                .map(|(at, r)| (now.duration_since(*at).as_secs_f64(), r.as_slice()));
+            render_fleet_frame(&mut out, &nodes, prev_view);
+        } else {
+            let (addr, reply, health) = &nodes[0];
+            let prev_view = prev
+                .as_ref()
+                .map(|(at, r)| (now.duration_since(*at).as_secs_f64(), &r[0].1));
+            render_top_frame(&mut out, addr, reply, health, prev_view);
+        }
+        prev = Some((
+            now,
+            nodes.into_iter().map(|(a, r, _)| (a, r)).collect(),
+        ));
         polled += 1;
         let done = opts.once || opts.polls.is_some_and(|max| polled >= max);
         if done {
@@ -1096,7 +1294,7 @@ mod tests {
 
         let body = std::fs::read_to_string(&metrics).unwrap();
         // Detect-stage wall-time spans.
-        for span in ["detect.normalize", "detect.threshold", "detect.merge"] {
+        for span in ["detect.fused", "detect.merge", "detect.refine"] {
             assert!(
                 body.contains(&format!("{{\"type\":\"span\",\"name\":\"{span}\"")),
                 "missing span {span} in:\n{body}"
@@ -1136,7 +1334,7 @@ mod tests {
         let out = run(&argv("stats microbench:64:4 --seed 5")).unwrap();
         assert!(out.contains("telemetry:"), "{out}");
         assert!(out.contains("spans (wall time per stage)"), "{out}");
-        assert!(out.contains("detect.normalize"), "{out}");
+        assert!(out.contains("detect.fused"), "{out}");
         assert!(out.contains("sim.cache.llc.miss"), "{out}");
         // The stall-latency histogram quantiles ride along.
         assert!(out.contains("stall latency:"), "{out}");
@@ -1287,6 +1485,98 @@ mod tests {
         .unwrap();
         assert!(out.contains("served 0 connections"), "{out}");
         assert!(out.contains("peak queue depth"), "{out}");
+    }
+
+    #[test]
+    fn router_verb_routes_a_session_end_to_end() {
+        let backend = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let baddr = backend.local_addr();
+        // The router binds a pre-picked free port: the banner (with the
+        // resolved ephemeral addr) goes to stdout, not the return value.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let raddr = format!("127.0.0.1:{port}");
+        let handle = std::thread::spawn({
+            let raddr = raddr.clone();
+            move || {
+                run(&argv(&format!(
+                    "router --addr {raddr} --backends b0={baddr} --probe-ms 100 --duration 3"
+                )))
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while std::net::TcpStream::connect(&raddr).is_err() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "router never started listening on {raddr}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let config = EmprofConfig::for_rates(40e6, 1e9);
+        let mut client =
+            ProfileClient::connect(raddr.as_str(), "via-router", config, 40e6, 1e9).unwrap();
+        client.send(&vec![5.0; 20_000]).unwrap();
+        let (_, stats) = client.finish().unwrap();
+        assert!(stats.final_report);
+        assert_eq!(stats.samples_pushed, 20_000);
+
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("routed 1 sessions"), "{out}");
+        assert!(out.contains("migrations 0 (0 lossy)"), "{out}");
+        assert!(out.contains("backends up 1"), "{out}");
+        backend.shutdown();
+    }
+
+    #[test]
+    fn top_merges_multiple_addrs_into_one_fleet_view() {
+        let s1 = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let s2 = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let (a1, a2) = (s1.local_addr(), s2.local_addr());
+        let config = EmprofConfig::for_rates(40e6, 1e9);
+        let mut c1 = ProfileClient::connect(a1, "fleet-a", config, 40e6, 1e9).unwrap();
+        let mut c2 = ProfileClient::connect(a2, "fleet-b", config, 40e6, 1e9).unwrap();
+        c1.send(&vec![5.0; 10_000]).unwrap();
+        c2.send(&vec![5.0; 10_000]).unwrap();
+
+        let out = run(&argv(&format!("top --addr {a1} --addr {a2} --once"))).unwrap();
+        assert!(out.contains("fleet of 2 nodes"), "{out}");
+        // Per-node health headers, one merged table with a NODE column.
+        assert!(out.contains(&format!("node {a1}")), "{out}");
+        assert!(out.contains(&format!("node {a2}")), "{out}");
+        assert!(out.contains("NODE"), "{out}");
+        assert!(out.contains("fleet-a") && out.contains("fleet-b"), "{out}");
+        // Exactly one totals line: the fleet-wide sum, not per node.
+        assert_eq!(out.matches("totals:").count(), 1, "{out}");
+        assert!(out.contains("(fleet of 2 nodes)"), "{out}");
+
+        // Two polls: second-frame rates are client-side deltas per node.
+        let twice = run(&argv(&format!(
+            "top --addr {a1} --addr {a2} --polls 2 --interval-ms 10"
+        )))
+        .unwrap();
+        assert_eq!(twice.matches("totals:").count(), 2, "{twice}");
+
+        drop(c1);
+        drop(c2);
+        s1.shutdown();
+        s2.shutdown();
+    }
+
+    #[test]
+    fn serve_flight_dir_flag_is_threaded_through() {
+        let dir = std::env::temp_dir().join("emprof-cli-flight-dir-flag");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&argv(&format!(
+            "serve --addr 127.0.0.1:0 --flight-dir {} --duration 1 --threads 2",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("served 0 connections"), "{out}");
+        // Server::bind creates the flight directory eagerly.
+        assert!(dir.is_dir(), "--flight-dir was not passed to ServeConfig");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

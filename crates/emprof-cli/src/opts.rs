@@ -17,6 +17,8 @@ pub enum Command {
     Demo,
     /// Run the network profiling service.
     Serve(ServeOpts),
+    /// Run the sharded fleet front tier over a set of serve backends.
+    Router(RouterOpts),
     /// Stream a magnitude CSV to a running service.
     Push(PushOpts),
     /// Tail the finalized-event stream of a running service.
@@ -165,6 +167,9 @@ pub struct ServeOpts {
     /// Serve Prometheus-format telemetry over HTTP at this address
     /// (`host:port`; port 0 picks an ephemeral port).
     pub metrics_addr: Option<String>,
+    /// Where flight-recorder dumps land on session faults (falls back
+    /// to the journal directory; with neither, dumps are skipped).
+    pub flight_dir: Option<String>,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -184,7 +189,56 @@ impl Default for ServeOpts {
             fault_seed: 1,
             journal_dir: None,
             metrics_addr: None,
+            flight_dir: None,
             obs: ObsOpts::default(),
+        }
+    }
+}
+
+/// One backend of `emprof router`, parsed from `name=addr[=journal]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterBackend {
+    /// Ring name (stable across address changes).
+    pub name: String,
+    /// `host:port` of the backend's session listener.
+    pub addr: String,
+    /// The backend's journal directory as visible to the router; unset
+    /// disables journal handoff (migrations off this backend are lossy).
+    pub journal_dir: Option<String>,
+}
+
+/// Options of `emprof router`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterOpts {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// The backend fleet (at least one entry).
+    pub backends: Vec<RouterBackend>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub replicas: usize,
+    /// Milliseconds between health probes per backend.
+    pub probe_ms: u64,
+    /// Consecutive probe failures before a backend is marked down.
+    pub down_after: u32,
+    /// Seconds of silence before a detached router session is forgotten.
+    pub idle_timeout_secs: u64,
+    /// Run for this many seconds, then report (`None` = forever).
+    pub duration_secs: Option<u64>,
+    /// Serve Prometheus-format telemetry over HTTP at this address.
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for RouterOpts {
+    fn default() -> Self {
+        RouterOpts {
+            addr: "127.0.0.1:7800".to_string(),
+            backends: Vec::new(),
+            replicas: 64,
+            probe_ms: 500,
+            down_after: 2,
+            idle_timeout_secs: 60,
+            duration_secs: None,
+            metrics_addr: None,
         }
     }
 }
@@ -269,8 +323,8 @@ pub struct WatchOpts {
 /// Options of `emprof top`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopOpts {
-    /// Service address.
-    pub addr: String,
+    /// Service addresses (repeat `--addr` for a merged fleet view).
+    pub addrs: Vec<String>,
     /// Milliseconds between METRICS polls.
     pub interval_ms: u64,
     /// Print one dashboard frame and exit.
@@ -286,7 +340,7 @@ pub struct TopOpts {
 impl Default for TopOpts {
     fn default() -> Self {
         TopOpts {
-            addr: "127.0.0.1:7700".to_string(),
+            addrs: vec!["127.0.0.1:7700".to_string()],
             interval_ms: 1_000,
             once: false,
             polls: None,
@@ -359,6 +413,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "demo" => expect_end(it).map(|()| Command::Demo),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "serve" => parse_serve(it).map(Command::Serve),
+        "router" => parse_router(it).map(Command::Router),
         "push" => parse_push(it).map(Command::Push),
         "watch" => parse_watch(it).map(Command::Watch),
         "top" => parse_top(it).map(Command::Top),
@@ -494,12 +549,94 @@ fn parse_serve<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<ServeOpts, C
             "--metrics-addr" => {
                 opts.metrics_addr = Some(take_value(&mut it, "--metrics-addr")?);
             }
+            "--flight-dir" => opts.flight_dir = Some(take_value(&mut it, "--flight-dir")?),
             flag => {
                 if !(flag.starts_with("--") && opts.obs.take_flag(flag, &mut it)?) {
                     return Err(CliError::Usage(format!("serve: unknown argument {flag}")));
                 }
             }
         }
+    }
+    Ok(opts)
+}
+
+/// Parses one `--backends` entry: `name=addr[=journal]` or a bare
+/// `host:port` (auto-named `b<i>` by position).
+fn parse_backend(entry: &str, index: usize) -> Result<RouterBackend, CliError> {
+    let parts: Vec<&str> = entry.splitn(3, '=').collect();
+    let backend = match parts.as_slice() {
+        [addr] => RouterBackend {
+            name: format!("b{index}"),
+            addr: (*addr).to_string(),
+            journal_dir: None,
+        },
+        [name, addr] => RouterBackend {
+            name: (*name).to_string(),
+            addr: (*addr).to_string(),
+            journal_dir: None,
+        },
+        [name, addr, journal] => RouterBackend {
+            name: (*name).to_string(),
+            addr: (*addr).to_string(),
+            journal_dir: Some((*journal).to_string()),
+        },
+        _ => unreachable!("splitn(3) yields 1..=3 parts"),
+    };
+    if backend.name.is_empty() || backend.addr.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--backends entry {entry:?} needs name=addr[=journal] or host:port"
+        )));
+    }
+    Ok(backend)
+}
+
+/// Parses the `emprof router` argument form.
+fn parse_router<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<RouterOpts, CliError> {
+    let mut opts = RouterOpts::default();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--backends" => {
+                let raw = take_value(&mut it, "--backends")?;
+                for entry in raw.split(',').filter(|e| !e.is_empty()) {
+                    opts.backends.push(parse_backend(entry, opts.backends.len())?);
+                }
+            }
+            "--replicas" => {
+                opts.replicas = take_parsed(&mut it, "--replicas")?;
+                if opts.replicas == 0 {
+                    return Err(CliError::Usage("--replicas must be at least 1".into()));
+                }
+            }
+            "--probe-ms" => {
+                opts.probe_ms = take_parsed(&mut it, "--probe-ms")?;
+                if opts.probe_ms == 0 {
+                    return Err(CliError::Usage("--probe-ms must be at least 1".into()));
+                }
+            }
+            "--down-after" => {
+                opts.down_after = take_parsed(&mut it, "--down-after")?;
+                if opts.down_after == 0 {
+                    return Err(CliError::Usage("--down-after must be at least 1".into()));
+                }
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout_secs = take_parsed(&mut it, "--idle-timeout")?;
+            }
+            "--duration" => opts.duration_secs = Some(take_parsed(&mut it, "--duration")?),
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(take_value(&mut it, "--metrics-addr")?);
+            }
+            other => {
+                return Err(CliError::Usage(format!("router: unknown argument {other}")));
+            }
+        }
+    }
+    if opts.backends.is_empty() {
+        return Err(CliError::Usage(
+            "router requires --backends name=addr[=journal][,...]".into(),
+        ));
     }
     Ok(opts)
 }
@@ -693,9 +830,10 @@ fn parse_watch<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<WatchOpts, C
 fn parse_top<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<TopOpts, CliError> {
     let mut opts = TopOpts::default();
     let mut it = it.peekable();
+    let mut addrs = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--addr" => opts.addr = take_value(&mut it, "--addr")?,
+            "--addr" => addrs.push(take_value(&mut it, "--addr")?),
             "--interval-ms" => opts.interval_ms = take_parsed(&mut it, "--interval-ms")?,
             "--once" => opts.once = true,
             "--polls" => opts.polls = Some(take_parsed(&mut it, "--polls")?),
@@ -710,6 +848,9 @@ fn parse_top<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<TopOpts, CliEr
                 return Err(CliError::Usage(format!("top: unknown argument {other}")));
             }
         }
+    }
+    if !addrs.is_empty() {
+        opts.addrs = addrs;
     }
     Ok(opts)
 }
@@ -832,6 +973,30 @@ USAGE:
       --metrics-addr HOST:PORT additionally serves the same telemetry in
       Prometheus text exposition format over plain HTTP at
       GET /metrics (scrapable by any Prometheus-compatible collector).
+      --flight-dir DIR writes flight-recorder dumps there on session
+      faults (default: next to the journals; with neither flag, dumps
+      stay poll-only).
+
+  emprof router --backends NAME=ADDR[=JOURNAL][,...] [--addr HOST:PORT]
+                [--replicas N] [--probe-ms MS] [--down-after N]
+                [--idle-timeout SECS] [--duration SECS]
+                [--metrics-addr HOST:PORT]
+      Run the sharded fleet front tier: clients speak the normal wire
+      protocol to the router (default 127.0.0.1:7800), which places each
+      session on a backend via a consistent-hash ring (N virtual nodes
+      per backend, default 64) and proxies its frames. Backends are
+      health-probed every MS milliseconds (default 500) and marked down
+      after N consecutive failures (default 2, with jittered exponential
+      backoff between retries). When a backend dies, its sessions are
+      migrated to the ring's next owner: with a =JOURNAL path (the
+      backend's --journal directory as visible to the router), the
+      journal is replayed into the new owner and delivery stays
+      exactly-once — events through a kill are bit-for-bit what a
+      single node would have delivered; without one the migration is
+      best-effort and counted as lossy. CLUSTER_JOIN frames grow,
+      drain, or remove backends at runtime. --metrics-addr serves
+      GET /metrics with per-backend health, session counts, and
+      migration counters.
 
   emprof record <signal.csv> --journal DIR --rate HZ --clock HZ
                 [--device NAME] [--frame N]
@@ -871,15 +1036,18 @@ USAGE:
       with --polls N, for a bounded number of polls. Transport losses
       are cured by reconnecting with the same cursor.
 
-  emprof top [--addr HOST:PORT] [--interval-ms MS] [--once] [--polls N]
+  emprof top [--addr HOST:PORT]... [--interval-ms MS] [--once] [--polls N]
              [--timeout SECS] [--retries N]
       Live fleet dashboard over the service's METRICS poll: one row per
       registered session (queue depth, samples/s, events delivered vs
       acknowledged, delivery lag, sheds, idle time) plus server totals
       and health, refreshed every MS milliseconds (default 1000).
-      Between polls the client computes sample/event deltas itself, so
-      the rates shown are wire-derived, not server-trusted. --once
-      prints a single frame and exits (scripting/smoke tests).
+      Repeat --addr to merge several nodes into one fleet view: rows
+      gain a node column and a fleet-total summary line follows the
+      per-node totals. Between polls the client computes sample/event
+      deltas itself, so the rates shown are wire-derived, not
+      server-trusted. --once prints a single frame and exits
+      (scripting/smoke tests).
 
   emprof dump-flight [--addr HOST:PORT] [--session ID] [--out DIR]
                      [--timeout SECS] [--retries N]
@@ -1164,7 +1332,7 @@ mod tests {
         .unwrap()
         {
             Command::Top(o) => {
-                assert_eq!(o.addr, "10.0.0.2:7700");
+                assert_eq!(o.addrs, vec!["10.0.0.2:7700".to_string()]);
                 assert_eq!(o.interval_ms, 250);
                 assert!(o.once);
                 assert_eq!(o.polls, Some(3));
@@ -1176,6 +1344,88 @@ mod tests {
         assert!(matches!(parse(&argv("top --wat")), Err(CliError::Usage(_))));
         assert!(matches!(
             parse(&argv("top --timeout 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_top_fleet_addrs() {
+        // Repeated --addr builds the merged fleet view in order.
+        match parse(&argv("top --addr 10.0.0.2:7700 --addr 10.0.0.3:7700 --once")).unwrap() {
+            Command::Top(o) => {
+                assert_eq!(
+                    o.addrs,
+                    vec!["10.0.0.2:7700".to_string(), "10.0.0.3:7700".to_string()]
+                );
+                assert!(o.once);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_router() {
+        match parse(&argv(
+            "router --addr 0.0.0.0:7800 \
+             --backends a=10.0.0.2:7700=/data/a,b=10.0.0.3:7700 \
+             --replicas 128 --probe-ms 250 --down-after 3 --idle-timeout 30 \
+             --duration 5 --metrics-addr 127.0.0.1:9101",
+        ))
+        .unwrap()
+        {
+            Command::Router(o) => {
+                assert_eq!(o.addr, "0.0.0.0:7800");
+                assert_eq!(o.backends.len(), 2);
+                assert_eq!(o.backends[0].name, "a");
+                assert_eq!(o.backends[0].addr, "10.0.0.2:7700");
+                assert_eq!(o.backends[0].journal_dir.as_deref(), Some("/data/a"));
+                assert_eq!(o.backends[1].name, "b");
+                assert_eq!(o.backends[1].journal_dir, None);
+                assert_eq!(o.replicas, 128);
+                assert_eq!(o.probe_ms, 250);
+                assert_eq!(o.down_after, 3);
+                assert_eq!(o.idle_timeout_secs, 30);
+                assert_eq!(o.duration_secs, Some(5));
+                assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:9101"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bare addresses are auto-named by position.
+        match parse(&argv("router --backends 10.0.0.2:7700,10.0.0.3:7700")).unwrap() {
+            Command::Router(o) => {
+                assert_eq!(o.backends[0].name, "b0");
+                assert_eq!(o.backends[1].name, "b1");
+                assert_eq!(o.addr, "127.0.0.1:7800");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A backend list is mandatory; malformed entries are rejected.
+        assert!(matches!(parse(&argv("router")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("router --backends =1.2.3.4:5")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("router --backends a=1:1 --replicas 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("router --backends a=1:1 --wat")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_flight_dir() {
+        match parse(&argv("serve --flight-dir /tmp/flights")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.flight_dir.as_deref(), Some("/tmp/flights"));
+                assert_eq!(o.journal_dir, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("serve --flight-dir")),
             Err(CliError::Usage(_))
         ));
     }
@@ -1230,6 +1480,9 @@ mod tests {
     #[test]
     fn usage_documents_serving_and_threads_env() {
         assert!(USAGE.contains("emprof serve"));
+        assert!(USAGE.contains("emprof router"));
+        assert!(USAGE.contains("--backends"));
+        assert!(USAGE.contains("--flight-dir"));
         assert!(USAGE.contains("emprof push"));
         assert!(USAGE.contains("emprof watch"));
         assert!(USAGE.contains("emprof top"));

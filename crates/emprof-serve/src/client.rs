@@ -43,8 +43,8 @@ use emprof_core::{EmprofConfig, StallEvent};
 use emprof_obs as obs;
 
 use crate::proto::{
-    self, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply, ProtoError,
-    SessionStatsWire, Tail, VERSION,
+    self, ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply,
+    NodeHealthWire, ProtoError, SessionStatsWire, Tail, VERSION,
 };
 
 /// Transport-resilience knobs for [`ProfileClient`] and [`WatchClient`].
@@ -255,6 +255,16 @@ fn backoff_delay(cfg: &ClientConfig, attempt: u32) -> Duration {
     Duration::from_secs_f64(base.min(cfg.backoff_max.as_secs_f64()))
 }
 
+/// The capped, jittered reconnect delay for 0-based `attempt`: the
+/// exponential [`ClientConfig`] schedule (`backoff_base` doubling up to
+/// `backoff_max`) with deterministic xorshift64 jitter in `[0.5, 1.0)`
+/// of the capped delay. `rng` is the caller's jitter state, advanced on
+/// every call. Public so other tiers — the router's health prober — run
+/// the exact schedule the clients do.
+pub fn backoff_with_jitter(cfg: &ClientConfig, attempt: u32, rng: &mut u64) -> Duration {
+    jittered(rng, backoff_delay(cfg, attempt))
+}
+
 /// A blocking profiling session against an `emprof-serve` instance.
 ///
 /// # Example
@@ -350,6 +360,7 @@ impl ProfileClient {
             config,
             device: device.into(),
             watch: false,
+            proxied: false,
             resume_session_id: 0,
             resume_token: 0,
         };
@@ -671,6 +682,7 @@ impl WatchClient {
             config: EmprofConfig::for_rates(1.0, 1.0),
             device: "watch".into(),
             watch: true,
+            proxied: false,
             resume_session_id: 0,
             resume_token: 0,
         }
@@ -869,6 +881,57 @@ impl MetricsClient {
         match self.request(&Frame::FlightRequest { session_id })? {
             Frame::FlightReply { dumps } => Ok(dumps),
             _ => Err(ClientError::Unexpected("wanted FLIGHT_REPLY")),
+        }
+    }
+
+    /// One NODE_HEALTH poll: the node's own cluster health row. The
+    /// probe frame behind the router's mark-down/mark-up machinery.
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`].
+    pub fn fetch_node_health(&mut self) -> Result<NodeHealthWire, ClientError> {
+        match self.request(&Frame::NodeHealthRequest)? {
+            Frame::NodeHealthReply(node) => Ok(node),
+            _ => Err(ClientError::Unexpected("wanted NODE_HEALTH reply")),
+        }
+    }
+
+    /// One CLUSTER_STATE poll: the full membership/health table as the
+    /// polled node (typically a router) knows it.
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`].
+    pub fn fetch_cluster_state(&mut self) -> Result<Vec<NodeHealthWire>, ClientError> {
+        match self.request(&Frame::ClusterStateRequest)? {
+            Frame::ClusterStateReply { nodes } => Ok(nodes),
+            _ => Err(ClientError::Unexpected("wanted CLUSTER_STATE reply")),
+        }
+    }
+
+    /// Sends a CLUSTER_JOIN (join/leave/drain) and returns the node's
+    /// health row after the change was applied.
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`]; a node that refuses the
+    /// change answers with an ERROR frame, surfaced as
+    /// [`ClientError::Server`].
+    pub fn cluster_join(
+        &mut self,
+        name: &str,
+        addr: &str,
+        action: ClusterAction,
+    ) -> Result<NodeHealthWire, ClientError> {
+        let req = Frame::ClusterJoin {
+            name: name.into(),
+            addr: addr.into(),
+            action,
+        };
+        match self.request(&req)? {
+            Frame::NodeHealthReply(node) => Ok(node),
+            _ => Err(ClientError::Unexpected("wanted NODE_HEALTH reply")),
         }
     }
 

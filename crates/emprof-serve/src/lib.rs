@@ -88,10 +88,12 @@ pub mod queue;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientConfig, ClientError, MetricsClient, ProfileClient, WatchClient};
+pub use client::{
+    backoff_with_jitter, ClientConfig, ClientError, MetricsClient, ProfileClient, WatchClient,
+};
 pub use proto::{
-    ErrorCode, FlightDumpWire, Frame, HealthWire, MetricsReply, ProtoError, ServerStatsWire,
-    SessionRow, SessionStatsWire,
+    ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, MetricsReply, NodeHealthWire,
+    ProtoError, ServerStatsWire, SessionRow, SessionStatsWire,
 };
 pub use server::{ServeConfig, Server, ServerStatsSnapshot};
 pub use session::{Session, SessionRegistry};

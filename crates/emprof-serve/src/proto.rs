@@ -39,6 +39,9 @@ pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 /// METRICS and HEALTH polls carrying the server's full telemetry
 /// snapshot plus per-session rows, FLIGHT polls returning per-session
 /// flight-recorder dumps, and a server-assigned trace id in HELLO_ACK.
+/// The cluster frames (CLUSTER_JOIN, CLUSTER_STATE, NODE_HEALTH) and the
+/// proxied-HELLO flag were added to version 4 *additively*: a peer that
+/// never sends them never sees them, so the version number is unchanged.
 pub const VERSION: u16 = 4;
 
 /// Fixed frame-header length in bytes.
@@ -74,12 +77,24 @@ pub const MAX_FLIGHT_DUMPS: u32 = 256;
 /// Upper bound on one flight-recorder JSON dump (1 MiB).
 pub const MAX_FLIGHT_JSON: usize = 1 << 20;
 
+/// Upper bound on nodes per CLUSTER_STATE reply.
+pub const MAX_CLUSTER_NODES: u32 = 1024;
+
 /// HELLO flag: this connection only watches the server-wide event tail;
 /// no session (and no detector) is created for it.
 pub const FLAG_WATCH: u8 = 0b0000_0001;
 
+/// HELLO flag: this session is opened by a router on behalf of a remote
+/// client (the proxy-aware HELLO). The backend serves it identically
+/// but counts it, so a fleet operator can tell direct from routed load.
+pub const FLAG_PROXIED: u8 = 0b0000_0010;
+
 /// STATS flag: this is the final report of a finished session.
 pub const FLAG_FINAL: u8 = 0b0000_0001;
+
+/// CLUSTER_STATE / NODE_HEALTH flag: this frame is the poll, not the
+/// reply (both directions share one frame type per exchange).
+pub const FLAG_REQUEST: u8 = 0b0000_0001;
 
 /// Frame discriminants (header byte 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +138,15 @@ pub enum FrameType {
     FlightRequest = 17,
     /// Server → client: flight-recorder dumps, one JSON document each.
     FlightReply = 18,
+    /// Admin → router (or router → backend): a cluster topology change —
+    /// join, leave, or drain a node.
+    ClusterJoin = 19,
+    /// Either direction: poll ([`FLAG_REQUEST`]) or report the cluster
+    /// membership/health table.
+    ClusterState = 20,
+    /// Either direction: poll ([`FLAG_REQUEST`]) or report one node's
+    /// health row. The router's probe loop lives on this frame.
+    NodeHealth = 21,
 }
 
 impl FrameType {
@@ -146,6 +170,9 @@ impl FrameType {
             16 => FrameType::Health,
             17 => FrameType::FlightRequest,
             18 => FrameType::FlightReply,
+            19 => FrameType::ClusterJoin,
+            20 => FrameType::ClusterState,
+            21 => FrameType::NodeHealth,
             _ => return None,
         })
     }
@@ -206,6 +233,9 @@ pub struct Hello {
     pub device: String,
     /// Whether this is a watch subscription ([`FLAG_WATCH`]).
     pub watch: bool,
+    /// Whether this session is opened by a router on behalf of a remote
+    /// client ([`FLAG_PROXIED`]).
+    pub proxied: bool,
     /// Non-zero to resume a detached session after a transport loss:
     /// the id the server assigned at the original HELLO.
     pub resume_session_id: u64,
@@ -322,6 +352,56 @@ pub struct HealthWire {
     pub max_sessions: u64,
     /// Whether event journaling is enabled.
     pub journal_enabled: bool,
+}
+
+/// What a CLUSTER_JOIN frame asks the receiving node to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ClusterAction {
+    /// Add (or re-add) the named node to the ring.
+    Join = 0,
+    /// Remove the named node from the ring.
+    Leave = 1,
+    /// Stop placing new sessions on the node and migrate its existing
+    /// sessions away; the node keeps serving until the drain completes.
+    Drain = 2,
+}
+
+impl ClusterAction {
+    fn from_u8(v: u8) -> Option<ClusterAction> {
+        Some(match v {
+            0 => ClusterAction::Join,
+            1 => ClusterAction::Leave,
+            2 => ClusterAction::Drain,
+            _ => return None,
+        })
+    }
+}
+
+/// One node's row in the cluster membership/health table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeHealthWire {
+    /// The node's cluster name (a backend's name on the router; empty
+    /// when a backend reports itself — it may not know its own name).
+    pub name: String,
+    /// The node's listener address as the reporter knows it.
+    pub addr: String,
+    /// Whether the node is currently marked up (probes succeeding).
+    pub up: bool,
+    /// Whether the node is draining (no new sessions placed on it).
+    pub draining: bool,
+    /// Sessions the reporter attributes to this node.
+    pub sessions_active: u64,
+    /// The node's configured session limit (0 when unknown).
+    pub max_sessions: u64,
+    /// Sessions migrated *onto* this node so far.
+    pub migrations_in: u64,
+    /// Sessions migrated *off* this node so far.
+    pub migrations_out: u64,
+    /// Consecutive failed health probes (0 while the node is up).
+    pub consecutive_failures: u64,
+    /// Milliseconds since the node (or its router-side tracking) started.
+    pub uptime_ms: u64,
 }
 
 /// One flight-recorder dump in a FLIGHT reply.
@@ -451,6 +531,27 @@ pub enum Frame {
         /// The dumps, ordered by session id.
         dumps: Vec<FlightDumpWire>,
     },
+    /// A cluster topology change: join, leave, or drain the named node.
+    ClusterJoin {
+        /// The node's cluster name.
+        name: String,
+        /// The node's listener address (empty on a drain sent *to* the
+        /// draining node itself).
+        addr: String,
+        /// What to do with the node.
+        action: ClusterAction,
+    },
+    /// Poll the cluster membership/health table.
+    ClusterStateRequest,
+    /// The cluster membership/health table, one row per known node.
+    ClusterStateReply {
+        /// Rows ordered by node name.
+        nodes: Vec<NodeHealthWire>,
+    },
+    /// Poll one node's health row (the router probe).
+    NodeHealthRequest,
+    /// The polled node's health row.
+    NodeHealthReply(NodeHealthWire),
 }
 
 /// What went wrong while reading or decoding a frame.
@@ -918,7 +1019,14 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             put_string(&mut p, &h.device);
             p.extend_from_slice(&h.resume_session_id.to_le_bytes());
             p.extend_from_slice(&h.resume_token.to_le_bytes());
-            (FrameType::Hello, if h.watch { FLAG_WATCH } else { 0 }, p)
+            let mut flags = 0;
+            if h.watch {
+                flags |= FLAG_WATCH;
+            }
+            if h.proxied {
+                flags |= FLAG_PROXIED;
+            }
+            (FrameType::Hello, flags, p)
         }
         Frame::HelloAck {
             version,
@@ -1038,7 +1146,54 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             }
             (FrameType::FlightReply, 0, p)
         }
+        Frame::ClusterJoin { name, addr, action } => {
+            put_string(&mut p, name);
+            put_string(&mut p, addr);
+            p.push(*action as u8);
+            (FrameType::ClusterJoin, 0, p)
+        }
+        Frame::ClusterStateRequest => (FrameType::ClusterState, FLAG_REQUEST, p),
+        Frame::ClusterStateReply { nodes } => {
+            p.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+            for n in nodes {
+                encode_node_health(&mut p, n);
+            }
+            (FrameType::ClusterState, 0, p)
+        }
+        Frame::NodeHealthRequest => (FrameType::NodeHealth, FLAG_REQUEST, p),
+        Frame::NodeHealthReply(n) => {
+            encode_node_health(&mut p, n);
+            (FrameType::NodeHealth, 0, p)
+        }
     }
+}
+
+fn encode_node_health(out: &mut Vec<u8>, n: &NodeHealthWire) {
+    put_string(out, &n.name);
+    put_string(out, &n.addr);
+    out.push(n.up as u8);
+    out.push(n.draining as u8);
+    out.extend_from_slice(&n.sessions_active.to_le_bytes());
+    out.extend_from_slice(&n.max_sessions.to_le_bytes());
+    out.extend_from_slice(&n.migrations_in.to_le_bytes());
+    out.extend_from_slice(&n.migrations_out.to_le_bytes());
+    out.extend_from_slice(&n.consecutive_failures.to_le_bytes());
+    out.extend_from_slice(&n.uptime_ms.to_le_bytes());
+}
+
+fn decode_node_health(c: &mut Cursor<'_>) -> Result<NodeHealthWire, ProtoError> {
+    Ok(NodeHealthWire {
+        name: c.string()?,
+        addr: c.string()?,
+        up: c.u8()? != 0,
+        draining: c.u8()? != 0,
+        sessions_active: c.u64()?,
+        max_sessions: c.u64()?,
+        migrations_in: c.u64()?,
+        migrations_out: c.u64()?,
+        consecutive_failures: c.u64()?,
+        uptime_ms: c.u64()?,
+    })
 }
 
 fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
@@ -1065,6 +1220,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
                 config,
                 device,
                 watch: flags & FLAG_WATCH != 0,
+                proxied: flags & FLAG_PROXIED != 0,
                 resume_session_id,
                 resume_token,
             })
@@ -1193,6 +1349,25 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             }
             Frame::FlightReply { dumps }
         }
+        FrameType::ClusterJoin => {
+            let name = c.string()?;
+            let addr = c.string()?;
+            let action = ClusterAction::from_u8(c.u8()?)
+                .ok_or(ProtoError::Malformed("unknown cluster action"))?;
+            Frame::ClusterJoin { name, addr, action }
+        }
+        FrameType::ClusterState if flags & FLAG_REQUEST != 0 => Frame::ClusterStateRequest,
+        FrameType::ClusterState => {
+            let count =
+                decode_bounded_count(&mut c, MAX_CLUSTER_NODES, "cluster node count exceeds bound")?;
+            let mut nodes = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                nodes.push(decode_node_health(&mut c)?);
+            }
+            Frame::ClusterStateReply { nodes }
+        }
+        FrameType::NodeHealth if flags & FLAG_REQUEST != 0 => Frame::NodeHealthRequest,
+        FrameType::NodeHealth => Frame::NodeHealthReply(decode_node_health(&mut c)?),
     };
     c.done()?;
     Ok(frame)
@@ -1365,8 +1540,19 @@ mod tests {
             config: sample_config(),
             device: "olimex".into(),
             watch: false,
+            proxied: false,
             resume_session_id: 0,
             resume_token: 0,
+        }));
+        roundtrip(Frame::Hello(Hello {
+            sample_rate_hz: 40e6,
+            clock_hz: 1.008e9,
+            config: sample_config(),
+            device: "routed".into(),
+            watch: false,
+            proxied: true,
+            resume_session_id: 3,
+            resume_token: 4,
         }));
         roundtrip(Frame::Hello(Hello {
             sample_rate_hz: 1.0,
@@ -1374,6 +1560,7 @@ mod tests {
             config: sample_config(),
             device: String::new(),
             watch: true,
+            proxied: false,
             resume_session_id: 17,
             resume_token: 0xDEAD_BEEF_CAFE,
         }));
@@ -1435,6 +1622,59 @@ mod tests {
             message: "full".into(),
         });
         roundtrip(Frame::Watch { cursor: 7 });
+        roundtrip(Frame::ClusterJoin {
+            name: "n1".into(),
+            addr: "127.0.0.1:7701".into(),
+            action: ClusterAction::Join,
+        });
+        roundtrip(Frame::ClusterJoin {
+            name: "n2".into(),
+            addr: String::new(),
+            action: ClusterAction::Drain,
+        });
+        roundtrip(Frame::ClusterStateRequest);
+        roundtrip(Frame::ClusterStateReply { nodes: vec![] });
+        roundtrip(Frame::ClusterStateReply {
+            nodes: vec![
+                NodeHealthWire {
+                    name: "n1".into(),
+                    addr: "127.0.0.1:7701".into(),
+                    up: true,
+                    draining: false,
+                    sessions_active: 3,
+                    max_sessions: 256,
+                    migrations_in: 1,
+                    migrations_out: 0,
+                    consecutive_failures: 0,
+                    uptime_ms: 12_345,
+                },
+                NodeHealthWire {
+                    name: "n2".into(),
+                    addr: "127.0.0.1:7702".into(),
+                    up: false,
+                    draining: true,
+                    sessions_active: 0,
+                    max_sessions: 256,
+                    migrations_in: 0,
+                    migrations_out: 3,
+                    consecutive_failures: 7,
+                    uptime_ms: 99,
+                },
+            ],
+        });
+        roundtrip(Frame::NodeHealthRequest);
+        roundtrip(Frame::NodeHealthReply(NodeHealthWire {
+            name: String::new(),
+            addr: "127.0.0.1:7700".into(),
+            up: true,
+            draining: false,
+            sessions_active: 2,
+            max_sessions: 64,
+            migrations_in: 0,
+            migrations_out: 0,
+            consecutive_failures: 0,
+            uptime_ms: 1,
+        }));
         roundtrip(Frame::Tail(Tail {
             cursor: 9,
             missed: 1,
@@ -1605,6 +1845,39 @@ mod tests {
             decode_frame(&bytes),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn cluster_frame_bounds_are_enforced() {
+        // A ClusterState reply announcing too many nodes fails at the
+        // count, before any row is read.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(MAX_CLUSTER_NODES + 1).to_le_bytes());
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&VERSION.to_le_bytes());
+        buf[4] = FrameType::ClusterState as u8;
+        buf[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf[12..16].copy_from_slice(&fnv1a32(&payload).to_le_bytes());
+        let hsum = header_checksum(&buf);
+        buf[6..8].copy_from_slice(&hsum.to_le_bytes());
+        let mut bytes = buf.to_vec();
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::Malformed(_))));
+
+        // An unknown cluster action byte is malformed, not a panic.
+        let mut join = encode_frame(&Frame::ClusterJoin {
+            name: "n".into(),
+            addr: "a".into(),
+            action: ClusterAction::Leave,
+        });
+        let last = join.len() - 1;
+        join[last] = 99;
+        let sum = fnv1a32(&join[HEADER_LEN..]);
+        join[12..16].copy_from_slice(&sum.to_le_bytes());
+        let hsum = header_checksum(&join[..HEADER_LEN].try_into().unwrap());
+        join[6..8].copy_from_slice(&hsum.to_le_bytes());
+        assert!(matches!(decode_frame(&join), Err(ProtoError::Malformed(_))));
     }
 
     #[test]

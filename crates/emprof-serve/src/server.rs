@@ -45,9 +45,9 @@ use emprof_store::{JournalConfig, SessionJournal, SessionMeta};
 use emprof_core::StallEvent;
 
 use crate::proto::{
-    self, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply, ProtoError,
-    ServerStatsWire, SessionRow, Tail, TailEvent, MAX_FLIGHT_DUMPS, MAX_SAMPLES_PER_FRAME,
-    MAX_SESSION_ROWS, VERSION,
+    self, ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply,
+    NodeHealthWire, ProtoError, ServerStatsWire, SessionRow, Tail, TailEvent, MAX_FLIGHT_DUMPS,
+    MAX_SAMPLES_PER_FRAME, MAX_SESSION_ROWS, VERSION,
 };
 use crate::session::{SeqAdmit, Session, SessionRegistry, Work};
 
@@ -109,6 +109,12 @@ pub struct ServeConfig {
     /// plain HTTP/1.1 (`GET /metrics`), including one labeled series
     /// set per live session. `None` (the default) serves no HTTP.
     pub metrics_addr: Option<String>,
+    /// Where flight-recorder dumps land on session faults. `None` (the
+    /// default) falls back to [`ServeConfig::journal_dir`]; with
+    /// neither set, dumps are skipped (the ring stays pollable over
+    /// FLIGHT frames). The `--flight-dir` flag sets this, so an
+    /// unjournaled server can still keep durable black boxes.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +132,7 @@ impl Default for ServeConfig {
             fault_seed: 0,
             journal_dir: None,
             metrics_addr: None,
+            flight_dir: None,
         }
     }
 }
@@ -223,6 +230,14 @@ struct Shared {
     ready_tx: Mutex<Option<mpsc::Sender<Arc<Session>>>>,
     ready_rx: Mutex<mpsc::Receiver<Arc<Session>>>,
     shutdown: AtomicBool,
+    /// Drain mode (set by a CLUSTER_JOIN drain verb or [`Server::drain`]):
+    /// health reports unhealthy and fresh HELLOs are rejected, but
+    /// resumes and in-flight sessions keep working — the node empties
+    /// instead of dying.
+    draining: AtomicBool,
+    /// The session listener's bound address, reported in NODE_HEALTH so
+    /// a router can confirm which node answered a probe.
+    local_addr: Mutex<String>,
     reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Per-session chaos injectors when [`ServeConfig::fault_plan`] is
     /// set; entries live exactly as long as the session is registered so
@@ -301,11 +316,13 @@ impl Shared {
     }
 
     /// Builds a HEALTH reply. Healthy means accepting work: not
-    /// shutting down and below the session limit.
+    /// shutting down, not draining, and below the session limit.
     fn health(&self) -> HealthWire {
         let active = self.registry.active();
         HealthWire {
-            healthy: !self.shutdown.load(Ordering::SeqCst) && active < self.config.max_sessions,
+            healthy: !self.shutdown.load(Ordering::SeqCst)
+                && !self.draining.load(Ordering::SeqCst)
+                && active < self.config.max_sessions,
             uptime_ms: self
                 .registry
                 .epoch()
@@ -315,6 +332,26 @@ impl Shared {
             sessions_active: active as u64,
             max_sessions: self.config.max_sessions as u64,
             journal_enabled: self.config.journal_dir.is_some(),
+        }
+    }
+
+    /// Builds a NODE_HEALTH reply: this node's own row in a cluster
+    /// state table. A standalone serve node has no cluster-assigned
+    /// name (the router labels rows; an empty name means "myself") and
+    /// no migration history of its own.
+    fn node_health(&self) -> NodeHealthWire {
+        let health = self.health();
+        NodeHealthWire {
+            name: String::new(),
+            addr: self.local_addr.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            up: health.healthy,
+            draining: self.draining.load(Ordering::SeqCst),
+            sessions_active: health.sessions_active,
+            max_sessions: health.max_sessions,
+            migrations_in: 0,
+            migrations_out: 0,
+            consecutive_failures: 0,
+            uptime_ms: health.uptime_ms,
         }
     }
 
@@ -402,6 +439,8 @@ impl Server {
             ready_tx: Mutex::new(Some(ready_tx)),
             ready_rx: Mutex::new(ready_rx),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            local_addr: Mutex::new(local_addr.to_string()),
             reader_handles: Mutex::new(Vec::new()),
             faults: Mutex::new(HashMap::new()),
         });
@@ -411,6 +450,9 @@ impl Server {
         if let Some(dir) = shared.config.journal_dir.clone() {
             fs::create_dir_all(&dir)?;
             recover_sessions(&shared, &dir);
+        }
+        if let Some(dir) = shared.config.flight_dir.as_ref() {
+            fs::create_dir_all(dir)?;
         }
 
         let accept_shared = Arc::clone(&shared);
@@ -476,6 +518,22 @@ impl Server {
     /// Number of currently registered sessions.
     pub fn sessions_active(&self) -> usize {
         self.shared.registry.active()
+    }
+
+    /// Puts the node in drain mode: HEALTH and NODE_HEALTH report
+    /// unhealthy, fresh HELLOs are rejected with [`ErrorCode::Shutdown`],
+    /// but resumes and already-registered sessions keep working — the
+    /// router stops routing new sessions here and migrates the rest.
+    /// Idempotent; also reachable over the wire via a CLUSTER_JOIN
+    /// frame with the drain action.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        obs::counter_add!("serve.drains", 1);
+    }
+
+    /// Whether the node is in drain mode.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
     }
 
     /// Graceful shutdown: stop accepting, drain every session queue,
@@ -619,7 +677,10 @@ fn delete_journal(session: &Session) {
 /// transport loss left behind. The dump records a fault the session
 /// has since survived; keeping it would read as an unresolved failure
 /// and leave unbounded residue on a fleet that always finishes cleanly.
-fn delete_journal_and_flight(session: &Session) {
+fn delete_journal_and_flight(shared: &Arc<Shared>, session: &Session) {
+    if let Some(root) = shared.config.flight_dir.as_ref() {
+        emprof_store::remove_flight_dump(root, session.id);
+    }
     if let Some(dir) = session.journal_dir() {
         if let Some(root) = dir.parent() {
             emprof_store::remove_flight_dump(root, session.id);
@@ -811,6 +872,10 @@ fn scrape_body(shared: &Arc<Shared>) -> String {
         "# TYPE emprof_server_uptime_ms counter\nemprof_server_uptime_ms {}\n",
         health.uptime_ms
     ));
+    out.push_str(&format!(
+        "# TYPE emprof_server_draining gauge\nemprof_server_draining {}\n",
+        u64::from(shared.draining.load(Ordering::SeqCst))
+    ));
     out
 }
 
@@ -940,7 +1005,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         // telemetry (not even the serve.session span), so polling never
         // perturbs what it reports.
         Ok(Some(
-            first @ (Frame::MetricsRequest | Frame::HealthRequest | Frame::FlightRequest { .. }),
+            first @ (Frame::MetricsRequest
+            | Frame::HealthRequest
+            | Frame::FlightRequest { .. }
+            | Frame::NodeHealthRequest
+            | Frame::ClusterStateRequest
+            | Frame::ClusterJoin { .. }),
         )) => {
             metrics_connection(&mut conn, shared, first);
             return;
@@ -986,6 +1056,25 @@ fn metrics_connection(conn: &mut Conn, shared: &Arc<Shared>, first: Frame) {
             Frame::FlightRequest { session_id } => Frame::FlightReply {
                 dumps: shared.flight_dumps(session_id),
             },
+            Frame::NodeHealthRequest => Frame::NodeHealthReply(shared.node_health()),
+            // A standalone node's cluster state is just itself; a router
+            // answers the same request with its full backend table.
+            Frame::ClusterStateRequest => Frame::ClusterStateReply {
+                nodes: vec![shared.node_health()],
+            },
+            // The cluster admin verb: drain (or leave) empties the node,
+            // join marks it back up. The reply is the node's post-action
+            // health row so the caller sees the transition took.
+            Frame::ClusterJoin { action, .. } => {
+                match action {
+                    ClusterAction::Drain | ClusterAction::Leave => {
+                        shared.draining.store(true, Ordering::SeqCst);
+                        obs::counter_add!("serve.drains", 1);
+                    }
+                    ClusterAction::Join => shared.draining.store(false, Ordering::SeqCst),
+                }
+                Frame::NodeHealthReply(shared.node_health())
+            }
             Frame::Fin => return,
             _ => {
                 conn.bail(ErrorCode::Protocol, "metrics connections may only poll");
@@ -1089,6 +1178,16 @@ fn session_connection(conn: &mut Conn, shared: &Arc<Shared>, hello: Hello) {
             }
         }
     } else {
+        // A draining node takes no *new* work. Resumes (above) stay
+        // allowed: in-flight sessions finish or get migrated, they are
+        // never stranded by the drain itself.
+        if shared.draining.load(Ordering::SeqCst) {
+            conn.bail(ErrorCode::Shutdown, "node draining");
+            return;
+        }
+        if hello.proxied {
+            obs::counter_add!("serve.proxied_sessions", 1);
+        }
         let journal_root = shared.config.journal_dir.clone();
         let device = hello.device.clone();
         let (sample_rate_hz, clock_hz, config) =
@@ -1185,11 +1284,17 @@ enum SessionExit {
     Fault(String),
 }
 
-/// Persists a session's flight ring next to the journals (no-op on an
-/// unjournaled server: there is no durable directory to land it in;
-/// the ring stays pollable over FLIGHT frames either way).
+/// Persists a session's flight ring: to [`ServeConfig::flight_dir`]
+/// when set, else next to the journals. With neither configured there
+/// is no durable directory to land it in, so this is a no-op (the ring
+/// stays pollable over FLIGHT frames either way).
 fn dump_flight(shared: &Arc<Shared>, session: &Session, reason: &str) {
-    let Some(root) = shared.config.journal_dir.as_ref() else {
+    let Some(root) = shared
+        .config
+        .flight_dir
+        .as_ref()
+        .or(shared.config.journal_dir.as_ref())
+    else {
         return;
     };
     let json = session.flight.dump_json(session.id, session.trace_id, reason);
@@ -1312,7 +1417,7 @@ fn session_loop(
                         .unwrap_or_else(|e| e.into_inner())
                         .remove(&session.id);
                     shared.note_sessions_active();
-                    delete_journal_and_flight(session);
+                    delete_journal_and_flight(shared, session);
                 }
             }
             Ok(Some(_)) => {

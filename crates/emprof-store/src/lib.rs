@@ -53,4 +53,4 @@ pub use flight::{remove_flight_dump, write_flight_dump};
 pub use inspect::{inspect_dir, JournalInspect, SegmentHealth};
 pub use journal::{Journal, JournalConfig, JournalStats, Recovered, RecoveryReport};
 pub use record::{Record, RecordKind, SessionMeta};
-pub use session::{RecoveredSession, SessionJournal};
+pub use session::{read_session, RecoveredSession, SessionJournal};

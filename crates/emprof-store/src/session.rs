@@ -280,6 +280,25 @@ impl SessionJournal {
     }
 }
 
+/// Reads a session's journal for handoff without keeping it open: the
+/// router's migration path uses this to lift a dead or draining
+/// backend's session state off disk and replay it into the new owner.
+/// The same longest-valid-prefix recovery as [`SessionJournal::open`]
+/// applies (torn tails are truncated in place — the source process is
+/// gone, so there is no writer to conflict with), but no journal handle
+/// is retained and nothing is appended: the directory stays the old
+/// owner's property until the migration succeeds and deletes it.
+///
+/// Returns `Ok(None)` when no identity checkpoint survived — there is
+/// no session to hand off.
+///
+/// # Errors
+///
+/// Propagates I/O failures; corruption is repaired, not reported.
+pub fn read_session(dir: &Path, cfg: JournalConfig) -> io::Result<Option<RecoveredSession>> {
+    Ok(SessionJournal::open(dir, cfg)?.map(|(_, recovered)| recovered))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

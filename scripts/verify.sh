@@ -12,7 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # the direct-vs-FFT FIR crossover; asserts thread-count invariance and
 # writes BENCH_pipeline.json. The committed baseline is saved first so
 # the run doubles as a perf regression gate: the bench exits nonzero if
-# 1-thread detector throughput drops >20% below the committed number.
+# 1-thread detector or 1-thread pipeline throughput drops >20% below the
+# committed number (skipped, with a logged reason, on hosts too small to
+# run the sweep unshared).
 PERF_BASELINE="$(mktemp)"
 cp BENCH_pipeline.json "$PERF_BASELINE"
 cargo run -q --release -p emprof-bench --bin perf_pipeline -- --smoke --out BENCH_pipeline.json --check-against "$PERF_BASELINE"
@@ -52,6 +54,21 @@ cargo run -q --release -p emprof-bench --bin chaos_soak -- --smoke --seconds 8
 # lost-reply window and rebound over the same journal directory; fails
 # on any event loss/duplication or leftover journal residue.
 cargo run -q --release -p emprof-bench --bin store_soak -- --smoke --seconds 8
+
+# Routed-equals-direct: sessions streamed through the sharded router —
+# across resumes, backend kills (journal-handoff migration), and
+# runtime JOIN/LEAVE — serve events bit-identical to a single-node
+# batch run; the consistent-hash ring's minimal-movement guarantee is
+# proven over arbitrary topologies.
+cargo test -q --release --test router_equivalence
+cargo test -q --release --test router_chaos
+cargo test -q --release --test prop_ring
+
+# Router soak smoke: concurrent faulted sessions through a 3-backend
+# fleet with forced severs, plus a deterministic kill-and-rebalance
+# phase (backend killed mid-stream, replacement joined at runtime);
+# fails on any event mismatch vs batch or any lossy migration.
+cargo run -q --release -p emprof-bench --bin router_soak -- --smoke
 
 # Remote-equals-local observability: a METRICS frame decoded by the
 # client and a /metrics HTTP scrape must both reproduce the server's

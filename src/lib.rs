@@ -18,6 +18,7 @@
 //! | [`par`] | `emprof-par` | worker pool + chunk planning for the parallel pipeline |
 //! | [`serve`] | `emprof-serve` | concurrent network profiling service + client |
 //! | [`store`] | `emprof-store` | durable delivered-event journal under the service |
+//! | [`router`] | `emprof-router` | sharded fleet tier: consistent-hash ring, health probing, session migration |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use emprof_emsim as emsim;
 pub use emprof_fault as fault;
 pub use emprof_obs as obs;
 pub use emprof_par as par;
+pub use emprof_router as router;
 pub use emprof_serve as serve;
 pub use emprof_signal as signal;
 pub use emprof_sim as sim;

@@ -278,6 +278,57 @@ fn forced_transport_loss_dumps_flight_recorder() {
 }
 
 #[test]
+fn explicit_flight_dir_works_without_a_journal() {
+    // `--flight-dir` must land black boxes even on a journal-less
+    // server: dump_flight's fallback-to-journal-dir path never runs.
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let flight_root = fresh_dir();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            journal_dir: None,
+            flight_dir: Some(flight_root.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let signal = test_signal();
+    let mut client =
+        ProfileClient::connect(server.local_addr(), "no-journal", config(), FS, CLK).unwrap();
+    let trace = client.trace_id();
+    client.send(&signal).unwrap();
+    client.flush().unwrap();
+    client.drop_connection(); // forced fault: EOF with the session live
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let path = loop {
+        let found = std::fs::read_dir(&flight_root).ok().and_then(|entries| {
+            entries.flatten().map(|e| e.path()).find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight-session-") && n.ends_with(".json"))
+            })
+        });
+        if let Some(p) = found {
+            break p;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no flight dump under the explicit --flight-dir {flight_root:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let dump = std::fs::read_to_string(&path).unwrap();
+    let trace_hex = format!("\"trace_id\":\"{trace:#018x}\"");
+    assert!(dump.contains("\"type\":\"flight\""), "not a flight dump: {dump}");
+    assert!(dump.contains(&trace_hex), "dump missing {trace_hex}: {dump}");
+    assert!(dump.contains("transport loss"), "missing fault reason: {dump}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&flight_root);
+}
+
+#[test]
 fn clean_retirement_removes_the_stale_flight_dump() {
     let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let root = fresh_dir();

@@ -1,0 +1,135 @@
+//! Property tests for the consistent-hash ring: the minimal-movement
+//! guarantee that makes router rebalancing cheap. For *arbitrary*
+//! topologies and key sets: removing one node relocates only that
+//! node's sessions, re-adding it restores the original assignment
+//! exactly, growing the ring only claims keys for the new node, and
+//! exclusion (mark-down failover) never moves keys owned by live
+//! nodes.
+
+use std::collections::BTreeMap;
+
+use emprof::router::HashRing;
+use proptest::prelude::*;
+
+fn node_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("node-{i}")).collect()
+}
+
+/// Session-style keys (`device#session`) from raw u64 material.
+fn keys_from(raw: &[u64]) -> Vec<String> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, v)| format!("dev{:x}#{}", v, i % 17))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Removing one node moves only the keys it owned; re-adding it
+    /// restores the original assignment bit for bit.
+    #[test]
+    fn removal_is_minimal_and_readd_restores(
+        n_nodes in 2usize..12,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..200),
+        replicas in 1usize..96,
+        victim_pick in any::<u8>(),
+    ) {
+        let nodes = node_names(n_nodes);
+        let keys = keys_from(&raw_keys);
+        let mut ring = HashRing::new(replicas);
+        for n in &nodes {
+            ring.add(n);
+        }
+        let before: BTreeMap<&String, String> = keys
+            .iter()
+            .map(|k| (k, ring.owner(k).unwrap().to_string()))
+            .collect();
+
+        let victim = &nodes[victim_pick as usize % nodes.len()];
+        ring.remove(victim);
+        for k in &keys {
+            let now = ring.owner(k).unwrap();
+            let was = &before[k];
+            if was != victim {
+                prop_assert_eq!(
+                    now, was.as_str(),
+                    "key {} moved off surviving node {} when {} was removed",
+                    k, was, victim
+                );
+            } else {
+                prop_assert_ne!(now, victim.as_str());
+            }
+        }
+
+        ring.add(victim);
+        for k in &keys {
+            prop_assert_eq!(ring.owner(k).unwrap(), before[k].as_str());
+        }
+    }
+
+    /// Excluding nodes from a lookup (the mark-down failover walk)
+    /// never moves a key whose owner is not excluded, and never
+    /// resolves to an excluded node.
+    #[test]
+    fn exclusion_only_fails_over_excluded_keys(
+        n_nodes in 2usize..10,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..100),
+        replicas in 1usize..96,
+        excluded_mask in any::<u16>(),
+    ) {
+        let nodes = node_names(n_nodes);
+        let keys = keys_from(&raw_keys);
+        let mut ring = HashRing::new(replicas);
+        for n in &nodes {
+            ring.add(n);
+        }
+        let mut excluded: Vec<&str> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| excluded_mask >> (i % 16) & 1 == 1)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        // At least one node must survive for lookups to resolve.
+        if excluded.len() == nodes.len() {
+            excluded.pop();
+        }
+        for k in &keys {
+            let owner = ring.owner(k).unwrap().to_string();
+            let resolved = ring.owner_excluding(k, &excluded).unwrap();
+            prop_assert!(!excluded.contains(&resolved));
+            if !excluded.contains(&owner.as_str()) {
+                prop_assert_eq!(resolved, owner.as_str());
+            }
+        }
+    }
+
+    /// Growing the ring by one node only *claims* keys for the new
+    /// node — no key moves between two pre-existing nodes.
+    #[test]
+    fn addition_only_claims_for_the_new_node(
+        n_nodes in 1usize..10,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..100),
+        replicas in 1usize..96,
+    ) {
+        let nodes = node_names(n_nodes);
+        let keys = keys_from(&raw_keys);
+        let mut ring = HashRing::new(replicas);
+        for n in &nodes {
+            ring.add(n);
+        }
+        let before: Vec<String> = keys
+            .iter()
+            .map(|k| ring.owner(k).unwrap().to_string())
+            .collect();
+        ring.add("node-brand-new");
+        for (k, was) in keys.iter().zip(&before) {
+            let now = ring.owner(k).unwrap();
+            prop_assert!(
+                now == was.as_str() || now == "node-brand-new",
+                "key {} jumped between pre-existing nodes ({} -> {})",
+                k, was, now
+            );
+        }
+    }
+}
