@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use emprof_core::{Emprof, EmprofConfig, StallEvent};
+use emprof_core::{CalibConfig, Emprof, EmprofConfig, StallEvent};
 use emprof_fault::{flag_degraded, survivor_dropout_points, FaultInjector, FaultPlan};
 use emprof_serve::{ClientConfig, MetricsClient, ProfileClient, ServeConfig, Server};
 
@@ -286,6 +286,114 @@ fn metrics_sanity_phase(segments: usize) -> Vec<String> {
     failures
 }
 
+/// F1 of detected events against known dip centers: a center is a true
+/// positive if some not-yet-claimed event covers it (± `tol` samples);
+/// unclaimed events are false positives, unmatched centers misses.
+fn f1_score(events: &[StallEvent], centers: &[usize], tol: usize) -> f64 {
+    let mut claimed = vec![false; events.len()];
+    let mut tp = 0usize;
+    for &c in centers {
+        let hit = events.iter().enumerate().position(|(i, e)| {
+            !claimed[i] && e.start_sample <= c + tol && c <= e.end_sample + tol
+        });
+        if let Some(i) = hit {
+            claimed[i] = true;
+            tp += 1;
+        }
+    }
+    let fp = claimed.iter().filter(|&&c| !c).count();
+    let fnn = centers.len() - tp;
+    if tp == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fnn as f64)
+}
+
+/// Probe-walk phase: a capture with known dip ground truth goes through
+/// `FaultPlan::probe_walk()` — a downward-wandering per-sample gain with
+/// a fixed post-attenuation receiver noise floor. The clean capture
+/// profiles perfectly under the static configuration; once the walk is
+/// injected, the noise floor becomes the dominant structure inside
+/// dip-free normalization windows and the static detector drowns in
+/// false dips (the "silent accuracy loss" of a drifting probe: nothing
+/// errors, the numbers are just wrong). The adaptive detector's
+/// contrast gate and threshold tracking must keep its F1 ahead of
+/// static by a clear margin.
+fn probe_walk_phase() -> Vec<String> {
+    const N: usize = 400_000;
+    const DIP_START: usize = 3_000;
+    const DIP_STEP: usize = 6_000;
+    const DIP_WIDTH: usize = 14;
+    const MATCH_TOL: usize = 32;
+    const MARGIN: f64 = 0.15;
+
+    let mut signal = Vec::with_capacity(N);
+    let mut centers = Vec::new();
+    for i in 0..N {
+        let k = i.saturating_sub(DIP_START) % DIP_STEP;
+        let in_dip = i >= DIP_START && k < DIP_WIDTH;
+        if in_dip && k == DIP_WIDTH / 2 {
+            centers.push(i);
+        }
+        signal.push(if in_dip { 5.0 * 0.12 } else { 5.0 });
+    }
+    {
+        // Control: the clean capture must profile perfectly statically,
+        // so any accuracy loss below is attributable to the walk.
+        let clean_events = batch_events(&signal);
+        if f1_score(&clean_events, &centers, MATCH_TOL) < 1.0 {
+            return vec![format!(
+                "control failed: {} static events on the clean capture for {} dips",
+                clean_events.len(),
+                centers.len()
+            )];
+        }
+    }
+    let mut injector = FaultInjector::new(FaultPlan::probe_walk(), 7);
+    let report = injector.inject(&mut signal);
+
+    let f1_of = |adaptive: bool| -> f64 {
+        let mut cfg = config();
+        if adaptive {
+            cfg.calib = CalibConfig::adaptive();
+        }
+        let profile = Emprof::new(cfg).profile_magnitude(&signal, FS, CLK);
+        f1_score(profile.events(), &centers, MATCH_TOL)
+    };
+    let static_f1 = f1_of(false);
+    let adaptive_f1 = f1_of(true);
+    println!(
+        "probe walk to {:.0}% gain over {} dips: static F1 {static_f1:.3}, \
+         adaptive F1 {adaptive_f1:.3}",
+        report.walk_min_gain * 100.0,
+        centers.len()
+    );
+
+    let mut failures = Vec::new();
+    if report.walk_min_gain > 0.2 {
+        failures.push(format!(
+            "probe walk never wandered: min gain {:.3} stayed above 0.2",
+            report.walk_min_gain
+        ));
+    }
+    if adaptive_f1 < static_f1 + MARGIN {
+        failures.push(format!(
+            "adaptive F1 {adaptive_f1:.3} does not beat static F1 {static_f1:.3} \
+             by the {MARGIN} margin under probe walk"
+        ));
+    }
+    // The causal schedule cannot gate block 0 (there is nothing to
+    // calibrate from yet), so a few cold-start false positives are
+    // inherent; beyond that warmup, adaptive should stay near-perfect.
+    if adaptive_f1 < 0.8 {
+        failures.push(format!(
+            "adaptive F1 {adaptive_f1:.3} under probe walk is below 0.8: \
+             calibration failed to track the drift"
+        ));
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -415,6 +523,9 @@ fn main() {
 
     println!("metrics sanity phase: 3 flushed sessions, forced drops, METRICS vs truth");
     failures.extend(metrics_sanity_phase(segments));
+
+    println!("probe-walk phase: adaptive vs static accuracy under a wandering gain");
+    failures.extend(probe_walk_phase());
 
     if failures.is_empty() {
         println!("chaos soak PASS: every session resumed, faults never altered events");

@@ -353,7 +353,7 @@ pub fn attribute(profile: &Profile, set: &SignatureSet, segments: &[Segment]) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emprof_core::{StallEvent, StallKind};
+    use emprof_core::{Confidence, StallEvent, StallKind};
 
     fn tone(freq: f64, level: f64, n: usize) -> Vec<f64> {
         (0..n)
@@ -451,6 +451,7 @@ mod tests {
             end_sample: s + 12,
             duration_cycles: 300.0,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         };
         let profile = Profile::new(
             vec![ev(100), ev(400), ev(700), ev(1500)],
@@ -489,6 +490,7 @@ mod tests {
             end_sample: s + 10,
             duration_cycles: 250.0,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         };
         let profile = Profile::new(vec![ev(100), ev(1200)], 2000, 40e6, 1.0e9);
         let signal = two_region_signal();

@@ -3,8 +3,10 @@
 use std::fmt::Write as _;
 
 use emprof_core::report::{self, ProfileSummary};
-use emprof_core::{Emprof, EmprofConfig, Profile, StreamingEmprof};
-use emprof_emsim::{Receiver, ReceiverConfig};
+use emprof_core::{
+    CalibConfig, Emprof, EmprofConfig, FusedDetector, FusionConfig, Profile, StreamingEmprof,
+};
+use emprof_emsim::{MemoryProbe, Receiver, ReceiverConfig};
 use emprof_fault::{FaultInjector, FaultPlan, FaultReport};
 use emprof_obs as obs;
 use emprof_obs::TelemetrySink;
@@ -108,12 +110,25 @@ where
     Ok(out)
 }
 
+/// The detector configuration for a CLI run: the paper's fixed-threshold
+/// setup, with the online calibration loop switched on by `--adaptive`.
+fn detector_config(rate: f64, clock_hz: f64, adaptive: bool) -> EmprofConfig {
+    let mut config = EmprofConfig::for_rates(rate, clock_hz);
+    if adaptive {
+        config.calib = CalibConfig::adaptive();
+    }
+    config
+}
+
 /// With telemetry on, re-runs the magnitude through the streaming
 /// detector: this records the `stream.*` throughput gauges and doubles as
-/// a live equivalence check against the batch profile.
+/// a live equivalence check against the batch profile. The streaming
+/// detector must run the same configuration (notably the calibration
+/// knob) as the batch run it is compared to.
 fn streaming_cross_check(
     out: &mut String,
     magnitude: &[f64],
+    config: EmprofConfig,
     rate: f64,
     clock_hz: f64,
     batch: &Profile,
@@ -121,7 +136,7 @@ fn streaming_cross_check(
     if !obs::is_enabled() {
         return;
     }
-    let mut s = StreamingEmprof::new(EmprofConfig::for_rates(rate, clock_hz), rate, clock_hz);
+    let mut s = StreamingEmprof::new(config, rate, clock_hz);
     s.extend(magnitude.iter().copied());
     let stats = s.stats();
     let streamed = s.finish();
@@ -260,6 +275,13 @@ fn fault_summary(out: &mut String, report: &FaultReport) {
         report.gain_steps.len(),
         report.shifts.len()
     );
+    if report.walk_min_gain < 1.0 {
+        let _ = writeln!(
+            out,
+            "probe walk: gain wandered down to {:.0}% of nominal",
+            report.walk_min_gain * 100.0
+        );
+    }
 }
 
 fn profile_of(
@@ -268,12 +290,14 @@ fn profile_of(
     bandwidth: f64,
     seed: u64,
     par: Parallelism,
+    adaptive: bool,
 ) -> (Profile, Vec<f64>, f64) {
     let rx = Receiver::new(ReceiverConfig::paper_setup(bandwidth)).with_parallelism(par);
     let capture = rx.capture(&result.power, seed);
-    let emprof = Emprof::new(EmprofConfig::for_rates(
+    let emprof = Emprof::new(detector_config(
         capture.sample_rate_hz(),
         device.clock_hz,
+        adaptive,
     ));
     let magnitude = capture.magnitude_par(par);
     let profile = emprof.profile_magnitude_par(
@@ -292,7 +316,8 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
     let par = Parallelism::resolve(opts.threads);
     let (profile, magnitude, rate, fault_report) = match fault_plan {
         None => {
-            let (p, m, r) = profile_of(&result, &device, opts.bandwidth_hz, opts.seed, par);
+            let (p, m, r) =
+                profile_of(&result, &device, opts.bandwidth_hz, opts.seed, par, opts.adaptive);
             (p, m, r, None)
         }
         Some(plan) => {
@@ -302,11 +327,31 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
             let rate = capture.sample_rate_hz();
             let mut injector = FaultInjector::new(plan, opts.fault_seed);
             let (magnitude, report) = capture.magnitude_faulted(&mut injector, par);
-            let emprof = Emprof::new(EmprofConfig::for_rates(rate, device.clock_hz));
+            let emprof = Emprof::new(detector_config(rate, device.clock_hz, opts.adaptive));
             let profile =
                 emprof.profile_magnitude_par(&magnitude, rate, device.clock_hz, par);
             (profile, magnitude, rate, Some(report))
         }
+    };
+    let config = detector_config(rate, device.clock_hz, opts.adaptive);
+
+    // Dual-probe cross-validation: synthesize the memory-side capture of
+    // the same run (sharing the CPU capture's time base, as in the
+    // paper's Fig. 10 setup) and reject CPU-probe events with no
+    // corroborating DRAM activity. The pre-fusion profile is kept for
+    // the streaming cross-check: streaming is single-probe by nature.
+    let prefusion = profile.clone();
+    let (profile, fusion_report) = if opts.dual_probe {
+        let horizon_ns = result.stats.cycles as f64 / device.clock_hz * 1e9;
+        let mem_magnitude = MemoryProbe::new(ReceiverConfig::paper_setup(opts.bandwidth_hz))
+            .capture(&result.cas_trace, horizon_ns, device.clock_hz, opts.seed)
+            .magnitude_par(par);
+        let fused = FusedDetector::new(Emprof::new(config), FusionConfig::default());
+        let (fused_profile, report) =
+            fused.cross_validate(profile, &mem_magnitude, rate, device.clock_hz);
+        (fused_profile, Some(report))
+    } else {
+        (profile, None)
     };
 
     let mut out = String::new();
@@ -328,14 +373,28 @@ fn simulate(opts: &SimulateOpts) -> Result<String, CliError> {
     if let Some(report) = &fault_report {
         fault_summary(&mut out, report);
     }
+    if let Some(report) = &fusion_report {
+        let _ = writeln!(
+            out,
+            "dual-probe fusion: {} events confirmed, {} rejected as single-probe artifacts",
+            report.confirmed, report.rejected
+        );
+    }
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    if profile.degraded_count() > 0 {
+        let _ = writeln!(
+            out,
+            "confidence: {} events flagged degraded (probe drift / signal gaps)",
+            profile.degraded_count()
+        );
+    }
     let _ = writeln!(
         out,
         "ground truth: {} LLC misses, {} stall cycles",
         result.ground_truth.llc_miss_count(),
         result.ground_truth.llc_stall_cycles()
     );
-    streaming_cross_check(&mut out, &magnitude, rate, device.clock_hz, &profile);
+    streaming_cross_check(&mut out, &magnitude, config, rate, device.clock_hz, &prefusion);
     stall_latency_quantiles(&mut out);
     if let Some(path) = &opts.signal_out {
         write_file(path, &report::signal_to_csv(&magnitude))?;
@@ -353,7 +412,8 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
         .map_err(|e| CliError::Runtime(format!("{}: {e}", opts.signal_path)))?;
     let signal =
         report::signal_from_csv(&csv).map_err(|e| CliError::Runtime(e.to_string()))?;
-    let emprof = Emprof::new(EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz));
+    let config = detector_config(opts.sample_rate_hz, opts.clock_hz, opts.adaptive);
+    let emprof = Emprof::new(config);
     let profile = emprof.profile_magnitude_par(
         &signal,
         opts.sample_rate_hz,
@@ -369,7 +429,14 @@ fn profile_csv(opts: &ProfileOpts) -> Result<String, CliError> {
         signal.len() as f64 / opts.sample_rate_hz * 1e3
     );
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
-    streaming_cross_check(&mut out, &signal, opts.sample_rate_hz, opts.clock_hz, &profile);
+    if profile.degraded_count() > 0 {
+        let _ = writeln!(
+            out,
+            "confidence: {} events flagged degraded (probe drift / signal gaps)",
+            profile.degraded_count()
+        );
+    }
+    streaming_cross_check(&mut out, &signal, config, opts.sample_rate_hz, opts.clock_hz, &profile);
     stall_latency_quantiles(&mut out);
     if let Some(path) = &opts.events_out {
         write_file(path, &report::events_to_csv(&profile))?;
@@ -555,7 +622,7 @@ fn push(opts: &PushOpts) -> Result<String, CliError> {
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     let fault_report = fault_plan
         .map(|plan| FaultInjector::new(plan, opts.fault_seed).inject(&mut signal));
-    let config = EmprofConfig::for_rates(opts.sample_rate_hz, opts.clock_hz);
+    let config = detector_config(opts.sample_rate_hz, opts.clock_hz, opts.adaptive);
     let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{}: {e}", opts.addr));
     let client_config = ClientConfig {
         read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
@@ -610,6 +677,13 @@ fn push(opts: &PushOpts) -> Result<String, CliError> {
         let _ = writeln!(out, "session resumed {reconnects} time(s) after transport loss");
     }
     let _ = writeln!(out, "{}", ProfileSummary::of(&profile));
+    if profile.degraded_count() > 0 {
+        let _ = writeln!(
+            out,
+            "confidence: {} events flagged degraded (probe drift / signal gaps)",
+            profile.degraded_count()
+        );
+    }
     if let Some(path) = &opts.events_out {
         write_file(path, &report::events_to_csv(&profile))?;
         let _ = writeln!(out, "events written to {path}");
@@ -677,6 +751,29 @@ fn human_rate(v: f64) -> String {
     }
 }
 
+/// Client-side rate figures between two METRICS polls of one session.
+///
+/// A backend restart (or a session migrating to a fresh backend) resets
+/// the wire counters to zero, so the naive `now - prev` delta of a
+/// dashboard that survived the restart would go hugely negative (or,
+/// with a saturating subtraction, silently freeze at zero). A reset is
+/// detected as any counter moving backwards: the frame falls back to
+/// the server's own windowed rate, marks the row `(reset)`, and tallies
+/// the `top.counter_resets` telemetry counter.
+fn session_rates(
+    dt: f64,
+    prev: &emprof_serve::SessionRow,
+    row: &emprof_serve::SessionRow,
+) -> (f64, String) {
+    if row.samples_pushed < prev.samples_pushed || row.events_emitted < prev.events_emitted {
+        obs::counter_add!("top.counter_resets", 1);
+        return (row.samples_per_sec, " (reset)".to_string());
+    }
+    let ds = row.samples_pushed - prev.samples_pushed;
+    let de = row.events_emitted - prev.events_emitted;
+    (ds as f64 / dt, format!(" (+{de})"))
+}
+
 /// Renders one `emprof top` dashboard frame.
 ///
 /// `prev` carries the previous poll (seconds elapsed since it, and its
@@ -704,9 +801,9 @@ fn render_top_frame(
     } else {
         let _ = writeln!(
             out,
-            "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>8}",
+            "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>8}",
             "SESSION", "TRACE", "DEVICE", "CONN", "QUEUE", "SAMPLES", "SAMP/S", "EVENTS",
-            "ACKED", "LAG", "SHED", "IDLE"
+            "ACKED", "DEGR", "LAG", "SHED", "IDLE"
         );
         for row in &reply.sessions {
             let prev_row = prev.and_then(|(dt, p)| {
@@ -716,18 +813,14 @@ fn render_top_frame(
                     .map(|r| (dt, r))
             });
             let (samp_rate, ev_suffix) = match prev_row {
-                Some((dt, p)) if dt > 0.0 => {
-                    let ds = row.samples_pushed.saturating_sub(p.samples_pushed);
-                    let de = row.events_emitted.saturating_sub(p.events_emitted);
-                    (ds as f64 / dt, format!(" (+{de})"))
-                }
+                Some((dt, p)) if dt > 0.0 => session_rates(dt, p, row),
                 _ => (row.samples_per_sec, String::new()),
             };
             let mut device = row.device.clone();
             device.truncate(10);
             let _ = writeln!(
                 out,
-                "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7}ms",
+                "{:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>7}ms",
                 row.session_id,
                 format!("0x{:016x}", row.trace_id),
                 device,
@@ -737,6 +830,7 @@ fn render_top_frame(
                 human_rate(samp_rate),
                 format!("{}{ev_suffix}", row.events_emitted),
                 row.events_acked,
+                row.events_degraded,
                 row.delivery_lag(),
                 row.sheds,
                 row.idle_ms,
@@ -775,9 +869,9 @@ fn render_fleet_frame(
     if any_sessions {
         let _ = writeln!(
             out,
-            "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>8}",
+            "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>8}",
             "NODE", "SESSION", "TRACE", "DEVICE", "CONN", "QUEUE", "SAMPLES", "SAMP/S",
-            "EVENTS", "ACKED", "LAG", "SHED", "IDLE"
+            "EVENTS", "ACKED", "DEGR", "LAG", "SHED", "IDLE"
         );
         for (addr, reply, _) in nodes {
             for row in &reply.sessions {
@@ -791,11 +885,7 @@ fn render_fleet_frame(
                         .map(|r| (dt, r))
                 });
                 let (samp_rate, ev_suffix) = match prev_row {
-                    Some((dt, p)) if dt > 0.0 => {
-                        let ds = row.samples_pushed.saturating_sub(p.samples_pushed);
-                        let de = row.events_emitted.saturating_sub(p.events_emitted);
-                        (ds as f64 / dt, format!(" (+{de})"))
-                    }
+                    Some((dt, p)) if dt > 0.0 => session_rates(dt, p, row),
                     _ => (row.samples_per_sec, String::new()),
                 };
                 let mut device = row.device.clone();
@@ -804,7 +894,7 @@ fn render_fleet_frame(
                 node.truncate(18);
                 let _ = writeln!(
                     out,
-                    "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>7}ms",
+                    "{:<18} {:<7} {:<18} {:<10} {:<4} {:>6} {:>12} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>7}ms",
                     node,
                     row.session_id,
                     format!("0x{:016x}", row.trace_id),
@@ -815,6 +905,7 @@ fn render_fleet_frame(
                     human_rate(samp_rate),
                     format!("{}{ev_suffix}", row.events_emitted),
                     row.events_acked,
+                    row.events_degraded,
                     row.delivery_lag(),
                     row.sheds,
                     row.idle_ms,
@@ -1144,7 +1235,8 @@ fn demo() -> Result<String, CliError> {
     let result = Simulator::new(device.clone())
         .with_max_cycles(4_000_000_000)
         .run(Interpreter::new(&program));
-    let (profile, _, _) = profile_of(&result, &device, 40e6, 7, Parallelism::resolve(None));
+    let (profile, _, _) =
+        profile_of(&result, &device, 40e6, 7, Parallelism::resolve(None), false);
     let window = result
         .ground_truth
         .marker_window(
@@ -1399,6 +1491,40 @@ mod tests {
         assert!(watched.contains("sessions"), "{watched}");
         assert!(watched.contains("session "), "tail events missing: {watched}");
         server.shutdown();
+    }
+
+    #[test]
+    fn session_rates_clamp_counter_resets() {
+        let row = |samples: u64, events: u64| emprof_serve::SessionRow {
+            session_id: 1,
+            trace_id: 42,
+            device: "dev".into(),
+            connected: true,
+            queue_depth: 0,
+            queue_capacity: 8,
+            samples_pushed: samples,
+            samples_per_sec: 123.0,
+            events_emitted: events,
+            events_acked: 0,
+            journaled_events: 0,
+            sheds: 0,
+            samples_rejected: 0,
+            events_degraded: 0,
+            idle_ms: 0,
+        };
+        // Monotone counters: the rate is the client-side delta.
+        let (rate, suffix) = session_rates(2.0, &row(1_000, 3), &row(5_000, 7));
+        assert_eq!(rate, 2_000.0);
+        assert_eq!(suffix, " (+4)");
+        // A counter moving backwards is a backend restart, not a
+        // negative rate: fall back to the server's windowed figure.
+        let (rate, suffix) = session_rates(2.0, &row(5_000, 7), &row(100, 0));
+        assert_eq!(rate, 123.0);
+        assert_eq!(suffix, " (reset)");
+        // Either counter regressing alone counts as a reset.
+        let (rate, suffix) = session_rates(2.0, &row(100, 7), &row(200, 2));
+        assert_eq!(rate, 123.0);
+        assert_eq!(suffix, " (reset)");
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct SimulateOpts {
     pub fault_plan: Option<String>,
     /// Seed for the fault injector.
     pub fault_seed: u64,
+    /// Run the detectors with online probe calibration enabled.
+    pub adaptive: bool,
+    /// Synthesize a second (memory-probe) capture and cross-validate
+    /// the CPU-probe events against it before reporting.
+    pub dual_probe: bool,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -113,6 +118,8 @@ impl Default for SimulateOpts {
             events_out: None,
             fault_plan: None,
             fault_seed: 1,
+            adaptive: false,
+            dual_probe: false,
             obs: ObsOpts::default(),
         }
     }
@@ -132,6 +139,8 @@ pub struct ProfileOpts {
     pub threads: Option<usize>,
     /// Write the detected events to this CSV path.
     pub events_out: Option<String>,
+    /// Run the detector with online probe calibration enabled.
+    pub adaptive: bool,
     /// Telemetry outputs.
     pub obs: ObsOpts,
 }
@@ -303,6 +312,8 @@ pub struct PushOpts {
     pub fault_plan: Option<String>,
     /// Seed for the fault injector.
     pub fault_seed: u64,
+    /// Ask the service to run its detector with online calibration.
+    pub adaptive: bool,
 }
 
 /// Options of `emprof watch`.
@@ -433,6 +444,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut clock = None;
             let mut threads = None;
             let mut events_out = None;
+            let mut adaptive = false;
             let mut obs = ObsOpts::default();
             let mut it = it.peekable();
             while let Some(arg) = it.next() {
@@ -440,6 +452,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
                     "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
                     "--threads" => threads = Some(take_threads(&mut it)?),
+                    "--adaptive" => adaptive = true,
                     "--events-out" => {
                         events_out = Some(take_value(&mut it, "--events-out")?)
                     }
@@ -467,6 +480,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("profile requires --clock".into()))?,
                 threads,
                 events_out,
+                adaptive,
                 obs,
             }))
         }
@@ -493,6 +507,8 @@ fn parse_simulate<'a, I: Iterator<Item = &'a String>>(
             "--events-out" => opts.events_out = Some(take_value(&mut it, "--events-out")?),
             "--fault-plan" => opts.fault_plan = Some(take_value(&mut it, "--fault-plan")?),
             "--fault-seed" => opts.fault_seed = take_parsed(&mut it, "--fault-seed")?,
+            "--adaptive" => opts.adaptive = true,
+            "--dual-probe" => opts.dual_probe = true,
             flag if flag.starts_with("--") => {
                 if !opts.obs.take_flag(flag, &mut it)? {
                     return Err(CliError::Usage(format!("unknown flag {flag}")));
@@ -743,10 +759,12 @@ fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, Cli
     let mut retries = 5u32;
     let mut fault_plan = None;
     let mut fault_seed = 1u64;
+    let mut adaptive = false;
     let mut it = it.peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = take_value(&mut it, "--addr")?,
+            "--adaptive" => adaptive = true,
             "--rate" => rate = Some(take_parsed(&mut it, "--rate")?),
             "--clock" => clock = Some(take_parsed(&mut it, "--clock")?),
             "--frame" => {
@@ -793,6 +811,7 @@ fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, Cli
         retries,
         fault_plan,
         fault_seed,
+        adaptive,
     })
 }
 
@@ -930,6 +949,7 @@ USAGE:
   emprof simulate <workload> [--device NAME] [--bandwidth HZ] [--scale F]
                   [--seed N] [--threads N] [--signal-out FILE]
                   [--events-out FILE] [--fault-plan SPEC] [--fault-seed N]
+                  [--adaptive] [--dual-probe]
                   [--metrics FILE] [--trace FILE] [--verbose-stats]
       Simulate a workload on a device model, synthesize its EM capture,
       and profile it with EMPROF. Workloads: microbench:TM:CM, ammp,
@@ -937,8 +957,8 @@ USAGE:
       boot, sensor-filter, block-transfer, table-crypto.
 
   emprof profile <signal.csv> --rate HZ --clock HZ [--threads N]
-                 [--events-out FILE] [--metrics FILE] [--trace FILE]
-                 [--verbose-stats]
+                 [--events-out FILE] [--adaptive] [--metrics FILE]
+                 [--trace FILE] [--verbose-stats]
       Run the EMPROF detector on an externally captured magnitude signal
       (one-column CSV with a `magnitude` header).
 
@@ -1021,7 +1041,7 @@ USAGE:
   emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
               [--frame N] [--device NAME] [--events-out FILE]
               [--timeout SECS] [--retries N] [--fault-plan SPEC]
-              [--fault-seed N]
+              [--fault-seed N] [--adaptive]
       Stream a magnitude CSV to a running service in N-sample batches
       (default 8192) and print the served profile summary. The events are
       bit-for-bit what `emprof profile` reports for the same file.
@@ -1057,6 +1077,20 @@ USAGE:
       DIR/flight-session-<id>.json; otherwise dumps go to stdout. The
       same dumps are written automatically next to the journals when a
       journaled session dies of a transport loss or session fault.
+
+CALIBRATION (simulate / profile / push):
+  --adaptive       run the detectors with the online probe-calibration
+                   loop on: per-block SNR/dip-contrast tracking adapts the
+                   detection threshold under probe drift and marks events
+                   detected during degraded stretches with a confidence
+                   bit. Off (the default) keeps the legacy fixed-threshold
+                   path bit-identically. push forwards the choice to the
+                   service in its HELLO config.
+  --dual-probe     (simulate only) synthesize a second, memory-side probe
+                   from the same workload and cross-validate every CPU
+                   event against DRAM burst activity: LLC-miss stalls
+                   without memory-probe corroboration are rejected as
+                   single-probe artifacts.
 
 FAULT INJECTION (simulate / serve / push):
   --fault-plan SPEC   deterministic signal-plane chaos: `none`, `chaos`,
@@ -1160,6 +1194,41 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_calibration_flags() {
+        match parse(&argv("simulate mcf --adaptive --dual-probe")).unwrap() {
+            Command::Simulate(o) => {
+                assert!(o.adaptive);
+                assert!(o.dual_probe);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("simulate mcf")).unwrap() {
+            Command::Simulate(o) => {
+                assert!(!o.adaptive);
+                assert!(!o.dual_probe);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("profile cap.csv --rate 40e6 --clock 1e9 --adaptive")).unwrap() {
+            Command::Profile(o) => assert!(o.adaptive),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("push cap.csv --rate 40e6 --clock 1e9 --adaptive")).unwrap() {
+            Command::Push(o) => assert!(o.adaptive),
+            other => panic!("{other:?}"),
+        }
+        // --dual-probe is a simulate-only flag.
+        assert!(matches!(
+            parse(&argv("profile cap.csv --rate 1 --clock 1 --dual-probe")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("push cap.csv --rate 1 --clock 1 --dual-probe")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -196,7 +196,7 @@ pub fn match_events(profile: &Profile, gt: &GroundTruth, tolerance_cycles: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{StallEvent, StallKind};
+    use crate::profile::{Confidence, StallEvent, StallKind};
     use emprof_sim::{MissRecord, StallCause, StallInterval};
 
     fn profile_with(events: Vec<(usize, usize)>) -> Profile {
@@ -207,6 +207,7 @@ mod tests {
                 end_sample: e,
                 duration_cycles: (e - s) as f64 * 25.0,
                 kind: StallKind::Normal,
+                confidence: Confidence::High,
             })
             .collect();
         Profile::new(events, 10_000, 40e6, 1.0e9)

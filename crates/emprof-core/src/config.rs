@@ -1,5 +1,7 @@
 //! Detector configuration.
 
+use crate::calib::CalibConfig;
+
 /// Tuning parameters of the EMPROF detector.
 ///
 /// The defaults implement the paper's guidance: the normalization window
@@ -33,6 +35,10 @@ pub struct EmprofConfig {
     /// Stalls at least this many cycles long are classified as
     /// DRAM-refresh collisions (Fig. 5: ~2–3 µs vs ~300 ns normal).
     pub refresh_min_cycles: f64,
+    /// Online probe calibration (adaptive threshold/window under probe
+    /// drift, DESIGN.md §15). Off by default; when off, every detector
+    /// path is bit-identical to the static detector.
+    pub calib: CalibConfig,
 }
 
 impl EmprofConfig {
@@ -67,6 +73,7 @@ impl EmprofConfig {
             merge_gap_samples: 2,
             edge_level: 0.5,
             refresh_min_cycles: 1200.0,
+            calib: CalibConfig::off(),
         }
     }
 
@@ -108,6 +115,7 @@ impl EmprofConfig {
                 self.refresh_min_cycles, self.min_duration_cycles
             ));
         }
+        self.calib.validate()?;
         Ok(())
     }
 }

@@ -6,8 +6,9 @@ use emprof_obs as obs;
 use emprof_signal::fused::{self, LevelRuns};
 use emprof_sim::PowerTrace;
 
+use crate::calib::mark_gap_degraded;
 use crate::config::EmprofConfig;
-use crate::profile::{Profile, StallEvent, StallKind};
+use crate::profile::{Confidence, Profile, StallEvent, StallKind};
 
 /// The EMPROF profiler (Section IV of the paper).
 ///
@@ -58,6 +59,14 @@ impl Emprof {
         sample_rate_hz: f64,
         clock_hz: f64,
     ) -> Profile {
+        if self.config.calib.enabled {
+            return self.profile_adaptive(
+                magnitude,
+                sample_rate_hz,
+                clock_hz,
+                emprof_par::Parallelism::sequential(),
+            );
+        }
         let _profile_span = obs::span!("detect.profile");
         // The fused kernel reads the signal exactly once: both moving
         // wedges advance together, normalization happens inline, the
@@ -75,17 +84,17 @@ impl Emprof {
         };
         match fused {
             Ok(runs) => {
-                self.profile_from_runs(runs, magnitude.len(), sample_rate_hz, clock_hz)
+                self.profile_from_runs(runs, magnitude.len(), sample_rate_hz, clock_hz, &[])
             }
             Err(_first_bad) => {
                 // Rare path: the signal carries NaN/±inf. Drop them (a
                 // single NaN would otherwise poison every window that
                 // sees it) and rerun the fused pass on the survivors —
                 // identical to running on the pre-filtered signal, which
-                // is the same policy the streaming detector applies.
-                let kept: Vec<f64> =
-                    magnitude.iter().copied().filter(|v| v.is_finite()).collect();
-                let rejected = magnitude.len() - kept.len();
+                // is the same policy the streaming detector applies. The
+                // collapsed gap positions degrade the confidence of any
+                // event that touches them.
+                let (kept, rejected, gaps) = sanitize_magnitude(magnitude);
                 obs::counter_add!("detect.samples_rejected", rejected as u64);
                 let runs = {
                     let _s = obs::span!("detect.fused");
@@ -97,7 +106,7 @@ impl Emprof {
                     )
                     .expect("survivors are finite by construction")
                 };
-                self.profile_from_runs(runs, kept.len(), sample_rate_hz, clock_hz)
+                self.profile_from_runs(runs, kept.len(), sample_rate_hz, clock_hz, &gaps)
             }
         }
     }
@@ -113,6 +122,7 @@ impl Emprof {
         total: usize,
         sample_rate_hz: f64,
         clock_hz: f64,
+        gaps: &[usize],
     ) -> Profile {
         let merged = {
             let _s = obs::span!("detect.merge");
@@ -122,7 +132,8 @@ impl Emprof {
             let _s = obs::span!("detect.refine");
             refine_from_runs(merged, &runs.below_edge, total)
         };
-        let events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        let mut events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        mark_gap_degraded(&mut events, gaps);
         obs::counter_add!("detect.samples", total as u64);
         record_event_metrics(&events);
         Profile::new(events, total, sample_rate_hz, clock_hz)
@@ -187,6 +198,7 @@ impl Emprof {
                     } else {
                         StallKind::Normal
                     },
+                    confidence: Confidence::High,
                 }
             })
             .collect()
@@ -315,18 +327,29 @@ pub(crate) fn refine_from_runs(
 
 /// Drops non-finite samples ahead of detection, borrowing when the
 /// signal is already clean (the overwhelmingly common case — the scan
-/// is a single cheap pass). Returns the surviving samples and how many
-/// were rejected. Used by the parallel entry point, which must know the
-/// survivor signal before it can chunk it; the batch path folds the same
-/// check into the fused kernel instead and only filters on the rare
-/// dirty signal.
-pub(crate) fn sanitize_magnitude(magnitude: &[f64]) -> (Cow<'_, [f64]>, usize) {
+/// is a single cheap pass). Used by the parallel entry point, which must
+/// know the survivor signal before it can chunk it; the batch path folds
+/// the same check into the fused kernel instead and only filters on the
+/// rare dirty signal. Returns the surviving
+/// samples and how many were rejected, plus the survivor positions where
+/// runs of rejected samples collapsed out (one point per contiguous gap,
+/// the `emprof_fault::survivor_dropout_points` convention) — events
+/// touching those positions carry [`Confidence::Degraded`].
+pub(crate) fn sanitize_magnitude(magnitude: &[f64]) -> (Cow<'_, [f64]>, usize, Vec<usize>) {
     if magnitude.iter().all(|v| v.is_finite()) {
-        return (Cow::Borrowed(magnitude), 0);
+        return (Cow::Borrowed(magnitude), 0, Vec::new());
     }
-    let kept: Vec<f64> = magnitude.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut kept: Vec<f64> = Vec::with_capacity(magnitude.len());
+    let mut gaps: Vec<usize> = Vec::new();
+    for &v in magnitude {
+        if v.is_finite() {
+            kept.push(v);
+        } else if gaps.last() != Some(&kept.len()) {
+            gaps.push(kept.len());
+        }
+    }
     let rejected = magnitude.len() - kept.len();
-    (Cow::Owned(kept), rejected)
+    (Cow::Owned(kept), rejected, gaps)
 }
 
 /// Flushes per-event telemetry shared by the batch and streaming paths:
@@ -342,6 +365,11 @@ pub(crate) fn record_event_metrics(events: &[StallEvent]) {
         .filter(|e| e.kind == StallKind::RefreshCollision)
         .count();
     obs::counter_add!("detect.refresh_events", refresh as u64);
+    let degraded = events
+        .iter()
+        .filter(|e| e.confidence == Confidence::Degraded)
+        .count();
+    obs::counter_add!("detect.confidence.events_degraded", degraded as u64);
     for e in events {
         obs::histogram_record!(
             "detect.event_width_samples",
@@ -524,7 +552,18 @@ mod tests {
         }
         let pc = emprof().profile_magnitude(&clean, FS, CLK);
         let pd = emprof().profile_magnitude(&dirty, FS, CLK);
-        assert_eq!(pc.events(), pd.events());
+        assert_eq!(pc.events().len(), pd.events().len());
+        for (c, d) in pc.events().iter().zip(pd.events()) {
+            assert_eq!((c.start_sample, c.end_sample), (d.start_sample, d.end_sample));
+            assert_eq!(c.duration_cycles, d.duration_cycles);
+            assert_eq!(c.kind, d.kind);
+            assert_eq!(c.confidence, Confidence::High);
+        }
+        // The dirty run detects the same events but cannot fully trust
+        // ones that straddle a collapsed dropout gap (the first dip
+        // spans the ∞ inserted before sample 5006).
+        assert_eq!(pc.degraded_count(), 0);
+        assert!(pd.degraded_count() >= 1, "gap-touching event not degraded");
         assert_eq!(pd.total_samples(), clean.len());
     }
 

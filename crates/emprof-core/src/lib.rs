@@ -44,8 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+mod calib;
 mod config;
 mod detect;
+mod fusion;
 mod histogram;
 mod parallel;
 mod profile;
@@ -53,10 +55,12 @@ pub mod report;
 pub mod section;
 mod streaming;
 
+pub use calib::{BlockParams, CalibConfig, Calibrator};
 pub use config::EmprofConfig;
 pub use detect::Emprof;
+pub use fusion::{FusedDetector, FusionConfig, FusionReport};
 pub use histogram::Histogram;
-pub use profile::{Profile, StallEvent, StallKind};
+pub use profile::{Confidence, Profile, StallEvent, StallKind};
 pub use streaming::{StreamingEmprof, StreamingStats};
 
 pub use emprof_par::Parallelism;

@@ -62,6 +62,11 @@ impl Emprof {
         clock_hz: f64,
         par: Parallelism,
     ) -> Profile {
+        if self.config().calib.enabled {
+            // Adaptive detection runs its own block-parallel fan-out and
+            // is schedule-identical across all entry points.
+            return self.profile_adaptive(magnitude, sample_rate_hz, clock_hz, par);
+        }
         if par.is_sequential() {
             // The batch path folds the finite check into the fused kernel;
             // handing off before sanitizing keeps the clean-path sequential
@@ -70,7 +75,7 @@ impl Emprof {
         }
         // Same non-finite rejection as the batch path, applied before
         // chunking so every worker sees the identical survivor signal.
-        let (magnitude, rejected) = sanitize_magnitude(magnitude);
+        let (magnitude, rejected, gaps) = sanitize_magnitude(magnitude);
         if rejected > 0 {
             obs::counter_add!("detect.samples_rejected", rejected as u64);
         }
@@ -140,7 +145,8 @@ impl Emprof {
         obs::gauge_set!("par.merge_fixups", fixups as f64);
 
         let dips = refine_from_runs(merged, &below_edge, n);
-        let events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        let mut events = self.events_from_dips(dips, clock_hz / sample_rate_hz);
+        crate::calib::mark_gap_degraded(&mut events, &gaps);
         obs::counter_add!("detect.samples", n as u64);
         record_event_metrics(&events);
         Profile::new(events, n, sample_rate_hz, clock_hz)

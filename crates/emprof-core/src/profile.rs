@@ -12,6 +12,22 @@ pub enum StallKind {
     RefreshCollision,
 }
 
+/// How much the detector trusts a reported event.
+///
+/// Events are `Degraded` when the probe signal was compromised while
+/// they were detected: either the event touches a collapsed dropout gap
+/// (non-finite samples were removed under it), or the online calibration
+/// loop's confidence state machine was in the degraded state (noise span
+/// too close to the dip contrast — DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// Detected under healthy probe conditions.
+    High,
+    /// Detected while the probe signal was compromised; position and
+    /// duration may be inaccurate.
+    Degraded,
+}
+
 /// One detected LLC-miss-induced processor stall.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StallEvent {
@@ -23,6 +39,8 @@ pub struct StallEvent {
     pub duration_cycles: f64,
     /// Stall classification.
     pub kind: StallKind,
+    /// Detection confidence under probe faults and drift.
+    pub confidence: Confidence,
 }
 
 impl StallEvent {
@@ -100,6 +118,14 @@ impl Profile {
         self.events
             .iter()
             .filter(|e| e.kind == StallKind::RefreshCollision)
+            .count()
+    }
+
+    /// Number of events flagged [`Confidence::Degraded`].
+    pub fn degraded_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.confidence == Confidence::Degraded)
             .count()
     }
 
@@ -220,6 +246,7 @@ mod tests {
             end_sample: end,
             duration_cycles: cycles,
             kind,
+            confidence: Confidence::High,
         }
     }
 

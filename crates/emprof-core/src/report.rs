@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use crate::profile::{Profile, StallEvent, StallKind};
+use crate::profile::{Confidence, Profile, StallEvent, StallKind};
 
 /// Condensed statistics of one profile (one device + workload run).
 #[derive(Debug, Clone, PartialEq)]
@@ -212,25 +212,32 @@ impl fmt::Display for CsvError {
 impl std::error::Error for CsvError {}
 
 /// Writes a profile's events as CSV
-/// (`start_sample,end_sample,duration_cycles,kind`).
+/// (`start_sample,end_sample,duration_cycles,kind,confidence`).
 pub fn events_to_csv(profile: &Profile) -> String {
-    let mut out = String::from("start_sample,end_sample,duration_cycles,kind\n");
+    let mut out =
+        String::from("start_sample,end_sample,duration_cycles,kind,confidence\n");
     for e in profile.events() {
         out.push_str(&format!(
-            "{},{},{:.3},{}\n",
+            "{},{},{:.3},{},{}\n",
             e.start_sample,
             e.end_sample,
             e.duration_cycles,
             match e.kind {
                 StallKind::Normal => "miss",
                 StallKind::RefreshCollision => "refresh",
+            },
+            match e.confidence {
+                Confidence::High => "high",
+                Confidence::Degraded => "degraded",
             }
         ));
     }
     out
 }
 
-/// Parses the CSV produced by [`events_to_csv`] back into events.
+/// Parses the CSV produced by [`events_to_csv`] back into events. Also
+/// accepts the pre-confidence 4-column format (missing confidence reads
+/// as `high`).
 ///
 /// # Errors
 ///
@@ -238,7 +245,9 @@ pub fn events_to_csv(profile: &Profile) -> String {
 pub fn events_from_csv(csv: &str) -> Result<Vec<StallEvent>, CsvError> {
     let mut lines = csv.lines();
     let header = lines.next().unwrap_or("").trim();
-    if header != "start_sample,end_sample,duration_cycles,kind" {
+    if header != "start_sample,end_sample,duration_cycles,kind,confidence"
+        && header != "start_sample,end_sample,duration_cycles,kind"
+    {
         return Err(CsvError::BadHeader(header.to_string()));
     }
     let mut events = Vec::new();
@@ -249,10 +258,10 @@ pub fn events_from_csv(csv: &str) -> Result<Vec<StallEvent>, CsvError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 4 {
+        if fields.len() != 4 && fields.len() != 5 {
             return Err(CsvError::BadRecord {
                 line: line_no,
-                message: format!("expected 4 fields, got {}", fields.len()),
+                message: format!("expected 4 or 5 fields, got {}", fields.len()),
             });
         }
         let parse_u = |s: &str, what: &str| {
@@ -277,6 +286,16 @@ pub fn events_from_csv(csv: &str) -> Result<Vec<StallEvent>, CsvError> {
                 })
             }
         };
+        let confidence = match fields.get(4).copied() {
+            None | Some("high") => Confidence::High,
+            Some("degraded") => Confidence::Degraded,
+            Some(other) => {
+                return Err(CsvError::BadRecord {
+                    line: line_no,
+                    message: format!("unknown confidence: {other}"),
+                })
+            }
+        };
         if end_sample < start_sample {
             return Err(CsvError::BadRecord {
                 line: line_no,
@@ -288,6 +307,7 @@ pub fn events_from_csv(csv: &str) -> Result<Vec<StallEvent>, CsvError> {
             end_sample,
             duration_cycles,
             kind,
+            confidence,
         });
     }
     Ok(events)
@@ -357,6 +377,7 @@ mod tests {
             end_sample: start + width,
             duration_cycles: cycles,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         }
     }
 
@@ -369,6 +390,7 @@ mod tests {
             end_sample: 100 + 99 * 100 + 100,
             duration_cycles: 2500.0,
             kind: StallKind::RefreshCollision,
+            confidence: Confidence::Degraded,
         });
         Profile::new(events, 20_000, 40e6, 1.0e9)
     }

@@ -78,7 +78,7 @@ pub fn measured_window(profile: &Profile, min_quiet_samples: usize) -> Option<(u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{StallEvent, StallKind};
+    use crate::profile::{Confidence, StallEvent, StallKind};
 
     fn ev(start: usize, end: usize) -> StallEvent {
         StallEvent {
@@ -86,6 +86,7 @@ mod tests {
             end_sample: end,
             duration_cycles: (end - start) as f64 * 25.0,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         }
     }
 

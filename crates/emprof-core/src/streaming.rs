@@ -20,9 +20,11 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use emprof_obs as obs;
+use emprof_signal::fused;
 
+use crate::calib::{BlockParams, Calibrator};
 use crate::config::EmprofConfig;
-use crate::profile::{Profile, StallEvent, StallKind};
+use crate::profile::{Confidence, Profile, StallEvent, StallKind};
 
 /// How many pushed samples accumulate between telemetry flushes. Pushing
 /// is the hot path, so the `detect.samples` counter and the streaming
@@ -117,6 +119,58 @@ pub struct StreamingEmprof {
     started_at: Option<Instant>,
     /// Samples pushed since the last telemetry flush.
     unflushed: usize,
+    /// Survivor positions where runs of rejected samples collapsed out
+    /// (the `survivor_dropout_points` convention, deduplicated). Events
+    /// touching one carry [`Confidence::Degraded`]; trimmed once no
+    /// future or still-mutable event can reach back to them.
+    gaps: VecDeque<usize>,
+    /// Calibration block length (meaningful in adaptive mode).
+    calib_block: usize,
+    /// Per processed calibration block: was the confidence state machine
+    /// degraded? Indexed by block; an event is degraded by the block its
+    /// *end* falls in, so in-place merges recompute consistently with
+    /// the batch final-extent computation. One bool per ~window samples.
+    block_degraded: Vec<bool>,
+    /// Online-calibration state; `Some` iff `config.calib.enabled`. When
+    /// set, the wedge/normalize machinery above is bypassed entirely and
+    /// detection runs block-by-block through the same gated fused kernel
+    /// and parameter schedule as the batch adaptive path.
+    adaptive: Option<AdaptiveState>,
+}
+
+/// Streaming state of the adaptive (calibrated) detector. The stream is
+/// cut into the same absolute calibration blocks as the batch schedule;
+/// each block, once its right normalization context is buffered, runs
+/// through `fused::detect_runs_range_gated` with the causally-computed
+/// [`BlockParams`], and the resulting runs are stitched exactly like the
+/// parallel detector's seams. Everything downstream (refinement,
+/// merge/duration/classify, drain sealing) reuses the static streaming
+/// machinery.
+#[derive(Debug, Clone)]
+struct AdaptiveState {
+    /// Calibration block length in samples.
+    block: usize,
+    /// Half the *base* normalization window — the uniform lookahead.
+    /// Adaptation only ever shrinks the window, so buffering `half`
+    /// samples past a block suffices for any adapted window.
+    half: usize,
+    /// Buffered survivor samples from `buf_base` onward.
+    buf: Vec<f64>,
+    buf_base: usize,
+    cal: Calibrator,
+    /// Parameters for block `next_block` (causal: computed from the
+    /// blocks before it).
+    cur: BlockParams,
+    next_block: usize,
+    /// Detection frontier: samples in `[0, position)` have been through
+    /// the kernel.
+    position: usize,
+    /// Stitched below-threshold runs (batch merge criterion applied)
+    /// awaiting finality.
+    pending: VecDeque<(usize, usize)>,
+    /// Stitched below-edge runs (gap-0 rejoin across block seams); the
+    /// last run is always retained — it may still be growing.
+    edge_runs: VecDeque<(usize, usize)>,
 }
 
 impl StreamingEmprof {
@@ -134,6 +188,23 @@ impl StreamingEmprof {
             sample_rate_hz > 0.0 && clock_hz > 0.0,
             "rates must be positive"
         );
+        let calib_block = config.calib.block(config.norm_window_samples).max(1);
+        let adaptive = config.calib.enabled.then(|| {
+            let cal = Calibrator::new(&config);
+            let cur = cal.params();
+            AdaptiveState {
+                block: calib_block,
+                half: config.norm_window_samples / 2,
+                buf: Vec::new(),
+                buf_base: 0,
+                cal,
+                cur,
+                next_block: 0,
+                position: 0,
+                pending: VecDeque::new(),
+                edge_runs: VecDeque::new(),
+            }
+        });
         StreamingEmprof {
             config,
             sample_rate_hz,
@@ -156,6 +227,10 @@ impl StreamingEmprof {
             tail_sealed: true,
             started_at: None,
             unflushed: 0,
+            gaps: VecDeque::new(),
+            calib_block,
+            block_degraded: Vec::new(),
+            adaptive,
         }
     }
 
@@ -192,6 +267,12 @@ impl StreamingEmprof {
     pub fn push(&mut self, value: f64) {
         if !value.is_finite() {
             self.rejected += 1;
+            // Record where the gap collapsed to in survivor coordinates
+            // (one point per contiguous run of rejections): events
+            // touching it are demoted to degraded confidence.
+            if self.gaps.back() != Some(&self.pushed) {
+                self.gaps.push_back(self.pushed);
+            }
             obs::counter_add!("detect.samples_rejected", 1);
             return;
         }
@@ -201,6 +282,10 @@ impl StreamingEmprof {
         self.unflushed += 1;
         if self.unflushed >= OBS_FLUSH_INTERVAL {
             self.flush_obs();
+        }
+        if self.adaptive.is_some() {
+            self.push_adaptive(value);
+            return;
         }
         let idx = self.pushed;
         self.pushed += 1;
@@ -371,6 +456,126 @@ impl StreamingEmprof {
         }
     }
 
+    /// Adaptive-mode ingest: buffer the survivor sample, run the gated
+    /// kernel over every calibration block whose right normalization
+    /// context is now complete, and flush finalized dips.
+    fn push_adaptive(&mut self, value: f64) {
+        let mut ad = self.adaptive.take().expect("adaptive mode");
+        self.pushed += 1;
+        ad.buf.push(value);
+        while (ad.next_block + 1) * ad.block + ad.half <= self.pushed {
+            self.process_block(&mut ad);
+        }
+        self.adaptive_process_pending(&mut ad, false);
+        self.adaptive = Some(ad);
+    }
+
+    /// Runs block `ad.next_block` through the gated fused kernel with
+    /// its causal [`BlockParams`], stitches the resulting runs (the
+    /// parallel detector's seam rules), observes the block for the
+    /// calibrator, and advances the frontier. Identical inputs to the
+    /// batch adaptive path's per-block kernel call, by construction.
+    fn process_block(&mut self, ad: &mut AdaptiveState) {
+        let k = ad.next_block;
+        let start = k * ad.block;
+        // Truncated only at the true end of the capture (finish), which
+        // is exactly when the batch kernel's window clips there too.
+        let end = ((k + 1) * ad.block).min(self.pushed);
+        let p = ad.cur;
+        let runs = fused::detect_runs_range_gated(
+            &ad.buf,
+            p.window,
+            p.threshold,
+            p.edge_level,
+            p.min_range,
+            start - ad.buf_base,
+            end - ad.buf_base,
+            None,
+        )
+        .expect("rejection happens at ingest; the buffer is finite");
+        let gap = self.config.merge_gap_samples;
+        for (s, e) in runs.below_threshold {
+            let (s, e) = (s + ad.buf_base, e + ad.buf_base);
+            match ad.pending.back_mut() {
+                Some(last) if s - last.1 <= gap => last.1 = e,
+                _ => ad.pending.push_back((s, e)),
+            }
+        }
+        for (s, e) in runs.below_edge {
+            let (s, e) = (s + ad.buf_base, e + ad.buf_base);
+            match ad.edge_runs.back_mut() {
+                Some(last) if last.1 == s => last.1 = e,
+                _ => ad.edge_runs.push_back((s, e)),
+            }
+        }
+        ad.cal
+            .observe_block(&ad.buf[start - ad.buf_base..end - ad.buf_base]);
+        self.block_degraded.push(p.degraded);
+        ad.next_block += 1;
+        ad.position = end;
+        ad.cur = ad.cal.params();
+        // Trim the sample buffer to what the next block's (base) window
+        // can still reach, and below-edge runs to what refinement of the
+        // still-pending dips can still consult — always keeping the last
+        // run, which may still be growing across the frontier. During
+        // `finish` the final right-truncated block can place the nominal
+        // trim point past the capture end, so clamp to what was pushed.
+        let keep_from = (ad.next_block * ad.block)
+            .saturating_sub(ad.half)
+            .min(self.pushed)
+            .max(ad.buf_base);
+        ad.buf.drain(..keep_from - ad.buf_base);
+        ad.buf_base = keep_from;
+        let bound = ad.pending.front().map_or(ad.position, |r| r.0);
+        while ad.edge_runs.len() > 1 && ad.edge_runs.front().is_some_and(|r| r.1 <= bound) {
+            ad.edge_runs.pop_front();
+        }
+    }
+
+    /// Adaptive-mode counterpart of [`process_pending`]: same finality
+    /// and emission rules, but edge refinement consults the stitched
+    /// below-edge *run list* (as the batch adaptive path does via
+    /// `refine_from_runs`) instead of a normalized-sample history.
+    ///
+    /// [`process_pending`]: StreamingEmprof::process_pending
+    fn adaptive_process_pending(&mut self, ad: &mut AdaptiveState, flush: bool) {
+        let gap = self.config.merge_gap_samples;
+        while let Some(&(start, end)) = ad.pending.front() {
+            // Final once the frontier is far enough past the run's end
+            // that no future run can merge into it (a run ending exactly
+            // at the frontier may still grow into the next block).
+            if !flush && ad.position < end + gap + 1 {
+                break;
+            }
+            let left_bound = self.last_run.map(|(_, e, _)| e).unwrap_or(0);
+            let cs = *ad
+                .edge_runs
+                .iter()
+                .find(|r| r.1 > start)
+                .expect("run start lies in a below-edge run");
+            debug_assert!(cs.0 <= start, "run start not below edge");
+            let refined_s = cs.0.max(left_bound);
+            let right_bound = ad.pending.get(1).map(|n| n.0).unwrap_or(ad.position);
+            let ce = *ad
+                .edge_runs
+                .iter()
+                .find(|r| r.1 > end - 1)
+                .expect("run end lies in a below-edge run");
+            debug_assert!(ce.0 < end, "run end not below edge");
+            let refined_e = ce.1.min(right_bound);
+            if !flush && refined_e == ad.position && ad.pending.len() < 2 {
+                // The right edge is still growing; wait for more blocks.
+                break;
+            }
+            ad.pending.pop_front();
+            // Sealed iff the run ended on an at-or-above-edge sample —
+            // i.e. at its container's settled end, not clipped by a
+            // neighbour or the frontier.
+            self.tail_sealed = refined_e == ce.1 && ce.1 < ad.position;
+            self.emit(refined_s, refined_e);
+        }
+    }
+
     fn norm_at(&self, idx: usize) -> Option<f64> {
         idx.checked_sub(self.norm_base)
             .and_then(|o| self.norm.get(o))
@@ -381,6 +586,26 @@ impl StreamingEmprof {
     fn min_samples(&self) -> f64 {
         (self.config.min_duration_cycles / self.cycles_per_sample())
             .max(self.config.min_duration_samples as f64)
+    }
+
+    /// Confidence of an event spanning `[start, end)`: degraded when it
+    /// touches a collapsed dropout gap (`start <= p <= end + 1`, the
+    /// `emprof_fault::flag_degraded` criterion) or, in adaptive mode,
+    /// when the calibration state machine was degraded in the block the
+    /// event *ends* in — the same final-extent rule the batch paths
+    /// apply, so in-place merges can recompute it consistently.
+    fn event_confidence(&self, start: usize, end: usize) -> Confidence {
+        if self.gaps.iter().any(|&p| start <= p && p <= end + 1) {
+            return Confidence::Degraded;
+        }
+        if !self.block_degraded.is_empty() {
+            let k = ((end.saturating_sub(1)) / self.calib_block)
+                .min(self.block_degraded.len() - 1);
+            if self.block_degraded[k] {
+                return Confidence::Degraded;
+            }
+        }
+        Confidence::High
     }
 
     fn make_event(&self, start: usize, end: usize) -> StallEvent {
@@ -394,6 +619,7 @@ impl StreamingEmprof {
             } else {
                 StallKind::Normal
             },
+            confidence: self.event_confidence(start, end),
         }
     }
 
@@ -435,6 +661,16 @@ impl StreamingEmprof {
             self.push_event(ev);
         }
         self.last_run = Some((start, end, passes));
+        // Gap points that no future or still-mutable event can reach
+        // back to (every later refined start is >= this run's start) are
+        // dead; drop them so the deque stays bounded.
+        while self
+            .gaps
+            .front()
+            .is_some_and(|&p| p + 1 < start)
+        {
+            self.gaps.pop_front();
+        }
     }
 
     fn push_event(&mut self, ev: StallEvent) {
@@ -495,7 +731,9 @@ impl StreamingEmprof {
     /// Current buffered-memory footprint in samples (bounded by the
     /// normalization window plus any unfinished dip).
     pub fn buffered_samples(&self) -> usize {
-        self.raw.len() + self.norm.len()
+        self.raw.len()
+            + self.norm.len()
+            + self.adaptive.as_ref().map_or(0, |a| a.buf.len())
     }
 
     /// Progress counters for live monitoring: samples seen, events
@@ -532,15 +770,25 @@ impl StreamingEmprof {
     /// flushes pending events, and returns the complete [`Profile`].
     pub fn finish(mut self) -> Profile {
         let _s = obs::span!("stream.finish");
-        // The tail samples have truncated (right-clipped) windows; the
-        // wedges already contain exactly the in-window candidates.
-        while self.normalized < self.pushed {
-            self.normalize_one();
+        if let Some(mut ad) = self.adaptive.take() {
+            // Remaining (right-truncated) blocks: the kernel's windows
+            // clip at the true capture end, exactly as in batch.
+            while ad.position < self.pushed {
+                self.process_block(&mut ad);
+            }
+            self.adaptive_process_pending(&mut ad, true);
+        } else {
+            // The tail samples have truncated (right-clipped) windows;
+            // the wedges already contain exactly the in-window
+            // candidates.
+            while self.normalized < self.pushed {
+                self.normalize_one();
+            }
+            if let Some(start) = self.open_dip.take() {
+                self.push_raw_dip(start, self.pushed);
+            }
+            self.process_pending(true);
         }
-        if let Some(start) = self.open_dip.take() {
-            self.push_raw_dip(start, self.pushed);
-        }
-        self.process_pending(true);
         self.flush_obs();
         if obs::is_enabled() {
             // Widths are only final now (merges may have grown events), so
@@ -552,6 +800,15 @@ impl StreamingEmprof {
                 );
                 obs::histogram_record!("detect.stall_latency_cycles", e.duration_cycles as u64);
             }
+            // Confidence is also only final now (merges recompute it),
+            // so — like the batch paths — degraded events are counted
+            // once per profile, at the end.
+            let degraded = self
+                .events
+                .iter()
+                .filter(|e| e.confidence == Confidence::Degraded)
+                .count();
+            obs::counter_add!("detect.confidence.events_degraded", degraded as u64);
         }
         Profile::new(
             self.events,
@@ -768,21 +1025,107 @@ mod tests {
 
     #[test]
     fn non_finite_pushes_are_rejected_and_counted() {
-        let clean = dipped_signal(&[(5_000, 12), (9_000, 30)], 30_000);
-        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        let clean = dipped_signal(&[(5_000, 12), (9_120, 30)], 30_000);
+        let mut dirty = Vec::with_capacity(clean.len() + 64);
         let mut injected = 0usize;
         for (i, &v) in clean.iter().enumerate() {
             if i % 761 == 0 {
-                s.push([f64::NAN, f64::INFINITY, f64::NEG_INFINITY][i % 3]);
+                dirty.push([f64::NAN, f64::INFINITY, f64::NEG_INFINITY][i % 3]);
                 injected += 1;
             }
-            s.push(v);
+            dirty.push(v);
         }
+        let mut s = StreamingEmprof::new(config(), FS, CLK);
+        s.extend(dirty.iter().copied());
         assert_eq!(s.samples_rejected(), injected);
         assert_eq!(s.stats().samples_rejected, injected);
         assert_eq!(s.samples_pushed(), clean.len());
         let profile = s.finish();
-        assert_eq!(profile.events(), batch(&clean).events());
+        // Identical to batch on the same dirty input — including the
+        // degraded-confidence marks on events straddling a collapsed
+        // gap (the second dip [9_120, 9_150) spans survivor position
+        // 9_132 = 761 * 12, where an injected sample was dropped).
+        let b = Emprof::new(config()).profile_magnitude(&dirty, FS, CLK);
+        assert_eq!(profile.events(), b.events());
+        assert!(profile.degraded_count() >= 1, "gap-touching event not degraded");
+        // Apart from confidence, events match the clean signal's.
+        let bc = batch(&clean);
+        assert_eq!(profile.events().len(), bc.events().len());
+        for (d, c) in profile.events().iter().zip(bc.events()) {
+            assert_eq!(
+                (d.start_sample, d.end_sample, d.kind),
+                (c.start_sample, c.end_sample, c.kind)
+            );
+        }
         assert_eq!(profile.total_samples(), clean.len());
+    }
+
+    fn adaptive_config() -> EmprofConfig {
+        let mut c = config();
+        c.calib = crate::calib::CalibConfig::adaptive();
+        c
+    }
+
+    /// A drifting, noisy capture that exercises threshold adaptation,
+    /// window shrink, and the contrast gate.
+    fn drifting_signal(len: usize) -> Vec<f64> {
+        let mut s: Vec<f64> = (0..len)
+            .map(|i| {
+                let atten = 1.0 - 0.85 * (i as f64 / len as f64);
+                let noise = ((i * 2_654_435_761usize) % 1000) as f64 / 1000.0 * 0.08;
+                5.0 * atten + noise
+            })
+            .collect();
+        let mut k = 0usize;
+        while 3_000 + k * 5_500 + 14 < len {
+            let start = 3_000 + k * 5_500;
+            for v in s.iter_mut().skip(start).take(14) {
+                *v *= 0.12;
+            }
+            k += 1;
+        }
+        s
+    }
+
+    #[test]
+    fn adaptive_streaming_matches_adaptive_batch() {
+        let signal = drifting_signal(90_000);
+        let b = Emprof::new(adaptive_config()).profile_magnitude(&signal, FS, CLK);
+        let mut s = StreamingEmprof::new(adaptive_config(), FS, CLK);
+        s.extend(signal.iter().copied());
+        assert_eq!(s.finish(), b);
+    }
+
+    #[test]
+    fn adaptive_streaming_incremental_drain_matches_batch() {
+        let signal = drifting_signal(90_000);
+        let b = Emprof::new(adaptive_config()).profile_magnitude(&signal, FS, CLK);
+        let mut s = StreamingEmprof::new(adaptive_config(), FS, CLK);
+        let mut drained = Vec::new();
+        for chunk in signal.chunks(997) {
+            s.extend(chunk.iter().copied());
+            drained.extend(s.drain_events());
+        }
+        let profile = s.finish();
+        drained.extend_from_slice(&profile.events()[drained.len()..]);
+        assert_eq!(drained, b.events());
+        assert_eq!(profile.events(), b.events());
+    }
+
+    #[test]
+    fn adaptive_memory_stays_bounded() {
+        let mut s = StreamingEmprof::new(adaptive_config(), FS, CLK);
+        let window = config().norm_window_samples;
+        for i in 0..200_000usize {
+            let v = if i % 5_000 < 12 { 0.8 } else { 5.0 };
+            s.push(v);
+            assert!(
+                s.buffered_samples() <= 2 * window + 64,
+                "buffer grew to {} at sample {i}",
+                s.buffered_samples()
+            );
+        }
+        let profile = s.finish();
+        assert!(profile.miss_count() > 30);
     }
 }

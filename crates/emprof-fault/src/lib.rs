@@ -88,6 +88,20 @@ pub struct FaultPlan {
     pub shift_atten: f64,
     /// Inclusive span-length range for probe shifts, in samples.
     pub shift_len: (usize, usize),
+    /// Per-sample scale of the probe-drift random walk on log-gain.
+    /// Each sample the log-gain moves by a uniform draw from
+    /// `[-1.5 * step, +0.5 * step]` — biased downward, so the probe
+    /// wanders away from the sweet spot — clamped so the gain stays in
+    /// `[walk_floor, 1]`. Zero disables the walk.
+    pub walk_step: f64,
+    /// Lowest gain the probe walk can reach, in `(0, 1]`.
+    pub walk_floor: f64,
+    /// Amplitude of additive receiver noise, drawn uniformly from
+    /// `[0, walk_noise)` per sample *after* all attenuation. This is what
+    /// makes probe drift hostile: pure multiplicative attenuation is
+    /// invisible to min/max normalization, but once the signal sinks
+    /// toward a fixed noise floor the contrast genuinely degrades.
+    pub walk_noise: f64,
 }
 
 impl FaultPlan {
@@ -102,6 +116,9 @@ impl FaultPlan {
             shift_rate: 0.0,
             shift_atten: 1.0,
             shift_len: (1, 1),
+            walk_step: 0.0,
+            walk_floor: 1.0,
+            walk_noise: 0.0,
         }
     }
 
@@ -118,6 +135,22 @@ impl FaultPlan {
             shift_rate: 5e-5,
             shift_atten: 0.35,
             shift_len: (128, 512),
+            walk_step: 0.0,
+            walk_floor: 1.0,
+            walk_noise: 0.0,
+        }
+    }
+
+    /// The probe-drift preset: a slow, downward-biased gain walk plus a
+    /// fixed additive noise floor, and nothing else. This is the regime
+    /// the adaptive calibrator exists for — the chaos soak asserts the
+    /// adaptive detector beats the static one under exactly this plan.
+    pub fn probe_walk() -> Self {
+        FaultPlan {
+            walk_step: 2e-5,
+            walk_floor: 0.05,
+            walk_noise: 0.06,
+            ..FaultPlan::none()
         }
     }
 
@@ -127,6 +160,12 @@ impl FaultPlan {
             && self.corrupt_rate == 0.0
             && self.gain_step_rate == 0.0
             && self.shift_rate == 0.0
+            && !self.walk_enabled()
+    }
+
+    /// Whether the probe-drift walk (and its noise floor) is active.
+    fn walk_enabled(&self) -> bool {
+        self.walk_step > 0.0 || self.walk_noise > 0.0
     }
 
     /// Checks the plan is physically meaningful.
@@ -161,6 +200,15 @@ impl FaultPlan {
         if !(self.shift_atten.is_finite() && self.shift_atten > 0.0) {
             return Err(format!("shift attenuation {} invalid", self.shift_atten));
         }
+        if !(self.walk_step.is_finite() && self.walk_step >= 0.0) {
+            return Err(format!("walk step {} invalid", self.walk_step));
+        }
+        if !(self.walk_floor.is_finite() && 0.0 < self.walk_floor && self.walk_floor <= 1.0) {
+            return Err(format!("walk floor {} outside (0, 1]", self.walk_floor));
+        }
+        if !(self.walk_noise.is_finite() && self.walk_noise >= 0.0) {
+            return Err(format!("walk noise {} invalid", self.walk_noise));
+        }
         Ok(())
     }
 }
@@ -190,6 +238,12 @@ impl fmt::Display for FaultPlan {
             clauses.push(format!(
                 "shift={}:{}:{}..{}",
                 self.shift_rate, self.shift_atten, self.shift_len.0, self.shift_len.1
+            ));
+        }
+        if self.walk_enabled() {
+            clauses.push(format!(
+                "walk={}:{}:{}",
+                self.walk_step, self.walk_floor, self.walk_noise
             ));
         }
         write!(f, "{}", clauses.join(","))
@@ -239,13 +293,14 @@ impl FromStr for FaultPlan {
     type Err = PlanParseError;
 
     /// Parses the `--fault-plan` spec syntax, e.g.
-    /// `dropout=5e-4:8..64,corrupt=2e-3,gain=1e-4:0.5..1.5,shift=5e-5:0.35:128..512`.
-    /// The keywords `none` and `chaos` name the presets.
+    /// `dropout=5e-4:8..64,corrupt=2e-3,gain=1e-4:0.5..1.5,shift=5e-5:0.35:128..512,walk=2e-5:0.05:0.06`.
+    /// The keywords `none`, `chaos` and `probe-walk` name the presets.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         match s {
             "none" => return Ok(FaultPlan::none()),
             "chaos" => return Ok(FaultPlan::chaos()),
+            "probe-walk" => return Ok(FaultPlan::probe_walk()),
             "" => return Err(PlanParseError("empty spec".into())),
             _ => {}
         }
@@ -272,6 +327,11 @@ impl FromStr for FaultPlan {
                     plan.shift_atten = parse_f64(parts.next().unwrap_or(""), "shift atten")?;
                     plan.shift_len = parse_range_usize(parts.next().unwrap_or("1..1"), "shift")?;
                 }
+                "walk" => {
+                    plan.walk_step = rate;
+                    plan.walk_floor = parse_f64(parts.next().unwrap_or(""), "walk floor")?;
+                    plan.walk_noise = parse_f64(parts.next().unwrap_or(""), "walk noise")?;
+                }
                 other => return Err(PlanParseError(format!("unknown clause `{other}`"))),
             }
             if parts.next().is_some() {
@@ -288,7 +348,7 @@ impl FromStr for FaultPlan {
 /// compose). Dropout and shift intervals are half-open `[start, end)`
 /// and recorded in full when they begin, even if they extend past the
 /// end of the batch that started them.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultReport {
     /// Dropout bursts as `[start, end)` sample intervals.
     pub dropouts: Vec<(u64, u64)>,
@@ -298,6 +358,21 @@ pub struct FaultReport {
     pub gain_steps: Vec<(u64, f64)>,
     /// `(start, end, attenuation)` of each probe-shift span.
     pub shifts: Vec<(u64, u64, f64)>,
+    /// Lowest gain the probe-drift walk reached (1.0 when the walk is
+    /// disabled or never moved).
+    pub walk_min_gain: f64,
+}
+
+impl Default for FaultReport {
+    fn default() -> Self {
+        FaultReport {
+            dropouts: Vec::new(),
+            corrupted: Vec::new(),
+            gain_steps: Vec::new(),
+            shifts: Vec::new(),
+            walk_min_gain: 1.0,
+        }
+    }
 }
 
 impl FaultReport {
@@ -307,16 +382,19 @@ impl FaultReport {
         self.corrupted.extend_from_slice(&other.corrupted);
         self.gain_steps.extend_from_slice(&other.gain_steps);
         self.shifts.extend_from_slice(&other.shifts);
+        self.walk_min_gain = self.walk_min_gain.min(other.walk_min_gain);
     }
 
-    /// Total number of injected fault occurrences (bursts count once).
+    /// Total number of injected fault occurrences (bursts count once;
+    /// the continuous probe walk is not an occurrence — see
+    /// [`is_clean`](Self::is_clean)).
     pub fn total(&self) -> usize {
         self.dropouts.len() + self.corrupted.len() + self.gain_steps.len() + self.shifts.len()
     }
 
-    /// Whether nothing was injected.
+    /// Whether nothing was injected and the probe never drifted.
     pub fn is_clean(&self) -> bool {
-        self.total() == 0
+        self.total() == 0 && self.walk_min_gain >= 1.0
     }
 }
 
@@ -331,6 +409,8 @@ pub struct FaultInjector {
     gain: f64,
     dropout_left: usize,
     shift_left: usize,
+    /// Log-gain of the probe-drift walk, clamped to `[ln(floor), 0]`.
+    walk_log: f64,
     position: u64,
 }
 
@@ -350,6 +430,7 @@ impl FaultInjector {
             gain: 1.0,
             dropout_left: 0,
             shift_left: 0,
+            walk_log: 0.0,
             position: 0,
         }
     }
@@ -417,6 +498,21 @@ impl FaultInjector {
                 self.shift_left -= 1;
                 *v *= self.plan.shift_atten;
             }
+            // Probe-drift walk: RNG draws happen only when the walk is
+            // enabled, so every pre-existing plan's fault stream is
+            // byte-for-byte unchanged by this feature.
+            if self.plan.walk_enabled() {
+                if self.plan.walk_step > 0.0 {
+                    let step = self.plan.walk_step * (self.rng.next_f64() * 2.0 - 1.5);
+                    self.walk_log = (self.walk_log + step).clamp(self.plan.walk_floor.ln(), 0.0);
+                }
+                let g = self.walk_log.exp();
+                *v *= g;
+                report.walk_min_gain = report.walk_min_gain.min(g);
+                if self.plan.walk_noise > 0.0 {
+                    *v += self.rng.next_f64() * self.plan.walk_noise;
+                }
+            }
             if let Some(c) = corrupt {
                 *v = c;
             }
@@ -427,6 +523,9 @@ impl FaultInjector {
             obs::counter_add!("fault.corrupted", report.corrupted.len() as u64);
             obs::counter_add!("fault.gain_steps", report.gain_steps.len() as u64);
             obs::counter_add!("fault.shifts", report.shifts.len() as u64);
+            if self.plan.walk_enabled() {
+                obs::gauge_set!("fault.walk_min_gain", report.walk_min_gain);
+            }
         }
         report
     }
@@ -479,7 +578,7 @@ pub fn flag_degraded(events: &[StallEvent], gap_points: &[usize]) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emprof_core::StallKind;
+    use emprof_core::{Confidence, StallKind};
 
     fn ramp(n: usize) -> Vec<f64> {
         (0..n).map(|i| 1.0 + (i % 97) as f64 / 10.0).collect()
@@ -580,6 +679,13 @@ mod tests {
                 shift_len: (10, 20),
                 ..FaultPlan::none()
             },
+            FaultPlan::probe_walk(),
+            FaultPlan {
+                walk_step: 1e-4,
+                walk_floor: 0.2,
+                walk_noise: 0.0,
+                ..FaultPlan::chaos()
+            },
         ] {
             let spec = plan.to_string();
             let parsed: FaultPlan = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
@@ -600,9 +706,83 @@ mod tests {
             "gain=0.1:0..1",
             "shift=0.1:zero:1..2",
             "corrupt=0.1:extra",
+            "walk=0.1:bad:0.1",
+            "walk=0.1:2.0:0.1",
+            "walk=0.1:0.5:0.1:extra",
         ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn walk_attenuates_within_floor_and_reports_min_gain() {
+        // Noise off so each output is exactly input * walk_gain.
+        let plan = FaultPlan {
+            walk_step: 1e-3,
+            walk_floor: 0.3,
+            walk_noise: 0.0,
+            ..FaultPlan::none()
+        };
+        let orig = ramp(60_000);
+        let mut sig = orig.clone();
+        let report = FaultInjector::new(plan, 11).inject(&mut sig);
+        assert!(!report.is_clean(), "a long walk should register drift");
+        assert!(report.walk_min_gain < 1.0);
+        assert!(report.walk_min_gain >= 0.3 - 1e-12);
+        for (o, f) in orig.iter().zip(&sig) {
+            let g = f / o;
+            assert!(
+                (0.3 - 1e-12..=1.0 + 1e-12).contains(&g),
+                "walk gain {g} escaped [floor, 1]"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_noise_rides_on_top_of_attenuation() {
+        let plan = FaultPlan {
+            walk_step: 0.0,
+            walk_floor: 1.0,
+            walk_noise: 0.25,
+            ..FaultPlan::none()
+        };
+        let orig = ramp(10_000);
+        let mut sig = orig.clone();
+        let report = FaultInjector::new(plan, 3).inject(&mut sig);
+        // No walk steps: gain stays 1.0 and only additive noise remains.
+        assert_eq!(report.walk_min_gain, 1.0);
+        let mut moved = 0usize;
+        for (o, f) in orig.iter().zip(&sig) {
+            let d = f - o;
+            assert!((0.0..0.25).contains(&d), "noise {d} outside [0, 0.25)");
+            moved += (d > 0.0) as usize;
+        }
+        assert!(moved > 9_000, "noise draw should move nearly every sample");
+    }
+
+    #[test]
+    fn batched_walk_equals_whole() {
+        let mut whole = ramp(40_000);
+        let mut batched = whole.clone();
+        let plan = FaultPlan::probe_walk();
+        let report_whole = FaultInjector::new(plan.clone(), 17).inject(&mut whole);
+
+        let mut inj = FaultInjector::new(plan, 17);
+        let mut report_batched = FaultReport::default();
+        let mut off = 0;
+        for len in [1usize, 13, 257, 6151, 40_000] {
+            let end = (off + len).min(batched.len());
+            report_batched.merge(&inj.inject(&mut batched[off..end]));
+            off = end;
+            if off == batched.len() {
+                break;
+            }
+        }
+        assert_eq!(report_whole, report_batched);
+        assert!(whole
+            .iter()
+            .zip(&batched)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]
@@ -623,6 +803,7 @@ mod tests {
             end_sample: e,
             duration_cycles: 100.0,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         };
         let events = [ev(0, 2), ev(5, 9), ev(20, 25)];
         // Gap at p = 6 is inside the second event only; gap at p = 3 abuts

@@ -211,6 +211,9 @@ struct RouterSession {
     migrate_requested: bool,
     last_active: Instant,
     samples_pushed: u64,
+    /// Degraded-confidence events relayed to the client (deduplicated
+    /// against re-offers by the offered watermark).
+    events_degraded: u64,
 }
 
 impl RouterSession {
@@ -449,6 +452,7 @@ impl RouterShared {
                     journaled_events: 0,
                     sheds: 0,
                     samples_rejected: 0,
+                    events_degraded: s.events_degraded,
                     idle_ms: s.last_active.elapsed().as_millis().min(u64::MAX as u128) as u64,
                 }
             })
@@ -1368,6 +1372,7 @@ fn attach_fresh(
         fin_reported: false,
         unacked: VecDeque::new(),
         unacked_torn: false,
+        events_degraded: 0,
         conn_gen: 1,
         attached: true,
         migrate_requested: false,
@@ -1636,8 +1641,19 @@ fn proxy_loop(
                 for f in &relayed {
                     match f {
                         Frame::Events { first_seq, events } if !events.is_empty() => {
+                            // Re-offered (unacked) events reappear below
+                            // the watermark; only count the fresh suffix.
+                            let prev = s.last_offered_end_c;
                             s.last_offered_end_c =
                                 s.last_offered_end_c.max(first_seq + events.len() as u64 - 1);
+                            s.events_degraded += events
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, e)| {
+                                    first_seq + *i as u64 > prev
+                                        && e.confidence == emprof_core::Confidence::Degraded
+                                })
+                                .count() as u64;
                             shared
                                 .counters
                                 .events_out

@@ -24,7 +24,7 @@
 
 use std::io::{self, Read, Write};
 
-use emprof_core::{EmprofConfig, StallEvent, StallKind};
+use emprof_core::{CalibConfig, Confidence, EmprofConfig, StallEvent, StallKind};
 use emprof_obs::{HistogramSnapshot, MeterSnapshot, Snapshot, SpanSnapshot};
 
 /// First two header bytes: `b"EM"` read as a little-endian u16.
@@ -42,7 +42,11 @@ pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 /// The cluster frames (CLUSTER_JOIN, CLUSTER_STATE, NODE_HEALTH) and the
 /// proxied-HELLO flag were added to version 4 *additively*: a peer that
 /// never sends them never sees them, so the version number is unchanged.
-pub const VERSION: u16 = 4;
+/// Version 5 widens the event codec with a confidence bit, adds the
+/// adaptive-calibration block to the HELLO config, and appends degraded
+/// counts to STATS and session METRICS rows — all fixed-layout changes,
+/// so the version must move.
+pub const VERSION: u16 = 5;
 
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -262,6 +266,8 @@ pub struct SessionStatsWire {
     pub acked_seq: u64,
     /// Non-finite samples rejected at the detector's ingest boundary.
     pub samples_rejected: u64,
+    /// Events finalized so far that carry a degraded-confidence mark.
+    pub events_degraded: u64,
     /// Whether this is the final report of a finished session.
     pub final_report: bool,
 }
@@ -313,6 +319,8 @@ pub struct SessionRow {
     pub sheds: u64,
     /// Non-finite samples rejected at the ingest boundary.
     pub samples_rejected: u64,
+    /// Events emitted with a degraded-confidence mark.
+    pub events_degraded: u64,
     /// Milliseconds since the session last saw client activity.
     pub idle_ms: u64,
 }
@@ -781,24 +789,40 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&bytes[..len]);
 }
 
+/// Event kind byte: bit 0 is the refresh classification, bit 1 the
+/// degraded-confidence mark. Carrying confidence on the wire is what
+/// makes replayed and routed sessions agree with a local run.
 fn encode_event(out: &mut Vec<u8>, e: &StallEvent) {
     out.extend_from_slice(&(e.start_sample as u64).to_le_bytes());
     out.extend_from_slice(&(e.end_sample as u64).to_le_bytes());
     out.extend_from_slice(&e.duration_cycles.to_le_bytes());
-    out.push(match e.kind {
+    let mut kind = match e.kind {
         StallKind::Normal => 0,
         StallKind::RefreshCollision => 1,
-    });
+    };
+    if e.confidence == Confidence::Degraded {
+        kind |= 2;
+    }
+    out.push(kind);
 }
 
 fn decode_event(c: &mut Cursor<'_>) -> Result<StallEvent, ProtoError> {
     let start_sample = c.u64()? as usize;
     let end_sample = c.u64()? as usize;
     let duration_cycles = c.f64()?;
-    let kind = match c.u8()? {
-        0 => StallKind::Normal,
-        1 => StallKind::RefreshCollision,
-        _ => return Err(ProtoError::Malformed("unknown stall kind")),
+    let bits = c.u8()?;
+    if bits > 3 {
+        return Err(ProtoError::Malformed("unknown stall kind"));
+    }
+    let kind = if bits & 1 != 0 {
+        StallKind::RefreshCollision
+    } else {
+        StallKind::Normal
+    };
+    let confidence = if bits & 2 != 0 {
+        Confidence::Degraded
+    } else {
+        Confidence::High
     };
     if end_sample < start_sample {
         return Err(ProtoError::Malformed("event ends before it starts"));
@@ -808,6 +832,7 @@ fn decode_event(c: &mut Cursor<'_>) -> Result<StallEvent, ProtoError> {
         end_sample,
         duration_cycles,
         kind,
+        confidence,
     })
 }
 
@@ -1016,6 +1041,16 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             p.extend_from_slice(&(c.merge_gap_samples as u64).to_le_bytes());
             p.extend_from_slice(&c.edge_level.to_le_bytes());
             p.extend_from_slice(&c.refresh_min_cycles.to_le_bytes());
+            p.push(c.calib.enabled as u8);
+            p.extend_from_slice(&(c.calib.block_samples as u64).to_le_bytes());
+            p.extend_from_slice(&c.calib.ewma_weight.to_le_bytes());
+            p.extend_from_slice(&c.calib.threshold_pad.to_le_bytes());
+            p.extend_from_slice(&c.calib.threshold_max.to_le_bytes());
+            p.extend_from_slice(&c.calib.gate_fraction.to_le_bytes());
+            p.extend_from_slice(&c.calib.degraded_enter.to_le_bytes());
+            p.extend_from_slice(&c.calib.degraded_exit.to_le_bytes());
+            p.extend_from_slice(&(c.calib.window_min as u64).to_le_bytes());
+            p.extend_from_slice(&c.calib.drift_tolerance.to_le_bytes());
             put_string(&mut p, &h.device);
             p.extend_from_slice(&h.resume_session_id.to_le_bytes());
             p.extend_from_slice(&h.resume_token.to_le_bytes());
@@ -1067,6 +1102,7 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             p.extend_from_slice(&s.sheds.to_le_bytes());
             p.extend_from_slice(&s.acked_seq.to_le_bytes());
             p.extend_from_slice(&s.samples_rejected.to_le_bytes());
+            p.extend_from_slice(&s.events_degraded.to_le_bytes());
             (
                 FrameType::Stats,
                 if s.final_report { FLAG_FINAL } else { 0 },
@@ -1120,6 +1156,7 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
                 p.extend_from_slice(&row.journaled_events.to_le_bytes());
                 p.extend_from_slice(&row.sheds.to_le_bytes());
                 p.extend_from_slice(&row.samples_rejected.to_le_bytes());
+                p.extend_from_slice(&row.events_degraded.to_le_bytes());
                 p.extend_from_slice(&row.idle_ms.to_le_bytes());
             }
             (FrameType::Metrics, 0, p)
@@ -1210,6 +1247,18 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
                 merge_gap_samples: c.u64()? as usize,
                 edge_level: c.f64()?,
                 refresh_min_cycles: c.f64()?,
+                calib: CalibConfig {
+                    enabled: c.u8()? != 0,
+                    block_samples: c.u64()? as usize,
+                    ewma_weight: c.f64()?,
+                    threshold_pad: c.f64()?,
+                    threshold_max: c.f64()?,
+                    gate_fraction: c.f64()?,
+                    degraded_enter: c.f64()?,
+                    degraded_exit: c.f64()?,
+                    window_min: c.u64()? as usize,
+                    drift_tolerance: c.f64()?,
+                },
             };
             let device = c.string()?;
             let resume_session_id = c.u64()?;
@@ -1263,6 +1312,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
             sheds: c.u64()?,
             acked_seq: c.u64()?,
             samples_rejected: c.u64()?,
+            events_degraded: c.u64()?,
             final_report: flags & FLAG_FINAL != 0,
         }),
         FrameType::Error => Frame::Error {
@@ -1316,6 +1366,7 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
                     journaled_events: c.u64()?,
                     sheds: c.u64()?,
                     samples_rejected: c.u64()?,
+                    events_degraded: c.u64()?,
                     idle_ms: c.u64()?,
                 });
             }
@@ -1547,6 +1598,19 @@ mod tests {
         roundtrip(Frame::Hello(Hello {
             sample_rate_hz: 40e6,
             clock_hz: 1.008e9,
+            config: EmprofConfig {
+                calib: CalibConfig::adaptive(),
+                ..sample_config()
+            },
+            device: "adaptive".into(),
+            watch: false,
+            proxied: false,
+            resume_session_id: 0,
+            resume_token: 0,
+        }));
+        roundtrip(Frame::Hello(Hello {
+            sample_rate_hz: 40e6,
+            clock_hz: 1.008e9,
             config: sample_config(),
             device: "routed".into(),
             watch: false,
@@ -1590,12 +1654,21 @@ mod tests {
                     end_sample: 20,
                     duration_cycles: 250.0,
                     kind: StallKind::Normal,
+                    confidence: Confidence::High,
                 },
                 StallEvent {
                     start_sample: 100,
                     end_sample: 220,
                     duration_cycles: 3000.0,
                     kind: StallKind::RefreshCollision,
+                    confidence: Confidence::Degraded,
+                },
+                StallEvent {
+                    start_sample: 300,
+                    end_sample: 305,
+                    duration_cycles: 125.0,
+                    kind: StallKind::Normal,
+                    confidence: Confidence::Degraded,
                 },
             ],
         });
@@ -1613,6 +1686,7 @@ mod tests {
             sheds: 5,
             acked_seq: 6,
             samples_rejected: 7,
+            events_degraded: 1,
             final_report: true,
         }));
         roundtrip(Frame::Heartbeat { acked_seq: 0 });
@@ -1693,6 +1767,7 @@ mod tests {
                     end_sample: 9,
                     duration_cycles: 100.0,
                     kind: StallKind::Normal,
+                    confidence: Confidence::Degraded,
                 },
             }],
         }));
@@ -1752,6 +1827,7 @@ mod tests {
                 journaled_events: 7,
                 sheds: 0,
                 samples_rejected: 1,
+                events_degraded: 2,
                 idle_ms: 12,
             }],
         }

@@ -253,6 +253,13 @@ impl Shared {
             .events_total
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         obs::counter_add!("serve.events", events.len() as u64);
+        let degraded = events
+            .iter()
+            .filter(|e| e.confidence == emprof_core::Confidence::Degraded)
+            .count();
+        if degraded > 0 {
+            obs::counter_add!("serve.events_degraded", degraded as u64);
+        }
         obs::meter_mark!("meter.events_out", events.len() as u64);
         let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
         tail.push(session_id, events);
@@ -1502,6 +1509,7 @@ mod tests {
             end_sample: 1,
             duration_cycles: 50.0,
             kind: emprof_core::StallKind::Normal,
+            confidence: emprof_core::Confidence::High,
         };
         let mut ring = TailRing::new(4);
         ring.push(1, &[ev; 6]);
@@ -1524,6 +1532,7 @@ mod tests {
             end_sample: s + 1,
             duration_cycles: 50.0,
             kind: emprof_core::StallKind::Normal,
+            confidence: emprof_core::Confidence::High,
         };
         let mut ring = TailRing::new(100);
         ring.push(1, &[ev(0), ev(2)]);

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use emprof_core::{EmprofConfig, StallEvent, StreamingEmprof};
+use emprof_core::{Confidence, EmprofConfig, StallEvent, StreamingEmprof};
 use emprof_obs as obs;
 use emprof_obs::metrics::Meter;
 use emprof_obs::FlightRecorder;
@@ -26,6 +26,14 @@ use crate::queue::BoundedQueue;
 /// Flight-recorder ring bound per session: enough tail to reconstruct
 /// what led up to a fault without unbounded memory.
 const FLIGHT_CAPACITY: usize = 256;
+
+/// Number of events in `events` carrying a degraded-confidence mark.
+fn count_degraded(events: &[StallEvent]) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.confidence == Confidence::Degraded)
+        .count() as u64
+}
 
 /// Splitmix64 finalizer: the session trace id is derived from the
 /// resume token, so it is stable across resumes *and* across server
@@ -103,6 +111,10 @@ struct SessionState {
     final_samples_pushed: u64,
     /// The detector's non-finite rejection count at finalization.
     final_samples_rejected: u64,
+    /// Running count of admitted events carrying a degraded-confidence
+    /// mark (recovered sessions start from the journaled events, minus
+    /// any acked prefix the journal already compacted away).
+    degraded_events: u64,
 }
 
 /// Counters a session exposes without taking its state lock.
@@ -220,6 +232,7 @@ impl Session {
                 journaled_events: 0,
                 final_samples_pushed: 0,
                 final_samples_rejected: 0,
+                degraded_events: 0,
             }),
             journal: journal.map(Mutex::new),
             acked_seq: AtomicU64::new(0),
@@ -252,9 +265,11 @@ impl Session {
                 Some(&(first, _)) => first - 1,
                 None => rec.acked_events,
             };
+            let events: Vec<StallEvent> = rec.events.into_iter().map(|(_, e)| e).collect();
             SessionState {
+                degraded_events: count_degraded(&events),
                 detector: None,
-                events: rec.events.into_iter().map(|(_, e)| e).collect(),
+                events,
                 events_base,
                 acked: rec.acked_events,
                 journaled_events: rec.journaled_events,
@@ -282,6 +297,7 @@ impl Session {
                 }
             }
             SessionState {
+                degraded_events: count_degraded(&events),
                 detector: Some(detector),
                 events,
                 events_base: 0,
@@ -467,6 +483,7 @@ impl Session {
             sheds: self.counters.sheds.load(Ordering::Relaxed),
             acked_seq: self.acked_seq(),
             samples_rejected: rejected,
+            events_degraded: st.degraded_events,
             final_report: st.detector.is_none(),
         }
     }
@@ -513,6 +530,7 @@ impl Session {
             },
             sheds: stats.sheds,
             samples_rejected: stats.samples_rejected,
+            events_degraded: stats.events_degraded,
             idle_ms: self.idle_for(epoch).as_millis().min(u64::MAX as u128) as u64,
         }
     }
@@ -614,6 +632,7 @@ impl Session {
             }
         }
         st.journaled_events = st.journaled_events.max(last_seq);
+        st.degraded_events += count_degraded(fresh);
         st.events.extend_from_slice(fresh);
     }
 

@@ -107,6 +107,38 @@ pub fn detect_runs_range(
     edge_level: f64,
     start: usize,
     end: usize,
+    norm_out: Option<&mut Vec<f64>>,
+) -> Result<LevelRuns, usize> {
+    detect_runs_range_gated(signal, window, threshold, edge_level, 0.0, start, end, norm_out)
+}
+
+/// [`detect_runs_range`] with a **contrast gate**: windows whose dynamic
+/// range (`max - min`) does not exceed `min_range` are treated as flat
+/// and normalize to `1.0` ("fully busy"), exactly like a constant
+/// window. With `min_range == 0.0` this is bit-identical to the ungated
+/// pass (`hi - lo > 0.0` iff `hi > lo` for finite samples).
+///
+/// The gate is what lets the adaptive detector suppress noise-floor
+/// false positives: when the probe has drifted far enough that a window
+/// contains no dip, its range is pure receiver noise; min/max
+/// normalization would stretch that noise across `[0, 1]` and the
+/// threshold scan would read the lower tail as dips. A gate slightly
+/// below the recent dip-contrast estimate flattens exactly those
+/// windows while leaving true dip windows (whose range carries the dip
+/// contrast) untouched.
+///
+/// # Errors / Panics
+///
+/// Identical to [`detect_runs_range`].
+#[allow(clippy::too_many_arguments)]
+pub fn detect_runs_range_gated(
+    signal: &[f64],
+    window: usize,
+    threshold: f64,
+    edge_level: f64,
+    min_range: f64,
+    start: usize,
+    end: usize,
     mut norm_out: Option<&mut Vec<f64>>,
 ) -> Result<LevelRuns, usize> {
     assert!(window > 0, "window must be nonzero");
@@ -195,7 +227,10 @@ pub fn detect_runs_range(
         let lo = min_front.1;
         let hi = max_front.1;
         let v = v_i;
-        let normalized = if hi > lo {
+        // `hi - lo > 0.0` is exactly `hi > lo` for finite samples, so the
+        // ungated (`min_range == 0.0`) pass matches `normalize_moving_minmax`
+        // bit for bit.
+        let normalized = if hi - lo > min_range {
             ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
         } else {
             1.0

@@ -398,7 +398,7 @@ mod tests {
     }
 
     fn events(first_seq: u64, n: usize) -> Record {
-        use emprof_core::{StallEvent, StallKind};
+        use emprof_core::{Confidence, StallEvent, StallKind};
         Record::Events {
             first_seq,
             events: (0..n)
@@ -407,6 +407,7 @@ mod tests {
                     end_sample: i * 100 + 10,
                     duration_cycles: 250.0,
                     kind: StallKind::Normal,
+                    confidence: Confidence::High,
                 })
                 .collect(),
         }

@@ -7,7 +7,7 @@
 //! never panics; a payload that passes its CRC but fails to decode is a
 //! format error (not a torn write) and is surfaced as such.
 
-use emprof_core::{EmprofConfig, StallEvent, StallKind};
+use emprof_core::{CalibConfig, Confidence, EmprofConfig, StallEvent, StallKind};
 
 /// Upper bound on a device-label string.
 const MAX_STRING: usize = 256;
@@ -191,24 +191,40 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&bytes[..len]);
 }
 
+/// Event kind byte: bit 0 is the refresh classification, bit 1 the
+/// degraded-confidence mark, so replaying a journal reproduces exactly
+/// the confidence the live session reported.
 fn encode_event(out: &mut Vec<u8>, e: &StallEvent) {
     out.extend_from_slice(&(e.start_sample as u64).to_le_bytes());
     out.extend_from_slice(&(e.end_sample as u64).to_le_bytes());
     out.extend_from_slice(&e.duration_cycles.to_le_bytes());
-    out.push(match e.kind {
+    let mut kind = match e.kind {
         StallKind::Normal => 0,
         StallKind::RefreshCollision => 1,
-    });
+    };
+    if e.confidence == Confidence::Degraded {
+        kind |= 2;
+    }
+    out.push(kind);
 }
 
 fn decode_event(r: &mut Reader<'_>) -> Result<StallEvent, DecodeError> {
     let start_sample = r.u64()? as usize;
     let end_sample = r.u64()? as usize;
     let duration_cycles = r.f64()?;
-    let kind = match r.u8()? {
-        0 => StallKind::Normal,
-        1 => StallKind::RefreshCollision,
-        _ => return Err(DecodeError("unknown stall kind")),
+    let bits = r.u8()?;
+    if bits > 3 {
+        return Err(DecodeError("unknown stall kind"));
+    }
+    let kind = if bits & 1 != 0 {
+        StallKind::RefreshCollision
+    } else {
+        StallKind::Normal
+    };
+    let confidence = if bits & 2 != 0 {
+        Confidence::Degraded
+    } else {
+        Confidence::High
     };
     if end_sample < start_sample {
         return Err(DecodeError("event ends before it starts"));
@@ -218,6 +234,7 @@ fn decode_event(r: &mut Reader<'_>) -> Result<StallEvent, DecodeError> {
         end_sample,
         duration_cycles,
         kind,
+        confidence,
     })
 }
 
@@ -250,6 +267,16 @@ impl Record {
                 p.extend_from_slice(&(c.merge_gap_samples as u64).to_le_bytes());
                 p.extend_from_slice(&c.edge_level.to_le_bytes());
                 p.extend_from_slice(&c.refresh_min_cycles.to_le_bytes());
+                p.push(c.calib.enabled as u8);
+                p.extend_from_slice(&(c.calib.block_samples as u64).to_le_bytes());
+                p.extend_from_slice(&c.calib.ewma_weight.to_le_bytes());
+                p.extend_from_slice(&c.calib.threshold_pad.to_le_bytes());
+                p.extend_from_slice(&c.calib.threshold_max.to_le_bytes());
+                p.extend_from_slice(&c.calib.gate_fraction.to_le_bytes());
+                p.extend_from_slice(&c.calib.degraded_enter.to_le_bytes());
+                p.extend_from_slice(&c.calib.degraded_exit.to_le_bytes());
+                p.extend_from_slice(&(c.calib.window_min as u64).to_le_bytes());
+                p.extend_from_slice(&c.calib.drift_tolerance.to_le_bytes());
                 put_string(&mut p, &m.device);
             }
             Record::Samples { seq, samples } => {
@@ -305,6 +332,18 @@ impl Record {
                     merge_gap_samples: r.u64()? as usize,
                     edge_level: r.f64()?,
                     refresh_min_cycles: r.f64()?,
+                    calib: CalibConfig {
+                        enabled: r.u8()? != 0,
+                        block_samples: r.u64()? as usize,
+                        ewma_weight: r.f64()?,
+                        threshold_pad: r.f64()?,
+                        threshold_max: r.f64()?,
+                        gate_fraction: r.f64()?,
+                        degraded_enter: r.f64()?,
+                        degraded_exit: r.f64()?,
+                        window_min: r.u64()? as usize,
+                        drift_tolerance: r.f64()?,
+                    },
                 };
                 let device = r.string()?;
                 Record::Meta(SessionMeta {
@@ -394,12 +433,21 @@ mod tests {
                     end_sample: 20,
                     duration_cycles: 250.0,
                     kind: StallKind::Normal,
+                    confidence: Confidence::High,
                 },
                 StallEvent {
                     start_sample: 100,
                     end_sample: 220,
                     duration_cycles: 3000.0,
                     kind: StallKind::RefreshCollision,
+                    confidence: Confidence::Degraded,
+                },
+                StallEvent {
+                    start_sample: 300,
+                    end_sample: 301,
+                    duration_cycles: 50.0,
+                    kind: StallKind::Normal,
+                    confidence: Confidence::Degraded,
                 },
             ],
         });

@@ -302,7 +302,7 @@ pub fn read_session(dir: &Path, cfg: JournalConfig) -> io::Result<Option<Recover
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emprof_core::{EmprofConfig, StallKind};
+    use emprof_core::{Confidence, EmprofConfig, StallKind};
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -335,6 +335,7 @@ mod tests {
             end_sample: i * 50 + 10,
             duration_cycles: 300.0,
             kind: StallKind::Normal,
+            confidence: Confidence::High,
         }
     }
 

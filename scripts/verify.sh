@@ -32,6 +32,12 @@ cargo run -q --release -p emprof-bench --bin serve_soak -- --smoke --seconds 8
 # samples; the injector is deterministic and batch-boundary invariant.
 cargo test -q --release --test prop_fault
 
+# Adaptive calibration: with the knob off, all three detector paths are
+# bit-identical to the legacy fixed-threshold path; with it on, they
+# still agree bit-for-bit and the adapted threshold tracks a pure
+# attenuation ramp monotonically.
+cargo test -q --release --test adaptive_equivalence
+
 # Transport resilience and exactly-once delivery: kill-and-resume at
 # arbitrary frame boundaries is invisible in the served events; replies
 # lost inside the §10 kill window (finalized and offered, never acked)

@@ -1,13 +1,15 @@
 //! Property-based guarantees of the fault layer and the sanitizer.
 //!
 //! The load-bearing claim of the degradation design: non-finite samples
-//! can only *remove* themselves from the analysis, never alter the
-//! events detected on the surviving samples. Whatever NaN/±inf pattern a
-//! broken front-end produces, the profile equals the batch profile of
-//! the finite subsequence — and the injector itself is deterministic and
+//! can only *remove* themselves from the analysis (and mark the events
+//! straddling the collapsed gap as degraded-confidence), never alter
+//! *where* events are detected on the surviving samples. Whatever
+//! NaN/±inf pattern a broken front-end produces, the events' positions,
+//! durations and kinds equal the batch profile of the finite
+//! subsequence — and the injector itself is deterministic and
 //! batch-boundary invariant, so chaos runs are reproducible.
 
-use emprof::core::{Emprof, EmprofConfig, StreamingEmprof};
+use emprof::core::{CalibConfig, Emprof, EmprofConfig, Parallelism, StallEvent, StreamingEmprof};
 use emprof::fault::{FaultInjector, FaultPlan};
 use proptest::prelude::*;
 
@@ -34,6 +36,23 @@ fn build_signal(segments: &[(u16, u16, u8)]) -> Vec<f64> {
     }
     s.extend(std::iter::repeat_n(5.0, 500));
     s
+}
+
+/// An event stripped of its confidence mark: gap-touching events are
+/// deliberately flagged degraded on the poisoned signal but not on its
+/// pre-filtered survivor copy, so cross-signal comparisons look at the
+/// geometry only.
+fn shape(e: &StallEvent) -> (usize, usize, u64, emprof::core::StallKind) {
+    (
+        e.start_sample,
+        e.end_sample,
+        e.duration_cycles.to_bits(),
+        e.kind,
+    )
+}
+
+fn shapes(events: &[StallEvent]) -> Vec<(usize, usize, u64, emprof::core::StallKind)> {
+    events.iter().map(shape).collect()
 }
 
 /// One of the poisons a broken capture chain can emit.
@@ -69,8 +88,10 @@ proptest! {
         let emprof = Emprof::new(config());
         let on_poisoned = emprof.profile_magnitude(&signal, FS, CLK);
         let on_survivors = emprof.profile_magnitude(&survivors, FS, CLK);
-        prop_assert_eq!(on_poisoned.events(), on_survivors.events());
+        prop_assert_eq!(shapes(on_poisoned.events()), shapes(on_survivors.events()));
+        prop_assert_eq!(on_survivors.degraded_count(), 0);
 
+        // Streaming agrees with batch *including* the confidence marks.
         let mut streaming = StreamingEmprof::new(config(), FS, CLK);
         streaming.extend(signal.iter().copied());
         let rejected = streaming.samples_rejected();
@@ -128,6 +149,34 @@ proptest! {
         let emprof = Emprof::new(config());
         let on_faulted = emprof.profile_magnitude(&signal, FS, CLK);
         let on_survivors = emprof.profile_magnitude(&survivors, FS, CLK);
-        prop_assert_eq!(on_faulted.events(), on_survivors.events());
+        prop_assert_eq!(shapes(on_faulted.events()), shapes(on_survivors.events()));
+    }
+
+    /// A persistent gain step landing exactly on an adaptive-detection
+    /// block seam must not make the parallel fan-out diverge from the
+    /// batch path: both compute the same causal block schedule, so a
+    /// step that changes calibration mid-signal changes it identically.
+    #[test]
+    fn adaptive_gain_step_at_block_seam_matches_batch(
+        segments in prop::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 4..16),
+        factor_milli in 200u32..1800,
+        threads in 2usize..9,
+    ) {
+        let mut cfg = config();
+        cfg.calib = CalibConfig::adaptive();
+        let mut signal = build_signal(&segments);
+        let block = cfg.norm_window_samples.max(1);
+        if signal.len() > block {
+            // Pick a block seam near the middle and step the gain there.
+            let seam = (signal.len() / block / 2).max(1) * block;
+            let f = factor_milli as f64 / 1000.0;
+            for v in &mut signal[seam..] {
+                *v *= f;
+            }
+        }
+        let e = Emprof::new(cfg);
+        let batch = e.profile_magnitude(&signal, FS, CLK);
+        let par = e.profile_magnitude_par(&signal, FS, CLK, Parallelism::new(threads));
+        prop_assert_eq!(batch, par);
     }
 }
