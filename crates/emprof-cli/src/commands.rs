@@ -18,13 +18,18 @@ use emprof_workloads::{boot, iot};
 
 use emprof_router::{BackendSpec, Router, RouterConfig};
 use emprof_serve::{
-    ClientConfig, MetricsClient, MetricsReply, ProfileClient, ServeConfig, Server, WatchClient,
+    query_result_to_wire, ClientConfig, MetricsClient, MetricsReply, ProfileClient,
+    QueryResultWire, QuerySpecWire, ServeConfig, Server, WatchClient,
 };
-use emprof_store::{inspect_dir, JournalConfig, SessionJournal, SessionMeta};
+use emprof_store::{
+    inspect_dir, query_journals, FooterStatus, JournalConfig, QuerySpec, SessionJournal,
+    SessionMeta,
+};
 
 use crate::opts::{
     parse, CliError, Command, DumpFlightOpts, InspectOpts, ObsOpts, ProfileOpts, PushOpts,
-    RecordOpts, ReplayOpts, RouterOpts, ServeOpts, SimulateOpts, TopOpts, WatchOpts, USAGE,
+    QueryOpts, RecordOpts, ReplayOpts, RouterOpts, ServeOpts, SimulateOpts, TopOpts, WatchOpts,
+    USAGE,
 };
 
 /// How many span occurrences `--trace` retains before counting drops.
@@ -54,6 +59,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Record(opts) => record(&opts),
         Command::Replay(opts) => replay(&opts),
         Command::JournalInspect(opts) => journal_inspect(&opts),
+        Command::Query(opts) => query(&opts),
     }
 }
 
@@ -851,9 +857,14 @@ fn render_top_frame(
 fn render_fleet_frame(
     out: &mut String,
     nodes: &[(String, MetricsReply, emprof_serve::HealthWire)],
+    down: &[String],
     prev: Option<(f64, &[(String, MetricsReply)])>,
 ) {
-    let _ = writeln!(out, "emprof top — fleet of {} nodes", nodes.len());
+    let _ = writeln!(
+        out,
+        "emprof top — fleet of {} nodes",
+        nodes.len() + down.len()
+    );
     for (addr, _, health) in nodes {
         let _ = writeln!(
             out,
@@ -864,6 +875,9 @@ fn render_fleet_frame(
             health.max_sessions,
             if health.journal_enabled { "on" } else { "off" },
         );
+    }
+    for addr in down {
+        let _ = writeln!(out, "node {addr} | DOWN (connection refused or timed out)");
     }
     let any_sessions = nodes.iter().any(|(_, reply, _)| !reply.sessions.is_empty());
     if any_sessions {
@@ -927,7 +941,7 @@ fn render_fleet_frame(
     let _ = writeln!(
         out,
         "totals: samples {samples} | frames {frames} | bytes {bytes} | events {events} | sheds {sheds} (fleet of {} nodes)",
-        nodes.len()
+        nodes.len() + down.len()
     );
 }
 
@@ -935,36 +949,65 @@ fn render_fleet_frame(
 /// `--addr` this is the classic single-node view; with several, the
 /// per-node rows merge into one dashboard with a NODE column and a
 /// fleet-total summary line.
+///
+/// In the fleet view a node that refuses the dial or times out mid-poll
+/// must not take the whole dashboard down with it: the node is rendered
+/// as a DOWN line (counted in `top.node_down`), its client is dropped,
+/// and every later frame retries the dial so a recovered backend
+/// rejoins on its own. Single-node `top` keeps the historical behavior
+/// of failing loudly.
 fn top(opts: &TopOpts) -> Result<String, CliError> {
     let client_config = ClientConfig {
         read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
         max_reconnects: opts.retries,
         ..ClientConfig::default()
     };
-    let mut clients = Vec::with_capacity(opts.addrs.len());
+    let fleet = opts.addrs.len() > 1;
+    let mut clients: Vec<(String, Option<MetricsClient>)> = Vec::with_capacity(opts.addrs.len());
     for addr in &opts.addrs {
-        let client = MetricsClient::connect_with(addr.as_str(), client_config.clone())
-            .map_err(|e| CliError::Runtime(format!("{addr}: {e}")))?;
-        clients.push((addr.clone(), client));
+        match MetricsClient::connect_with(addr.as_str(), client_config.clone()) {
+            Ok(client) => clients.push((addr.clone(), Some(client))),
+            Err(_) if fleet => {
+                obs::counter_add!("top.node_down", 1);
+                clients.push((addr.clone(), None));
+            }
+            Err(e) => return Err(CliError::Runtime(format!("{addr}: {e}"))),
+        }
     }
-    let fleet = clients.len() > 1;
     let mut out = String::new();
     let mut polled = 0u64;
     let mut prev: Option<(std::time::Instant, Vec<(String, MetricsReply)>)> = None;
     loop {
         let mut nodes = Vec::with_capacity(clients.len());
-        for (addr, client) in &mut clients {
-            let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{addr}: {e}"));
-            let reply = client.fetch_metrics().map_err(err)?;
-            let health = client.fetch_health().map_err(err)?;
-            nodes.push((addr.clone(), reply, health));
+        let mut down = Vec::new();
+        for (addr, slot) in &mut clients {
+            if slot.is_none() {
+                // Marked DOWN on an earlier frame: retry the dial so a
+                // recovered backend rejoins the dashboard.
+                *slot = MetricsClient::connect_with(addr.as_str(), client_config.clone()).ok();
+            }
+            let polled_node = match slot.as_mut() {
+                Some(client) => client
+                    .fetch_metrics()
+                    .and_then(|reply| client.fetch_health().map(|health| (reply, health))),
+                None => Err(emprof_serve::ClientError::Unexpected("node is down")),
+            };
+            match polled_node {
+                Ok((reply, health)) => nodes.push((addr.clone(), reply, health)),
+                Err(e) if !fleet => return Err(CliError::Runtime(format!("{addr}: {e}"))),
+                Err(_) => {
+                    *slot = None;
+                    obs::counter_add!("top.node_down", 1);
+                    down.push(addr.clone());
+                }
+            }
         }
         let now = std::time::Instant::now();
         if fleet {
             let prev_view = prev
                 .as_ref()
                 .map(|(at, r)| (now.duration_since(*at).as_secs_f64(), r.as_slice()));
-            render_fleet_frame(&mut out, &nodes, prev_view);
+            render_fleet_frame(&mut out, &nodes, &down, prev_view);
         } else {
             let (addr, reply, health) = &nodes[0];
             let prev_view = prev
@@ -1187,8 +1230,8 @@ fn journal_inspect(opts: &InspectOpts) -> Result<String, CliError> {
     }
     let _ = writeln!(
         out,
-        "{:<24} {:>8} {:>10} {:>10}  {:<7} records (meta/samp/ev/cur/fin)  max-ev",
-        "segment", "base", "bytes", "valid", "state"
+        "{:<24} {:>8} {:>10} {:>10}  {:<7} {:<8} records (meta/samp/ev/cur/fin/foot)  max-ev",
+        "segment", "base", "bytes", "valid", "state", "footer"
     );
     for seg in &inspect.segments {
         let state = if !seg.header_ok {
@@ -1198,23 +1241,33 @@ fn journal_inspect(opts: &InspectOpts) -> Result<String, CliError> {
         } else {
             "ok"
         };
+        let footer = match seg.footer {
+            FooterStatus::Ok => "ok",
+            FooterStatus::Missing => "missing",
+            FooterStatus::Mismatch => "MISMATCH",
+        };
         let k = &seg.records_by_kind;
         let _ = writeln!(
             out,
-            "{:<24} {:>8} {:>10} {:>10}  {:<7} {} ({}/{}/{}/{}/{})  {}",
+            "{:<24} {:>8} {:>10} {:>10}  {:<7} {:<8} {} ({}/{}/{}/{}/{}/{})  {}",
             seg.file_name,
             seg.base_index,
             seg.bytes_on_disk,
             seg.valid_bytes,
             state,
+            footer,
             seg.records,
             k[0],
             k[1],
             k[2],
             k[3],
             k[4],
+            k[5],
             seg.max_event_seq
         );
+    }
+    for anomaly in &inspect.anomalies {
+        let _ = writeln!(out, "anomaly: {anomaly}");
     }
     let _ = writeln!(
         out,
@@ -1224,6 +1277,213 @@ fn journal_inspect(opts: &InspectOpts) -> Result<String, CliError> {
         if inspect.healthy() { "yes" } else { "NO" }
     );
     Ok(out)
+}
+
+/// Evaluates range statistics over a journal — locally from a directory
+/// or remotely from a `serve --journal` node or router.
+///
+/// Both paths render the same [`QueryResultWire`] shape, and the result
+/// is bit-identical to recomputing the statistic from a full replay of
+/// the same journals: locally because the engine folds events through
+/// the exact accumulator replay uses, remotely because the latency
+/// distribution travels as raw histogram buckets and quantiles are
+/// derived client-side from the same code.
+fn query(opts: &QueryOpts) -> Result<String, CliError> {
+    let result = match (&opts.journal_dir, &opts.addr) {
+        (Some(dir), None) => {
+            let spec = QuerySpec {
+                t0: opts.t0,
+                t1: opts.t1,
+                sessions: opts.sessions.clone(),
+                bucket_samples: opts.bucket_samples,
+            };
+            let root = std::path::Path::new(dir);
+            if !root.is_dir() {
+                return Err(CliError::Runtime(format!(
+                    "{dir}: no such journal directory"
+                )));
+            }
+            let local = query_journals(root, &spec, None)
+                .map_err(|e| CliError::Runtime(format!("{dir}: {e}")))?;
+            query_result_to_wire(&local)
+        }
+        (None, Some(addr)) => {
+            let err = |e: emprof_serve::ClientError| CliError::Runtime(format!("{addr}: {e}"));
+            let client_config = ClientConfig {
+                read_timeout: std::time::Duration::from_secs(opts.timeout_secs),
+                max_reconnects: opts.retries,
+                ..ClientConfig::default()
+            };
+            let mut client =
+                MetricsClient::connect_with(addr.as_str(), client_config).map_err(err)?;
+            let spec = QuerySpecWire {
+                t0: opts.t0,
+                t1: opts.t1,
+                bucket_samples: opts.bucket_samples,
+                sessions: opts.sessions.clone(),
+            };
+            client.query(&spec).map_err(err)?
+        }
+        // parse_query enforces exactly one of --journal / --addr.
+        _ => unreachable!("parse enforced the journal/addr choice"),
+    };
+    let mut out = String::new();
+    if opts.json {
+        render_query_json(&mut out, opts, &result);
+    } else {
+        render_query_table(&mut out, opts, &result);
+    }
+    Ok(out)
+}
+
+/// Formats a latency quantile in cycles, or `-` before any event.
+fn cycles_or_dash(q: Option<f64>) -> String {
+    match q {
+        Some(v) => format!("{v:.0}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders a QUERY_RESULT as the human table.
+fn render_query_table(out: &mut String, opts: &QueryOpts, r: &QueryResultWire) {
+    let t1 = if opts.t1 == u64::MAX {
+        "end".to_string()
+    } else {
+        opts.t1.to_string()
+    };
+    let _ = writeln!(
+        out,
+        "query [{}, {t1}] | {} session(s) | {} node(s)",
+        opts.t0,
+        r.sessions.len(),
+        r.nodes
+    );
+    let _ = writeln!(
+        out,
+        "events {} | degraded {} | refresh collisions {}",
+        r.events, r.degraded, r.refresh_collisions
+    );
+    let _ = writeln!(
+        out,
+        "stall latency (cycles): p50 {} | p90 {} | p99 {} | min {} | max {}",
+        cycles_or_dash(r.latency.p50()),
+        cycles_or_dash(r.latency.p90()),
+        cycles_or_dash(r.latency.p99()),
+        r.latency.min.map_or("-".to_string(), |v| v.to_string()),
+        r.latency.max.map_or("-".to_string(), |v| v.to_string()),
+    );
+    if !r.sessions.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<12} {:>8} {:>8} {:>10}",
+            "SESSION", "DEVICE", "EVENTS", "DEGR", "COLLISIONS"
+        );
+        for row in &r.sessions {
+            let mut device = row.device.clone();
+            device.truncate(12);
+            let _ = writeln!(
+                out,
+                "{:<9} {:<12} {:>8} {:>8} {:>10}",
+                row.session_id, device, row.events, row.degraded, row.refresh_collisions
+            );
+        }
+    }
+    if !r.timeline.is_empty() {
+        let _ = writeln!(
+            out,
+            "timeline ({} buckets of {} samples): {}",
+            r.timeline.len(),
+            opts.bucket_samples,
+            r.timeline
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "segments: {} scanned, {} pruned | cache: {} hits, {} misses",
+        r.segments_scanned, r.segments_pruned, r.cache_hits, r.cache_misses
+    );
+}
+
+/// Renders a QUERY_RESULT as one JSON document (hand-rolled: the
+/// workspace is pure `std`, and every field is a number, a string with
+/// no exotic characters, or an array of those).
+fn render_query_json(out: &mut String, opts: &QueryOpts, r: &QueryResultWire) {
+    fn json_string(s: &str) -> String {
+        let mut esc = String::with_capacity(s.len() + 2);
+        esc.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => esc.push_str("\\\""),
+                '\\' => esc.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(esc, "\\u{:04x}", c as u32);
+                }
+                c => esc.push(c),
+            }
+        }
+        esc.push('"');
+        esc
+    }
+    fn opt_num(v: Option<f64>) -> String {
+        match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_string(),
+        }
+    }
+    let sessions = r
+        .sessions
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"session_id\":{},\"device\":{},\"events\":{},\"degraded\":{},\
+                 \"refresh_collisions\":{}}}",
+                row.session_id,
+                json_string(&row.device),
+                row.events,
+                row.degraded,
+                row.refresh_collisions
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let timeline = r
+        .timeline
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let _ = writeln!(
+        out,
+        "{{\"t0\":{},\"t1\":{},\"events\":{},\"degraded\":{},\"refresh_collisions\":{},\
+         \"latency\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\
+         \"p99\":{}}},\"sessions\":[{}],\"timeline\":[{}],\"bucket_samples\":{},\
+         \"segments_scanned\":{},\"segments_pruned\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"nodes\":{}}}",
+        opts.t0,
+        opts.t1,
+        r.events,
+        r.degraded,
+        r.refresh_collisions,
+        r.latency.count,
+        r.latency.sum,
+        r.latency.min.map_or("null".to_string(), |v| v.to_string()),
+        r.latency.max.map_or("null".to_string(), |v| v.to_string()),
+        opt_num(r.latency.p50()),
+        opt_num(r.latency.p90()),
+        opt_num(r.latency.p99()),
+        sessions,
+        timeline,
+        opts.bucket_samples,
+        r.segments_scanned,
+        r.segments_pruned,
+        r.cache_hits,
+        r.cache_misses,
+        r.nodes
+    );
 }
 
 fn demo() -> Result<String, CliError> {
@@ -1688,6 +1948,109 @@ mod tests {
         drop(c2);
         s1.shutdown();
         s2.shutdown();
+    }
+
+    #[test]
+    fn top_fleet_marks_dead_node_down_and_keeps_rendering() {
+        let live = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = live.local_addr();
+        let config = EmprofConfig::for_rates(40e6, 1e9);
+        let mut client = ProfileClient::connect(addr, "survivor", config, 40e6, 1e9).unwrap();
+        client.send(&vec![5.0; 10_000]).unwrap();
+        // A fresh ephemeral listener, immediately closed: nothing there.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+        };
+
+        let out = run(&argv(&format!("top --addr {addr} --addr {dead} --once"))).unwrap();
+        assert!(out.contains("fleet of 2 nodes"), "{out}");
+        assert!(out.contains(&format!("node {dead} | DOWN")), "{out}");
+        // The live node still renders its health header and rows.
+        assert!(out.contains(&format!("node {addr} | up")), "{out}");
+        assert!(out.contains("survivor"), "{out}");
+        assert!(out.contains("totals:"), "{out}");
+
+        // Single-node top keeps the historical fail-loudly behavior.
+        assert!(matches!(
+            run(&argv(&format!("top --addr {dead} --once"))),
+            Err(CliError::Runtime(_))
+        ));
+
+        drop(client);
+        live.shutdown();
+    }
+
+    #[test]
+    fn query_local_and_remote_agree_end_to_end() {
+        let dir = std::env::temp_dir().join("emprof-cli-query-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                journal_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let config = EmprofConfig::for_rates(40e6, 1e9);
+        let mut signal = vec![5.0; 40_000];
+        for (start, width) in [(5_000usize, 12usize), (9_000, 30), (15_000, 8)] {
+            for s in signal.iter_mut().skip(start).take(width) {
+                *s = 0.8;
+            }
+        }
+        let mut client = ProfileClient::connect(addr, "qdev", config, 40e6, 1e9).unwrap();
+        client.send(&signal).unwrap();
+        // Flush (not finish): a finished, fully-acked session's journal
+        // is cleanly retired — deleted — and there would be nothing
+        // left to query. A flushed mid-stream session keeps journaling.
+        let (events, _) = client.flush().unwrap();
+        assert!(!events.is_empty(), "the dipped signal must produce events");
+
+        let remote = run(&argv(&format!("query --addr {addr}"))).unwrap();
+        let local = run(&argv(&format!("query --journal {}", dir.display()))).unwrap();
+        let stat_lines = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("events ") || l.starts_with("stall latency"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        // Remote (server-side engine + wire) and local (direct read)
+        // agree on every statistic.
+        assert_eq!(stat_lines(&remote), stat_lines(&local), "{remote}\n{local}");
+        assert!(
+            remote.contains(&format!("events {}", events.len())),
+            "{remote}"
+        );
+        assert!(remote.contains("qdev"), "{remote}");
+        assert!(remote.contains("p99"), "{remote}");
+
+        // --json emits one machine-readable document with the same counts.
+        let json = run(&argv(&format!(
+            "query --journal {} --t0 0 --t1 39999 --bucket 10000 --json",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+        assert!(
+            json.contains(&format!("\"events\":{}", events.len())),
+            "{json}"
+        );
+        assert!(json.contains("\"timeline\":["), "{json}");
+
+        // A windowed query keeps only events starting inside the range.
+        let windowed = run(&argv(&format!(
+            "query --journal {} --t0 0 --t1 6000",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(windowed.contains("events 1 "), "{windowed}");
+
+        drop(client);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

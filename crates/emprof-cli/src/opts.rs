@@ -33,6 +33,8 @@ pub enum Command {
     Replay(ReplayOpts),
     /// Dump the segment-level health of a journal directory.
     JournalInspect(InspectOpts),
+    /// Range statistics over a journal directory or a running service.
+    Query(QueryOpts),
     /// Print usage.
     Help,
 }
@@ -285,6 +287,46 @@ pub struct InspectOpts {
     pub journal_dir: String,
 }
 
+/// Options of `emprof query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOpts {
+    /// Journal directory to query locally (exclusive with `addr`).
+    pub journal_dir: Option<String>,
+    /// Running service (or router) to query remotely (exclusive with
+    /// `journal_dir`).
+    pub addr: Option<String>,
+    /// Window start, inclusive, in sample indexes.
+    pub t0: u64,
+    /// Window end, inclusive, in sample indexes.
+    pub t1: u64,
+    /// Event-rate timeline bucket width in samples (0 = no timeline).
+    pub bucket_samples: u64,
+    /// Sessions to include (repeat `--session`; empty = all).
+    pub sessions: Vec<u64>,
+    /// Emit the result as one JSON document instead of the table.
+    pub json: bool,
+    /// Socket read timeout in seconds (remote only).
+    pub timeout_secs: u64,
+    /// Reconnect attempts per failed query (remote only, 0 disables).
+    pub retries: u32,
+}
+
+impl Default for QueryOpts {
+    fn default() -> Self {
+        QueryOpts {
+            journal_dir: None,
+            addr: None,
+            t0: 0,
+            t1: u64::MAX,
+            bucket_samples: 0,
+            sessions: Vec::new(),
+            json: false,
+            timeout_secs: 60,
+            retries: 5,
+        }
+    }
+}
+
 /// Options of `emprof push`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PushOpts {
@@ -432,6 +474,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "record" => parse_record(it).map(Command::Record),
         "replay" => parse_replay(it).map(Command::Replay),
         "journal-inspect" => parse_inspect(it).map(Command::JournalInspect),
+        "query" => parse_query(it).map(Command::Query),
         "simulate" => parse_simulate(it, "simulate").map(Command::Simulate),
         "stats" => parse_simulate(it, "stats").map(|mut opts| {
             // The whole point of `stats` is the telemetry table.
@@ -746,6 +789,42 @@ fn parse_inspect<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<InspectOpt
     }
 }
 
+/// Parses the `emprof query` argument form.
+fn parse_query<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<QueryOpts, CliError> {
+    let mut opts = QueryOpts::default();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => opts.journal_dir = Some(take_value(&mut it, "--journal")?),
+            "--addr" => opts.addr = Some(take_value(&mut it, "--addr")?),
+            "--t0" => opts.t0 = take_parsed(&mut it, "--t0")?,
+            "--t1" => opts.t1 = take_parsed(&mut it, "--t1")?,
+            "--bucket" => opts.bucket_samples = take_parsed(&mut it, "--bucket")?,
+            "--session" => opts.sessions.push(take_parsed(&mut it, "--session")?),
+            "--json" => opts.json = true,
+            "--timeout" => {
+                opts.timeout_secs = take_parsed(&mut it, "--timeout")?;
+                if opts.timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout must be at least 1".into()));
+                }
+            }
+            "--retries" => opts.retries = take_parsed(&mut it, "--retries")?,
+            other => {
+                return Err(CliError::Usage(format!("query: unknown argument {other}")));
+            }
+        }
+    }
+    match (&opts.journal_dir, &opts.addr) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "query takes --journal DIR or --addr HOST:PORT, not both".into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "query requires --journal DIR or --addr HOST:PORT".into(),
+        )),
+        _ => Ok(opts),
+    }
+}
+
 /// Parses the `emprof push` argument form.
 fn parse_push<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<PushOpts, CliError> {
     let mut positional = Vec::new();
@@ -1036,7 +1115,21 @@ USAGE:
   emprof journal-inspect <dir>
       Dump per-segment health of a journal directory without modifying
       it: record counts by kind, valid vs on-disk bytes, torn tails,
-      and the highest journaled event sequence.
+      footer status (ok / missing / MISMATCH), the highest journaled
+      event sequence, and layout anomalies such as duplicate or
+      overlapping base indexes.
+
+  emprof query (--journal DIR | --addr HOST:PORT) [--t0 N] [--t1 N]
+               [--session ID]... [--bucket N] [--json]
+               [--timeout SECS] [--retries N]
+      Evaluate range statistics over journaled sessions: stall-latency
+      percentiles (p50/p90/p99), event and degraded counts, refresh
+      collisions, and (with --bucket) an event-rate timeline over
+      [--t0, --t1] in sample indexes. `--journal` reads a directory
+      directly (read-only, footer-indexed segment pruning); `--addr`
+      asks a `serve --journal` node — or a router, which fans out and
+      merges across its fleet. Results are bit-identical to
+      recomputing the same statistic from a full `emprof replay`.
 
   emprof push <signal.csv> --rate HZ --clock HZ [--addr HOST:PORT]
               [--frame N] [--device NAME] [--events-out FILE]
@@ -1565,8 +1658,57 @@ mod tests {
         assert!(USAGE.contains("emprof record"));
         assert!(USAGE.contains("emprof replay"));
         assert!(USAGE.contains("emprof journal-inspect"));
+        assert!(USAGE.contains("emprof query"));
         assert!(USAGE.contains("--journal DIR"));
         assert!(USAGE.contains("exactly-once"));
+    }
+
+    #[test]
+    fn parses_query_flags() {
+        match parse(&argv(
+            "query --journal /tmp/j --t0 100 --t1 900 --session 1 --session 7 \
+             --bucket 50 --json",
+        ))
+        .unwrap()
+        {
+            Command::Query(o) => {
+                assert_eq!(o.journal_dir.as_deref(), Some("/tmp/j"));
+                assert_eq!(o.addr, None);
+                assert_eq!(o.t0, 100);
+                assert_eq!(o.t1, 900);
+                assert_eq!(o.sessions, vec![1, 7]);
+                assert_eq!(o.bucket_samples, 50);
+                assert!(o.json);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("query --addr 127.0.0.1:7070 --timeout 5 --retries 2")).unwrap() {
+            Command::Query(o) => {
+                assert_eq!(o.addr.as_deref(), Some("127.0.0.1:7070"));
+                assert_eq!(o.journal_dir, None);
+                assert_eq!(o.t0, 0);
+                assert_eq!(o.t1, u64::MAX);
+                assert!(o.sessions.is_empty());
+                assert_eq!(o.timeout_secs, 5);
+                assert_eq!(o.retries, 2);
+                assert!(!o.json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Exactly one of --journal / --addr.
+        assert!(matches!(parse(&argv("query")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("query --journal /tmp/j --addr 127.0.0.1:7070")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("query --journal /tmp/j --timeout 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("query --journal /tmp/j --bogus")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

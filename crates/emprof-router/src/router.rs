@@ -51,7 +51,8 @@ use emprof_obs as obs;
 use emprof_serve::client::{backoff_with_jitter, ClientConfig};
 use emprof_serve::proto::{
     self, ClusterAction, ErrorCode, Frame, HealthWire, Hello, MetricsReply, NodeHealthWire,
-    ProtoError, ServerStatsWire, SessionRow, SessionStatsWire, MAX_SAMPLES_PER_FRAME, VERSION,
+    ProtoError, QueryResultWire, QuerySpecWire, ServerStatsWire, SessionRow, SessionStatsWire,
+    MAX_SAMPLES_PER_FRAME, VERSION,
 };
 use emprof_store::JournalConfig;
 
@@ -1153,7 +1154,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
         | Frame::FlightRequest { .. }
         | Frame::NodeHealthRequest
         | Frame::ClusterStateRequest
-        | Frame::ClusterJoin { .. }) => observability_connection(&mut conn, shared, poll),
+        | Frame::ClusterJoin { .. }
+        | Frame::Query(_)) => observability_connection(&mut conn, shared, poll),
         _ => conn.bail(ErrorCode::Protocol, "expected HELLO first"),
     }
 }
@@ -1190,6 +1192,18 @@ fn observability_connection(conn: &mut Conn, shared: &Arc<RouterShared>, first: 
                 let row = apply_cluster_join(shared, &name, &addr, action);
                 Frame::NodeHealthReply(row)
             }
+            // A fleet query: fan the spec out to every up backend and
+            // merge the per-node results. Identical power-of-two
+            // histogram bounds make the merged statistics bit-identical
+            // to one query over the union of journals, so
+            // routed-equals-direct holds for queries too.
+            Frame::Query(spec) => match fan_out_query(shared, &spec) {
+                Some(merged) => Frame::QueryResult(merged),
+                None => {
+                    conn.bail(ErrorCode::Internal, "no backend answered the query");
+                    return;
+                }
+            },
             Frame::Fin => return,
             _ => {
                 conn.bail(ErrorCode::Protocol, "metrics connections may only poll");
@@ -1199,6 +1213,58 @@ fn observability_connection(conn: &mut Conn, shared: &Arc<RouterShared>, first: 
         if conn.write(&reply).is_err() {
             return;
         }
+    }
+}
+
+/// Fans a journal query out to every up backend and merges the
+/// results. Backends that fail mid-query are skipped (and counted in
+/// `router.query_backend_down`); `None` means not a single backend
+/// produced a result.
+fn fan_out_query(shared: &Arc<RouterShared>, spec: &QuerySpecWire) -> Option<QueryResultWire> {
+    let targets: Vec<String> = {
+        let backends = shared.backends.lock().unwrap_or_else(|e| e.into_inner());
+        backends
+            .values()
+            .filter(|b| b.up)
+            .map(|b| b.spec.addr.clone())
+            .collect()
+    };
+    let mut merged: Option<QueryResultWire> = None;
+    for addr in &targets {
+        match query_backend(addr, spec, &shared.shutdown) {
+            Ok(result) => match merged.as_mut() {
+                Some(m) => m.merge(&result),
+                None => merged = Some(result),
+            },
+            Err(_) => {
+                obs::counter_add!("router.query_backend_down", 1);
+            }
+        }
+    }
+    merged
+}
+
+/// One QUERY round trip against a backend, on a fresh connection (the
+/// probe-loop pattern: dial, ask, read one reply, drop).
+fn query_backend(
+    addr: &str,
+    spec: &QuerySpecWire,
+    shutdown: &AtomicBool,
+) -> Result<QueryResultWire, BErr> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable backend addr"))?;
+    let stream = TcpStream::connect_timeout(&sock, DIAL_TIMEOUT)?;
+    let mut conn = Conn::new(stream)?;
+    conn.write(&Frame::Query(spec.clone()))?;
+    match conn.read_frame(shutdown, Some(Instant::now() + REPLY_TIMEOUT))? {
+        Some(Frame::QueryResult(r)) => Ok(r),
+        Some(Frame::Error { code, message }) => Err(BErr::Remote(code, message)),
+        Some(_) => Err(BErr::Proto(ProtoError::Malformed(
+            "unexpected query reply",
+        ))),
+        None => Err(BErr::Io(io::ErrorKind::UnexpectedEof.into())),
     }
 }
 

@@ -44,7 +44,7 @@ use emprof_obs as obs;
 
 use crate::proto::{
     self, ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply,
-    NodeHealthWire, ProtoError, SessionStatsWire, Tail, VERSION,
+    NodeHealthWire, ProtoError, QueryResultWire, QuerySpecWire, SessionStatsWire, Tail, VERSION,
 };
 
 /// Transport-resilience knobs for [`ProfileClient`] and [`WatchClient`].
@@ -932,6 +932,22 @@ impl MetricsClient {
         match self.request(&req)? {
             Frame::NodeHealthReply(node) => Ok(node),
             _ => Err(ClientError::Unexpected("wanted NODE_HEALTH reply")),
+        }
+    }
+
+    /// One journal range query against the polled node (or, through a
+    /// router, the whole fleet — the router merges per-backend results
+    /// and `nodes` reports how many contributed).
+    ///
+    /// # Errors
+    ///
+    /// As [`MetricsClient::fetch_metrics`]; a node that keeps no
+    /// journal answers with an ERROR frame, surfaced as
+    /// [`ClientError::Server`].
+    pub fn query(&mut self, spec: &QuerySpecWire) -> Result<QueryResultWire, ClientError> {
+        match self.request(&Frame::Query(spec.clone()))? {
+            Frame::QueryResult(result) => Ok(result),
+            _ => Err(ClientError::Unexpected("wanted QUERY_RESULT")),
         }
     }
 

@@ -93,9 +93,12 @@ pub use client::{
 };
 pub use proto::{
     ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, MetricsReply, NodeHealthWire,
-    ProtoError, ServerStatsWire, SessionRow, SessionStatsWire,
+    ProtoError, QueryResultWire, QueryRowWire, QuerySpecWire, ServerStatsWire, SessionRow,
+    SessionStatsWire,
 };
-pub use server::{ServeConfig, Server, ServerStatsSnapshot};
+pub use server::{
+    query_result_to_wire, query_spec_from_wire, ServeConfig, Server, ServerStatsSnapshot,
+};
 pub use session::{Session, SessionRegistry};
 
 #[cfg(test)]

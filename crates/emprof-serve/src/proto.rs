@@ -46,6 +46,10 @@ pub const MAGIC: u16 = u16::from_le_bytes(*b"EM");
 /// adaptive-calibration block to the HELLO config, and appends degraded
 /// counts to STATS and session METRICS rows — all fixed-layout changes,
 /// so the version must move.
+/// The journal-query frames (QUERY, QUERY_RESULT) were added to
+/// version 5 *additively*, like the cluster frames before them: a peer
+/// that never sends a QUERY never sees a QUERY_RESULT, so the version
+/// number is unchanged.
 pub const VERSION: u16 = 5;
 
 /// Fixed frame-header length in bytes.
@@ -83,6 +87,13 @@ pub const MAX_FLIGHT_JSON: usize = 1 << 20;
 
 /// Upper bound on nodes per CLUSTER_STATE reply.
 pub const MAX_CLUSTER_NODES: u32 = 1024;
+
+/// Upper bound on the session filter in a QUERY frame.
+pub const MAX_QUERY_SESSIONS: u32 = 4096;
+
+/// Upper bound on event-rate timeline buckets in a QUERY_RESULT frame
+/// (mirrors `emprof_store::MAX_TIMELINE_BUCKETS`).
+pub const MAX_QUERY_BUCKETS: u32 = 4096;
 
 /// HELLO flag: this connection only watches the server-wide event tail;
 /// no session (and no detector) is created for it.
@@ -151,6 +162,10 @@ pub enum FrameType {
     /// Either direction: poll ([`FLAG_REQUEST`]) or report one node's
     /// health row. The router's probe loop lives on this frame.
     NodeHealth = 21,
+    /// Client → server (or router): evaluate a journal range query.
+    Query = 22,
+    /// Server → client: the query's statistics.
+    QueryResult = 23,
 }
 
 impl FrameType {
@@ -177,6 +192,8 @@ impl FrameType {
             19 => FrameType::ClusterJoin,
             20 => FrameType::ClusterState,
             21 => FrameType::NodeHealth,
+            22 => FrameType::Query,
+            23 => FrameType::QueryResult,
             _ => return None,
         })
     }
@@ -423,6 +440,120 @@ pub struct FlightDumpWire {
     pub json: String,
 }
 
+/// The QUERY payload: what to compute, over which sample-index window
+/// and session set (mirrors `emprof_store::QuerySpec`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpecWire {
+    /// Window start, inclusive, in sample indexes.
+    pub t0: u64,
+    /// Window end, inclusive (`u64::MAX` for open-ended).
+    pub t1: u64,
+    /// Event-rate timeline bucket width in samples; 0 disables it.
+    pub bucket_samples: u64,
+    /// Sessions to include; empty means all.
+    pub sessions: Vec<u64>,
+}
+
+impl Default for QuerySpecWire {
+    fn default() -> Self {
+        QuerySpecWire {
+            t0: 0,
+            t1: u64::MAX,
+            bucket_samples: 0,
+            sessions: Vec::new(),
+        }
+    }
+}
+
+/// One per-session row in a QUERY_RESULT.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryRowWire {
+    /// The session id.
+    pub session_id: u64,
+    /// Device label from the session's identity checkpoint.
+    pub device: String,
+    /// In-range events.
+    pub events: u64,
+    /// Of those, degraded-confidence events.
+    pub degraded: u64,
+    /// Of those, refresh-collision events.
+    pub refresh_collisions: u64,
+}
+
+/// The QUERY_RESULT payload. The latency distribution travels as the
+/// raw histogram (counts per power-of-two bucket), never as
+/// precomputed quantiles: every consumer derives p50/p90/p99 from the
+/// same buckets with the same code, which is what keeps remote query
+/// results bit-identical to local replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryResultWire {
+    /// In-range events across all matched sessions.
+    pub events: u64,
+    /// Of those, degraded-confidence events.
+    pub degraded: u64,
+    /// Of those, refresh-collision events.
+    pub refresh_collisions: u64,
+    /// Stall-latency distribution over the in-range events.
+    pub latency: HistogramSnapshot,
+    /// Event counts per timeline bucket (empty when disabled).
+    pub timeline: Vec<u64>,
+    /// Per-session rows, ordered by session id.
+    pub sessions: Vec<QueryRowWire>,
+    /// Segments whose records were folded.
+    pub segments_scanned: u64,
+    /// Segments skipped by footer pruning.
+    pub segments_pruned: u64,
+    /// Decoded-segment cache hits.
+    pub cache_hits: u64,
+    /// Decoded-segment cache misses.
+    pub cache_misses: u64,
+    /// How many nodes contributed (1 from a backend; the router sums).
+    pub nodes: u64,
+}
+
+impl QueryResultWire {
+    /// Folds another node's result into this one (the router's fan-out
+    /// aggregation). Because every node buckets latencies into the same
+    /// power-of-two bounds, merging bucket counts then recomputing
+    /// quantiles is bit-identical to having run one query over the
+    /// union of journals.
+    pub fn merge(&mut self, other: &QueryResultWire) {
+        self.events += other.events;
+        self.degraded += other.degraded;
+        self.refresh_collisions += other.refresh_collisions;
+        self.latency.count += other.latency.count;
+        self.latency.sum = self.latency.sum.wrapping_add(other.latency.sum);
+        self.latency.min = match (self.latency.min, other.latency.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.latency.max = match (self.latency.max, other.latency.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for &(lo, hi, n) in &other.latency.buckets {
+            match self.latency.buckets.iter_mut().find(|b| b.0 == lo) {
+                Some(b) => b.2 += n,
+                None => self.latency.buckets.push((lo, hi, n)),
+            }
+        }
+        self.latency.buckets.sort_by_key(|b| b.0);
+        if self.timeline.len() < other.timeline.len() {
+            self.timeline.resize(other.timeline.len(), 0);
+        }
+        for (i, n) in other.timeline.iter().enumerate() {
+            self.timeline[i] += n;
+        }
+        self.sessions.extend(other.sessions.iter().cloned());
+        self.sessions.sort_by_key(|r| r.session_id);
+        self.segments_scanned += other.segments_scanned;
+        self.segments_pruned += other.segments_pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.nodes += other.nodes;
+    }
+}
+
 /// One finalized event in the watch tail, tagged with its session.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TailEvent {
@@ -560,6 +691,10 @@ pub enum Frame {
     NodeHealthRequest,
     /// The polled node's health row.
     NodeHealthReply(NodeHealthWire),
+    /// Evaluate a journal range query. See [`QuerySpecWire`].
+    Query(QuerySpecWire),
+    /// The query's statistics. See [`QueryResultWire`].
+    QueryResult(QueryResultWire),
 }
 
 /// What went wrong while reading or decoding a frame.
@@ -895,6 +1030,40 @@ fn take_opt_u64(c: &mut Cursor<'_>) -> Result<Option<u64>, ProtoError> {
     }
 }
 
+/// The one histogram wire shape, shared by METRICS snapshots and
+/// QUERY_RESULT latency distributions.
+fn encode_histogram_wire(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    out.extend_from_slice(&h.count.to_le_bytes());
+    out.extend_from_slice(&h.sum.to_le_bytes());
+    put_opt_u64(out, h.min);
+    put_opt_u64(out, h.max);
+    out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+    for &(lo, hi, n) in &h.buckets {
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&hi.to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+}
+
+fn decode_histogram_wire(c: &mut Cursor<'_>) -> Result<HistogramSnapshot, ProtoError> {
+    let count = c.u64()?;
+    let sum = c.u64()?;
+    let min = take_opt_u64(c)?;
+    let max = take_opt_u64(c)?;
+    let nb = decode_bounded_count(c, MAX_HISTOGRAM_BUCKETS, "bucket count exceeds bound")?;
+    let mut buckets = Vec::with_capacity(nb as usize);
+    for _ in 0..nb {
+        buckets.push((c.u64()?, c.u64()?, c.u64()?));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    })
+}
+
 fn encode_snapshot_wire(out: &mut Vec<u8>, s: &Snapshot) {
     out.extend_from_slice(&(s.counters.len() as u32).to_le_bytes());
     for (name, v) in &s.counters {
@@ -915,16 +1084,7 @@ fn encode_snapshot_wire(out: &mut Vec<u8>, s: &Snapshot) {
     out.extend_from_slice(&(s.histograms.len() as u32).to_le_bytes());
     for (name, h) in &s.histograms {
         put_string(out, name);
-        out.extend_from_slice(&h.count.to_le_bytes());
-        out.extend_from_slice(&h.sum.to_le_bytes());
-        put_opt_u64(out, h.min);
-        put_opt_u64(out, h.max);
-        out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
-        for &(lo, hi, n) in &h.buckets {
-            out.extend_from_slice(&lo.to_le_bytes());
-            out.extend_from_slice(&hi.to_le_bytes());
-            out.extend_from_slice(&n.to_le_bytes());
-        }
+        encode_histogram_wire(out, h);
     }
     out.extend_from_slice(&(s.spans.len() as u32).to_le_bytes());
     for (name, sp) in &s.spans {
@@ -964,25 +1124,7 @@ fn decode_snapshot_wire(c: &mut Cursor<'_>) -> Result<Snapshot, ProtoError> {
     let mut histograms = Vec::with_capacity(n as usize);
     for _ in 0..n {
         let name = c.string()?;
-        let count = c.u64()?;
-        let sum = c.u64()?;
-        let min = take_opt_u64(c)?;
-        let max = take_opt_u64(c)?;
-        let nb = decode_bounded_count(c, MAX_HISTOGRAM_BUCKETS, "bucket count exceeds bound")?;
-        let mut buckets = Vec::with_capacity(nb as usize);
-        for _ in 0..nb {
-            buckets.push((c.u64()?, c.u64()?, c.u64()?));
-        }
-        histograms.push((
-            name,
-            HistogramSnapshot {
-                count,
-                sum,
-                min,
-                max,
-                buckets,
-            },
-        ));
+        histograms.push((name, decode_histogram_wire(c)?));
     }
     let n = decode_bounded_count(c, MAX_METRICS_ENTRIES, TOO_MANY)?;
     let mut spans = Vec::with_capacity(n as usize);
@@ -1202,6 +1344,40 @@ fn encode_payload(frame: &Frame) -> (FrameType, u8, Vec<u8>) {
             encode_node_health(&mut p, n);
             (FrameType::NodeHealth, 0, p)
         }
+        Frame::Query(q) => {
+            p.extend_from_slice(&q.t0.to_le_bytes());
+            p.extend_from_slice(&q.t1.to_le_bytes());
+            p.extend_from_slice(&q.bucket_samples.to_le_bytes());
+            p.extend_from_slice(&(q.sessions.len() as u32).to_le_bytes());
+            for id in &q.sessions {
+                p.extend_from_slice(&id.to_le_bytes());
+            }
+            (FrameType::Query, 0, p)
+        }
+        Frame::QueryResult(r) => {
+            p.extend_from_slice(&r.events.to_le_bytes());
+            p.extend_from_slice(&r.degraded.to_le_bytes());
+            p.extend_from_slice(&r.refresh_collisions.to_le_bytes());
+            encode_histogram_wire(&mut p, &r.latency);
+            p.extend_from_slice(&(r.timeline.len() as u32).to_le_bytes());
+            for n in &r.timeline {
+                p.extend_from_slice(&n.to_le_bytes());
+            }
+            p.extend_from_slice(&(r.sessions.len() as u32).to_le_bytes());
+            for row in &r.sessions {
+                p.extend_from_slice(&row.session_id.to_le_bytes());
+                put_string(&mut p, &row.device);
+                p.extend_from_slice(&row.events.to_le_bytes());
+                p.extend_from_slice(&row.degraded.to_le_bytes());
+                p.extend_from_slice(&row.refresh_collisions.to_le_bytes());
+            }
+            p.extend_from_slice(&r.segments_scanned.to_le_bytes());
+            p.extend_from_slice(&r.segments_pruned.to_le_bytes());
+            p.extend_from_slice(&r.cache_hits.to_le_bytes());
+            p.extend_from_slice(&r.cache_misses.to_le_bytes());
+            p.extend_from_slice(&r.nodes.to_le_bytes());
+            (FrameType::QueryResult, 0, p)
+        }
     }
 }
 
@@ -1419,6 +1595,69 @@ fn decode_payload(ty: FrameType, flags: u8, payload: &[u8]) -> Result<Frame, Pro
         }
         FrameType::NodeHealth if flags & FLAG_REQUEST != 0 => Frame::NodeHealthRequest,
         FrameType::NodeHealth => Frame::NodeHealthReply(decode_node_health(&mut c)?),
+        FrameType::Query => {
+            let t0 = c.u64()?;
+            let t1 = c.u64()?;
+            let bucket_samples = c.u64()?;
+            let n = decode_bounded_count(
+                &mut c,
+                MAX_QUERY_SESSIONS,
+                "query session count exceeds bound",
+            )?;
+            let mut sessions = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                sessions.push(c.u64()?);
+            }
+            Frame::Query(QuerySpecWire {
+                t0,
+                t1,
+                bucket_samples,
+                sessions,
+            })
+        }
+        FrameType::QueryResult => {
+            let events = c.u64()?;
+            let degraded = c.u64()?;
+            let refresh_collisions = c.u64()?;
+            let latency = decode_histogram_wire(&mut c)?;
+            let n = decode_bounded_count(
+                &mut c,
+                MAX_QUERY_BUCKETS,
+                "timeline bucket count exceeds bound",
+            )?;
+            let mut timeline = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                timeline.push(c.u64()?);
+            }
+            let n = decode_bounded_count(
+                &mut c,
+                MAX_SESSION_ROWS,
+                "query row count exceeds bound",
+            )?;
+            let mut sessions = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                sessions.push(QueryRowWire {
+                    session_id: c.u64()?,
+                    device: c.string()?,
+                    events: c.u64()?,
+                    degraded: c.u64()?,
+                    refresh_collisions: c.u64()?,
+                });
+            }
+            Frame::QueryResult(QueryResultWire {
+                events,
+                degraded,
+                refresh_collisions,
+                latency,
+                timeline,
+                sessions,
+                segments_scanned: c.u64()?,
+                segments_pruned: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                nodes: c.u64()?,
+            })
+        }
     };
     c.done()?;
     Ok(frame)
@@ -1954,6 +2193,136 @@ mod tests {
         let hsum = header_checksum(&join[..HEADER_LEN].try_into().unwrap());
         join[6..8].copy_from_slice(&hsum.to_le_bytes());
         assert!(matches!(decode_frame(&join), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn query_frames_roundtrip() {
+        roundtrip(Frame::Query(QuerySpecWire::default()));
+        roundtrip(Frame::Query(QuerySpecWire {
+            t0: 1_000,
+            t1: 2_000_000,
+            bucket_samples: 4_096,
+            sessions: vec![1, 7, 42],
+        }));
+        roundtrip(Frame::QueryResult(QueryResultWire::default()));
+        roundtrip(Frame::QueryResult(QueryResultWire {
+            events: 12,
+            degraded: 3,
+            refresh_collisions: 2,
+            latency: HistogramSnapshot {
+                count: 12,
+                sum: 4_800,
+                min: Some(100),
+                max: Some(900),
+                buckets: vec![(64, 127, 4), (128, 255, 8)],
+            },
+            timeline: vec![0, 3, 0, 9],
+            sessions: vec![QueryRowWire {
+                session_id: 7,
+                device: "olimex".into(),
+                events: 12,
+                degraded: 3,
+                refresh_collisions: 2,
+            }],
+            segments_scanned: 5,
+            segments_pruned: 11,
+            cache_hits: 4,
+            cache_misses: 1,
+            nodes: 1,
+        }));
+    }
+
+    #[test]
+    fn query_frame_bounds_are_enforced() {
+        // A QUERY announcing too many session ids fails at the count.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&(MAX_QUERY_SESSIONS + 1).to_le_bytes());
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&VERSION.to_le_bytes());
+        buf[4] = FrameType::Query as u8;
+        buf[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf[12..16].copy_from_slice(&fnv1a32(&payload).to_le_bytes());
+        let hsum = header_checksum(&buf);
+        buf[6..8].copy_from_slice(&hsum.to_le_bytes());
+        let mut bytes = buf.to_vec();
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn query_result_merge_aggregates() {
+        let a = QueryResultWire {
+            events: 3,
+            degraded: 1,
+            refresh_collisions: 0,
+            latency: HistogramSnapshot {
+                count: 3,
+                sum: 300,
+                min: Some(50),
+                max: Some(200),
+                buckets: vec![(32, 63, 1), (128, 255, 2)],
+            },
+            timeline: vec![1, 2],
+            sessions: vec![QueryRowWire {
+                session_id: 9,
+                device: "b".into(),
+                events: 3,
+                ..QueryRowWire::default()
+            }],
+            segments_scanned: 2,
+            segments_pruned: 1,
+            cache_hits: 0,
+            cache_misses: 2,
+            nodes: 1,
+        };
+        let b = QueryResultWire {
+            events: 2,
+            degraded: 0,
+            refresh_collisions: 1,
+            latency: HistogramSnapshot {
+                count: 2,
+                sum: 600,
+                min: Some(250),
+                max: Some(350),
+                buckets: vec![(128, 255, 1), (256, 511, 1)],
+            },
+            timeline: vec![0, 1, 1],
+            sessions: vec![QueryRowWire {
+                session_id: 4,
+                device: "a".into(),
+                events: 2,
+                ..QueryRowWire::default()
+            }],
+            segments_scanned: 1,
+            segments_pruned: 0,
+            cache_hits: 3,
+            cache_misses: 0,
+            nodes: 1,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.events, 5);
+        assert_eq!(ab.latency.count, 5);
+        assert_eq!(ab.latency.min, Some(50));
+        assert_eq!(ab.latency.max, Some(350));
+        assert_eq!(
+            ab.latency.buckets,
+            vec![(32, 63, 1), (128, 255, 3), (256, 511, 1)]
+        );
+        assert_eq!(ab.timeline, vec![1, 3, 1]);
+        assert_eq!(ab.sessions[0].session_id, 4, "rows re-sorted by id");
+        assert_eq!(ab.nodes, 2);
+        // Merge is order-independent.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.events, ba.events);
+        assert_eq!(ab.latency, ba.latency);
+        assert_eq!(ab.timeline, ba.timeline);
+        assert_eq!(ab.sessions, ba.sessions);
     }
 
     #[test]

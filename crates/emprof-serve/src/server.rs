@@ -40,14 +40,18 @@ use std::time::{Duration, Instant};
 use emprof_fault::{FaultInjector, FaultPlan};
 use emprof_obs as obs;
 use emprof_par::Parallelism;
-use emprof_store::{JournalConfig, SessionJournal, SessionMeta};
+use emprof_store::{
+    query_journals, JournalConfig, QueryResult, QuerySpec, SegmentCache, SessionJournal,
+    SessionMeta,
+};
 
 use emprof_core::StallEvent;
 
 use crate::proto::{
     self, ClusterAction, ErrorCode, FlightDumpWire, Frame, HealthWire, Hello, MetricsReply,
-    NodeHealthWire, ProtoError, ServerStatsWire, SessionRow, Tail, TailEvent, MAX_FLIGHT_DUMPS,
-    MAX_SAMPLES_PER_FRAME, MAX_SESSION_ROWS, VERSION,
+    NodeHealthWire, ProtoError, QueryResultWire, QueryRowWire, QuerySpecWire, ServerStatsWire,
+    SessionRow, Tail, TailEvent, MAX_FLIGHT_DUMPS, MAX_SAMPLES_PER_FRAME, MAX_SESSION_ROWS,
+    VERSION,
 };
 use crate::session::{SeqAdmit, Session, SessionRegistry, Work};
 
@@ -244,6 +248,9 @@ struct Shared {
     /// fault state (open dropout bursts, accumulated gain) survives a
     /// reconnect.
     faults: Mutex<HashMap<u64, FaultInjector>>,
+    /// Decoded-segment cache shared by every QUERY connection; sealed
+    /// segments are immutable, so one cache serves all pollers.
+    query_cache: SegmentCache,
 }
 
 impl Shared {
@@ -450,6 +457,7 @@ impl Server {
             local_addr: Mutex::new(local_addr.to_string()),
             reader_handles: Mutex::new(Vec::new()),
             faults: Mutex::new(HashMap::new()),
+            query_cache: SegmentCache::default(),
         });
         *shared.tail.lock().unwrap_or_else(|e| e.into_inner()) =
             TailRing::new(shared.config.tail_capacity);
@@ -1001,6 +1009,44 @@ impl Conn {
     }
 }
 
+/// Converts a wire query spec into the store engine's spec.
+pub fn query_spec_from_wire(w: &QuerySpecWire) -> QuerySpec {
+    QuerySpec {
+        t0: w.t0,
+        t1: w.t1,
+        sessions: w.sessions.clone(),
+        bucket_samples: w.bucket_samples,
+    }
+}
+
+/// Converts a store query result into its wire form (one node's worth;
+/// `nodes` is 1 and routers sum it while merging).
+pub fn query_result_to_wire(r: &QueryResult) -> QueryResultWire {
+    QueryResultWire {
+        events: r.events,
+        degraded: r.degraded,
+        refresh_collisions: r.refresh_collisions,
+        latency: r.latency.clone(),
+        timeline: r.timeline.clone(),
+        sessions: r
+            .sessions
+            .iter()
+            .map(|s| QueryRowWire {
+                session_id: s.session_id,
+                device: s.device.clone(),
+                events: s.events,
+                degraded: s.degraded,
+                refresh_collisions: s.refresh_collisions,
+            })
+            .collect(),
+        segments_scanned: r.accounting.segments_scanned,
+        segments_pruned: r.accounting.segments_pruned,
+        cache_hits: r.accounting.cache_hits,
+        cache_misses: r.accounting.cache_misses,
+        nodes: 1,
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(mut conn) = Conn::new(stream) else {
         return;
@@ -1017,7 +1063,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             | Frame::FlightRequest { .. }
             | Frame::NodeHealthRequest
             | Frame::ClusterStateRequest
-            | Frame::ClusterJoin { .. }),
+            | Frame::ClusterJoin { .. }
+            | Frame::Query(_)),
         )) => {
             metrics_connection(&mut conn, shared, first);
             return;
@@ -1064,6 +1111,22 @@ fn metrics_connection(conn: &mut Conn, shared: &Arc<Shared>, first: Frame) {
                 dumps: shared.flight_dumps(session_id),
             },
             Frame::NodeHealthRequest => Frame::NodeHealthReply(shared.node_health()),
+            // Journal range queries run against this node's own journal
+            // root, through the shared decoded-segment cache.
+            Frame::Query(spec) => {
+                let Some(root) = shared.config.journal_dir.as_ref() else {
+                    conn.bail(ErrorCode::Protocol, "this server keeps no journal to query");
+                    return;
+                };
+                match query_journals(root, &query_spec_from_wire(&spec), Some(&shared.query_cache))
+                {
+                    Ok(result) => Frame::QueryResult(query_result_to_wire(&result)),
+                    Err(e) => {
+                        conn.bail(ErrorCode::Internal, &format!("query failed: {e}"));
+                        return;
+                    }
+                }
+            }
             // A standalone node's cluster state is just itself; a router
             // answers the same request with its full backend table.
             Frame::ClusterStateRequest => Frame::ClusterStateReply {

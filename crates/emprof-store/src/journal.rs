@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 use emprof_obs as obs;
 
-use crate::record::Record;
+use crate::record::{Record, SegmentFooter};
 use crate::segment::{
     encode_record_frame, encode_segment_header, parse_segment_file_name, scan_segment,
     segment_file_name, SEGMENT_HEADER_LEN,
@@ -48,6 +48,12 @@ pub struct JournalConfig {
     /// callers that need power-loss durability can also call
     /// [`Journal::sync`] at their own barriers.
     pub sync_on_append: bool,
+    /// Write a [`SegmentFooter`] statistics record as the last frame of
+    /// every segment sealed by [`Journal::roll`]. On by default; off
+    /// produces footer-less segments identical to the legacy format
+    /// (used by tests that pin exact record sequences, and a knob for
+    /// byte-compatible downgrades).
+    pub write_footers: bool,
 }
 
 impl Default for JournalConfig {
@@ -55,6 +61,7 @@ impl Default for JournalConfig {
         JournalConfig {
             segment_bytes: 4 << 20,
             sync_on_append: false,
+            write_footers: true,
         }
     }
 }
@@ -73,6 +80,11 @@ pub struct RecoveryReport {
     /// Whole segment files discarded (invalid header, or past a torn
     /// segment).
     pub dropped_segments: usize,
+    /// Of the dropped segments, those discarded because their base
+    /// index duplicated or overlapped an earlier segment's index range
+    /// (e.g. `seg-1.emj` sitting next to its zero-padded twin) — named
+    /// corruption rather than a silently mis-ordered replay.
+    pub overlapping_segments: usize,
 }
 
 /// In-memory summary of one segment, maintained at append time and
@@ -83,25 +95,21 @@ struct SegmentInfo {
     path: PathBuf,
     bytes: u64,
     records: u64,
-    /// Highest event sequence journaled into this segment (0 if none).
-    max_event_seq: u64,
     /// Whether the segment holds any sample records (pins it until the
     /// session is finished).
     has_samples: bool,
+    /// Running footer statistics (event range, counts); written to disk
+    /// as the segment's [`SegmentFooter`] when it is sealed.
+    stats: SegmentFooter,
 }
 
 impl SegmentInfo {
     fn note_record(&mut self, rec: &Record, frame_len: u64) {
         self.bytes += frame_len;
         self.records += 1;
-        match rec {
-            Record::Events { first_seq, events } if !events.is_empty() => {
-                self.max_event_seq = self
-                    .max_event_seq
-                    .max(first_seq + events.len() as u64 - 1);
-            }
-            Record::Samples { .. } => self.has_samples = true,
-            _ => {}
+        self.stats.note(rec);
+        if matches!(rec, Record::Samples { .. }) {
+            self.has_samples = true;
         }
     }
 }
@@ -162,6 +170,13 @@ impl Journal {
         let mut names: Vec<(u64, PathBuf)> = Vec::new();
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
+            // Only regular files can be segments; journal directories
+            // legitimately hold other droppings (flight-recorder dumps,
+            // editor temp files, subdirectories) that must not be
+            // mistaken for — or deleted as — corrupt segments.
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if let Some(base) = parse_segment_file_name(name) {
@@ -174,6 +189,7 @@ impl Journal {
         let mut records: Vec<(u64, Record)> = Vec::new();
         let mut segments: Vec<SegmentInfo> = Vec::new();
         let mut next_index = 0u64;
+        let mut last_base: Option<u64> = None;
         let mut broken = false;
         for (file_base, path) in names {
             if broken {
@@ -183,16 +199,36 @@ impl Journal {
                 report.dropped_segments += 1;
                 continue;
             }
+            if last_base == Some(file_base) {
+                // Two file names parsing to the same base (`seg-1.emj`
+                // beside its zero-padded twin): keeping both would
+                // replay the same index range twice, so this is named
+                // corruption, not a quiet mis-ordering.
+                fs::remove_file(&path)?;
+                report.dropped_segments += 1;
+                report.overlapping_segments += 1;
+                broken = true;
+                continue;
+            }
+            last_base = Some(file_base);
             let scan = scan_segment(&path)?;
-            let valid = scan
-                .as_ref()
-                .is_some_and(|s| s.base_index == file_base && s.base_index >= next_index);
+            let valid = scan.as_ref().is_some_and(|s| s.base_index == file_base);
             let Some(scan) = scan.filter(|_| valid) else {
                 fs::remove_file(&path)?;
                 report.dropped_segments += 1;
                 broken = true;
                 continue;
             };
+            if scan.base_index < next_index {
+                // The header claims an index range an earlier segment
+                // already covers — overlapping coverage is the same
+                // named corruption as a duplicate base.
+                fs::remove_file(&path)?;
+                report.dropped_segments += 1;
+                report.overlapping_segments += 1;
+                broken = true;
+                continue;
+            }
             if scan.torn {
                 let on_disk = fs::metadata(&path)?.len();
                 report.truncated_bytes += on_disk.saturating_sub(scan.valid_len);
@@ -206,20 +242,16 @@ impl Journal {
                 path: path.clone(),
                 bytes: scan.valid_len,
                 records: 0,
-                max_event_seq: 0,
                 has_samples: false,
+                stats: SegmentFooter::empty(),
             };
             for (_, rec) in &scan.records {
                 // Re-derive the per-record accounting without re-sizing
                 // the actual frames: bytes already counted via valid_len.
                 info.records += 1;
-                match rec {
-                    Record::Events { first_seq, events } if !events.is_empty() => {
-                        info.max_event_seq =
-                            info.max_event_seq.max(first_seq + events.len() as u64 - 1);
-                    }
-                    Record::Samples { .. } => info.has_samples = true,
-                    _ => {}
+                info.stats.note(rec);
+                if matches!(rec, Record::Samples { .. }) {
+                    info.has_samples = true;
                 }
             }
             next_index = scan.base_index + scan.records.len() as u64;
@@ -292,6 +324,15 @@ impl Journal {
     ///
     /// Propagates file creation failures.
     pub fn roll(&mut self) -> io::Result<()> {
+        if self.cfg.write_footers && self.active.records > 0 {
+            // Seal the segment with its statistics footer so range
+            // queries can prune it with one O(1) tail read. The footer
+            // is an ordinary CRC-framed record: legacy readers scan
+            // straight over it, and SegmentFooter::note ignores footer
+            // records, so its statistics describe only the data frames.
+            let footer = Record::Footer(self.active.stats);
+            self.append(&footer)?;
+        }
         self.writer.flush()?;
         let info = new_segment(&self.dir, self.next_index)?;
         obs::counter_add!("store.segments_created", 1);
@@ -344,7 +385,7 @@ impl Journal {
     pub fn compact(&mut self, acked_event_seq: u64, samples_released: bool) -> io::Result<usize> {
         let mut deletable = 0;
         for info in &self.sealed {
-            let events_done = info.max_event_seq <= acked_event_seq;
+            let events_done = info.stats.max_event_seq <= acked_event_seq;
             let samples_ok = samples_released || !info.has_samples;
             if events_done && samples_ok {
                 deletable += 1;
@@ -371,8 +412,8 @@ fn new_segment(dir: &Path, base_index: u64) -> io::Result<SegmentInfo> {
         path,
         bytes: SEGMENT_HEADER_LEN as u64,
         records: 0,
-        max_event_seq: 0,
         has_samples: false,
+        stats: SegmentFooter::empty(),
     })
 }
 
@@ -437,6 +478,8 @@ mod tests {
         let cfg = JournalConfig {
             segment_bytes: 256,
             sync_on_append: false,
+            // Pinning the exact record sequence: no interleaved footers.
+            write_footers: false,
         };
         let mut j = Journal::open_with(&dir, cfg.clone()).unwrap().journal;
         for i in 0..50 {
@@ -489,6 +532,7 @@ mod tests {
         let cfg = JournalConfig {
             segment_bytes: 128,
             sync_on_append: false,
+            write_footers: false,
         };
         let mut j = Journal::open_with(&dir, cfg.clone()).unwrap().journal;
         for i in 0..40 {
@@ -523,6 +567,7 @@ mod tests {
         let cfg = JournalConfig {
             segment_bytes: 200,
             sync_on_append: false,
+            ..Default::default()
         };
         let mut j = Journal::open_with(&dir, cfg.clone()).unwrap().journal;
         let mut seq = 1u64;
@@ -553,11 +598,101 @@ mod tests {
     }
 
     #[test]
+    fn roll_writes_footer_and_recovery_replays_through_it() {
+        use crate::segment::read_segment_footer;
+        let dir = tmp_dir("footer");
+        let mut j = Journal::open(&dir).unwrap().journal;
+        j.append(&events(1, 3)).unwrap();
+        j.append(&cursor(3)).unwrap();
+        let sealed_path = j.active.path.clone();
+        j.roll().unwrap();
+        let footer = read_segment_footer(&sealed_path)
+            .unwrap()
+            .expect("sealed segment carries a footer");
+        assert_eq!(footer.record_count, 2);
+        assert_eq!(footer.event_count, 3);
+        assert_eq!((footer.min_event_seq, footer.max_event_seq), (1, 3));
+        assert_eq!((footer.min_event_start, footer.max_event_end), (0, 210));
+        // The active segment has no footer yet.
+        assert_eq!(read_segment_footer(&j.active.path).unwrap(), None);
+        j.append(&cursor(4)).unwrap();
+        drop(j);
+        // Recovery replays through the footer record; the fold layers
+        // above skip it, but indexes stay contiguous.
+        let rec = Journal::open(&dir).unwrap();
+        assert_eq!(rec.report.truncations, 0);
+        assert_eq!(rec.report.records, 4);
+        assert!(matches!(rec.records[2].1, Record::Footer(_)));
+        assert_eq!(rec.records[3], (3, cursor(4)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_segment_files_are_left_alone() {
+        let dir = tmp_dir("droppings");
+        let mut j = Journal::open(&dir).unwrap().journal;
+        j.append(&cursor(1)).unwrap();
+        drop(j);
+        // Flight dumps and editor droppings share the directory.
+        fs::write(dir.join("flight-session-7.json"), b"{}").unwrap();
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        fs::create_dir_all(dir.join(segment_file_name(999))).unwrap();
+        let rec = Journal::open(&dir).unwrap();
+        assert_eq!(rec.report.dropped_segments, 0);
+        assert_eq!(rec.report.records, 1);
+        assert!(dir.join("flight-session-7.json").exists());
+        assert!(dir.join("notes.txt").exists());
+        assert!(dir.join(segment_file_name(999)).is_dir());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_bases_are_named_corruption() {
+        let dir = tmp_dir("dupes");
+        let mut j = Journal::open(&dir).unwrap().journal;
+        for i in 0..3 {
+            j.append(&cursor(i)).unwrap();
+        }
+        drop(j);
+        // A non-zero-padded twin of the first segment parses to the
+        // same base index.
+        let canonical = dir.join(segment_file_name(0));
+        fs::copy(&canonical, dir.join("seg-0.emj")).unwrap();
+        let rec = Journal::open(&dir).unwrap();
+        assert_eq!(rec.report.overlapping_segments, 1);
+        assert_eq!(rec.report.records, 3, "one copy of the range survives");
+        drop(rec);
+
+        // A later file whose header overlaps covered indexes.
+        let dir2 = tmp_dir("overlap");
+        let mut j = Journal::open(&dir2).unwrap().journal;
+        for i in 0..3 {
+            j.append(&cursor(i)).unwrap();
+        }
+        drop(j);
+        // Segment claiming base 1 while indexes 0..3 are already
+        // covered by seg-0.
+        let twin = dir2.join(segment_file_name(1));
+        let mut f = fs::File::create(&twin).unwrap();
+        use std::io::Write as _;
+        f.write_all(&encode_segment_header(1)).unwrap();
+        f.write_all(&encode_record_frame(&cursor(77))).unwrap();
+        drop(f);
+        let rec = Journal::open(&dir2).unwrap();
+        assert_eq!(rec.report.overlapping_segments, 1);
+        assert_eq!(rec.report.records, 3);
+        assert!(!twin.exists(), "overlapping segment is quarantined out");
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
     fn samples_pin_their_segment_until_released() {
         let dir = tmp_dir("pin");
         let cfg = JournalConfig {
             segment_bytes: 100,
             sync_on_append: false,
+            ..Default::default()
         };
         let mut j = Journal::open_with(&dir, cfg).unwrap().journal;
         j.append(&Record::Samples {

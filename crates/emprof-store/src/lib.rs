@@ -22,6 +22,11 @@
 //!   `emprof journal-inspect`.
 //! - [`flight`] — atomic persistence of per-session flight-recorder
 //!   dumps next to the journals.
+//! - [`cache`] — LRU+TTL cache of decoded sealed segments for the
+//!   query path.
+//! - [`query`] — the range-statistics engine (`emprof query`), with
+//!   footer-driven segment pruning and the query-equals-replay
+//!   invariant (DESIGN.md §16).
 //!
 //! ## Durability model
 //!
@@ -35,22 +40,31 @@
 //!
 //! Telemetry (via `emprof-obs`, all zero-cost when disabled):
 //! `store.appends`, `store.bytes_written`, `store.segments_created`,
-//! `store.compactions`, `store.recovered_truncations`.
+//! `store.compactions`, `store.recovered_truncations`,
+//! `store.cache.hits`, `store.cache.misses`, `store.cache.evictions`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod crc;
 pub mod flight;
 pub mod inspect;
 pub mod journal;
+pub mod query;
 pub mod record;
 pub mod segment;
 pub mod session;
 
+pub use cache::{DecodedSegment, SegmentCache, SegmentCacheConfig};
 pub use crc::{crc32, Crc32};
 pub use flight::{remove_flight_dump, write_flight_dump};
-pub use inspect::{inspect_dir, JournalInspect, SegmentHealth};
+pub use inspect::{inspect_dir, FooterStatus, JournalInspect, SegmentHealth};
 pub use journal::{Journal, JournalConfig, JournalStats, Recovered, RecoveryReport};
-pub use record::{Record, RecordKind, SessionMeta};
+pub use query::{
+    query_journals, QueryAccounting, QueryAccumulator, QueryResult, QuerySessionRow, QuerySpec,
+    MAX_TIMELINE_BUCKETS,
+};
+pub use record::{Record, RecordKind, SegmentFooter, SessionMeta, FOOTER_PAYLOAD_LEN};
+pub use segment::read_segment_footer;
 pub use session::{read_session, RecoveredSession, SessionJournal};

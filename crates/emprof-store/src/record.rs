@@ -18,6 +18,113 @@ pub const MAX_SAMPLES_PER_RECORD: u32 = 1 << 20;
 /// Upper bound on events per [`Record::Events`] record.
 pub const MAX_EVENTS_PER_RECORD: u32 = 1 << 20;
 
+/// Exact encoded payload size of a [`Record::Footer`]: eleven 64-bit
+/// fields, nothing variable-length, so a reader can fetch a sealed
+/// segment's footer with a single fixed-size tail read.
+pub const FOOTER_PAYLOAD_LEN: usize = 88;
+
+/// Per-segment statistics index, written as the *last* record of a
+/// segment when it is sealed at roll time.
+///
+/// The footer is an ordinary CRC-framed record, so legacy readers that
+/// predate it still scan the segment cleanly; new readers use
+/// [`crate::segment::read_segment_footer`] to fetch it in O(1) and
+/// prune segments whose event range cannot intersect a query window.
+/// Sentinel values make "no events" unambiguous: `min_*` fields are
+/// `u64::MAX` / `+inf` and `max_*` fields are `0` / `-inf` when the
+/// corresponding population is empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentFooter {
+    /// Data records before this footer (footers never count themselves).
+    pub record_count: u64,
+    /// Stall events across all [`Record::Events`] records.
+    pub event_count: u64,
+    /// Events with degraded confidence.
+    pub degraded_count: u64,
+    /// Events classified as refresh collisions.
+    pub refresh_count: u64,
+    /// Magnitude samples across all [`Record::Samples`] records.
+    pub samples_count: u64,
+    /// Smallest event `start_sample` (`u64::MAX` when no events).
+    pub min_event_start: u64,
+    /// Largest event `end_sample` (`0` when no events).
+    pub max_event_end: u64,
+    /// Smallest event sequence number (`u64::MAX` when no events).
+    pub min_event_seq: u64,
+    /// Largest event sequence number (`0` when no events).
+    pub max_event_seq: u64,
+    /// Smallest event duration in cycles (`+inf` when no events).
+    pub min_duration_cycles: f64,
+    /// Largest event duration in cycles (`-inf` when no events).
+    pub max_duration_cycles: f64,
+}
+
+impl Default for SegmentFooter {
+    fn default() -> Self {
+        SegmentFooter::empty()
+    }
+}
+
+impl SegmentFooter {
+    /// A footer describing zero records (sentinel mins/maxes).
+    pub fn empty() -> SegmentFooter {
+        SegmentFooter {
+            record_count: 0,
+            event_count: 0,
+            degraded_count: 0,
+            refresh_count: 0,
+            samples_count: 0,
+            min_event_start: u64::MAX,
+            max_event_end: 0,
+            min_event_seq: u64::MAX,
+            max_event_seq: 0,
+            min_duration_cycles: f64::INFINITY,
+            max_duration_cycles: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one record into the running statistics. Footer records are
+    /// ignored, so re-accumulating over a whole scanned segment (which
+    /// may contain an earlier footer from an interrupted roll)
+    /// reproduces exactly what the final footer should claim.
+    pub fn note(&mut self, rec: &Record) {
+        match rec {
+            Record::Footer(_) => return,
+            Record::Samples { samples, .. } => {
+                self.samples_count += samples.len() as u64;
+            }
+            Record::Events { first_seq, events } => {
+                for (i, e) in events.iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    self.event_count += 1;
+                    if e.confidence == Confidence::Degraded {
+                        self.degraded_count += 1;
+                    }
+                    if e.kind == StallKind::RefreshCollision {
+                        self.refresh_count += 1;
+                    }
+                    self.min_event_start = self.min_event_start.min(e.start_sample as u64);
+                    self.max_event_end = self.max_event_end.max(e.end_sample as u64);
+                    self.min_event_seq = self.min_event_seq.min(seq);
+                    self.max_event_seq = self.max_event_seq.max(seq);
+                    self.min_duration_cycles = self.min_duration_cycles.min(e.duration_cycles);
+                    self.max_duration_cycles = self.max_duration_cycles.max(e.duration_cycles);
+                }
+            }
+            Record::Meta(_) | Record::Cursor { .. } | Record::Finished { .. } => {}
+        }
+        self.record_count += 1;
+    }
+
+    /// Whether any event in this segment could have a `start_sample`
+    /// inside `[t0, t1]`. Conservative: uses `[min_event_start,
+    /// max_event_end]` as the covering interval (starts never exceed
+    /// ends), so a `false` answer is always safe to prune on.
+    pub fn overlaps(&self, t0: u64, t1: u64) -> bool {
+        self.event_count > 0 && self.min_event_start <= t1 && self.max_event_end >= t0
+    }
+}
+
 /// Identity of a journaled session, written as the first record of a
 /// fresh journal and re-written at every segment roll (the checkpoint),
 /// so any retained suffix of segments is self-describing.
@@ -81,6 +188,10 @@ pub enum Record {
         /// sequence gap.
         last_samples_seq: u64,
     },
+    /// Segment statistics index written when the segment is sealed;
+    /// see [`SegmentFooter`]. Purely advisory for recovery (the fold
+    /// skips it) but load-bearing for range-query pruning.
+    Footer(SegmentFooter),
 }
 
 /// Record discriminants as stored on disk.
@@ -97,6 +208,8 @@ pub enum RecordKind {
     Cursor = 4,
     /// [`Record::Finished`].
     Finished = 5,
+    /// [`Record::Footer`].
+    Footer = 6,
 }
 
 impl RecordKind {
@@ -108,6 +221,7 @@ impl RecordKind {
             3 => RecordKind::Events,
             4 => RecordKind::Cursor,
             5 => RecordKind::Finished,
+            6 => RecordKind::Footer,
             _ => return None,
         })
     }
@@ -247,6 +361,7 @@ impl Record {
             Record::Events { .. } => RecordKind::Events,
             Record::Cursor { .. } => RecordKind::Cursor,
             Record::Finished { .. } => RecordKind::Finished,
+            Record::Footer(_) => RecordKind::Footer,
         }
     }
 
@@ -304,6 +419,20 @@ impl Record {
                 p.extend_from_slice(&samples_pushed.to_le_bytes());
                 p.extend_from_slice(&samples_rejected.to_le_bytes());
                 p.extend_from_slice(&last_samples_seq.to_le_bytes());
+            }
+            Record::Footer(f) => {
+                p.extend_from_slice(&f.record_count.to_le_bytes());
+                p.extend_from_slice(&f.event_count.to_le_bytes());
+                p.extend_from_slice(&f.degraded_count.to_le_bytes());
+                p.extend_from_slice(&f.refresh_count.to_le_bytes());
+                p.extend_from_slice(&f.samples_count.to_le_bytes());
+                p.extend_from_slice(&f.min_event_start.to_le_bytes());
+                p.extend_from_slice(&f.max_event_end.to_le_bytes());
+                p.extend_from_slice(&f.min_event_seq.to_le_bytes());
+                p.extend_from_slice(&f.max_event_seq.to_le_bytes());
+                p.extend_from_slice(&f.min_duration_cycles.to_le_bytes());
+                p.extend_from_slice(&f.max_duration_cycles.to_le_bytes());
+                debug_assert_eq!(p.len(), FOOTER_PAYLOAD_LEN);
             }
         }
         p
@@ -387,6 +516,19 @@ impl Record {
                 samples_rejected: r.u64()?,
                 last_samples_seq: r.u64()?,
             },
+            RecordKind::Footer => Record::Footer(SegmentFooter {
+                record_count: r.u64()?,
+                event_count: r.u64()?,
+                degraded_count: r.u64()?,
+                refresh_count: r.u64()?,
+                samples_count: r.u64()?,
+                min_event_start: r.u64()?,
+                max_event_end: r.u64()?,
+                min_event_seq: r.u64()?,
+                max_event_seq: r.u64()?,
+                min_duration_cycles: r.f64()?,
+                max_duration_cycles: r.f64()?,
+            }),
         };
         r.done()?;
         Ok(rec)
@@ -461,6 +603,74 @@ mod tests {
             samples_rejected: 4,
             last_samples_seq: 99,
         });
+        roundtrip(Record::Footer(SegmentFooter::empty()));
+        roundtrip(Record::Footer(SegmentFooter {
+            record_count: 12,
+            event_count: 9,
+            degraded_count: 2,
+            refresh_count: 1,
+            samples_count: 4096,
+            min_event_start: 17,
+            max_event_end: 9001,
+            min_event_seq: 3,
+            max_event_seq: 11,
+            min_duration_cycles: 50.0,
+            max_duration_cycles: 3000.0,
+        }));
+    }
+
+    #[test]
+    fn footer_payload_is_fixed_size() {
+        assert_eq!(
+            Record::Footer(SegmentFooter::empty()).encode().len(),
+            FOOTER_PAYLOAD_LEN
+        );
+    }
+
+    #[test]
+    fn footer_accumulation_matches_records() {
+        let mut f = SegmentFooter::empty();
+        f.note(&Record::Meta(meta()));
+        f.note(&Record::Samples {
+            seq: 1,
+            samples: vec![1.0; 300],
+        });
+        f.note(&Record::Events {
+            first_seq: 5,
+            events: vec![
+                StallEvent {
+                    start_sample: 40,
+                    end_sample: 90,
+                    duration_cycles: 1250.0,
+                    kind: StallKind::RefreshCollision,
+                    confidence: Confidence::High,
+                },
+                StallEvent {
+                    start_sample: 200,
+                    end_sample: 230,
+                    duration_cycles: 750.0,
+                    kind: StallKind::Normal,
+                    confidence: Confidence::Degraded,
+                },
+            ],
+        });
+        f.note(&Record::Cursor { acked_events: 5 });
+        // A stale footer from an interrupted roll must not perturb the
+        // statistics of the records around it.
+        f.note(&Record::Footer(SegmentFooter::empty()));
+        assert_eq!(f.record_count, 4);
+        assert_eq!(f.event_count, 2);
+        assert_eq!(f.degraded_count, 1);
+        assert_eq!(f.refresh_count, 1);
+        assert_eq!(f.samples_count, 300);
+        assert_eq!((f.min_event_start, f.max_event_end), (40, 230));
+        assert_eq!((f.min_event_seq, f.max_event_seq), (5, 6));
+        assert_eq!((f.min_duration_cycles, f.max_duration_cycles), (750.0, 1250.0));
+        assert!(f.overlaps(0, u64::MAX));
+        assert!(f.overlaps(90, 199));
+        assert!(!f.overlaps(231, u64::MAX));
+        assert!(!f.overlaps(0, 39));
+        assert!(!SegmentFooter::empty().overlaps(0, u64::MAX));
     }
 
     #[test]

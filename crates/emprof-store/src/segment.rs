@@ -26,10 +26,11 @@
 
 use std::fs;
 use std::io;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 
 use crate::crc::crc32;
-use crate::record::Record;
+use crate::record::{Record, RecordKind, SegmentFooter, FOOTER_PAYLOAD_LEN};
 
 /// First eight bytes of every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"EMPROFJ1";
@@ -182,6 +183,49 @@ pub fn scan_segment(path: &Path) -> io::Result<Option<SegmentScan>> {
     }))
 }
 
+/// Fetches a sealed segment's statistics footer in O(1): two fixed-size
+/// reads (header, tail) instead of a full scan.
+///
+/// Returns `Ok(None)` — "no usable footer, fall back to scanning" — in
+/// every non-I/O failure mode: a footer-less legacy segment, a segment
+/// still being appended to (the footer is only the *last* frame of a
+/// sealed segment; anything appended after a stale footer displaces it
+/// from the tail), a torn tail, or a corrupt header. Only genuine I/O
+/// failures surface as errors.
+pub fn read_segment_footer(path: &Path) -> io::Result<Option<SegmentFooter>> {
+    let mut f = fs::File::open(path)?;
+    let file_len = f.metadata()?.len();
+    let tail_len = (RECORD_HEADER_LEN + FOOTER_PAYLOAD_LEN) as u64;
+    if file_len < SEGMENT_HEADER_LEN as u64 + tail_len {
+        return Ok(None);
+    }
+    let mut header = [0u8; SEGMENT_HEADER_LEN];
+    f.read_exact(&mut header)?;
+    if decode_segment_header(&header).is_none() {
+        return Ok(None);
+    }
+    f.seek(SeekFrom::End(-(tail_len as i64)))?;
+    let mut tail = [0u8; RECORD_HEADER_LEN + FOOTER_PAYLOAD_LEN];
+    f.read_exact(&mut tail)?;
+    let len = u32::from_le_bytes(tail[0..4].try_into().unwrap());
+    let kind = tail[4];
+    let crc = u32::from_le_bytes(tail[5..9].try_into().unwrap());
+    if len as usize != FOOTER_PAYLOAD_LEN || kind != RecordKind::Footer as u8 {
+        return Ok(None);
+    }
+    let payload = &tail[RECORD_HEADER_LEN..];
+    let mut crc_input = Vec::with_capacity(1 + payload.len());
+    crc_input.push(kind);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != crc {
+        return Ok(None);
+    }
+    match Record::decode(kind, payload) {
+        Ok(Record::Footer(footer)) => Ok(Some(footer)),
+        _ => Ok(None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +320,67 @@ mod tests {
         bytes[13] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
         assert!(scan_segment(&path).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footer_tail_read_matches_scan() {
+        let dir = tmp_dir("footer");
+        let path = dir.join(segment_file_name(3));
+        let mut recs = cursors(4);
+        let mut footer = SegmentFooter::empty();
+        for r in &recs {
+            footer.note(r);
+        }
+        recs.push(Record::Footer(footer));
+        write_segment(&path, 3, &recs);
+        let got = read_segment_footer(&path).unwrap().expect("footer present");
+        assert_eq!(got, footer);
+        // The footer is an ordinary record to the scanner.
+        let scan = scan_segment(&path).unwrap().unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.last().unwrap().1, Record::Footer(footer));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footer_absent_cases_fall_back_to_scan() {
+        let dir = tmp_dir("nofooter");
+        // Legacy segment: no footer at all.
+        let legacy = dir.join(segment_file_name(0));
+        write_segment(&legacy, 0, &cursors(20));
+        assert_eq!(read_segment_footer(&legacy).unwrap(), None);
+        // Active segment: records appended after a stale footer displace
+        // it from the tail.
+        let active = dir.join(segment_file_name(1));
+        let mut recs = cursors(2);
+        recs.push(Record::Footer(SegmentFooter::empty()));
+        recs.push(Record::Cursor { acked_events: 99 });
+        write_segment(&active, 1, &recs);
+        assert_eq!(read_segment_footer(&active).unwrap(), None);
+        // Torn tail: last byte chopped breaks the footer CRC.
+        let torn = dir.join(segment_file_name(2));
+        let mut recs = cursors(1);
+        recs.push(Record::Footer(SegmentFooter::empty()));
+        write_segment(&torn, 2, &recs);
+        let full = fs::metadata(&torn).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&torn).unwrap();
+        f.set_len(full - 1).unwrap();
+        drop(f);
+        assert_eq!(read_segment_footer(&torn).unwrap(), None);
+        // Corrupt header: the file is not trusted at all.
+        let badhdr = dir.join(segment_file_name(4));
+        let mut recs = cursors(1);
+        recs.push(Record::Footer(SegmentFooter::empty()));
+        write_segment(&badhdr, 4, &recs);
+        let mut bytes = fs::read(&badhdr).unwrap();
+        bytes[13] ^= 0x01;
+        fs::write(&badhdr, &bytes).unwrap();
+        assert_eq!(read_segment_footer(&badhdr).unwrap(), None);
+        // Tiny file: shorter than header + footer frame.
+        let tiny = dir.join(segment_file_name(5));
+        fs::write(&tiny, b"short").unwrap();
+        assert_eq!(read_segment_footer(&tiny).unwrap(), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

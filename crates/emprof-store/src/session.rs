@@ -117,6 +117,9 @@ impl SessionJournal {
                     samples_rejected,
                     last_samples_seq,
                 } => finished = Some((samples_pushed, samples_rejected, last_samples_seq)),
+                // Segment statistics footers are a read-path index, not
+                // session state: the fold skips them.
+                Record::Footer(_) => {}
             }
         }
         let Some(meta) = meta else {
@@ -370,6 +373,7 @@ mod tests {
         let cfg = JournalConfig {
             segment_bytes: 400,
             sync_on_append: false,
+            ..Default::default()
         };
         let mut sj = SessionJournal::create(&dir, meta(), cfg.clone()).unwrap();
         for seq in 1..=20u64 {
@@ -400,6 +404,7 @@ mod tests {
         let cfg = JournalConfig {
             segment_bytes: 300,
             sync_on_append: false,
+            ..Default::default()
         };
         let mut sj = SessionJournal::create(&dir, meta(), cfg.clone()).unwrap();
         let mut seq = 1u64;

@@ -61,6 +61,19 @@ cargo run -q --release -p emprof-bench --bin chaos_soak -- --smoke --seconds 8
 # on any event loss/duplication or leftover journal residue.
 cargo run -q --release -p emprof-bench --bin store_soak -- --smoke --seconds 8
 
+# Query-equals-replay properties: arbitrary event streams, truncation
+# damage, legacy footer-less segments, windows, filters and timelines —
+# every query result is bit-identical to a full replay, cached or cold,
+# including a regression race of queries against live ack-driven
+# compaction.
+cargo test -q --release --test prop_query
+
+# Query soak smoke: concurrent QUERY clients against a live journaled
+# server ingesting chaos-faulted sessions; fails if any query errors
+# under churn, any quiesced result diverges from local replay, or the
+# decoded-segment cache hit-rate falls below its floor.
+cargo run -q --release -p emprof-bench --bin query_soak -- --smoke
+
 # Routed-equals-direct: sessions streamed through the sharded router —
 # across resumes, backend kills (journal-handoff migration), and
 # runtime JOIN/LEAVE — serve events bit-identical to a single-node

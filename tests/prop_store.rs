@@ -29,6 +29,7 @@ fn journal_config() -> JournalConfig {
     JournalConfig {
         segment_bytes: 4_096,
         sync_on_append: false,
+        ..Default::default()
     }
 }
 
